@@ -1,0 +1,1 @@
+bench/figures.ml: Array Bitvec Dsl Float Format List Maestro Nfs Nic Printf Random Rs3 Runtime Sim Symbex Traffic Unix Vpp

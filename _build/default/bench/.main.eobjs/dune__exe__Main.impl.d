@@ -1,0 +1,1 @@
+bench/main.ml: Array Figures Format List Micro String Sys

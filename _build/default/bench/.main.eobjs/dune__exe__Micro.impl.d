@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Dsl Format Hashtbl Instance List Measure Nfs Nic Option Packet Result Rs3 Staged State Test Time Toolkit

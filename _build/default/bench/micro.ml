@@ -1,0 +1,72 @@
+(* Bechamel micro-benchmarks of the performance-critical primitives. *)
+
+open Bechamel
+open Toolkit
+
+let toeplitz_bench =
+  let key = Nic.Toeplitz.microsoft_test_key in
+  let pkt = Packet.Pkt.make ~ip_src:0x0a000001 ~ip_dst:0x60000002 ~src_port:1234 ~dst_port:80 () in
+  let input = Option.get (Nic.Field_set.hash_input Nic.Field_set.ipv4_tcp pkt) in
+  Test.make ~name:"toeplitz-hash-12B" (Staged.stage (fun () -> Nic.Toeplitz.hash_int ~key input))
+
+let map_bench =
+  let m = State.Map_s.create ~capacity:65536 in
+  let keys = Array.init 1024 (fun i -> Dsl.Ast.key_of_parts [ (32, i); (32, i * 7) ]) in
+  Array.iteri (fun i k -> ignore (State.Map_s.put m k i)) keys;
+  let i = ref 0 in
+  Test.make ~name:"map-get"
+    (Staged.stage (fun () ->
+         i := (!i + 1) land 1023;
+         State.Map_s.get m keys.(!i)))
+
+let dchain_bench =
+  let c = State.Dchain.create ~capacity:65536 in
+  for i = 0 to 1023 do
+    ignore (State.Dchain.allocate c ~now:i)
+  done;
+  let i = ref 0 in
+  Test.make ~name:"dchain-rejuvenate"
+    (Staged.stage (fun () ->
+         i := (!i + 1) land 1023;
+         State.Dchain.rejuvenate c !i ~now:!i))
+
+let sketch_bench =
+  let s = State.Sketch.create () in
+  let key = Dsl.Ast.key_of_parts [ (32, 42); (32, 77) ] in
+  Test.make ~name:"sketch-count" (Staged.stage (fun () -> State.Sketch.count s key))
+
+let fw_pkt_bench =
+  let nf = Nfs.Registry.find_exn "fw" in
+  let info = Dsl.Check.check_exn nf in
+  let inst = Dsl.Instance.create nf in
+  let pkt = Packet.Pkt.make ~ip_src:0x0a000001 ~ip_dst:0x60000002 ~src_port:1234 ~dst_port:80 () in
+  Test.make ~name:"fw-interpret-packet"
+    (Staged.stage (fun () -> Dsl.Interp.process nf info inst pkt))
+
+let gauss_bench =
+  Test.make ~name:"rs3-gauss-fw-keys"
+    (Staged.stage (fun () ->
+         let p =
+           Result.get_ok
+             (Rs3.Problem.for_constraints ~nports:2 [ Rs3.Cstr.symmetric ~port_a:0 ~port_b:1 ])
+         in
+         Rs3.Solve.solve ~seed:1 ~max_attempts:4 p))
+
+let run () =
+  let tests =
+    [ toeplitz_bench; map_bench; dchain_bench; sketch_bench; fw_pkt_bench; gauss_bench ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  Format.printf "@.=== Micro-benchmarks (Bechamel) ===@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Format.printf "%-24s %12.1f ns/op@." name est
+          | _ -> Format.printf "%-24s (no estimate)@." name)
+        results)
+    tests

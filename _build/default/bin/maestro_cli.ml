@@ -1,0 +1,171 @@
+(* The Maestro command line: analyze, parallelize and run the bundled NFs.
+
+     maestro list
+     maestro analyze fw
+     maestro parallelize fw --cores 16 --emit-c
+     maestro run fw --cores 8 --pkts 20000
+*)
+
+open Cmdliner
+
+let nf_names = Nfs.Registry.names @ List.map (fun nf -> nf.Dsl.Ast.name) (Nfs.Scenarios.all ())
+
+let find_nf name =
+  match Nfs.Registry.find name with
+  | Some nf -> Ok nf
+  | None -> (
+      match List.find_opt (fun nf -> nf.Dsl.Ast.name = name) (Nfs.Scenarios.all ()) with
+      | Some nf -> Ok nf
+      | None ->
+          Error
+            (Printf.sprintf "unknown NF %s (known: %s)" name (String.concat ", " nf_names)))
+
+let nf_arg =
+  let doc = "Network function to operate on." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
+
+let cores_arg =
+  Arg.(value & opt int 16 & info [ "cores" ] ~docv:"N" ~doc:"Worker cores to generate for.")
+
+let seed_arg = Arg.(value & opt int 0xbeef & info [ "seed" ] ~doc:"RNG seed for key search.")
+
+let strategy_arg =
+  let strategies = [ ("auto", `Auto); ("locks", `Force_locks); ("tm", `Force_tm) ] in
+  Arg.(
+    value
+    & opt (enum strategies) `Auto
+    & info [ "strategy" ] ~doc:"Parallelization strategy: $(b,auto), $(b,locks) or $(b,tm).")
+
+let solver_arg =
+  Arg.(
+    value
+    & opt (enum [ ("gauss", `Gauss); ("sat", `Sat) ]) `Gauss
+    & info [ "solver" ] ~doc:"RS3 backend: GF(2) elimination or SAT MaxSAT.")
+
+let nic_arg =
+  Arg.(
+    value
+    & opt (enum [ ("e810", Nic.Model.E810); ("x710", Nic.Model.X710) ]) Nic.Model.E810
+    & info [ "nic" ] ~doc:"NIC capability model.")
+
+let emit_c_arg =
+  Arg.(value & flag & info [ "emit-c" ] ~doc:"Print the generated DPDK-style C source.")
+
+(* --- list ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let tag =
+          match Nfs.Registry.expected_strategy name with
+          | `Shared_nothing -> "shared-nothing"
+          | `Locks -> "lock-based"
+          | `Read_only_lb -> "load-balance"
+          | exception Not_found -> "scenario"
+        in
+        Format.printf "%-22s %s@." name tag)
+      nf_names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled network functions.") Term.(const run $ const ())
+
+(* --- analyze ---------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run name verbose =
+    match find_nf name with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        exit 1
+    | Ok nf ->
+        let model = Symbex.Exec.run nf in
+        if verbose then Format.printf "%a@." Symbex.Exec.pp model;
+        let report = Maestro.Report.build model in
+        Format.printf "--- stateful report ---@.%a@." Maestro.Report.pp report;
+        Format.printf "--- decision ---@.%a@." Maestro.Sharding.pp_decision
+          (Maestro.Sharding.decide report)
+  in
+  let verbose = Arg.(value & flag & info [ "tree" ] ~doc:"Also print the execution trees.") in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Symbolically execute an NF and show the sharding analysis.")
+    Term.(const run $ nf_arg $ verbose)
+
+(* --- parallelize ------------------------------------------------------------ *)
+
+let parallelize_cmd =
+  let run name cores seed strategy solver nic emit_c =
+    match find_nf name with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        exit 1
+    | Ok nf -> (
+        let request = { Maestro.Pipeline.cores; nic; strategy; solver; seed } in
+        match Maestro.Pipeline.parallelize ~request nf with
+        | Error e ->
+            Format.eprintf "error: %s@." e;
+            exit 1
+        | Ok outcome ->
+            Format.printf "%a@." Maestro.Plan.pp outcome.Maestro.Pipeline.plan;
+            Format.printf "generation took %.2f ms@."
+              (1000.0 *. Maestro.Pipeline.total_s outcome.Maestro.Pipeline.timing);
+            if emit_c then
+              Format.printf "@.%s@." (Maestro.Codegen.emit_c outcome.Maestro.Pipeline.plan))
+  in
+  Cmd.v
+    (Cmd.info "parallelize" ~doc:"Generate a parallel implementation of an NF.")
+    Term.(
+      const run $ nf_arg $ cores_arg $ seed_arg $ strategy_arg $ solver_arg $ nic_arg
+      $ emit_c_arg)
+
+(* --- run --------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run name cores seed strategy pkts flows =
+    match find_nf name with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        exit 1
+    | Ok nf ->
+        let request = { Maestro.Pipeline.default_request with cores; seed; strategy } in
+        let plan = (Maestro.Pipeline.parallelize_exn ~request nf).Maestro.Pipeline.plan in
+        let rng = Random.State.make [| seed |] in
+        let fs = Traffic.Gen.flows rng flows in
+        let spec = { Traffic.Gen.default_spec with pkts; reply_fraction = 0.4 } in
+        let trace = Traffic.Gen.uniform ~spec rng ~flows:fs in
+        let seq = Runtime.Parallel.run_sequential nf trace in
+        let par = Runtime.Parallel.run plan trace in
+        let agree = ref 0 and fwd = ref 0 and dropped = ref 0 in
+        Array.iteri
+          (fun i v ->
+            (match v with
+            | Dsl.Interp.Fwd _ -> incr fwd
+            | Dsl.Interp.Dropped -> incr dropped);
+            if v = seq.(i) then incr agree)
+          par.Runtime.Parallel.verdicts;
+        let s = par.Runtime.Parallel.stats in
+        Format.printf "strategy: %s on %d cores@."
+          (Maestro.Plan.strategy_name plan.Maestro.Plan.strategy)
+          cores;
+        Format.printf "packets: %d forwarded, %d dropped@." !fwd !dropped;
+        Format.printf "sequential agreement: %d/%d@." !agree (Array.length trace);
+        Format.printf "per-core packets: %s (imbalance %.2f)@."
+          (String.concat ", "
+             (Array.to_list (Array.map string_of_int s.Runtime.Parallel.per_core_pkts)))
+          (Runtime.Parallel.imbalance s);
+        Format.printf "state ops: %d reads, %d writes; %d read-pkts, %d write-pkts@."
+          s.Runtime.Parallel.reads s.Runtime.Parallel.writes s.Runtime.Parallel.read_pkts
+          s.Runtime.Parallel.write_pkts
+  in
+  let pkts = Arg.(value & opt int 20_000 & info [ "pkts" ] ~doc:"Packets to replay.") in
+  let flows = Arg.(value & opt int 1_000 & info [ "flows" ] ~doc:"Flows in the workload.") in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute the generated parallel NF over a workload and compare it against the \
+          sequential version.")
+    Term.(const run $ nf_arg $ cores_arg $ seed_arg $ strategy_arg $ pkts $ flows)
+
+let () =
+  let doc = "Automatic parallelization of software network functions (NSDI'24 reproduction)" in
+  let info = Cmd.info "maestro" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; analyze_cmd; parallelize_cmd; run_cmd ]))

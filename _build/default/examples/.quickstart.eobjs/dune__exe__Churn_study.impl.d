@@ -1,0 +1,1 @@
+examples/churn_study.ml: Array Filename Format List Maestro Nfs Packet Random Sim Sys Traffic

@@ -1,0 +1,1 @@
+examples/custom_nf.ml: Array Dsl Field Format List Maestro Packet Random Rs3 Runtime Traffic

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Maestro Nfs Nic Packet Random Runtime String Traffic

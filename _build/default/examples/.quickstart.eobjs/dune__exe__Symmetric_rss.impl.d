@@ -1,0 +1,1 @@
+examples/symmetric_rss.ml: Array Bitvec Format Hashtbl Nic Option Packet Pkt Random Rs3

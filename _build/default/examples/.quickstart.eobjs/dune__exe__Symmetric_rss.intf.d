@@ -1,0 +1,1 @@
+examples/symmetric_rss.mli:

@@ -1,0 +1,161 @@
+(* Authoring your own NF against the Vigor-style API and letting Maestro
+   parallelize it.
+
+   The NF here is a per-source packet-count limiter: each source IP may send
+   at most [limit] packets per aging window.  Because its only state is
+   keyed by the source address, Maestro shards it shared-nothing on ip.src.
+
+   A second variant adds a per-*destination* counter too — which makes the
+   requirements disjoint (rule R3) and demonstrates the feedback a developer
+   gets when a design defeats sharding.
+
+     dune exec examples/custom_nf.exe
+*)
+
+open Dsl.Ast
+open Packet
+
+let limit = 1000
+let window_ns = 1_000_000_000
+
+let rate_limiter =
+  let count_and_decide =
+    Vec_get
+      {
+        obj = "rl_counters";
+        index = Var "rl_idx";
+        record = "rl_c";
+        k =
+          If
+            ( Record_field ("rl_c", "count") <. const limit,
+              Vec_set
+                {
+                  obj = "rl_counters";
+                  index = Var "rl_idx";
+                  fields = [ ("count", Record_field ("rl_c", "count") +. const 1) ];
+                  k =
+                    Chain_rejuv
+                      { obj = "rl_chain"; index = Var "rl_idx"; k = Forward (const ~width:16 1) };
+                },
+              Drop );
+      }
+  in
+  {
+    name = "rate_limiter";
+    devices = 2;
+    state =
+      [
+        Decl_map { name = "rl_map"; capacity = 65536; init = [] };
+        Decl_chain { name = "rl_chain"; capacity = 65536 };
+        Decl_vector { name = "rl_keys"; capacity = 65536; layout = [ ("src", 32) ] };
+        Decl_vector { name = "rl_counters"; capacity = 65536; layout = [ ("count", 32) ] };
+      ];
+    process =
+      Chain_expire
+        {
+          obj = "rl_chain";
+          purges = [ ("rl_map", "rl_keys") ];
+          age_ns = window_ns;
+          k =
+            If
+              ( In_port ==. const ~width:16 0,
+                Map_get
+                  {
+                    obj = "rl_map";
+                    key = [ Field Field.Ip_src ];
+                    found = "rl_f";
+                    value = "rl_idx";
+                    k =
+                      If
+                        ( Var "rl_f",
+                          count_and_decide,
+                          Chain_alloc
+                            {
+                              obj = "rl_chain";
+                              index = "rl_new";
+                              k_ok =
+                                Vec_set
+                                  {
+                                    obj = "rl_keys";
+                                    index = Var "rl_new";
+                                    fields = [ ("src", Field Field.Ip_src) ];
+                                    k =
+                                      Map_put
+                                        {
+                                          obj = "rl_map";
+                                          key = [ Field Field.Ip_src ];
+                                          value = Var "rl_new";
+                                          ok = "rl_ok";
+                                          k =
+                                            Vec_set
+                                              {
+                                                obj = "rl_counters";
+                                                index = Var "rl_new";
+                                                fields = [ ("count", const 1) ];
+                                                k = Forward (const ~width:16 1);
+                                              };
+                                        };
+                                  };
+                              k_fail = Drop;
+                            } );
+                  },
+                Forward (const ~width:16 0) );
+        };
+  }
+
+(* The broken variant: an extra per-destination counter (written on every
+   packet) makes "same source on one core" and "same destination on one
+   core" both mandatory — impossible for RSS. *)
+let with_destination_counter =
+  let base = rate_limiter in
+  {
+    base with
+    name = "rate_limiter_r3";
+    state = base.state @ [ Decl_map { name = "rl_dst"; capacity = 65536; init = [] } ];
+    process =
+      Map_get
+        {
+          obj = "rl_dst";
+          key = [ Field Field.Ip_dst ];
+          found = "rd_f";
+          value = "rd_v";
+          k =
+            Map_put
+              {
+                obj = "rl_dst";
+                key = [ Field Field.Ip_dst ];
+                value = Var "rd_v" +. const 1;
+                ok = "rd_ok";
+                k = base.process;
+              };
+        };
+  }
+
+let show nf =
+  Format.printf "@.=== %s ===@." nf.name;
+  let outcome = Maestro.Pipeline.parallelize_exn nf in
+  let plan = outcome.Maestro.Pipeline.plan in
+  Format.printf "decision: %s@." (Maestro.Plan.strategy_name plan.Maestro.Plan.strategy);
+  List.iter (fun w -> Format.printf "  warning: %s@." w) plan.Maestro.Plan.warnings;
+  List.iter
+    (fun c -> Format.printf "  constraint: %a@." Rs3.Cstr.pp c)
+    plan.Maestro.Plan.constraints;
+  plan
+
+let () =
+  let plan = show rate_limiter in
+  ignore (show with_destination_counter);
+
+  (* run the shardable one in parallel and watch the limiter bite *)
+  let rng = Random.State.make [| 7 |] in
+  let chatty = List.hd (Traffic.Gen.flows rng 1) in
+  let trace =
+    Array.init 3000 (fun i -> Packet.Flow.to_pkt ~port:0 ~ts_ns:(i * 1000) chatty)
+  in
+  let result = Runtime.Parallel.run plan trace in
+  let fwd =
+    Array.fold_left
+      (fun a v -> match v with Dsl.Interp.Fwd _ -> a + 1 | Dsl.Interp.Dropped -> a)
+      0 result.Runtime.Parallel.verdicts
+  in
+  Format.printf "@.one source sent 3000 packets in a window: %d passed (limit %d)@." fwd limit

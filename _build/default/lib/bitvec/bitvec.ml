@@ -1,0 +1,172 @@
+type t = { bits : int; data : Bytes.t }
+
+let nbytes bits = (bits + 7) / 8
+
+let create bits =
+  if bits < 0 then invalid_arg "Bitvec.create";
+  { bits; data = Bytes.make (nbytes bits) '\000' }
+
+(* Unused low-order bits of the last byte must stay zero so that [equal] and
+   [compare] can work directly on the byte representation. *)
+let normalize v =
+  let nb = nbytes v.bits in
+  if nb > 0 then begin
+    let used = v.bits - (8 * (nb - 1)) in
+    if used < 8 then begin
+      let mask = 0xff lxor ((1 lsl (8 - used)) - 1) in
+      let last = Char.code (Bytes.get v.data (nb - 1)) in
+      Bytes.set v.data (nb - 1) (Char.chr (last land mask))
+    end
+  end;
+  v
+
+let of_bytes ?bits b =
+  let bits = match bits with None -> 8 * Bytes.length b | Some n -> n in
+  if bits < 0 || nbytes bits > Bytes.length b then invalid_arg "Bitvec.of_bytes";
+  normalize { bits; data = Bytes.sub b 0 (nbytes bits) }
+
+let of_string ?bits s = of_bytes ?bits (Bytes.of_string s)
+
+let length v = v.bits
+
+let check_index v i =
+  if i < 0 || i >= v.bits then invalid_arg "Bitvec: bit index out of range"
+
+let get v i =
+  check_index v i;
+  let byte = Char.code (Bytes.get v.data (i / 8)) in
+  byte land (0x80 lsr (i mod 8)) <> 0
+
+let set v i b =
+  check_index v i;
+  let data = Bytes.copy v.data in
+  let cur = Char.code (Bytes.get data (i / 8)) in
+  let mask = 0x80 lsr (i mod 8) in
+  let nxt = if b then cur lor mask else cur land lnot mask in
+  Bytes.set data (i / 8) (Char.chr (nxt land 0xff));
+  { v with data }
+
+let init n f =
+  let v = create n in
+  for i = 0 to n - 1 do
+    if f i then begin
+      let cur = Char.code (Bytes.get v.data (i / 8)) in
+      Bytes.set v.data (i / 8) (Char.chr (cur lor (0x80 lsr (i mod 8))))
+    end
+  done;
+  v
+
+let of_bool_list l =
+  let arr = Array.of_list l in
+  init (Array.length arr) (fun i -> arr.(i))
+
+let to_bool_list v = List.init v.bits (get v)
+
+let of_hex s =
+  let digits = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | ':' -> ()
+      | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> Buffer.add_char digits c
+      | _ -> invalid_arg "Bitvec.of_hex: invalid character")
+    s;
+  let s = Buffer.contents digits in
+  if String.length s mod 2 <> 0 then invalid_arg "Bitvec.of_hex: odd digit count";
+  let nb = String.length s / 2 in
+  let data = Bytes.create nb in
+  for i = 0 to nb - 1 do
+    Bytes.set data i (Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+  done;
+  { bits = 8 * nb; data }
+
+let of_int ~width v =
+  if width < 0 || width > 62 then invalid_arg "Bitvec.of_int";
+  if v < 0 then invalid_arg "Bitvec.of_int: negative";
+  init width (fun i -> (v lsr (width - 1 - i)) land 1 = 1)
+
+let of_int32 v =
+  init 32 (fun i -> Int32.logand (Int32.shift_right_logical v (31 - i)) 1l = 1l)
+
+let to_int v =
+  if v.bits > 62 then invalid_arg "Bitvec.to_int: too wide";
+  let r = ref 0 in
+  for i = 0 to v.bits - 1 do
+    r := (!r lsl 1) lor (if get v i then 1 else 0)
+  done;
+  !r
+
+let to_int32 v =
+  if v.bits <> 32 then invalid_arg "Bitvec.to_int32: not 32 bits";
+  let r = ref 0l in
+  for i = 0 to 31 do
+    r := Int32.logor (Int32.shift_left !r 1) (if get v i then 1l else 0l)
+  done;
+  !r
+
+let random rng n = init n (fun _ -> Random.State.bool rng)
+
+let append a b =
+  init (a.bits + b.bits) (fun i -> if i < a.bits then get a i else get b (i - a.bits))
+
+let concat vs = List.fold_left append (create 0) vs
+
+let sub v ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > v.bits then invalid_arg "Bitvec.sub";
+  init len (fun i -> get v (pos + i))
+
+let to_bytes v = Bytes.copy v.data
+
+let map2 name f a b =
+  if a.bits <> b.bits then invalid_arg name;
+  let data = Bytes.create (nbytes a.bits) in
+  for i = 0 to Bytes.length data - 1 do
+    let x = Char.code (Bytes.get a.data i) and y = Char.code (Bytes.get b.data i) in
+    Bytes.set data i (Char.chr (f x y land 0xff))
+  done;
+  normalize { bits = a.bits; data }
+
+let xor a b = map2 "Bitvec.xor" ( lxor ) a b
+let and_ a b = map2 "Bitvec.and_" ( land ) a b
+let or_ a b = map2 "Bitvec.or_" ( lor ) a b
+
+let not_ v =
+  let data = Bytes.create (nbytes v.bits) in
+  for i = 0 to Bytes.length data - 1 do
+    Bytes.set data i (Char.chr (lnot (Char.code (Bytes.get v.data i)) land 0xff))
+  done;
+  normalize { bits = v.bits; data }
+
+let popcount v =
+  let n = ref 0 in
+  Bytes.iter
+    (fun c ->
+      let x = ref (Char.code c) in
+      while !x <> 0 do
+        x := !x land (!x - 1);
+        incr n
+      done)
+    v.data;
+  !n
+
+let is_zero v = popcount v = 0
+
+let rotate_left v k =
+  if v.bits = 0 then v
+  else
+    let k = ((k mod v.bits) + v.bits) mod v.bits in
+    init v.bits (fun i -> get v ((i + k) mod v.bits))
+
+let equal a b = a.bits = b.bits && Bytes.equal a.data b.data
+
+let compare a b =
+  match Int.compare a.bits b.bits with 0 -> Bytes.compare a.data b.data | c -> c
+
+let to_hex v =
+  let buf = Buffer.create (2 * Bytes.length v.data) in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) v.data;
+  Buffer.contents buf
+
+let to_bin v = String.init v.bits (fun i -> if get v i then '1' else '0')
+
+let pp fmt v = Format.pp_print_string fmt (to_hex v)

@@ -1,0 +1,107 @@
+(** Fixed-width bit vectors with MSB-first bit addressing.
+
+    Bit [0] of a vector is the most significant bit of its first byte, which
+    is the convention used by the Toeplitz RSS hash specification and by
+    network headers in general.  All vectors carry their width in bits; a
+    width that is not a multiple of 8 keeps the unused low-order bits of the
+    last byte at zero. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : int -> t
+(** [create n] is an [n]-bit vector of all zeros.  [n >= 0]. *)
+
+val of_bytes : ?bits:int -> bytes -> t
+(** [of_bytes b] wraps a copy of [b]; [bits] defaults to [8 * Bytes.length b]
+    and may be used to truncate to a non-byte-aligned width. *)
+
+val of_string : ?bits:int -> string -> t
+(** Like {!of_bytes} for a string of raw bytes. *)
+
+val of_hex : string -> t
+(** [of_hex s] parses a hexadecimal string such as ["6d5a56da"]; whitespace
+    and [':'] separators are ignored.  Raises [Invalid_argument] on other
+    characters or an odd digit count. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width v] is the big-endian encoding of [v] in [width] bits
+    ([0 <= width <= 62]). *)
+
+val of_int32 : int32 -> t
+(** 32-bit big-endian encoding. *)
+
+val of_bool_list : bool list -> t
+(** MSB-first list of bits. *)
+
+val init : int -> (int -> bool) -> t
+(** [init n f] has bit [i] equal to [f i]. *)
+
+val random : Random.State.t -> int -> t
+(** [random rng n] draws [n] uniformly random bits. *)
+
+val append : t -> t -> t
+(** [append a b] concatenates, [a]'s bits first. *)
+
+val concat : t list -> t
+
+val sub : t -> pos:int -> len:int -> t
+(** [sub v ~pos ~len] extracts bits [pos .. pos+len-1].  Raises
+    [Invalid_argument] when out of range. *)
+
+(** {1 Access} *)
+
+val length : t -> int
+(** Width in bits. *)
+
+val get : t -> int -> bool
+(** [get v i] is bit [i] (MSB-first).  Raises [Invalid_argument] when out of
+    range. *)
+
+val set : t -> int -> bool -> t
+(** Functional update of one bit. *)
+
+val to_bytes : t -> bytes
+(** A fresh copy of the underlying big-endian bytes. *)
+
+val to_int : t -> int
+(** Big-endian value; requires [length <= 62]. *)
+
+val to_int32 : t -> int32
+(** Big-endian value of a 32-bit vector. *)
+
+val to_bool_list : t -> bool list
+
+(** {1 Bitwise operations} *)
+
+val xor : t -> t -> t
+(** Pointwise xor; widths must match. *)
+
+val and_ : t -> t -> t
+
+val or_ : t -> t -> t
+
+val not_ : t -> t
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val is_zero : t -> bool
+
+val rotate_left : t -> int -> t
+
+(** {1 Comparison and printing} *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val to_hex : t -> string
+(** Lowercase hexadecimal, zero-padded to whole bytes. *)
+
+val to_bin : t -> string
+(** A string of ['0']/['1'] characters, MSB first. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as hexadecimal. *)

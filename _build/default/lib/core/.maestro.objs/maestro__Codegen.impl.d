@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Bitvec Buffer Bytes Char Dsl List Nic Packet Plan Printf String

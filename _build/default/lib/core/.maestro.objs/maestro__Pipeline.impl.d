@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Dsl Format List Nic Plan Printf Random Report Rs3 Sharding String Symbex Unix

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Dsl Nic Plan Report Rs3 Sharding

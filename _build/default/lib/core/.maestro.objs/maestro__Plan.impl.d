@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Bitvec Dsl Format List Nic Rs3

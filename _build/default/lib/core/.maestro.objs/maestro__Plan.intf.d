@@ -1,0 +1,1 @@
+lib/core/plan.mli: Bitvec Dsl Format Nic Rs3

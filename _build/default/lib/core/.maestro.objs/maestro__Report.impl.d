@@ -1,0 +1,1 @@
+lib/core/report.ml: Dsl Format Hashtbl List Option Packet String Symbex

@@ -1,0 +1,1 @@
+lib/core/sharding.ml: Array Dsl Exec Format Hashtbl Int List Option Packet Report Rs3 Set Stdlib String Sym Symbex Tree

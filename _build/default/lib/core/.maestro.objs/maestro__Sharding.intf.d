@@ -1,0 +1,1 @@
+lib/core/sharding.mli: Format Packet Report Rs3

@@ -1,0 +1,236 @@
+open Dsl.Ast
+
+let buf_add = Buffer.add_string
+
+let c_field = function
+  | Packet.Field.Eth_src -> "pkt->eth.src"
+  | Packet.Field.Eth_dst -> "pkt->eth.dst"
+  | Packet.Field.Eth_type -> "pkt->eth.type"
+  | Packet.Field.Ip_src -> "pkt->ip.src"
+  | Packet.Field.Ip_dst -> "pkt->ip.dst"
+  | Packet.Field.Ip_proto -> "pkt->ip.proto"
+  | Packet.Field.Src_port -> "pkt->l4.sport"
+  | Packet.Field.Dst_port -> "pkt->l4.dport"
+
+let binop_c = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Land -> "&&"
+  | Lor -> "||"
+
+let rec c_expr = function
+  | Const (_, v) -> string_of_int v
+  | Field f -> c_field f
+  | In_port -> "port"
+  | Now -> "now"
+  | Pkt_len -> "pkt->len"
+  | Var x -> x
+  | Record_field (r, f) -> Printf.sprintf "%s->%s" r f
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (c_expr a) (binop_c op) (c_expr b)
+  | Not e -> Printf.sprintf "!%s" (c_expr e)
+  | Cast (w, e) ->
+      let ty = if w <= 8 then "uint8_t" else if w <= 16 then "uint16_t" else if w <= 32 then "uint32_t" else "uint64_t" in
+      Printf.sprintf "(%s)%s" ty (c_expr e)
+
+let c_key key =
+  Printf.sprintf "KEY(%s)" (String.concat ", " (List.map c_expr key))
+
+let instance suffix obj = obj ^ suffix
+
+let rec c_stmt buf suffix indent stmt =
+  let pad = String.make indent ' ' in
+  let line fmt = Printf.ksprintf (fun s -> buf_add buf (pad ^ s ^ "\n")) fmt in
+  match stmt with
+  | If (c, t, f) ->
+      line "if (%s) {" (c_expr c);
+      c_stmt buf suffix (indent + 2) t;
+      line "} else {";
+      c_stmt buf suffix (indent + 2) f;
+      line "}"
+  | Let (x, e, k) ->
+      line "uint64_t %s = %s;" x (c_expr e);
+      c_stmt buf suffix indent k
+  | Map_get { obj; key; found; value; k } ->
+      line "int %s; int %s = map_get(%s, %s, &%s);" value found (instance suffix obj)
+        (c_key key) value;
+      c_stmt buf suffix indent k
+  | Map_put { obj; key; value; ok; k } ->
+      line "int %s = map_put(%s, %s, %s);" ok (instance suffix obj) (c_key key) (c_expr value);
+      c_stmt buf suffix indent k
+  | Map_erase { obj; key; k } ->
+      line "map_erase(%s, %s);" (instance suffix obj) (c_key key);
+      c_stmt buf suffix indent k
+  | Vec_get { obj; index; record; k } ->
+      line "struct %s_rec *%s = vector_borrow(%s, %s);" obj record (instance suffix obj)
+        (c_expr index);
+      c_stmt buf suffix indent k
+  | Vec_set { obj; index; fields; k } ->
+      line "struct %s_rec *tmp_%s = vector_borrow(%s, %s);" obj obj (instance suffix obj)
+        (c_expr index);
+      List.iter (fun (f, e) -> line "tmp_%s->%s = %s;" obj f (c_expr e)) fields;
+      line "vector_return(%s, %s, tmp_%s);" (instance suffix obj) (c_expr index) obj;
+      c_stmt buf suffix indent k
+  | Chain_alloc { obj; index; k_ok; k_fail } ->
+      line "int %s;" index;
+      line "if (dchain_allocate_new_index(%s, &%s, now)) {" (instance suffix obj) index;
+      c_stmt buf suffix (indent + 2) k_ok;
+      line "} else {";
+      c_stmt buf suffix (indent + 2) k_fail;
+      line "}"
+  | Chain_rejuv { obj; index; k } ->
+      line "dchain_rejuvenate_index(%s, %s, now);" (instance suffix obj) (c_expr index);
+      c_stmt buf suffix indent k
+  | Chain_expire { obj; purges; age_ns; k } ->
+      List.iter
+        (fun (m, v) ->
+          line "expire_items_single_map(%s, %s, %s, now - %d);" (instance suffix obj)
+            (instance suffix v) (instance suffix m) age_ns)
+        purges;
+      c_stmt buf suffix indent k
+  | Sketch_touch { obj; key; k } ->
+      line "sketch_touch(%s, %s);" (instance suffix obj) (c_key key);
+      c_stmt buf suffix indent k
+  | Sketch_query { obj; key; count; k } ->
+      line "int %s = sketch_count(%s, %s);" count (instance suffix obj) (c_key key);
+      c_stmt buf suffix indent k
+  | Set_field (f, e, k) ->
+      line "%s = %s;" (c_field f) (c_expr e);
+      c_stmt buf suffix indent k
+  | Forward e -> line "return forward(%s);" (c_expr e)
+  | Drop -> line "return drop();"
+
+let key_array name key =
+  let bytes = Bitvec.to_bytes key in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "uint8_t %s[%d] = {\n " name (Bytes.length bytes));
+  Bytes.iteri
+    (fun i c ->
+      Buffer.add_string buf (Printf.sprintf " 0x%02x," (Char.code c));
+      if (i + 1) mod 8 = 0 then Buffer.add_string buf "\n ")
+    bytes;
+  Buffer.add_string buf "\n};\n";
+  Buffer.contents buf
+
+let field_set_flags fs =
+  Nic.Field_set.slices fs
+  |> List.map (fun (f, bits) ->
+         let base =
+           match f with
+           | Packet.Field.Ip_src -> "ETH_RSS_IPV4 | ETH_RSS_L3_SRC_ONLY"
+           | Packet.Field.Ip_dst -> "ETH_RSS_IPV4 | ETH_RSS_L3_DST_ONLY"
+           | Packet.Field.Src_port -> "ETH_RSS_PORT | ETH_RSS_L4_SRC_ONLY"
+           | Packet.Field.Dst_port -> "ETH_RSS_PORT | ETH_RSS_L4_DST_ONLY"
+           | _ -> "0"
+         in
+         if bits < Packet.Field.width f then
+           Printf.sprintf "%s /* flex-extract top %d bits */" base bits
+         else base)
+  |> List.sort_uniq String.compare |> String.concat " | "
+
+let emit_rss_keys (plan : Plan.t) =
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun port (r : Plan.port_rss) ->
+      buf_add buf (key_array (Printf.sprintf "RSS_HASH_PORT_%d" port) r.Plan.key))
+    plan.Plan.rss;
+  Buffer.contents buf
+
+let state_decl buf per_core (d : state_decl) =
+  let star = if per_core then "*" else "" in
+  match d with
+  | Decl_map { name; capacity; _ } ->
+      buf_add buf (Printf.sprintf "struct Map *%s%s;   /* capacity %d */\n" star name capacity)
+  | Decl_vector { name; capacity; layout } ->
+      buf_add buf
+        (Printf.sprintf "struct Vector *%s%s; /* capacity %d, record {%s} */\n" star name
+           capacity
+           (String.concat ", " (List.map (fun (n, w) -> Printf.sprintf "%s:%d" n w) layout)))
+  | Decl_chain { name; capacity } ->
+      buf_add buf (Printf.sprintf "struct DoubleChain *%s%s; /* capacity %d */\n" star name capacity)
+  | Decl_sketch { name; depth; width } ->
+      buf_add buf (Printf.sprintf "struct Sketch *%s%s; /* %dx%d */\n" star name depth width)
+
+let emit_c (plan : Plan.t) =
+  let nf = plan.Plan.nf in
+  let buf = Buffer.create 4096 in
+  let per_core = plan.Plan.strategy = Plan.Shared_nothing in
+  buf_add buf
+    (Printf.sprintf
+       "/* %s — parallel implementation generated by Maestro (%s, %d cores).\n"
+       nf.name
+       (Plan.strategy_name plan.Plan.strategy)
+       plan.Plan.cores);
+  List.iter (fun w -> buf_add buf (Printf.sprintf " * warning: %s\n" w)) plan.Plan.warnings;
+  buf_add buf " */\n\n";
+  (if per_core then buf_add buf "/* One state instance per worker core. */\n");
+  List.iter (state_decl buf per_core) nf.state;
+  buf_add buf "\n";
+  buf_add buf (emit_rss_keys plan);
+  buf_add buf "\n/* Run once per worker core. */\nint init(void) {\n";
+  buf_add buf "  unsigned core_id = rte_lcore_id();\n";
+  buf_add buf "  if (core_id == rte_get_main_lcore()) {\n";
+  Array.iteri
+    (fun port (r : Plan.port_rss) ->
+      buf_add buf
+        (Printf.sprintf "    rss_configure(%d, RSS_HASH_PORT_%d, %s);\n" port port
+           (field_set_flags r.Plan.field_set)))
+    plan.Plan.rss;
+  buf_add buf "  }\n";
+  let divisor = Plan.state_divisor plan in
+  List.iter
+    (fun d ->
+      let name = decl_name d in
+      let cap =
+        match d with
+        | Decl_map { capacity; _ } | Decl_vector { capacity; _ } | Decl_chain { capacity; _ }
+          ->
+            Some capacity
+        | Decl_sketch _ -> None
+      in
+      match cap with
+      | Some c when per_core ->
+          buf_add buf
+            (Printf.sprintf "  %s_init(&%s[core_id], %d);   /* %d / %d cores */\n"
+               (match d with
+               | Decl_map _ -> "map"
+               | Decl_vector _ -> "vector"
+               | Decl_chain _ -> "dchain"
+               | Decl_sketch _ -> "sketch")
+               name (max 1 (c / divisor)) c divisor)
+      | Some c ->
+          buf_add buf
+            (Printf.sprintf "  %s_init(&%s, %d);\n"
+               (match d with
+               | Decl_map _ -> "map"
+               | Decl_vector _ -> "vector"
+               | Decl_chain _ -> "dchain"
+               | Decl_sketch _ -> "sketch")
+               name c)
+      | None -> buf_add buf (Printf.sprintf "  sketch_init(&%s);\n" name))
+    nf.state;
+  buf_add buf "  return 0;\n}\n\n";
+  (match plan.Plan.strategy with
+  | Plan.Lock_based ->
+      buf_add buf
+        "/* Speculative read path: process read-only under the core-local lock;\n\
+        \ * on the first write, release, take all per-core locks in order, and\n\
+        \ * restart the packet (paper §3.6). */\n"
+  | Plan.Tm_based ->
+      buf_add buf
+        "/* Each packet runs as a restricted transaction (RTM); after 3 aborts\n\
+        \ * fall back to a global lock. */\n"
+  | Plan.Shared_nothing | Plan.Load_balance -> ());
+  buf_add buf "/* Run per packet on its worker core. */\n";
+  buf_add buf "int process(int port, pkt_t *pkt, uint64_t now) {\n";
+  (if per_core then buf_add buf "  unsigned core_id = rte_lcore_id();\n");
+  let suffix = if per_core then "[core_id]" else "" in
+  c_stmt buf suffix 2 nf.process;
+  buf_add buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Rendering a parallelization plan as DPDK-style C source.
+
+    The model is a sound and complete representation of the NF, so it can be
+    re-materialized as code (paper §3.6).  The runnable artifact in this
+    reproduction is the {!Runtime} execution of the plan; this module
+    produces the human-facing C translation — per-port RSS key arrays,
+    RSS configuration and per-core state allocation, and the packet-
+    processing function — mirroring the paper's Appendix A.1 excerpts. *)
+
+val emit_c : Plan.t -> string
+
+val emit_rss_keys : Plan.t -> string
+(** Just the key byte arrays, one per port (the Fig. 13 header block). *)

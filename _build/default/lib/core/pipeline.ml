@@ -1,0 +1,116 @@
+type request = {
+  cores : int;
+  nic : Nic.Model.t;
+  strategy : [ `Auto | `Force_locks | `Force_tm ];
+  solver : Rs3.Solve.backend;
+  seed : int;
+}
+
+let default_request =
+  { cores = 16; nic = Nic.Model.E810; strategy = `Auto; solver = `Gauss; seed = 0xbeef }
+
+type timing = {
+  symbex_s : float;
+  report_s : float;
+  sharding_s : float;
+  solving_s : float;
+  codegen_s : float;
+}
+
+let total_s t = t.symbex_s +. t.report_s +. t.sharding_s +. t.solving_s +. t.codegen_s
+
+type outcome = {
+  plan : Plan.t;
+  decision : Sharding.decision;
+  report : Report.t;
+  timing : timing;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let random_rss rng nic nf =
+  Array.init nf.Dsl.Ast.devices (fun _ ->
+      { Plan.key = Nic.Rss.random_key rng nic; field_set = Nic.Field_set.ipv4_tcp })
+
+let parallelize ?(request = default_request) nf =
+  match Dsl.Check.check nf with
+  | Error errs -> Error (String.concat "; " errs)
+  | Ok _ ->
+      let rng = Random.State.make [| request.seed |] in
+      let model, symbex_s = timed (fun () -> Symbex.Exec.run nf) in
+      let report, report_s = timed (fun () -> Report.build model) in
+      let decision, sharding_s = timed (fun () -> Sharding.decide report) in
+      let warnings_of_blocked reasons =
+        List.map (Format.asprintf "%a" Sharding.pp_reason) reasons
+      in
+      let mk strategy rss constraints warnings solving_s =
+        let plan, codegen_s =
+          timed (fun () ->
+              {
+                Plan.nf;
+                cores = request.cores;
+                nic = request.nic;
+                strategy;
+                rss;
+                constraints;
+                warnings;
+              })
+        in
+        Ok
+          {
+            plan;
+            decision;
+            report;
+            timing = { symbex_s; report_s; sharding_s; solving_s; codegen_s };
+          }
+      in
+      let lock_fallback warnings solving_s =
+        mk Plan.Lock_based (random_rss rng request.nic nf) [] warnings solving_s
+      in
+      (match (request.strategy, decision) with
+      | `Force_locks, _ -> lock_fallback [ "lock-based parallelization forced" ] 0.
+      | `Force_tm, _ ->
+          mk Plan.Tm_based (random_rss rng request.nic nf) []
+            [ "transactional-memory parallelization forced" ]
+            0.
+      | `Auto, Sharding.No_state ->
+          mk Plan.Load_balance (random_rss rng request.nic nf) [] [] 0.
+      | `Auto, Sharding.Read_only ->
+          mk Plan.Load_balance (random_rss rng request.nic nf) []
+            [ "state is read-only and will be replicated per core" ]
+            0.
+      | `Auto, Sharding.Blocked reasons -> lock_fallback (warnings_of_blocked reasons) 0.
+      | `Auto, Sharding.Shard constraints -> (
+          let solved, solving_s =
+            timed (fun () ->
+                match
+                  Rs3.Problem.for_constraints ~nic:request.nic ~nports:nf.Dsl.Ast.devices
+                    constraints
+                with
+                | Error e -> Error e
+                | Ok problem -> (
+                    match
+                      Rs3.Solve.solve ~backend:request.solver ~seed:request.seed problem
+                    with
+                    | Error e -> Error e
+                    | Ok sol -> Ok (problem, sol)))
+          in
+          match solved with
+          | Error e ->
+              lock_fallback
+                [ Printf.sprintf "sharding solution found but unrealizable on the NIC: %s" e ]
+                solving_s
+          | Ok (problem, sol) ->
+              let rss =
+                Array.mapi
+                  (fun port key ->
+                    { Plan.key; field_set = problem.Rs3.Problem.field_sets.(port) })
+                  sol.Rs3.Solve.keys
+              in
+              mk Plan.Shared_nothing rss constraints [] solving_s))
+
+let parallelize_exn ?request nf =
+  match parallelize ?request nf with Ok o -> o | Error e -> invalid_arg e

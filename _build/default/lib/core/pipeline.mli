@@ -1,0 +1,41 @@
+(** The end-to-end Maestro pipeline (paper Fig. 1): exhaustive symbolic
+    execution → stateful report → constraints generator → RS3 → code
+    generation, with per-stage timing for the Fig. 6 experiment. *)
+
+type request = {
+  cores : int;
+  nic : Nic.Model.t;
+  strategy : [ `Auto | `Force_locks | `Force_tm ];
+      (** [`Auto] picks shared-nothing when possible (falling back to locks
+          otherwise); the forced modes reproduce the paper's §6.4
+          comparisons. *)
+  solver : Rs3.Solve.backend;
+  seed : int;
+}
+
+val default_request : request
+
+type timing = {
+  symbex_s : float;
+  report_s : float;
+  sharding_s : float;
+  solving_s : float;
+  codegen_s : float;
+}
+
+val total_s : timing -> float
+
+type outcome = {
+  plan : Plan.t;
+  decision : Sharding.decision;
+  report : Report.t;
+  timing : timing;
+}
+
+val parallelize : ?request:request -> Dsl.Ast.t -> (outcome, string) result
+(** The push-button entry point.  [Error] only for NFs that fail validation
+    or whose sharding solution the solver cannot realize on the NIC (those
+    fall back to locks under [`Auto], so in practice errors mean malformed
+    input). *)
+
+val parallelize_exn : ?request:request -> Dsl.Ast.t -> outcome

@@ -1,0 +1,484 @@
+open Symbex
+
+type blocked_reason =
+  | Constant_key of { obj : string }
+  | Allocator_key of { obj : string; detail : string }
+  | Lossy_key of { obj : string; detail : string }
+  | Non_rss_field of { obj : string; field : Packet.Field.t }
+  | Mixed_key_pair of { obj : string }
+  | Disjoint of { port : int; fields_a : Packet.Field.t list; fields_b : Packet.Field.t list }
+
+let pp_fields fmt fs =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") Packet.Field.pp)
+    fs
+
+let pp_reason fmt = function
+  | Constant_key { obj } ->
+      Format.fprintf fmt
+        "%s is keyed by a constant: every packet contends for the same state, so no RSS \
+         configuration can steer related packets apart (R4)"
+        obj
+  | Allocator_key { obj; detail } ->
+      Format.fprintf fmt
+        "%s is keyed by %s, a value produced by the NF rather than by packet fields; RSS \
+         cannot reproduce it (R4)"
+        obj detail
+  | Lossy_key { obj; detail } ->
+      Format.fprintf fmt
+        "%s is indexed through %s, a non-injective derivation of packet fields; distinct \
+         packets sharing the index may hash apart (R4)"
+        obj detail
+  | Non_rss_field { obj; field } ->
+      Format.fprintf fmt "%s is keyed by %s, which RSS cannot hash on this NIC (R4)" obj
+        (Packet.Field.to_string field)
+  | Mixed_key_pair { obj } ->
+      Format.fprintf fmt
+        "two accesses to %s align a packet field with a constant; RSS cannot steer on \
+         specific field values (R4)"
+        obj
+  | Disjoint { port; fields_a; fields_b } ->
+      Format.fprintf fmt
+        "port %d must shard simultaneously on %a and on %a, which share no field: RSS can \
+         only hash one set per port (R3)"
+        port pp_fields fields_a pp_fields fields_b
+
+type decision =
+  | No_state
+  | Read_only
+  | Shard of Rs3.Cstr.t list
+  | Blocked of blocked_reason list
+
+(* --- entry resolution ----------------------------------------------------- *)
+
+type tuple = { t_port : int; atoms : Sym.atom list }
+
+(* Classify one keyed entry: a usable tuple or a blocking reason. *)
+let resolve_entry (e : Report.entry) atoms =
+  let obj = e.Report.call.Tree.obj in
+  let problems =
+    List.filter_map
+      (fun a ->
+        match a with
+        | Sym.A_field f when not (Packet.Field.rss_capable f) ->
+            Some (Non_rss_field { obj; field = f })
+        | Sym.A_prefix (f, _) when not (Packet.Field.rss_capable f) ->
+            Some (Non_rss_field { obj; field = f })
+        | Sym.A_field _ | Sym.A_prefix _ | Sym.A_const _ -> None
+        | Sym.A_opaque s ->
+            let detail = Format.asprintf "%a" Sym.pp s in
+            if Sym.calls s <> [] then Some (Allocator_key { obj; detail })
+            else if Sym.fields s <> [] then Some (Lossy_key { obj; detail })
+            else Some (Allocator_key { obj; detail }))
+      atoms
+  in
+  match problems with
+  | p :: _ -> Error p
+  | [] ->
+      if List.exists (function Sym.A_field _ | Sym.A_prefix _ -> true | _ -> false) atoms
+      then Ok { t_port = e.Report.call.Tree.port; atoms }
+      else Error (Constant_key { obj })
+
+(* --- rule R5: interchangeable constraints ---------------------------------- *)
+
+(* Flatten a guard condition into (vector, record field, packet field)
+   equalities; [None] when the condition has any other shape. *)
+let parse_guard vid cond =
+  let rec conjuncts c =
+    match c with
+    | Sym.Bin (Dsl.Ast.Land, a, b) -> Option.bind (conjuncts a) (fun xs ->
+        Option.map (fun ys -> xs @ ys) (conjuncts b))
+    | Sym.Bin (Dsl.Ast.Eq, a, b) -> (
+        let record_vs_other =
+          match (a, b) with
+          | Sym.Record (id, v, rf), other when id = vid -> Some (v, rf, other)
+          | other, Sym.Record (id, v, rf) when id = vid -> Some (v, rf, other)
+          | _ -> None
+        in
+        match record_vs_other with
+        | Some (v, rf, other) -> (
+            match Sym.classify other with
+            | Sym.A_field g -> Some [ (v, rf, g) ]
+            | Sym.A_prefix _ | Sym.A_const _ | Sym.A_opaque _ -> None)
+        | None -> None)
+    | _ -> None
+  in
+  conjuncts cond
+
+let drop_only t = Tree.leaf_action_set t = [ Tree.Drop ]
+
+(* What a map_get's continuation tells us about re-keying (paper Fig. 2 ⑤
+   and the NAT, §6.1). *)
+type read_shape =
+  | Guarded of string * (string * Packet.Field.t) list
+      (** vector checked, (record field, packet field) guard list: a lookup
+          whose entry is pinned to packet fields, mismatch ≡ miss *)
+  | Irrelevant
+      (** found and miss paths are observably identical: the read only
+          gates an insertion *)
+  | Opaque_read
+
+let read_shape_of (model : Exec.model) (e : Report.entry) =
+  let call = e.Report.call in
+  let tree = model.Exec.trees.(call.Tree.port) in
+  match Tree.continuation_of_call tree call.Tree.id with
+  | None -> Opaque_read
+  | Some cont -> (
+      let found_sym = Sym.Call (call.Tree.id, "found") in
+      match Tree.find_branch cont (Sym.equal found_sym) with
+      | None -> Opaque_read
+      | Some (_, t_found, t_miss) -> (
+          (* case A: a vec_get on the looked-up index followed by a guard
+             whose mismatch behaves exactly like the miss *)
+          let vec_reads =
+            List.filter
+              (fun (c : Tree.call) ->
+                c.Tree.kind = Dsl.Interp.Op_vec_get
+                &&
+                match c.Tree.index with
+                | Some idx -> List.mem call.Tree.id (Sym.calls idx)
+                | None -> false)
+              (Tree.all_calls t_found)
+          in
+          let guarded =
+            List.find_map
+              (fun (v : Tree.call) ->
+                match
+                  Tree.find_branch t_found (fun cond ->
+                      Option.is_some (parse_guard v.Tree.id cond))
+                with
+                | Some (cond, _, t_bad) -> (
+                    match parse_guard v.Tree.id cond with
+                    | Some gs when drop_only t_bad && drop_only t_miss ->
+                        let vec = v.Tree.obj in
+                        if List.for_all (fun (v', _, _) -> String.equal v' vec) gs then
+                          Some (Guarded (vec, List.map (fun (_, rf, g) -> (rf, g)) gs))
+                        else None
+                    | _ -> None)
+                | None -> None)
+              vec_reads
+          in
+          match guarded with
+          | Some g -> g
+          | None ->
+              (* case B: the lookup's outcome is unobservable *)
+              if Tree.leaf_action_set t_found = Tree.leaf_action_set t_miss then Irrelevant
+              else Opaque_read))
+
+(* Fields stored into each vector record field from packet fields, per
+   cluster: the writer side of R5. *)
+let stored_fields (cluster : Report.cluster) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Report.entry) ->
+      if e.Report.call.Tree.kind = Dsl.Interp.Op_vec_set then
+        List.iter
+          (fun (rf, sym) ->
+            match Sym.classify sym with
+            | Sym.A_field h ->
+                let key = (e.Report.call.Tree.obj, rf) in
+                (match Hashtbl.find_opt tbl key with
+                | Some (Some h') when not (Packet.Field.equal h h') ->
+                    (* ambiguous provenance: poison the slot *)
+                    Hashtbl.replace tbl key None
+                | Some _ -> ()
+                | None -> Hashtbl.replace tbl key (Some h))
+            | _ -> ())
+          e.Report.call.Tree.stored)
+    cluster.Report.entries;
+  fun vec rf -> Option.join (Hashtbl.find_opt tbl (vec, rf))
+
+(* Attempt to re-key every entry of one object.  Returns the rewritten
+   (entry, tuple) list or the reason it cannot be done. *)
+let rescue_object model (cluster : Report.cluster) entries first_problem =
+  let store = stored_fields cluster in
+  let layout_order vec rfs =
+    match Dsl.Check.layout_of_object model.Exec.info vec with
+    | layout -> List.filter (fun (n, _) -> List.mem_assoc n rfs) layout |> List.map fst
+    | exception Not_found -> List.map fst rfs
+  in
+  (* one reader must exhibit the guard to define the re-keying shape *)
+  let shapes = List.map (fun e -> (e, read_shape_of model e)) entries in
+  let guard_spec =
+    List.find_map (function _, Guarded (v, gs) -> Some (v, gs) | _ -> None) shapes
+  in
+  match guard_spec with
+  | None -> Error first_problem
+  | Some (vec, gs) -> (
+      let rf_order = layout_order vec gs in
+      if List.length rf_order <> List.length gs then Error first_problem
+      else
+        let writer_tuple port =
+          let fields = List.map (fun rf -> store vec rf) rf_order in
+          if List.for_all Option.is_some fields then
+            Some
+              { t_port = port; atoms = List.map (fun f -> Sym.A_field (Option.get f)) fields }
+          else None
+        in
+        let rewrite (e, shape) =
+          let port = e.Report.call.Tree.port in
+          match (e.Report.call.Tree.kind, shape) with
+          | Dsl.Interp.Op_map_get, Guarded (v, gs') when String.equal v vec ->
+              let atoms =
+                List.filter_map
+                  (fun rf -> Option.map (fun g -> Sym.A_field g) (List.assoc_opt rf gs'))
+                  rf_order
+              in
+              if List.length atoms = List.length rf_order then Some { t_port = port; atoms }
+              else None
+          | Dsl.Interp.Op_map_get, Irrelevant -> writer_tuple port
+          | Dsl.Interp.Op_map_get, (Guarded _ | Opaque_read) -> None
+          | (Dsl.Interp.Op_map_put | Dsl.Interp.Op_map_erase), _ -> writer_tuple port
+          | _ -> None
+        in
+        let rewritten = List.map rewrite shapes in
+        if List.for_all Option.is_some rewritten then
+          Ok (List.map2 (fun e t -> (e, Option.get t)) entries rewritten)
+        else Error first_problem)
+
+(* --- constraint generation ------------------------------------------------ *)
+
+let pair_constraints obj tuples =
+  (* dedupe structurally first: identical accesses add nothing *)
+  let tuples = List.sort_uniq Stdlib.compare tuples in
+  let n = List.length tuples in
+  let arr = Array.of_list tuples in
+  let out = ref [] and problem = ref None in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      if !problem = None then begin
+        let a = arr.(i) and b = arr.(j) in
+        let vacuous = ref false and pairs = ref [] in
+        List.iter2
+          (fun aa ab ->
+            match (aa, ab) with
+            | Sym.A_field fa, Sym.A_field fb ->
+                let bits = min (Packet.Field.width fa) (Packet.Field.width fb) in
+                pairs := { Rs3.Cstr.fa; fb; bits } :: !pairs
+            | Sym.A_prefix (fa, ba), Sym.A_prefix (fb, bb) ->
+                pairs := { Rs3.Cstr.fa; fb; bits = min ba bb } :: !pairs
+            | Sym.A_const (wa, va), Sym.A_const (wb, vb) ->
+                if wa <> wb || va <> vb then vacuous := true
+            | (Sym.A_field _ | Sym.A_prefix _), (Sym.A_const _ | Sym.A_prefix _ | Sym.A_field _)
+            | Sym.A_const _, (Sym.A_field _ | Sym.A_prefix _) ->
+                problem := Some (Mixed_key_pair { obj })
+            | Sym.A_opaque _, _ | _, Sym.A_opaque _ -> assert false)
+          a.atoms b.atoms;
+        if (not !vacuous) && !problem = None && !pairs <> [] then
+          out :=
+            Rs3.Cstr.make_sliced ~port_a:a.t_port ~port_b:b.t_port (List.rev !pairs) :: !out
+      end
+    done
+  done;
+  match !problem with Some p -> Error p | None -> Ok !out
+
+(* --- R2/R3: per-port field pruning ---------------------------------------- *)
+
+(* S_p := the intersection of every constraint's field requirement at port
+   p — per field, the fewest leading bits any constraint demands (rule R2:
+   the coarser requirement wins; a /8 sketch level subsumes a /16 one).
+   Then prune cross-port pairs to the surviving fields, iterating, since
+   removing a field on one port removes its counterpart on the other. *)
+let prune_constraints nports constraints =
+  let module FS = Set.Make (Packet.Field) in
+  let bits_at port (c : Rs3.Cstr.t) f =
+    List.filter_map
+      (fun { Rs3.Cstr.fa; fb; bits } ->
+        let hits =
+          (c.Rs3.Cstr.port_a = port && Packet.Field.equal fa f)
+          || (c.Rs3.Cstr.port_b = port && Packet.Field.equal fb f)
+        in
+        if hits then Some bits else None)
+      c.Rs3.Cstr.pairs
+    |> List.fold_left max 0
+  in
+  let s = Array.make nports None in
+  List.iter
+    (fun (c : Rs3.Cstr.t) ->
+      List.iter
+        (fun port ->
+          let fields = FS.of_list (Rs3.Cstr.fields_of_port c port) in
+          if not (FS.is_empty fields) then
+            s.(port) <-
+              (match s.(port) with
+              | None -> Some (fields, fields)
+              | Some (acc, _) -> Some (FS.inter acc fields, fields)))
+        (List.sort_uniq Int.compare [ c.Rs3.Cstr.port_a; c.Rs3.Cstr.port_b ]))
+    constraints;
+  (* coarsest prefix per surviving field and port *)
+  let min_bits = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Rs3.Cstr.t) ->
+      List.iter
+        (fun port ->
+          List.iter
+            (fun f ->
+              let b = bits_at port c f in
+              if b > 0 then
+                match Hashtbl.find_opt min_bits (port, f) with
+                | Some b' when b' <= b -> ()
+                | _ -> Hashtbl.replace min_bits (port, f) b)
+            (Rs3.Cstr.fields_of_port c port))
+        (List.sort_uniq Int.compare [ c.Rs3.Cstr.port_a; c.Rs3.Cstr.port_b ]))
+    constraints;
+  (* detect empty intersections up front: that is rule R3 *)
+  let r3 = ref None in
+  Array.iteri
+    (fun port v ->
+      match v with
+      | Some (acc, last) when FS.is_empty acc && !r3 = None ->
+          (* recover two witness sets for the warning *)
+          let sets =
+            List.filter_map
+              (fun (c : Rs3.Cstr.t) ->
+                let fs = Rs3.Cstr.fields_of_port c port in
+                if fs = [] then None else Some fs)
+              constraints
+          in
+          let a = match sets with x :: _ -> x | [] -> FS.elements last in
+          let b =
+            match List.find_opt (fun x -> FS.is_empty (FS.inter (FS.of_list x) (FS.of_list a))) sets with
+            | Some x -> x
+            | None -> FS.elements last
+          in
+          r3 := Some (Disjoint { port; fields_a = a; fields_b = b })
+      | _ -> ())
+    s;
+  match !r3 with
+  | Some d -> Error d
+  | None ->
+      let keep = Array.map (function Some (acc, _) -> acc | None -> FS.empty) s in
+      (* iterate pair pruning to a fixpoint *)
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (c : Rs3.Cstr.t) ->
+            List.iter
+              (fun { Rs3.Cstr.fa; fb; _ } ->
+                let ina = FS.mem fa keep.(c.Rs3.Cstr.port_a)
+                and inb = FS.mem fb keep.(c.Rs3.Cstr.port_b) in
+                if ina && not inb then begin
+                  keep.(c.Rs3.Cstr.port_a) <- FS.remove fa keep.(c.Rs3.Cstr.port_a);
+                  changed := true
+                end
+                else if inb && not ina then begin
+                  keep.(c.Rs3.Cstr.port_b) <- FS.remove fb keep.(c.Rs3.Cstr.port_b);
+                  changed := true
+                end)
+              c.Rs3.Cstr.pairs)
+          constraints
+      done;
+      (* a port whose fields all vanished during pruning is R3 as well *)
+      let dead = ref None in
+      Array.iteri
+        (fun port v ->
+          if !dead = None && v <> None && FS.is_empty keep.(port) then
+            dead :=
+              Some
+                (Disjoint
+                   {
+                     port;
+                     fields_a = (match v with Some (_, l) -> FS.elements l | None -> []);
+                     fields_b = [];
+                   }))
+        s;
+      (match !dead with
+      | Some d -> Error d
+      | None ->
+          let restricted =
+            List.filter_map
+              (fun (c : Rs3.Cstr.t) ->
+                let pairs =
+                  List.filter_map
+                    (fun { Rs3.Cstr.fa; fb; bits } ->
+                      if
+                        FS.mem fa keep.(c.Rs3.Cstr.port_a)
+                        && FS.mem fb keep.(c.Rs3.Cstr.port_b)
+                      then
+                        let ba =
+                          Option.value ~default:bits
+                            (Hashtbl.find_opt min_bits (c.Rs3.Cstr.port_a, fa))
+                        in
+                        let bb =
+                          Option.value ~default:bits
+                            (Hashtbl.find_opt min_bits (c.Rs3.Cstr.port_b, fb))
+                        in
+                        Some { Rs3.Cstr.fa; fb; bits = min bits (min ba bb) }
+                      else None)
+                    c.Rs3.Cstr.pairs
+                in
+                if pairs = [] then None
+                else
+                  Some
+                    (Rs3.Cstr.make_sliced ~port_a:c.Rs3.Cstr.port_a ~port_b:c.Rs3.Cstr.port_b
+                       pairs))
+              constraints
+          in
+          Ok (List.sort_uniq Stdlib.compare restricted))
+
+(* --- the decision ---------------------------------------------------------- *)
+
+let decide (report : Report.t) =
+  if Report.stateless report then No_state
+  else
+    match Report.writable_clusters report with
+    | [] -> Read_only
+    | clusters -> (
+        let model = report.Report.model in
+        let nports = model.Exec.nf.Dsl.Ast.devices in
+        let reasons = ref [] in
+        let all_constraints = ref [] in
+        List.iter
+          (fun (cluster : Report.cluster) ->
+            (* group keyed entries per object *)
+            let by_obj = Hashtbl.create 8 in
+            List.iter
+              (fun (e : Report.entry) ->
+                match e.Report.role with
+                | Report.Keyed atoms ->
+                    let obj = e.Report.call.Tree.obj in
+                    let cur = Option.value ~default:[] (Hashtbl.find_opt by_obj obj) in
+                    Hashtbl.replace by_obj obj ((e, atoms) :: cur)
+                | Report.Internal | Report.Maintenance -> ())
+              cluster.Report.entries;
+            Hashtbl.iter
+              (fun obj entries ->
+                let entries = List.rev entries in
+                let resolved = List.map (fun (e, atoms) -> (e, resolve_entry e atoms)) entries in
+                let first_problem =
+                  List.find_map (function _, Error p -> Some p | _ -> None) resolved
+                in
+                let tuples =
+                  match first_problem with
+                  | None -> Ok (List.map (function _, Ok t -> t | _ -> assert false) resolved)
+                  | Some p -> (
+                      match rescue_object model cluster (List.map fst entries) p with
+                      | Ok rewritten -> Ok (List.map snd rewritten)
+                      | Error reason -> Error reason)
+                in
+                match tuples with
+                | Error reason -> reasons := reason :: !reasons
+                | Ok tuples -> (
+                    match pair_constraints obj tuples with
+                    | Error p -> reasons := p :: !reasons
+                    | Ok cs -> all_constraints := cs @ !all_constraints))
+              by_obj)
+          clusters;
+        if !reasons <> [] then Blocked (List.rev !reasons)
+        else
+          match prune_constraints nports !all_constraints with
+          | Error d -> Blocked [ d ]
+          | Ok constraints -> Shard constraints)
+
+let pp_decision fmt = function
+  | No_state -> Format.pp_print_string fmt "stateless: RSS load-balances freely"
+  | Read_only -> Format.pp_print_string fmt "all state read-only: RSS load-balances freely"
+  | Shard cs ->
+      Format.fprintf fmt "@[<v 2>shared-nothing with constraints:@ %a@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Rs3.Cstr.pp)
+        cs
+  | Blocked reasons ->
+      Format.fprintf fmt "@[<v 2>shared-nothing impossible:@ %a@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_reason)
+        reasons

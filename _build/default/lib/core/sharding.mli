@@ -1,0 +1,64 @@
+(** The Constraints Generator (paper §3.4): from the stateful report to a
+    shared-nothing sharding solution, or a precise explanation of why none
+    exists.
+
+    The rules, as implemented:
+
+    - {b R1 key equality}: every pair of keyed accesses to one object yields
+      the constraint that packets producing equal keys meet on one core;
+      slot-wise pairing of the key tuples generalizes this across ports
+      (the firewall's LAN/WAN symmetry falls out here).
+    - {b R2 subsumption}: not a separate pass — all pairwise constraints are
+      emitted and the window equations make the coarser requirement zero out
+      the finer one (hashing only the subsumed fields satisfies both).
+    - {b R3 disjoint dependencies}: two independent state objects whose
+      requirements share no packet field cannot both steer RSS; detected
+      directly (and, as a backstop, by the solver's degenerate-hash
+      rejection).
+    - {b R4 incompatible dependencies}: keys with no packet fields at all
+      (constants, allocator results), keys through lossy derivations, and
+      keys over fields RSS cannot hash (MACs) block sharding.
+    - {b R5 interchangeable constraints}: an R4-blocked object can still be
+      sharded when lookups pin the stored entry against packet fields and a
+      mismatch is observably identical to a miss; the guarded fields (reader
+      side) and the fields they were stored from (writer side) replace the
+      blocked key.  This is how the NAT shards on the external server and
+      how Fig. 2's scenario ⑤ shards on the IP instead of the MAC.
+
+    Soundness note on R5: re-keying may let different cores hold entries the
+    sequential NF would have coalesced (e.g. one MAC registered on two
+    cores, or the same external port allocated by two cores).  The guard
+    makes the difference unobservable on the read path, and the paper
+    accepts the same relaxation for the NAT's port uniqueness (§6.1); the
+    write-side divergence is of the same kind as the capacity-split
+    semantics of sharding (§4). *)
+
+type blocked_reason =
+  | Constant_key of { obj : string }
+      (** the key never depends on the packet (Fig. 2 ④, global counters) *)
+  | Allocator_key of { obj : string; detail : string }
+      (** the key derives from call results (the NAT's port map before R5) *)
+  | Lossy_key of { obj : string; detail : string }
+      (** packet fields enter the key only through a non-injective
+          derivation (the LB's slot choice) *)
+  | Non_rss_field of { obj : string; field : Packet.Field.t }
+      (** keyed by a field no RSS configuration can hash (bridges) *)
+  | Mixed_key_pair of { obj : string }
+      (** a field aligns with a constant across two accesses *)
+  | Disjoint of { port : int; fields_a : Packet.Field.t list; fields_b : Packet.Field.t list }
+      (** R3: requirements with no common field on one port *)
+
+val pp_reason : Format.formatter -> blocked_reason -> unit
+(** The user-facing warning of Fig. 2. *)
+
+type decision =
+  | No_state  (** stateless NF: RSS for pure load balancing *)
+  | Read_only  (** all state read-only: RSS for pure load balancing *)
+  | Shard of Rs3.Cstr.t list
+      (** shared-nothing is possible under these constraints *)
+  | Blocked of blocked_reason list
+      (** shared-nothing impossible; fall back to locks *)
+
+val decide : Report.t -> decision
+
+val pp_decision : Format.formatter -> decision -> unit

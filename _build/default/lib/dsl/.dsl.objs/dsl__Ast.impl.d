@@ -1,0 +1,1 @@
+lib/dsl/ast.ml: Buffer Char Format List Packet Printf String

@@ -1,0 +1,1 @@
+lib/dsl/check.ml: Ast Format Hashtbl List Packet Printf String

@@ -1,0 +1,1 @@
+lib/dsl/instance.ml: Array Ast Hashtbl List State

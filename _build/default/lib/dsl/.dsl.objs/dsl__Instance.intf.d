@@ -1,0 +1,1 @@
+lib/dsl/instance.mli: Ast State

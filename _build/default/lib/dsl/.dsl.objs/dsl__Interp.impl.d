@@ -1,0 +1,1 @@
+lib/dsl/interp.ml: Array Ast Check Format Instance List Packet State String

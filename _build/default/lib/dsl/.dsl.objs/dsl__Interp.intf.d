@@ -1,0 +1,1 @@
+lib/dsl/interp.mli: Ast Check Instance Packet

@@ -1,0 +1,154 @@
+type binop = Add | Sub | Mul | Div | Mod | Eq | Neq | Lt | Le | Land | Lor
+
+type expr =
+  | Const of int * int
+  | Field of Packet.Field.t
+  | In_port
+  | Now
+  | Pkt_len
+  | Var of string
+  | Record_field of string * string
+  | Bin of binop * expr * expr
+  | Not of expr
+  | Cast of int * expr
+
+type key = expr list
+
+type stmt =
+  | If of expr * stmt * stmt
+  | Let of string * expr * stmt
+  | Map_get of { obj : string; key : key; found : string; value : string; k : stmt }
+  | Map_put of { obj : string; key : key; value : expr; ok : string; k : stmt }
+  | Map_erase of { obj : string; key : key; k : stmt }
+  | Vec_get of { obj : string; index : expr; record : string; k : stmt }
+  | Vec_set of { obj : string; index : expr; fields : (string * expr) list; k : stmt }
+  | Chain_alloc of { obj : string; index : string; k_ok : stmt; k_fail : stmt }
+  | Chain_rejuv of { obj : string; index : expr; k : stmt }
+  | Chain_expire of { obj : string; purges : (string * string) list; age_ns : int; k : stmt }
+  | Sketch_touch of { obj : string; key : key; k : stmt }
+  | Sketch_query of { obj : string; key : key; count : string; k : stmt }
+  | Set_field of Packet.Field.t * expr * stmt
+  | Forward of expr
+  | Drop
+
+type state_decl =
+  | Decl_map of { name : string; capacity : int; init : (string * int) list }
+  | Decl_vector of { name : string; capacity : int; layout : (string * int) list }
+  | Decl_chain of { name : string; capacity : int }
+  | Decl_sketch of { name : string; depth : int; width : int }
+
+type t = { name : string; devices : int; state : state_decl list; process : stmt }
+
+let decl_name = function
+  | Decl_map { name; _ } | Decl_vector { name; _ } | Decl_chain { name; _ }
+  | Decl_sketch { name; _ } ->
+      name
+
+let key_of_parts parts =
+  let buf = Buffer.create 16 in
+  List.iter
+    (fun (width, v) ->
+      let bytes = (width + 7) / 8 in
+      for i = bytes - 1 downto 0 do
+        Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+      done)
+    parts;
+  Buffer.contents buf
+
+let const ?(width = 32) v = Const (width, v)
+let ( ==. ) a b = Bin (Eq, a, b)
+let ( <>. ) a b = Bin (Neq, a, b)
+let ( <. ) a b = Bin (Lt, a, b)
+let ( <=. ) a b = Bin (Le, a, b)
+let ( &&. ) a b = Bin (Land, a, b)
+let ( ||. ) a b = Bin (Lor, a, b)
+let ( +. ) a b = Bin (Add, a, b)
+let ( -. ) a b = Bin (Sub, a, b)
+let ( *. ) a b = Bin (Mul, a, b)
+let ( /. ) a b = Bin (Div, a, b)
+let ( %. ) a b = Bin (Mod, a, b)
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Land -> "&&"
+  | Lor -> "||"
+
+let rec pp_expr fmt = function
+  | Const (w, v) -> Format.fprintf fmt "%d:%d" v w
+  | Field f -> Packet.Field.pp fmt f
+  | In_port -> Format.pp_print_string fmt "in_port"
+  | Now -> Format.pp_print_string fmt "now"
+  | Pkt_len -> Format.pp_print_string fmt "pkt_len"
+  | Var x -> Format.pp_print_string fmt x
+  | Record_field (r, f) -> Format.fprintf fmt "%s.%s" r f
+  | Bin (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Not e -> Format.fprintf fmt "!%a" pp_expr e
+  | Cast (w, e) -> Format.fprintf fmt "(%a : %d)" pp_expr e w
+
+let pp_key fmt key =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f "; ") pp_expr)
+    key
+
+let rec pp_stmt fmt = function
+  | If (c, t, f) ->
+      Format.fprintf fmt "@[<v 2>if %a {@ %a@]@ @[<v 2>} else {@ %a@]@ }" pp_expr c pp_stmt t
+        pp_stmt f
+  | Let (x, e, k) -> Format.fprintf fmt "let %s = %a@ %a" x pp_expr e pp_stmt k
+  | Map_get { obj; key; found; value; k } ->
+      Format.fprintf fmt "(%s, %s) = map_get(%s, %a)@ %a" found value obj pp_key key pp_stmt k
+  | Map_put { obj; key; value; ok; k } ->
+      Format.fprintf fmt "%s = map_put(%s, %a, %a)@ %a" ok obj pp_key key pp_expr value
+        pp_stmt k
+  | Map_erase { obj; key; k } ->
+      Format.fprintf fmt "map_erase(%s, %a)@ %a" obj pp_key key pp_stmt k
+  | Vec_get { obj; index; record; k } ->
+      Format.fprintf fmt "%s = vec_get(%s, %a)@ %a" record obj pp_expr index pp_stmt k
+  | Vec_set { obj; index; fields; k } ->
+      Format.fprintf fmt "vec_set(%s, %a, {%a})@ %a" obj pp_expr index
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+           (fun f (n, e) -> Format.fprintf f "%s=%a" n pp_expr e))
+        fields pp_stmt k
+  | Chain_alloc { obj; index; k_ok; k_fail } ->
+      Format.fprintf fmt
+        "@[<v 2>match chain_alloc(%s) with@ @[<v 2>| Some %s ->@ %a@]@ @[<v 2>| None ->@ %a@]@]"
+        obj index pp_stmt k_ok pp_stmt k_fail
+  | Chain_rejuv { obj; index; k } ->
+      Format.fprintf fmt "chain_rejuvenate(%s, %a)@ %a" obj pp_expr index pp_stmt k
+  | Chain_expire { obj; purges; age_ns; k } ->
+      Format.fprintf fmt "expire(%s, [%s], %dns)@ %a" obj
+        (String.concat "; " (List.map (fun (m, v) -> m ^ "/" ^ v) purges))
+        age_ns pp_stmt k
+  | Sketch_touch { obj; key; k } ->
+      Format.fprintf fmt "sketch_touch(%s, %a)@ %a" obj pp_key key pp_stmt k
+  | Sketch_query { obj; key; count; k } ->
+      Format.fprintf fmt "%s = sketch_query(%s, %a)@ %a" count obj pp_key key pp_stmt k
+  | Set_field (f, e, k) ->
+      Format.fprintf fmt "%a := %a@ %a" Packet.Field.pp f pp_expr e pp_stmt k
+  | Forward e -> Format.fprintf fmt "forward(%a)" pp_expr e
+  | Drop -> Format.pp_print_string fmt "drop"
+
+let pp_decl fmt = function
+  | Decl_map { name; capacity; init } ->
+      Format.fprintf fmt "map %s[%d]%s" name capacity
+        (if init = [] then "" else Printf.sprintf " (%d static entries)" (List.length init))
+  | Decl_vector { name; capacity; layout } ->
+      Format.fprintf fmt "vector %s[%d] {%s}" name capacity
+        (String.concat ", " (List.map (fun (n, w) -> Printf.sprintf "%s:%d" n w) layout))
+  | Decl_chain { name; capacity } -> Format.fprintf fmt "dchain %s[%d]" name capacity
+  | Decl_sketch { name; depth; width } ->
+      Format.fprintf fmt "sketch %s[%dx%d]" name depth width
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>nf %s (%d devices)@ %a@ @[<v 2>process:@ %a@]@]" t.name t.devices
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_decl)
+    t.state pp_stmt t.process

@@ -1,0 +1,51 @@
+type record = int array
+
+type obj =
+  | O_map of State.Map_s.t
+  | O_vector of (string * int) list * record array
+  | O_chain of State.Dchain.t
+  | O_sketch of State.Sketch.t
+
+type t = { objs : (string, obj) Hashtbl.t; divide : int }
+
+let scaled divide capacity = max 1 (capacity / divide)
+
+let build divide objs (decl : Ast.state_decl) =
+  match decl with
+  | Ast.Decl_map { name; capacity; init } ->
+      let m = State.Map_s.create ~capacity:(max (scaled divide capacity) (List.length init)) in
+      List.iter (fun (k, v) -> ignore (State.Map_s.put m k v)) init;
+      Hashtbl.replace objs name (O_map m)
+  | Ast.Decl_vector { name; capacity; layout } ->
+      let slots =
+        Array.init (scaled divide capacity) (fun _ -> Array.make (List.length layout) 0)
+      in
+      Hashtbl.replace objs name (O_vector (layout, slots))
+  | Ast.Decl_chain { name; capacity } ->
+      Hashtbl.replace objs name (O_chain (State.Dchain.create ~capacity:(scaled divide capacity)))
+  | Ast.Decl_sketch { name; depth; width } ->
+      Hashtbl.replace objs name (O_sketch (State.Sketch.create ~depth ~width ()))
+
+let create ?(divide = 1) (nf : Ast.t) =
+  if divide < 1 then invalid_arg "Instance.create: divide";
+  let objs = Hashtbl.create 16 in
+  List.iter (build divide objs) nf.Ast.state;
+  { objs; divide }
+
+let find t name = Hashtbl.find t.objs name
+
+let record_bytes layout =
+  (List.fold_left (fun acc (_, w) -> acc + w) 0 layout + 7) / 8
+
+let memory_bytes t name =
+  match find t name with
+  | O_map m -> State.Map_s.capacity m * 24 (* bucket + key ref + value *)
+  | O_vector (layout, slots) -> Array.length slots * record_bytes layout
+  | O_chain c -> State.Dchain.capacity c * 16
+  | O_sketch s -> State.Sketch.memory_bytes s
+
+let total_memory_bytes t = Hashtbl.fold (fun name _ acc -> acc + memory_bytes t name) t.objs 0
+
+let reset t (nf : Ast.t) =
+  Hashtbl.reset t.objs;
+  List.iter (build t.divide t.objs) nf.Ast.state

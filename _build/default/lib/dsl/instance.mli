@@ -1,0 +1,35 @@
+(** Allocated state for one NF instance.
+
+    The sequential NF uses a single instance; a shared-nothing parallel NF
+    uses one instance per core with capacities divided so the total memory
+    stays constant (paper §4, "State sharding"); lock-based and TM NFs share
+    one full-capacity instance between cores. *)
+
+type record = int array
+(** A vector slot, fields in layout order. *)
+
+type obj =
+  | O_map of State.Map_s.t
+  | O_vector of (string * int) list * record array  (** layout, slots *)
+  | O_chain of State.Dchain.t
+  | O_sketch of State.Sketch.t
+
+type t
+
+val create : ?divide:int -> Ast.t -> t
+(** [divide] (default 1) scales every capacity down to
+    [max 1 (capacity / divide)]; sketch dimensions are kept (a sketch is an
+    estimator, not an allocator).  Map [init] entries are loaded into every
+    instance — static configuration is replicated, as Maestro's generated
+    code replicates read-only state. *)
+
+val find : t -> string -> obj
+(** Raises [Not_found] for undeclared objects (excluded by {!Check}). *)
+
+val memory_bytes : t -> string -> int
+(** Approximate resident bytes of one object, for the cache model. *)
+
+val total_memory_bytes : t -> int
+
+val reset : t -> Ast.t -> unit
+(** Restore start-up state (map init entries included). *)

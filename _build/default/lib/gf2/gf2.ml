@@ -1,0 +1,128 @@
+(* Rows are augmented bit vectors packed into native ints, 62 bits per word;
+   column [cols] (the last logical column) holds the right-hand side. *)
+
+module System = struct
+  let word_bits = 62
+
+  type row = int array
+
+  type t = {
+    cols : int;
+    words : int; (* words per row, covering cols + 1 bits *)
+    mutable equations : row list; (* reversed insertion order *)
+    mutable count : int;
+  }
+
+  let create ~cols =
+    if cols < 0 then invalid_arg "Gf2.System.create";
+    { cols; words = ((cols + 1) + word_bits - 1) / word_bits; equations = []; count = 0 }
+
+  let cols t = t.cols
+  let rows t = t.count
+
+  let row_get (r : row) i = (r.(i / word_bits) lsr (i mod word_bits)) land 1 = 1
+
+  let row_flip (r : row) i = r.(i / word_bits) <- r.(i / word_bits) lxor (1 lsl (i mod word_bits))
+
+  let row_xor (dst : row) (src : row) =
+    for w = 0 to Array.length dst - 1 do
+      dst.(w) <- dst.(w) lxor src.(w)
+    done
+
+  let add_equation t ~coeffs ~rhs =
+    let r = Array.make t.words 0 in
+    List.iter
+      (fun i ->
+        if i < 0 || i >= t.cols then invalid_arg "Gf2.System.add_equation: index";
+        row_flip r i)
+      coeffs;
+    if rhs then row_flip r t.cols;
+    t.equations <- r :: t.equations;
+    t.count <- t.count + 1
+
+  let add_zero t i = add_equation t ~coeffs:[ i ] ~rhs:false
+  let add_equal t i j = if i <> j then add_equation t ~coeffs:[ i; j ] ~rhs:false
+
+  type solved = {
+    s_cols : int;
+    pivots : (int * row) list; (* (pivot column, reduced row), ascending *)
+    free : int list; (* non-pivot columns, ascending *)
+  }
+
+  (* Standard Gauss-Jordan: after elimination each pivot row has a leading 1
+     in its pivot column and zeros in every other pivot column, so solving is
+     a direct read-off given values for the free variables. *)
+  let eliminate t =
+    let rows = List.rev_map Array.copy t.equations in
+    let pivots = ref [] in
+    let remaining = ref rows in
+    let inconsistent = ref false in
+    for col = 0 to t.cols - 1 do
+      if not !inconsistent then begin
+        match List.partition (fun r -> row_get r col) !remaining with
+        | [], _ -> ()
+        | pivot :: others, rest ->
+            List.iter (fun r -> row_xor r pivot) others;
+            (* clear this column from previously found pivot rows too *)
+            List.iter (fun (_, pr) -> if row_get pr col then row_xor pr pivot) !pivots;
+            pivots := (col, pivot) :: !pivots;
+            remaining := others @ rest
+      end
+    done;
+    (* leftover rows are all-zero coefficients: rhs must be zero *)
+    List.iter (fun r -> if row_get r t.cols then inconsistent := true) !remaining;
+    if !inconsistent then None
+    else
+      let pivots = List.sort (fun (a, _) (b, _) -> Int.compare a b) !pivots in
+      let pivot_cols = List.map fst pivots in
+      let free =
+        List.filter (fun c -> not (List.mem c pivot_cols)) (List.init t.cols Fun.id)
+      in
+      Some { s_cols = t.cols; pivots; free }
+
+  let rank s = List.length s.pivots
+  let n_free s = List.length s.free
+
+  let backsub s (x : bool array) =
+    List.iter
+      (fun (col, r) ->
+        (* pivot value = rhs + sum of free columns present in this row *)
+        let v = ref (row_get r s.s_cols) in
+        List.iter (fun f -> if row_get r f && x.(f) then v := not !v) s.free;
+        x.(col) <- !v)
+      s.pivots;
+    x
+
+  let solve s = backsub s (Array.make s.s_cols false)
+
+  let sample s ~rng ~one_bias =
+    let p = Float.max 0. (Float.min 1. one_bias) in
+    let x = Array.make s.s_cols false in
+    List.iter (fun f -> x.(f) <- Random.State.float rng 1.0 < p) s.free;
+    backsub s x
+
+  let nullspace s =
+    List.map
+      (fun f ->
+        let x = Array.make s.s_cols false in
+        x.(f) <- true;
+        List.iter
+          (fun (col, r) ->
+            let v = ref false in
+            List.iter (fun f' -> if row_get r f' && x.(f') then v := not !v) s.free;
+            x.(col) <- !v)
+          s.pivots;
+        x)
+      s.free
+
+  let check t x =
+    if Array.length x <> t.cols then invalid_arg "Gf2.System.check";
+    List.for_all
+      (fun r ->
+        let v = ref false in
+        for i = 0 to t.cols - 1 do
+          if row_get r i && x.(i) then v := not !v
+        done;
+        Bool.equal !v (row_get r t.cols))
+      t.equations
+end

@@ -1,0 +1,57 @@
+(** Dense linear algebra over GF(2).
+
+    The central object is a mutable system of linear equations
+    [a.x = b] over boolean variables [x_0 .. x_{n-1}].  Systems are solved by
+    Gaussian elimination; the solution space is exposed through a particular
+    solution, a nullspace basis, and biased random sampling (used by RS3 to
+    prefer RSS keys with many 1 bits, the paper's soft-constraint goal). *)
+
+module System : sig
+  type t
+
+  val create : cols:int -> t
+  (** A fresh empty system over [cols] variables. *)
+
+  val cols : t -> int
+
+  val rows : t -> int
+  (** Number of equations added so far. *)
+
+  val add_equation : t -> coeffs:int list -> rhs:bool -> unit
+  (** [add_equation t ~coeffs ~rhs] adds the equation
+      [x_{i1} + x_{i2} + ... = rhs] (sum over GF(2)); repeated indices cancel
+      pairwise.  Raises [Invalid_argument] on an out-of-range index. *)
+
+  val add_zero : t -> int -> unit
+  (** [add_zero t i] constrains [x_i = 0]. *)
+
+  val add_equal : t -> int -> int -> unit
+  (** [add_equal t i j] constrains [x_i = x_j]. *)
+
+  type solved
+
+  val eliminate : t -> solved option
+  (** Row-reduce; [None] when the system is inconsistent.  The original
+      system is not modified and may keep accumulating equations for later
+      calls. *)
+
+  val rank : solved -> int
+
+  val n_free : solved -> int
+  (** Number of free (non-pivot) variables. *)
+
+  val solve : solved -> bool array
+  (** A particular solution with all free variables set to [false]. *)
+
+  val sample : solved -> rng:Random.State.t -> one_bias:float -> bool array
+  (** A random solution: each free variable is drawn [true] with probability
+      [one_bias], then pivot variables are back-substituted.  [one_bias]
+      outside [0,1] is clamped. *)
+
+  val nullspace : solved -> bool array list
+  (** A basis of the homogeneous solution space; empty when the solution is
+      unique. *)
+
+  val check : t -> bool array -> bool
+  (** [check t x] verifies that [x] satisfies every equation of [t]. *)
+end

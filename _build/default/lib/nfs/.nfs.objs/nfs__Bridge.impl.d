@@ -1,0 +1,1 @@
+lib/nfs/bridge.ml: Dsl Field List Packet Topo

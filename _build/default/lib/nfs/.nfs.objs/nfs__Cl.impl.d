@@ -1,0 +1,1 @@
+lib/nfs/cl.ml: Dsl Field Packet Topo

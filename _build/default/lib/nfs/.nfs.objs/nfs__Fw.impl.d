@@ -1,0 +1,1 @@
+lib/nfs/fw.ml: Dsl Field Packet Topo

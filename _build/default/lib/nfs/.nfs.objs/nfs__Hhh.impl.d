@@ -1,0 +1,1 @@
+lib/nfs/hhh.ml: Dsl Field Packet Printf Topo

@@ -1,0 +1,1 @@
+lib/nfs/lb.ml: Dsl Field Packet Topo

@@ -1,0 +1,1 @@
+lib/nfs/nop.ml: Dsl Topo

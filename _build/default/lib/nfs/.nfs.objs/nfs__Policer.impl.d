@@ -1,0 +1,1 @@
+lib/nfs/policer.ml: Dsl Field Packet Topo

@@ -1,0 +1,1 @@
+lib/nfs/psd.ml: Dsl Field Packet Topo

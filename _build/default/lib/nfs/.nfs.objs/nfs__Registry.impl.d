@@ -1,0 +1,1 @@
+lib/nfs/registry.ml: Bridge Cl Dsl Fw Hhh Lb List Nat Nop Option Policer Printf Psd String

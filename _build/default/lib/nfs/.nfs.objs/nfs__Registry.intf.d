@@ -1,0 +1,1 @@
+lib/nfs/registry.mli: Dsl

@@ -1,0 +1,1 @@
+lib/nfs/scenarios.ml: Dsl Field Packet Topo

@@ -1,0 +1,1 @@
+lib/nfs/topo.ml: Dsl

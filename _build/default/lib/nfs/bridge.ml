@@ -1,0 +1,161 @@
+(* The two bridges of §6.1.
+
+   [dynamic] (DBridge) learns source MAC → port bindings and forwards by
+   destination MAC.  All its state is keyed by link-layer addresses, which
+   RSS cannot hash (rule R4): Maestro warns and falls back to read/write
+   locks.
+
+   [static] (SBridge) has the learning disabled: only statically configured
+   MAC → port bindings remain, so all state is read-only and Maestro
+   parallelizes with a purely load-balancing RSS configuration. *)
+
+open Dsl.Ast
+open Packet
+
+let default_capacity = 65536
+let default_expiry_ns = 1_000_000_000
+
+(* Forward to the port stored for the destination MAC; filter packets whose
+   destination sits on the arrival port. *)
+let lookup_and_forward ~map =
+  Map_get
+    {
+      obj = map;
+      key = [ Field Field.Eth_dst ];
+      found = "br_f_dst";
+      value = "br_out";
+      k =
+        If
+          ( Var "br_f_dst",
+            If (Var "br_out" ==. Topo.widen 32 In_port, Drop, Forward (Var "br_out")),
+            Drop );
+    }
+
+let dynamic ?(capacity = default_capacity) ?(expiry_ns = default_expiry_ns) () =
+  let learn k =
+    Map_get
+      {
+        obj = "dbr_fdb";
+        key = [ Field Field.Eth_src ];
+        found = "br_f_src";
+        value = "br_src_idx";
+        k =
+          If
+            ( Var "br_f_src",
+              Chain_rejuv { obj = "dbr_chain"; index = Var "br_src_idx"; k },
+              Chain_alloc
+                {
+                  obj = "dbr_chain";
+                  index = "br_new";
+                  k_ok =
+                    Vec_set
+                      {
+                        obj = "dbr_keys";
+                        index = Var "br_new";
+                        fields = [ ("mac", Field Field.Eth_src) ];
+                        k =
+                          Map_put
+                            {
+                              obj = "dbr_fdb";
+                              key = [ Field Field.Eth_src ];
+                              value = Var "br_new";
+                              ok = "br_put_ok";
+                              k;
+                            };
+                      };
+                  k_fail = k;
+                } );
+      }
+  in
+  (* The fdb maps MAC -> index; ports live in a vector alongside. *)
+  let forward_by_dst =
+    Map_get
+      {
+        obj = "dbr_fdb";
+        key = [ Field Field.Eth_dst ];
+        found = "br_f_dst";
+        value = "br_dst_idx";
+        k =
+          If
+            ( Var "br_f_dst",
+              Vec_get
+                {
+                  obj = "dbr_ports";
+                  index = Var "br_dst_idx";
+                  record = "br_binding";
+                  k =
+                    If
+                      ( Record_field ("br_binding", "port") ==. Topo.widen 32 In_port,
+                        Drop,
+                        Forward (Record_field ("br_binding", "port")) );
+                },
+              Drop );
+      }
+  in
+  (* After learning, the source binding's index is found by re-reading the
+     map (it is [br_src_idx] on the hit path and [br_new] on the learning
+     path).  The port is re-recorded only when the host moved: a stable
+     steady state is read-only, which is what lets the lock-based DBridge
+     scale on read-heavy traffic (Fig. 10). *)
+  let record_port k =
+    Map_get
+      {
+        obj = "dbr_fdb";
+        key = [ Field Field.Eth_src ];
+        found = "br_f_src2";
+        value = "br_src_idx2";
+        k =
+          If
+            ( Var "br_f_src2",
+              Vec_get
+                {
+                  obj = "dbr_ports";
+                  index = Var "br_src_idx2";
+                  record = "br_cur";
+                  k =
+                    If
+                      ( Record_field ("br_cur", "port") ==. Topo.widen 32 In_port,
+                        k,
+                        Vec_set
+                          {
+                            obj = "dbr_ports";
+                            index = Var "br_src_idx2";
+                            fields = [ ("port", Topo.widen 32 In_port) ];
+                            k;
+                          } );
+                },
+              k );
+      }
+  in
+  {
+    name = "dbridge";
+    devices = 2;
+    state =
+      [
+        Decl_map { name = "dbr_fdb"; capacity; init = [] };
+        Decl_chain { name = "dbr_chain"; capacity };
+        Decl_vector { name = "dbr_keys"; capacity; layout = [ ("mac", 48) ] };
+        Decl_vector { name = "dbr_ports"; capacity; layout = [ ("port", 32) ] };
+      ];
+    process =
+      Chain_expire
+        {
+          obj = "dbr_chain";
+          purges = [ ("dbr_fdb", "dbr_keys") ];
+          age_ns = expiry_ns;
+          k = learn (record_port forward_by_dst);
+        };
+  }
+
+(* default plan: 64 hosts, even MACs on the LAN port, odd on the WAN *)
+let default_bindings = List.init 64 (fun i -> (0x02_00_00_00_10_00 + i, i mod 2))
+
+let static ?(bindings = []) () =
+  let bindings = if bindings <> [] then bindings else default_bindings in
+  let init = List.map (fun (mac, port) -> (key_of_parts [ (48, mac) ], port)) bindings in
+  {
+    name = "sbridge";
+    devices = 2;
+    state = [ Decl_map { name = "sbr_fdb"; capacity = max 1 (List.length init); init } ];
+    process = lookup_and_forward ~map:"sbr_fdb";
+  }

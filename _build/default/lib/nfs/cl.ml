@@ -1,0 +1,109 @@
+(* CL: the connection limiter (paper §6.1).  It bounds how many connections
+   a client (source IP) may open to a server (destination IP) over a wide
+   time frame, estimating the pair's count with a count-min sketch.
+
+   The flow map is keyed by the 4-tuple, the sketch by (ip.src, ip.dst);
+   the sketch's coarser key subsumes the map's (rule R2), so Maestro shards
+   on the address pair. *)
+
+open Dsl.Ast
+open Packet
+
+let default_capacity = 65536
+let default_expiry_ns = 1_000_000_000
+let default_limit = 64
+let default_sketch_depth = 5
+let default_sketch_width = 4096
+
+let key_flow = [ Field Field.Ip_src; Field Field.Ip_dst; Field Field.Src_port; Field Field.Dst_port ]
+let key_pair = [ Field Field.Ip_src; Field Field.Ip_dst ]
+
+let make ?(capacity = default_capacity) ?(expiry_ns = default_expiry_ns)
+    ?(limit = default_limit) ?(sketch_depth = default_sketch_depth)
+    ?(sketch_width = default_sketch_width) () =
+  let admit_new_connection =
+    Sketch_query
+      {
+        obj = "cl_sketch";
+        key = key_pair;
+        count = "cl_count";
+        k =
+          If
+            ( const limit <. Var "cl_count",
+              (* every sketch entry surpasses the limit: block the connection *)
+              Drop,
+              Sketch_touch
+                {
+                  obj = "cl_sketch";
+                  key = key_pair;
+                  k =
+                    Chain_alloc
+                      {
+                        obj = "cl_chain";
+                        index = "cl_new";
+                        k_ok =
+                          Vec_set
+                            {
+                              obj = "cl_keys";
+                              index = Var "cl_new";
+                              fields =
+                                [
+                                  ("sip", Field Field.Ip_src);
+                                  ("dip", Field Field.Ip_dst);
+                                  ("sp", Field Field.Src_port);
+                                  ("dp", Field Field.Dst_port);
+                                ];
+                              k =
+                                Map_put
+                                  {
+                                    obj = "cl_flows";
+                                    key = key_flow;
+                                    value = Var "cl_new";
+                                    ok = "cl_ok";
+                                    k = Topo.fwd Topo.wan;
+                                  };
+                            };
+                        (* cannot track: refuse the new connection *)
+                        k_fail = Drop;
+                      };
+                } );
+      }
+  in
+  let lan_side =
+    Map_get
+      {
+        obj = "cl_flows";
+        key = key_flow;
+        found = "cl_f";
+        value = "cl_idx";
+        k =
+          If
+            ( Var "cl_f",
+              Chain_rejuv { obj = "cl_chain"; index = Var "cl_idx"; k = Topo.fwd Topo.wan },
+              admit_new_connection );
+      }
+  in
+  {
+    name = "cl";
+    devices = 2;
+    state =
+      [
+        Decl_map { name = "cl_flows"; capacity; init = [] };
+        Decl_chain { name = "cl_chain"; capacity };
+        Decl_vector
+          {
+            name = "cl_keys";
+            capacity;
+            layout = [ ("sip", 32); ("dip", 32); ("sp", 16); ("dp", 16) ];
+          };
+        Decl_sketch { name = "cl_sketch"; depth = sketch_depth; width = sketch_width };
+      ];
+    process =
+      Chain_expire
+        {
+          obj = "cl_chain";
+          purges = [ ("cl_flows", "cl_keys") ];
+          age_ns = expiry_ns;
+          k = If (Topo.from_lan, lan_side, Topo.fwd Topo.lan);
+        };
+  }

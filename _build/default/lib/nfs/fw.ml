@@ -1,0 +1,95 @@
+(* FW: the stateful firewall of the paper's running example (§3.1, Fig. 12).
+   It admits WAN traffic only for sessions started from the LAN, tracking
+   flows in a map keyed by addresses and ports, symmetrically on the WAN
+   side.  Maestro shards it shared-nothing on the flow key with symmetric
+   per-port RSS keys (Fig. 3). *)
+
+open Dsl.Ast
+open Packet
+
+let default_capacity = 65536
+let default_expiry_ns = 1_000_000_000
+
+let key_lan = [ Field Field.Ip_src; Field Field.Ip_dst; Field Field.Src_port; Field Field.Dst_port ]
+let key_wan = [ Field Field.Ip_dst; Field Field.Ip_src; Field Field.Dst_port; Field Field.Src_port ]
+
+let make ?(capacity = default_capacity) ?(expiry_ns = default_expiry_ns) () =
+  let lan_side =
+    Map_get
+      {
+        obj = "fw_flows";
+        key = key_lan;
+        found = "fw_f_lan";
+        value = "fw_idx_lan";
+        k =
+          If
+            ( Var "fw_f_lan",
+              Chain_rejuv { obj = "fw_chain"; index = Var "fw_idx_lan"; k = Topo.fwd Topo.wan },
+              Chain_alloc
+                {
+                  obj = "fw_chain";
+                  index = "fw_new";
+                  k_ok =
+                    Vec_set
+                      {
+                        obj = "fw_keys";
+                        index = Var "fw_new";
+                        fields =
+                          [
+                            ("sip", Field Field.Ip_src);
+                            ("dip", Field Field.Ip_dst);
+                            ("sp", Field Field.Src_port);
+                            ("dp", Field Field.Dst_port);
+                          ];
+                        k =
+                          Map_put
+                            {
+                              obj = "fw_flows";
+                              key = key_lan;
+                              value = Var "fw_new";
+                              ok = "fw_put_ok";
+                              k = Topo.fwd Topo.wan;
+                            };
+                      };
+                  (* flow table full: outgoing traffic still flows *)
+                  k_fail = Topo.fwd Topo.wan;
+                } );
+      }
+  in
+  let wan_side =
+    Map_get
+      {
+        obj = "fw_flows";
+        key = key_wan;
+        found = "fw_f_wan";
+        value = "fw_idx_wan";
+        k =
+          If
+            ( Var "fw_f_wan",
+              Chain_rejuv { obj = "fw_chain"; index = Var "fw_idx_wan"; k = Topo.fwd Topo.lan },
+              Drop );
+      }
+  in
+  {
+    name = "fw";
+    devices = 2;
+    state =
+      [
+        Decl_map { name = "fw_flows"; capacity; init = [] };
+        Decl_chain { name = "fw_chain"; capacity };
+        Decl_vector
+          {
+            name = "fw_keys";
+            capacity;
+            layout = [ ("sip", 32); ("dip", 32); ("sp", 16); ("dp", 16) ];
+          };
+      ];
+    process =
+      Chain_expire
+        {
+          obj = "fw_chain";
+          purges = [ ("fw_flows", "fw_keys") ];
+          age_ns = expiry_ns;
+          k = If (Topo.from_lan, lan_side, wan_side);
+        };
+  }

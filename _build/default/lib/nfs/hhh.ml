@@ -1,0 +1,53 @@
+(* HHH: a hierarchical heavy hitter — the paper's §3.5 example of a complex
+   RSS requirement ("sharding on multiple subnets of the source IP").
+
+   Packets are counted per source prefix at /8, /16 and /24 with one
+   count-min sketch per level; a prefix whose estimate exceeds its level's
+   budget is throttled.  Every sketch is keyed by a prefix of ip.src, so the
+   subsumption rule generalizes: the coarsest requirement (/8) wins and
+   Maestro must produce an RSS key under which packets agreeing on the top
+   8 bits of the source address — and only those bits — collide.  This is
+   an extension NF: it exercises the prefix-aware constraint machinery end
+   to end. *)
+
+open Dsl.Ast
+open Packet
+
+let default_sketch_width = 8192
+
+(* per-level packet budgets: a /8 aggregates more sources, so it gets more *)
+let default_budgets = (1_000_000, 200_000, 50_000)
+
+let prefix bits = Bin (Div, Field Field.Ip_src, const ~width:32 (1 lsl (32 - bits)))
+
+let make ?(sketch_width = default_sketch_width) ?(budgets = default_budgets) () =
+  let b8, b16, b24 = budgets in
+  let level bits obj budget k =
+    Sketch_query
+      {
+        obj;
+        key = [ prefix bits ];
+        count = Printf.sprintf "hhh_c%d" bits;
+        k =
+          If
+            ( const budget <. Var (Printf.sprintf "hhh_c%d" bits),
+              Drop,
+              Sketch_touch { obj; key = [ prefix bits ]; k } );
+      }
+  in
+  {
+    name = "hhh";
+    devices = 2;
+    state =
+      [
+        Decl_sketch { name = "hhh_s8"; depth = 4; width = sketch_width };
+        Decl_sketch { name = "hhh_s16"; depth = 4; width = sketch_width };
+        Decl_sketch { name = "hhh_s24"; depth = 4; width = sketch_width };
+      ];
+    process =
+      If
+        ( Topo.from_lan,
+          level 8 "hhh_s8" b8
+            (level 16 "hhh_s16" b16 (level 24 "hhh_s24" b24 (Topo.fwd Topo.wan))),
+          Topo.fwd Topo.lan );
+  }

@@ -1,0 +1,170 @@
+(* LB: a Maglev-like load balancer (paper §6.1).  Servers on the LAN side
+   register themselves by sending traffic; WAN flows are pinned to a backend
+   and stick to it.
+
+   Semantic equivalence demands that every core see the full backend pool,
+   but registrations land on a single core and backend slots are picked by
+   an allocator, not by packet fields — no sharding key exists (rule R4 with
+   no R5 rescue), so Maestro warns and generates the read/write lock
+   version. *)
+
+open Dsl.Ast
+open Packet
+
+let default_flow_capacity = 65536
+let default_backends = 64
+let default_expiry_ns = 1_000_000_000
+
+let key_flow = [ Field Field.Ip_src; Field Field.Ip_dst; Field Field.Src_port; Field Field.Dst_port ]
+
+let backend_subnet = 0x0a0001 (* 10.0.1.0/24 *)
+
+let make ?(flow_capacity = default_flow_capacity) ?(backends = default_backends)
+    ?(expiry_ns = default_expiry_ns) () =
+  let send_to_backend record k =
+    Set_field (Field.Ip_dst, Record_field (record, "ip"), k)
+  in
+  let register_backend =
+    (* server heartbeat/reply: register the backend if new, then pass on *)
+    Map_get
+      {
+        obj = "lb_backends";
+        key = [ Field Field.Ip_src ];
+        found = "lb_bf";
+        value = "lb_bidx";
+        k =
+          If
+            ( Var "lb_bf",
+              Topo.fwd Topo.wan,
+              Chain_alloc
+                {
+                  obj = "lb_bchain";
+                  index = "lb_bnew";
+                  k_ok =
+                    Vec_set
+                      {
+                        obj = "lb_pool";
+                        index = Var "lb_bnew";
+                        fields = [ ("ip", Field Field.Ip_src); ("active", const ~width:1 1) ];
+                        k =
+                          Map_put
+                            {
+                              obj = "lb_backends";
+                              key = [ Field Field.Ip_src ];
+                              value = Var "lb_bnew";
+                              ok = "lb_bok";
+                              k = Topo.fwd Topo.wan;
+                            };
+                      };
+                  k_fail = Topo.fwd Topo.wan;
+                } );
+      }
+  in
+  let lan_side =
+    (* only hosts in the backend subnet register; other LAN traffic passes *)
+    If
+      ( Bin (Div, Field Field.Ip_src, const ~width:32 256) ==. const ~width:32 backend_subnet,
+        register_backend,
+        Topo.fwd Topo.wan )
+  in
+  let pick_new_backend =
+    (* steer by a cheap deterministic choice over the pool slots *)
+    Let
+      ( "lb_slot",
+        Bin (Mod, Field Field.Src_port, const ~width:16 backends),
+        Vec_get
+          {
+            obj = "lb_pool";
+            index = Var "lb_slot";
+            record = "lb_cand";
+            k =
+              If
+                ( Record_field ("lb_cand", "active") ==. const ~width:1 1,
+                  Chain_alloc
+                    {
+                      obj = "lb_fchain";
+                      index = "lb_fnew";
+                      k_ok =
+                        Vec_set
+                          {
+                            obj = "lb_fkeys";
+                            index = Var "lb_fnew";
+                            fields =
+                              [
+                                ("sip", Field Field.Ip_src);
+                                ("dip", Field Field.Ip_dst);
+                                ("sp", Field Field.Src_port);
+                                ("dp", Field Field.Dst_port);
+                              ];
+                            k =
+                              Map_put
+                                {
+                                  obj = "lb_flows";
+                                  key = key_flow;
+                                  value = Topo.widen 32 (Var "lb_slot");
+                                  ok = "lb_fok";
+                                  k = send_to_backend "lb_cand" (Topo.fwd Topo.lan);
+                                };
+                          };
+                      (* flow table full: balance statelessly *)
+                      k_fail = send_to_backend "lb_cand" (Topo.fwd Topo.lan);
+                    },
+                  (* no backend registered in that slot *)
+                  Drop );
+          } )
+  in
+  let wan_side =
+    Map_get
+      {
+        obj = "lb_flows";
+        key = key_flow;
+        found = "lb_ff";
+        value = "lb_fidx";
+        k =
+          If
+            ( Var "lb_ff",
+              Vec_get
+                {
+                  obj = "lb_pool";
+                  index = Var "lb_fidx";
+                  record = "lb_b";
+                  k =
+                    If
+                      ( Record_field ("lb_b", "active") ==. const ~width:1 1,
+                        Chain_rejuv
+                          {
+                            obj = "lb_fchain";
+                            index = Var "lb_fidx";
+                            k = send_to_backend "lb_b" (Topo.fwd Topo.lan);
+                          },
+                        Drop );
+                },
+              pick_new_backend );
+      }
+  in
+  {
+    name = "lb";
+    devices = 2;
+    state =
+      [
+        Decl_map { name = "lb_backends"; capacity = backends; init = [] };
+        Decl_chain { name = "lb_bchain"; capacity = backends };
+        Decl_vector { name = "lb_pool"; capacity = backends; layout = [ ("ip", 32); ("active", 1) ] };
+        Decl_map { name = "lb_flows"; capacity = flow_capacity; init = [] };
+        Decl_chain { name = "lb_fchain"; capacity = flow_capacity };
+        Decl_vector
+          {
+            name = "lb_fkeys";
+            capacity = flow_capacity;
+            layout = [ ("sip", 32); ("dip", 32); ("sp", 16); ("dp", 16) ];
+          };
+      ];
+    process =
+      Chain_expire
+        {
+          obj = "lb_fchain";
+          purges = [ ("lb_flows", "lb_fkeys") ];
+          age_ns = expiry_ns;
+          k = If (Topo.from_lan, lan_side, wan_side);
+        };
+  }

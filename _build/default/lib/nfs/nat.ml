@@ -1,0 +1,156 @@
+(* NAT: translates LAN flows to a single external IP, allocating a unique
+   external port per flow (paper §6.1, RFC 3022 style).
+
+   The flow ↔ external-port association is a map whose key is the allocated
+   port — not a packet field on the write side, which is rule R4 and would
+   block shared-nothing sharding.  But WAN packets are only translated when
+   they come from the server the LAN client contacted (the stored
+   destination), and a mismatch behaves exactly like a miss (drop): rule R5
+   makes the server address/port an interchangeable sharding key, so Maestro
+   shards LAN packets on (ip.dst, l4.dport) and WAN packets on
+   (ip.src, l4.sport).
+
+   As in the paper, the parallel NAT keeps port uniqueness per core, not
+   across cores — sharding by server means equal ports on different cores
+   belong to different servers, preserving semantics. *)
+
+open Dsl.Ast
+open Packet
+
+let default_capacity = 32768
+let default_expiry_ns = 1_000_000_000
+let port_base = 1024
+
+let key_lan = [ Field Field.Ip_src; Field Field.Ip_dst; Field Field.Src_port; Field Field.Dst_port ]
+
+let make ?(capacity = default_capacity) ?(expiry_ns = default_expiry_ns)
+    ?(external_ip = 0xc0a80101 (* 192.168.1.1 *)) () =
+  if capacity + port_base > 0xffff then invalid_arg "Nat.make: capacity exceeds the port space";
+  let ext_port_of idx = Cast (16, Bin (Add, idx, const port_base)) in
+  let translate_and_forward idx =
+    Set_field
+      ( Field.Ip_src,
+        const ~width:32 external_ip,
+        Set_field (Field.Src_port, ext_port_of idx, Topo.fwd Topo.wan) )
+  in
+  let lan_side =
+    Map_get
+      {
+        obj = "nat_flows";
+        key = key_lan;
+        found = "nat_f";
+        value = "nat_idx";
+        k =
+          If
+            ( Var "nat_f",
+              Chain_rejuv
+                { obj = "nat_chain"; index = Var "nat_idx"; k = translate_and_forward (Var "nat_idx") },
+              Chain_alloc
+                {
+                  obj = "nat_chain";
+                  index = "nat_new";
+                  k_ok =
+                    Vec_set
+                      {
+                        obj = "nat_keys";
+                        index = Var "nat_new";
+                        fields =
+                          [
+                            ("sip", Field Field.Ip_src);
+                            ("dip", Field Field.Ip_dst);
+                            ("sp", Field Field.Src_port);
+                            ("dp", Field Field.Dst_port);
+                          ];
+                        k =
+                          Map_put
+                            {
+                              obj = "nat_flows";
+                              key = key_lan;
+                              value = Var "nat_new";
+                              ok = "nat_ok1";
+                              k =
+                                Vec_set
+                                  {
+                                    obj = "nat_portkeys";
+                                    index = Var "nat_new";
+                                    fields = [ ("port", ext_port_of (Var "nat_new")) ];
+                                    k =
+                                      Map_put
+                                        {
+                                          obj = "nat_ports";
+                                          key = [ ext_port_of (Var "nat_new") ];
+                                          value = Var "nat_new";
+                                          ok = "nat_ok2";
+                                          k = translate_and_forward (Var "nat_new");
+                                        };
+                                  };
+                            };
+                      };
+                  (* port pool exhausted: the connection cannot be admitted *)
+                  k_fail = Drop;
+                } );
+      }
+  in
+  let wan_side =
+    Map_get
+      {
+        obj = "nat_ports";
+        key = [ Field Field.Dst_port ];
+        found = "nat_wf";
+        value = "nat_widx";
+        k =
+          If
+            ( Var "nat_wf",
+              Vec_get
+                {
+                  obj = "nat_keys";
+                  index = Var "nat_widx";
+                  record = "nat_flow";
+                  k =
+                    If
+                      ( Record_field ("nat_flow", "dip") ==. Field Field.Ip_src
+                        &&. (Record_field ("nat_flow", "dp") ==. Field Field.Src_port),
+                        Chain_rejuv
+                          {
+                            obj = "nat_chain";
+                            index = Var "nat_widx";
+                            k =
+                              Set_field
+                                ( Field.Ip_dst,
+                                  Record_field ("nat_flow", "sip"),
+                                  Set_field
+                                    ( Field.Dst_port,
+                                      Record_field ("nat_flow", "sp"),
+                                      Topo.fwd Topo.lan ) );
+                          },
+                        (* not from the server this session talks to *)
+                        Drop );
+                },
+              Drop );
+      }
+  in
+  {
+    name = "nat";
+    devices = 2;
+    state =
+      [
+        Decl_map { name = "nat_flows"; capacity; init = [] };
+        Decl_map { name = "nat_ports"; capacity; init = [] };
+        Decl_chain { name = "nat_chain"; capacity };
+        Decl_vector
+          {
+            name = "nat_keys";
+            capacity;
+            layout = [ ("sip", 32); ("dip", 32); ("sp", 16); ("dp", 16) ];
+          };
+        Decl_vector { name = "nat_portkeys"; capacity; layout = [ ("port", 16) ] };
+      ];
+    process =
+      Chain_expire
+        {
+          obj = "nat_chain";
+          purges = [ ("nat_flows", "nat_keys"); ("nat_ports", "nat_portkeys") ];
+          age_ns = expiry_ns;
+          k = If (Topo.from_lan, lan_side, wan_side);
+        };
+  }

@@ -1,0 +1,12 @@
+(* NOP: a stateless forwarder between two ports (paper §6.1).  Maestro finds
+   no state and configures RSS purely for load balancing. *)
+
+open Dsl.Ast
+
+let make () =
+  {
+    name = "nop";
+    devices = 2;
+    state = [];
+    process = If (Topo.from_lan, Topo.fwd Topo.wan, Topo.fwd Topo.lan);
+  }

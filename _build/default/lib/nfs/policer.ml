@@ -1,0 +1,134 @@
+(* Policer: limits each user's download rate with a per-destination-address
+   token bucket (paper §6.1).  State is keyed by the destination IP only, so
+   Maestro must shard on that single field; since the modeled E810 cannot
+   hash addresses without L4 ports, RS3 has to pick the ports-bearing field
+   set and cancel the port bits out of the key — the reason the Policer is
+   the slowest NF to parallelize in Fig. 6.
+
+   Every policed packet updates its bucket, making the lock-based fallback
+   catastrophic (every packet needs the write lock, Fig. 10). *)
+
+open Dsl.Ast
+open Packet
+
+let default_capacity = 65536
+let default_expiry_ns = 1_000_000_000
+
+(* 1 Gbps per user: 125 MB/s = one byte every 8 ns *)
+let default_ns_per_byte = 8
+let default_burst_bytes = 100_000
+
+let make ?(capacity = default_capacity) ?(expiry_ns = default_expiry_ns)
+    ?(ns_per_byte = default_ns_per_byte) ?(burst = default_burst_bytes) () =
+  let burst48 = const ~width:48 burst in
+  let len48 = Topo.widen 48 Pkt_len in
+  (* Consume from a bucket holding [avail] tokens: pass or shape. *)
+  let consume avail =
+    If
+      ( len48 <=. avail,
+        Vec_set
+          {
+            obj = "pol_buckets";
+            index = Var "pol_idx";
+            fields = [ ("tokens", Bin (Sub, avail, len48)); ("time", Now) ];
+            k =
+              Chain_rejuv { obj = "pol_chain"; index = Var "pol_idx"; k = Topo.fwd Topo.lan };
+          },
+        Vec_set
+          {
+            obj = "pol_buckets";
+            index = Var "pol_idx";
+            fields = [ ("tokens", avail); ("time", Now) ];
+            k = Chain_rejuv { obj = "pol_chain"; index = Var "pol_idx"; k = Drop };
+          } )
+  in
+  let known_user =
+    Vec_get
+      {
+        obj = "pol_buckets";
+        index = Var "pol_idx";
+        record = "pol_b";
+        k =
+          Let
+            ( "pol_refill",
+              Bin
+                ( Add,
+                  Record_field ("pol_b", "tokens"),
+                  Bin (Div, Bin (Sub, Now, Record_field ("pol_b", "time")), const ~width:48 ns_per_byte)
+                ),
+              If (burst48 <. Var "pol_refill", consume burst48, consume (Var "pol_refill")) );
+      }
+  in
+  let new_user =
+    Chain_alloc
+      {
+        obj = "pol_chain";
+        index = "pol_new";
+        k_ok =
+          Vec_set
+            {
+              obj = "pol_keys";
+              index = Var "pol_new";
+              fields = [ ("dip", Field Field.Ip_dst) ];
+              k =
+                Map_put
+                  {
+                    obj = "pol_map";
+                    key = [ Field Field.Ip_dst ];
+                    value = Var "pol_new";
+                    ok = "pol_put_ok";
+                    k =
+                      If
+                        ( len48 <=. burst48,
+                          Vec_set
+                            {
+                              obj = "pol_buckets";
+                              index = Var "pol_new";
+                              fields =
+                                [ ("tokens", Bin (Sub, burst48, len48)); ("time", Now) ];
+                              k = Topo.fwd Topo.lan;
+                            },
+                          Vec_set
+                            {
+                              obj = "pol_buckets";
+                              index = Var "pol_new";
+                              fields = [ ("tokens", burst48); ("time", Now) ];
+                              k = Drop;
+                            } );
+                  };
+            };
+        (* cannot track a new user: police conservatively *)
+        k_fail = Drop;
+      }
+  in
+  let wan_side =
+    Map_get
+      {
+        obj = "pol_map";
+        key = [ Field Field.Ip_dst ];
+        found = "pol_f";
+        value = "pol_idx";
+        k = If (Var "pol_f", known_user, new_user);
+      }
+  in
+  {
+    name = "policer";
+    devices = 2;
+    state =
+      [
+        Decl_map { name = "pol_map"; capacity; init = [] };
+        Decl_chain { name = "pol_chain"; capacity };
+        Decl_vector { name = "pol_keys"; capacity; layout = [ ("dip", 32) ] };
+        Decl_vector
+          { name = "pol_buckets"; capacity; layout = [ ("tokens", 48); ("time", 48) ] };
+      ];
+    process =
+      Chain_expire
+        {
+          obj = "pol_chain";
+          purges = [ ("pol_map", "pol_keys") ];
+          age_ns = expiry_ns;
+          (* uploads are not policed; downloads pass through the bucket *)
+          k = If (Topo.from_lan, Topo.fwd Topo.wan, wan_side);
+        };
+  }

@@ -1,0 +1,156 @@
+(* PSD: the port-scan detector (paper §6.1).  It counts how many distinct
+   destination TCP/UDP ports each source IP touched within a time frame and
+   blocks connections to new ports above a threshold.
+
+   Two access patterns coexist: a map keyed by (source IP, destination port)
+   and one keyed by source IP alone.  The latter subsumes the former (rule
+   R2), so Maestro shards on the source IP only. *)
+
+open Dsl.Ast
+open Packet
+
+let default_capacity = 65536
+let default_expiry_ns = 1_000_000_000
+let default_threshold = 128
+
+let key_pair = [ Field Field.Ip_src; Field Field.Dst_port ]
+let key_src = [ Field Field.Ip_src ]
+
+let make ?(capacity = default_capacity) ?(expiry_ns = default_expiry_ns)
+    ?(threshold = default_threshold) () =
+  (* Record (src, dst_port) as seen and admit the packet. *)
+  let register_port k =
+    Chain_alloc
+      {
+        obj = "psd_pchain";
+        index = "psd_pnew";
+        k_ok =
+          Vec_set
+            {
+              obj = "psd_pkeys";
+              index = Var "psd_pnew";
+              fields = [ ("src", Field Field.Ip_src); ("port", Field Field.Dst_port) ];
+              k =
+                Map_put
+                  {
+                    obj = "psd_ports";
+                    key = key_pair;
+                    value = Var "psd_pnew";
+                    ok = "psd_pok";
+                    k;
+                  };
+            };
+        (* table full: fail open, admit without tracking *)
+        k_fail = k;
+      }
+  in
+  let count_and_maybe_admit =
+    Map_get
+      {
+        obj = "psd_counts";
+        key = key_src;
+        found = "psd_cf";
+        value = "psd_cidx";
+        k =
+          If
+            ( Var "psd_cf",
+              Vec_get
+                {
+                  obj = "psd_counters";
+                  index = Var "psd_cidx";
+                  record = "psd_c";
+                  k =
+                    If
+                      ( Record_field ("psd_c", "count") <. const threshold,
+                        Vec_set
+                          {
+                            obj = "psd_counters";
+                            index = Var "psd_cidx";
+                            fields = [ ("count", Record_field ("psd_c", "count") +. const 1) ];
+                            k =
+                              Chain_rejuv
+                                {
+                                  obj = "psd_cchain";
+                                  index = Var "psd_cidx";
+                                  k = register_port (Topo.fwd Topo.wan);
+                                };
+                          },
+                        (* threshold reached: block connections to new ports *)
+                        Drop );
+                },
+              (* first port touched by this source *)
+              Chain_alloc
+                {
+                  obj = "psd_cchain";
+                  index = "psd_cnew";
+                  k_ok =
+                    Vec_set
+                      {
+                        obj = "psd_ckeys";
+                        index = Var "psd_cnew";
+                        fields = [ ("src", Field Field.Ip_src) ];
+                        k =
+                          Map_put
+                            {
+                              obj = "psd_counts";
+                              key = key_src;
+                              value = Var "psd_cnew";
+                              ok = "psd_cok";
+                              k =
+                                Vec_set
+                                  {
+                                    obj = "psd_counters";
+                                    index = Var "psd_cnew";
+                                    fields = [ ("count", const 1) ];
+                                    k = register_port (Topo.fwd Topo.wan);
+                                  };
+                            };
+                      };
+                  k_fail = Topo.fwd Topo.wan;
+                } );
+      }
+  in
+  let lan_side =
+    Map_get
+      {
+        obj = "psd_ports";
+        key = key_pair;
+        found = "psd_pf";
+        value = "psd_pidx";
+        k =
+          If
+            ( Var "psd_pf",
+              (* a port this source already used: no new information *)
+              Chain_rejuv { obj = "psd_pchain"; index = Var "psd_pidx"; k = Topo.fwd Topo.wan },
+              count_and_maybe_admit );
+      }
+  in
+  {
+    name = "psd";
+    devices = 2;
+    state =
+      [
+        Decl_map { name = "psd_ports"; capacity; init = [] };
+        Decl_chain { name = "psd_pchain"; capacity };
+        Decl_vector { name = "psd_pkeys"; capacity; layout = [ ("src", 32); ("port", 16) ] };
+        Decl_map { name = "psd_counts"; capacity; init = [] };
+        Decl_chain { name = "psd_cchain"; capacity };
+        Decl_vector { name = "psd_ckeys"; capacity; layout = [ ("src", 32) ] };
+        Decl_vector { name = "psd_counters"; capacity; layout = [ ("count", 32) ] };
+      ];
+    process =
+      Chain_expire
+        {
+          obj = "psd_pchain";
+          purges = [ ("psd_ports", "psd_pkeys") ];
+          age_ns = expiry_ns;
+          k =
+            Chain_expire
+              {
+                obj = "psd_cchain";
+                purges = [ ("psd_counts", "psd_ckeys") ];
+                age_ns = expiry_ns;
+                k = If (Topo.from_lan, lan_side, Topo.fwd Topo.lan);
+              };
+        };
+  }

@@ -1,0 +1,35 @@
+let builders : (string * (unit -> Dsl.Ast.t)) list =
+  [
+    ("nop", Nop.make);
+    ("policer", fun () -> Policer.make ());
+    ("sbridge", fun () -> Bridge.static ());
+    ("dbridge", fun () -> Bridge.dynamic ());
+    ("fw", fun () -> Fw.make ());
+    ("psd", fun () -> Psd.make ());
+    ("nat", fun () -> Nat.make ());
+    ("lb", fun () -> Lb.make ());
+    ("cl", fun () -> Cl.make ());
+  ]
+
+(* extension NFs beyond the paper's corpus *)
+let extended_builders : (string * (unit -> Dsl.Ast.t)) list =
+  [ ("hhh", fun () -> Hhh.make ()) ]
+
+let names = List.map fst builders
+let extended_names = names @ List.map fst extended_builders
+
+let find name =
+  Option.map (fun b -> b ()) (List.assoc_opt name (builders @ extended_builders))
+
+let find_exn name =
+  match find name with
+  | Some nf -> nf
+  | None -> invalid_arg (Printf.sprintf "unknown NF %s (known: %s)" name (String.concat ", " names))
+
+let all () = List.map (fun (_, b) -> b ()) builders
+
+let expected_strategy = function
+  | "nop" | "sbridge" -> `Read_only_lb
+  | "policer" | "fw" | "psd" | "nat" | "cl" | "hhh" -> `Shared_nothing
+  | "dbridge" | "lb" -> `Locks
+  | _ -> raise Not_found

@@ -1,0 +1,20 @@
+(** The corpus of evaluated NFs (paper §6.1), by name. *)
+
+val names : string list
+(** The paper's corpus:
+    ["nop"; "policer"; "sbridge"; "dbridge"; "fw"; "psd"; "nat"; "lb"; "cl"] *)
+
+val extended_names : string list
+(** [names] plus this reproduction's extension NFs (the prefix-sharded
+    ["hhh"]). *)
+
+val find : string -> Dsl.Ast.t option
+(** Build a fresh NF with default parameters. *)
+
+val find_exn : string -> Dsl.Ast.t
+
+val all : unit -> Dsl.Ast.t list
+
+val expected_strategy : string -> [ `Shared_nothing | `Locks | `Read_only_lb ]
+(** What the paper reports Maestro decides for each NF — used by tests and
+    by EXPERIMENTS.md assertions.  Raises [Not_found] for unknown names. *)

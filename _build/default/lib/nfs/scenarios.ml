@@ -1,0 +1,238 @@
+(* The micro-NFs of the paper's Figure 2: one per Constraints Generator
+   outcome.  They exist to exercise and document rules R1–R5 in isolation
+   (unit-tested in test/test_sharding.ml, printed by `bench fig2`). *)
+
+open Dsl.Ast
+open Packet
+
+let key_flow = [ Field Field.Ip_src; Field Field.Ip_dst; Field Field.Src_port; Field Field.Dst_port ]
+
+(* ① R1 key equality: a per-flow packet counter — packets of the same flow
+   must meet on the same core. *)
+let key_equality () =
+  {
+    name = "fig2_key_equality";
+    devices = 2;
+    state = [ Decl_map { name = "s1_counter"; capacity = 65536; init = [] } ];
+    process =
+      Map_get
+        {
+          obj = "s1_counter";
+          key = key_flow;
+          found = "s1_f";
+          value = "s1_v";
+          k =
+            If
+              ( Var "s1_f",
+                Map_put
+                  {
+                    obj = "s1_counter";
+                    key = key_flow;
+                    value = Var "s1_v" +. const 1;
+                    ok = "s1_ok1";
+                    k = Topo.fwd Topo.wan;
+                  },
+                Map_put
+                  {
+                    obj = "s1_counter";
+                    key = key_flow;
+                    value = const 1;
+                    ok = "s1_ok2";
+                    k = Topo.fwd Topo.wan;
+                  } );
+        };
+  }
+
+(* ② R2 subsumption: a flow tracker plus a per-source counter — sending
+   packets with equal sources to one core also satisfies the 4-tuple
+   requirement, so the coarser key wins. *)
+let subsumption () =
+  let per_src = [ Field Field.Ip_src ] in
+  {
+    name = "fig2_subsumption";
+    devices = 2;
+    state =
+      [
+        Decl_map { name = "s2_flows"; capacity = 65536; init = [] };
+        Decl_map { name = "s2_per_src"; capacity = 65536; init = [] };
+      ];
+    process =
+      Map_get
+        {
+          obj = "s2_per_src";
+          key = per_src;
+          found = "s2_f";
+          value = "s2_v";
+          k =
+            Map_put
+              {
+                obj = "s2_per_src";
+                key = per_src;
+                value = Var "s2_v" +. const 1;
+                ok = "s2_ok";
+                k =
+                  Map_put
+                    {
+                      obj = "s2_flows";
+                      key = key_flow;
+                      value = const 1;
+                      ok = "s2_ok2";
+                      k = Topo.fwd Topo.wan;
+                    };
+              };
+        };
+  }
+
+(* ③ R3 disjoint dependencies: independent per-source and per-destination
+   counters — RSS cannot send "same source OR same destination" to one
+   core, so shared-nothing is impossible. *)
+let disjoint () =
+  {
+    name = "fig2_disjoint";
+    devices = 2;
+    state =
+      [
+        Decl_map { name = "s3_src"; capacity = 65536; init = [] };
+        Decl_map { name = "s3_dst"; capacity = 65536; init = [] };
+      ];
+    process =
+      Map_get
+        {
+          obj = "s3_src";
+          key = [ Field Field.Ip_src ];
+          found = "s3_sf";
+          value = "s3_sv";
+          k =
+            Map_put
+              {
+                obj = "s3_src";
+                key = [ Field Field.Ip_src ];
+                value = Var "s3_sv" +. const 1;
+                ok = "s3_ok1";
+                k =
+                  Map_get
+                    {
+                      obj = "s3_dst";
+                      key = [ Field Field.Ip_dst ];
+                      found = "s3_df";
+                      value = "s3_dv";
+                      k =
+                        Map_put
+                          {
+                            obj = "s3_dst";
+                            key = [ Field Field.Ip_dst ];
+                            value = Var "s3_dv" +. const 1;
+                            ok = "s3_ok2";
+                            k = Topo.fwd Topo.wan;
+                          };
+                    };
+              };
+        };
+  }
+
+(* ④ R4 incompatible dependencies: a single global counter indexed by a
+   constant key — no packet fields to steer by at all. *)
+let constant_key () =
+  let key = [ const 0 ] in
+  {
+    name = "fig2_constant_key";
+    devices = 2;
+    state = [ Decl_map { name = "s4_global"; capacity = 4; init = [] } ];
+    process =
+      Map_get
+        {
+          obj = "s4_global";
+          key;
+          found = "s4_f";
+          value = "s4_v";
+          k =
+            Map_put
+              {
+                obj = "s4_global";
+                key;
+                value = Var "s4_v" +. const 1;
+                ok = "s4_ok";
+                k = Topo.fwd Topo.wan;
+              };
+        };
+  }
+
+(* ⑤ R5 interchangeable constraints: state is keyed by source MAC (which
+   RSS cannot hash), but entries also pin the IP address that registered
+   them and lookups drop on a mismatch exactly as they drop on a miss —
+   sharding on the IP field changes nothing observable. *)
+let interchangeable () =
+  {
+    name = "fig2_interchangeable";
+    devices = 2;
+    state =
+      [
+        Decl_map { name = "s5_macs"; capacity = 65536; init = [] };
+        Decl_chain { name = "s5_chain"; capacity = 65536 };
+        Decl_vector { name = "s5_ips"; capacity = 65536; layout = [ ("ip", 32) ] };
+      ];
+    process =
+      If
+        ( Topo.from_lan,
+          (* learning side: register (mac, ip) pairs *)
+          Map_get
+            {
+              obj = "s5_macs";
+              key = [ Field Field.Eth_src ];
+              found = "s5_lf";
+              value = "s5_lv";
+              k =
+                If
+                  ( Var "s5_lf",
+                    Topo.fwd Topo.wan,
+                    Chain_alloc
+                      {
+                        obj = "s5_chain";
+                        index = "s5_new";
+                        k_ok =
+                          Vec_set
+                            {
+                              obj = "s5_ips";
+                              index = Var "s5_new";
+                              fields = [ ("ip", Field Field.Ip_src) ];
+                              k =
+                                Map_put
+                                  {
+                                    obj = "s5_macs";
+                                    key = [ Field Field.Eth_src ];
+                                    value = Var "s5_new";
+                                    ok = "s5_ok";
+                                    k = Topo.fwd Topo.wan;
+                                  };
+                            };
+                        k_fail = Topo.fwd Topo.wan;
+                      } );
+            },
+          (* filtering side: admit only packets whose destination matches
+             the address registered for the destination MAC *)
+          Map_get
+            {
+              obj = "s5_macs";
+              key = [ Field Field.Eth_dst ];
+              found = "s5_wf";
+              value = "s5_wv";
+              k =
+                If
+                  ( Var "s5_wf",
+                    Vec_get
+                      {
+                        obj = "s5_ips";
+                        index = Var "s5_wv";
+                        record = "s5_r";
+                        k =
+                          If
+                            ( Record_field ("s5_r", "ip") ==. Field Field.Ip_dst,
+                              Topo.fwd Topo.lan,
+                              Drop );
+                      },
+                    Drop );
+            } );
+  }
+
+let all () =
+  [ key_equality (); subsumption (); disjoint (); constant_key (); interchangeable () ]

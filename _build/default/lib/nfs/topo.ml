@@ -1,0 +1,15 @@
+(* Shared two-port topology conventions for the evaluated NFs. *)
+
+let lan = 0
+let wan = 1
+
+open Dsl.Ast
+
+let port p = const ~width:16 p
+let from_lan = In_port ==. port lan
+
+(* Zero-extend an expression to a wider width (widths must match in
+   comparisons). *)
+let widen w e = Bin (Add, e, const ~width:w 0)
+
+let fwd p = Forward (port p)

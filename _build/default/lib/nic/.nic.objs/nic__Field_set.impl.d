@@ -1,0 +1,1 @@
+lib/nic/field_set.ml: Bitvec Field Format List Option Packet Pkt Printf Stdlib

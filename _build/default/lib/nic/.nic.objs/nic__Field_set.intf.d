@@ -1,0 +1,1 @@
+lib/nic/field_set.mli: Bitvec Format Packet

@@ -1,0 +1,1 @@
+lib/nic/model.mli: Field_set Format Packet

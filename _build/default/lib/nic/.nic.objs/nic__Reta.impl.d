@@ -1,0 +1,1 @@
+lib/nic/reta.ml: Array Float Format Int32

@@ -1,0 +1,1 @@
+lib/nic/rss.ml: Bitvec Field_set Format List Model Printf Reta Toeplitz

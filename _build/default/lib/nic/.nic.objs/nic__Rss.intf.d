@@ -1,0 +1,1 @@
+lib/nic/rss.mli: Bitvec Field_set Format Model Packet Random Reta

@@ -1,0 +1,1 @@
+lib/nic/toeplitz.ml: Bitvec Int32

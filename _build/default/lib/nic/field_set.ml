@@ -1,0 +1,85 @@
+open Packet
+
+(* Each selected field contributes its leading [bits] to the hash input; a
+   slice shorter than the field models flexible protocol extraction (ice
+   RXDID / i40e flex words), which is what prefix-sharded NFs need: hashing
+   a full field and cancelling its tail out of the key is not equivalent —
+   the zero-windows would confine all hash variability to the top hash bits,
+   which the low-bit-indexed indirection table never sees. *)
+type t = { ordered : (Field.t * int) list }
+
+(* Canonical Microsoft concatenation order. *)
+let canonical_order = [ Field.Ip_src; Field.Ip_dst; Field.Src_port; Field.Dst_port; Field.Ip_proto ]
+
+let make_sliced slices =
+  List.iter
+    (fun (f, bits) ->
+      if not (Field.rss_capable f) then
+        invalid_arg
+          (Printf.sprintf "Field_set.make: %s cannot be hashed by RSS" (Field.to_string f));
+      if bits < 1 || bits > Field.width f then
+        invalid_arg
+          (Printf.sprintf "Field_set.make: %d bits out of range for %s" bits (Field.to_string f)))
+    slices;
+  let sorted =
+    List.filter_map
+      (fun f -> Option.map (fun bits -> (f, bits)) (List.assoc_opt f slices))
+      canonical_order
+  in
+  if List.length sorted <> List.length slices then
+    invalid_arg "Field_set.make: duplicate or unsupported field";
+  { ordered = sorted }
+
+let make fields = make_sliced (List.map (fun f -> (f, Field.width f)) fields)
+
+let ipv4 = make [ Field.Ip_src; Field.Ip_dst ]
+let ipv4_tcp = make [ Field.Ip_src; Field.Ip_dst; Field.Src_port; Field.Dst_port ]
+let ipv4_udp = ipv4_tcp
+
+let fields t = List.map fst t.ordered
+let slices t = t.ordered
+
+let is_sliced t = List.exists (fun (f, bits) -> bits < Field.width f) t.ordered
+
+let input_bits t = List.fold_left (fun acc (_, bits) -> acc + bits) 0 t.ordered
+
+let offset t f =
+  let rec go acc = function
+    | [] -> None
+    | (g, bits) :: rest -> if Field.equal f g then Some acc else go (acc + bits) rest
+  in
+  go 0 t.ordered
+
+let slice_bits t f = List.assoc_opt f t.ordered
+
+let needs_ports t =
+  List.exists
+    (fun (f, _) -> Field.equal f Field.Src_port || Field.equal f Field.Dst_port)
+    t.ordered
+
+let matches t (p : Pkt.t) =
+  p.Pkt.eth_type = Pkt.ipv4_ethertype
+  && ((not (needs_ports t)) || match p.Pkt.proto with Pkt.Tcp | Pkt.Udp -> true | Pkt.Other _ -> false)
+
+let hash_input t p =
+  if not (matches t p) then None
+  else
+    Some
+      (Bitvec.concat
+         (List.map
+            (fun (f, bits) -> Bitvec.sub (Pkt.get_field p f) ~pos:0 ~len:bits)
+            t.ordered))
+
+let applies_to_proto _t = function Pkt.Tcp | Pkt.Udp -> true | Pkt.Other _ -> false
+
+let equal a b = a.ordered = b.ordered
+let compare a b = Stdlib.compare a.ordered b.ordered
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+       (fun fmt (f, bits) ->
+         if bits = Field.width f then Field.pp fmt f
+         else Format.fprintf fmt "%a[0:%d]" Field.pp f bits))
+    t.ordered

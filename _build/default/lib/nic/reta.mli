@@ -1,0 +1,38 @@
+(** The RSS indirection table (RETA).
+
+    The low bits of the Toeplitz hash index a table of queue identifiers.
+    Under skewed (Zipfian) traffic some buckets become much hotter than
+    others; RSS++-style balancing reassigns hot buckets to underloaded
+    queues (paper §4, "Traffic skew").  We implement the static variant the
+    paper uses in its experiments. *)
+
+type t
+
+val create : ?size:int -> queues:int -> unit -> t
+(** Round-robin filled table; [size] defaults to 512 and must be a power of
+    two; [queues >= 1]. *)
+
+val size : t -> int
+
+val queues : t -> int
+
+val lookup : t -> int -> int
+(** [lookup t hash] is the queue for a (non-negative) hash value. *)
+
+val lookup32 : t -> int32 -> int
+
+val entries : t -> int array
+(** A copy of the table. *)
+
+val rebalance : t -> bucket_load:float array -> t
+(** Greedy RSS++-style balancing: given the observed per-bucket load (same
+    length as the table), reassign buckets so that per-queue total loads are
+    as even as a greedy pass can make them.  Queue count is preserved. *)
+
+val queue_loads : t -> bucket_load:float array -> float array
+(** Per-queue load implied by a bucket-load vector. *)
+
+val imbalance : t -> bucket_load:float array -> float
+(** max(queue load) / mean(queue load); 1.0 is perfectly balanced. *)
+
+val pp : Format.formatter -> t -> unit

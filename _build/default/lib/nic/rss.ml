@@ -1,0 +1,54 @@
+type t = {
+  nic : Model.t;
+  key : Bitvec.t;
+  sets : Field_set.t list;
+  reta : Reta.t;
+}
+
+let configure ?(nic = Model.E810) ?reta ~key ~sets ~queues () =
+  if Bitvec.length key <> 8 * Model.key_bytes nic then
+    invalid_arg
+      (Printf.sprintf "Rss.configure: key must be %d bytes for %s" (Model.key_bytes nic)
+         (Model.name nic));
+  List.iter
+    (fun s ->
+      if not (Model.supports nic s) then
+        invalid_arg
+          (Format.asprintf "Rss.configure: %s does not support field set %a" (Model.name nic)
+             Field_set.pp s))
+    sets;
+  if queues < 1 || queues > Model.max_queues nic then invalid_arg "Rss.configure: queues";
+  let reta =
+    match reta with
+    | Some r ->
+        if Reta.queues r <> queues then invalid_arg "Rss.configure: reta queue count";
+        r
+    | None -> Reta.create ~size:(Model.reta_size nic) ~queues ()
+  in
+  { nic; key; sets; reta }
+
+let random_key rng nic = Bitvec.random rng (8 * Model.key_bytes nic)
+
+let key t = t.key
+let nic t = t.nic
+let sets t = t.sets
+let reta t = t.reta
+let with_reta t reta = { t with reta }
+
+let hash_of t p =
+  let rec go = function
+    | [] -> None
+    | s :: rest -> (
+        match Field_set.hash_input s p with
+        | Some d -> Some (Toeplitz.hash_int ~key:t.key d)
+        | None -> go rest)
+  in
+  go t.sets
+
+let dispatch t p = match hash_of t p with Some h -> Reta.lookup t.reta h | None -> 0
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>nic: %s@ key: %s@ sets: %a@ %a@]" (Model.name t.nic)
+    (Bitvec.to_hex t.key)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Field_set.pp)
+    t.sets Reta.pp t.reta

@@ -1,0 +1,37 @@
+(** A configured RSS engine for one NIC port: key + field sets + indirection
+    table.  This is the hardware mechanism Maestro programs; dispatching a
+    packet reproduces exactly what the NIC does in hardware. *)
+
+type t
+
+val configure :
+  ?nic:Model.t -> ?reta:Reta.t -> key:Bitvec.t -> sets:Field_set.t list -> queues:int -> unit -> t
+(** Raises [Invalid_argument] when the key length differs from the NIC's,
+    when a set is unsupported by the NIC, or when [queues] exceeds the NIC's
+    maximum.  [nic] defaults to {!Model.E810}; [reta] defaults to a
+    round-robin table. *)
+
+val random_key : Random.State.t -> Model.t -> Bitvec.t
+(** A uniformly random key of the NIC's key size — what Maestro installs
+    when no sharding constraints exist (NOP, SBridge) or for lock-based
+    parallelization. *)
+
+val key : t -> Bitvec.t
+
+val nic : t -> Model.t
+
+val sets : t -> Field_set.t list
+
+val reta : t -> Reta.t
+
+val with_reta : t -> Reta.t -> t
+
+val hash_of : t -> Packet.Pkt.t -> int option
+(** The 32-bit Toeplitz hash the NIC computes, or [None] when no configured
+    field set matches the packet (it then goes to the default queue). *)
+
+val dispatch : t -> Packet.Pkt.t -> int
+(** The queue (= core) this packet is steered to; unmatched packets go to
+    queue 0, as DPDK drivers do. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+let key_bits_for_input n = n + 32
+
+let hash ~key d =
+  let kn = Bitvec.length key and dn = Bitvec.length d in
+  if kn < key_bits_for_input dn then invalid_arg "Toeplitz.hash: key too short for input";
+  let acc = ref 0 in
+  (* window = key bits [x .. x+31] when input bit x is set *)
+  for x = 0 to dn - 1 do
+    if Bitvec.get d x then begin
+      let w = ref 0 in
+      for b = 0 to 31 do
+        w := (!w lsl 1) lor (if Bitvec.get key (x + b) then 1 else 0)
+      done;
+      acc := !acc lxor !w
+    end
+  done;
+  Int32.of_int !acc
+
+let hash_int ~key d = Int32.to_int (hash ~key d) land 0xffffffff
+
+(* Key published in the Microsoft RSS hash verification suite and used as
+   DPDK's default. *)
+let microsoft_test_key =
+  Bitvec.of_hex
+    "6d5a56da255b0ec24167253d43a38fb0d0ca2bcbae7b30b477cb2da38030f20c6a42b73bbeac01fa"

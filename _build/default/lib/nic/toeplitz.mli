@@ -1,0 +1,22 @@
+(** The Toeplitz-based RSS hash (paper Fig. 4, Microsoft RSS spec).
+
+    The 32-bit running hash is XOR-ed with the 32 most significant bits of
+    the key, left-rotated once per consumed input bit, whenever the current
+    input bit is 1.  Equivalently, hash bit [b] is
+    [⊕_x d(x) ∧ k(x + b)] — linear over GF(2) in both the key and the
+    input, which is the property RS3's solver exploits. *)
+
+val hash : key:Bitvec.t -> Bitvec.t -> int32
+(** [hash ~key d] hashes input [d].  Requires
+    [Bitvec.length key >= Bitvec.length d + 32] — 52-byte keys cover the
+    12-byte IPv4 TCP tuple and more.  Raises [Invalid_argument] otherwise. *)
+
+val hash_int : key:Bitvec.t -> Bitvec.t -> int
+(** Same as {!hash} with the result as a non-negative int. *)
+
+val key_bits_for_input : int -> int
+(** Minimum key width for a given input width. *)
+
+val microsoft_test_key : Bitvec.t
+(** The 40-byte reference key from the Microsoft RSS verification suite,
+    usable for validating this implementation against published vectors. *)

@@ -1,0 +1,1 @@
+lib/packet/flow.ml: Format Hashtbl Map Pkt Set Stdlib

@@ -1,0 +1,1 @@
+lib/packet/pcap.ml: Buffer Bytes Char Fun List Pkt String Wire

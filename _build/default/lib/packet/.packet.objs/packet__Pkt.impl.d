@@ -1,0 +1,1 @@
+lib/packet/pkt.ml: Bitvec Field Format Stdlib

@@ -1,0 +1,1 @@
+lib/packet/wire.ml: Bytes Char Pkt Printf

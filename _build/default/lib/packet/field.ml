@@ -1,0 +1,46 @@
+type t =
+  | Eth_src
+  | Eth_dst
+  | Eth_type
+  | Ip_src
+  | Ip_dst
+  | Ip_proto
+  | Src_port
+  | Dst_port
+
+let all = [ Eth_src; Eth_dst; Eth_type; Ip_src; Ip_dst; Ip_proto; Src_port; Dst_port ]
+
+let width = function
+  | Eth_src | Eth_dst -> 48
+  | Eth_type -> 16
+  | Ip_src | Ip_dst -> 32
+  | Ip_proto -> 8
+  | Src_port | Dst_port -> 16
+
+let rss_capable = function
+  | Eth_src | Eth_dst | Eth_type -> false
+  | Ip_src | Ip_dst | Ip_proto | Src_port | Dst_port -> true
+
+let symmetric_counterpart = function
+  | Ip_src -> Some Ip_dst
+  | Ip_dst -> Some Ip_src
+  | Src_port -> Some Dst_port
+  | Dst_port -> Some Src_port
+  | Eth_src -> Some Eth_dst
+  | Eth_dst -> Some Eth_src
+  | Eth_type | Ip_proto -> None
+
+let to_string = function
+  | Eth_src -> "eth.src"
+  | Eth_dst -> "eth.dst"
+  | Eth_type -> "eth.type"
+  | Ip_src -> "ip.src"
+  | Ip_dst -> "ip.dst"
+  | Ip_proto -> "ip.proto"
+  | Src_port -> "l4.sport"
+  | Dst_port -> "l4.dport"
+
+let of_string s = List.find_opt (fun f -> to_string f = s) all
+let pp fmt f = Format.pp_print_string fmt (to_string f)
+let equal = ( = )
+let compare = Stdlib.compare

@@ -1,0 +1,40 @@
+(** Packet header fields.
+
+    This is the shared vocabulary between the symbolic-execution engine
+    (which reports which fields an NF's state keys are built from), the
+    constraints generator, and RS3 (which maps fields onto Toeplitz hash
+    input bits).  Widths are wire widths in bits. *)
+
+type t =
+  | Eth_src
+  | Eth_dst
+  | Eth_type
+  | Ip_src
+  | Ip_dst
+  | Ip_proto
+  | Src_port
+  | Dst_port
+
+val all : t list
+
+val width : t -> int
+(** Wire width in bits. *)
+
+val rss_capable : t -> bool
+(** Whether any RSS field set can hash over this field at all.  Link-layer
+    fields are not hashable by RSS on the NICs we model (paper §3.4, rule
+    R4: the bridge's MAC-keyed state defeats shared-nothing). *)
+
+val symmetric_counterpart : t -> t option
+(** The field this one swaps with under flow symmetry:
+    [Ip_src <-> Ip_dst], [Src_port <-> Dst_port], [Eth_src <-> Eth_dst]. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int

@@ -1,0 +1,47 @@
+type t = {
+  ip_src : int;
+  ip_dst : int;
+  src_port : int;
+  dst_port : int;
+  proto : Pkt.proto;
+}
+
+let of_pkt (p : Pkt.t) =
+  {
+    ip_src = p.Pkt.ip_src;
+    ip_dst = p.Pkt.ip_dst;
+    src_port = p.Pkt.src_port;
+    dst_port = p.Pkt.dst_port;
+    proto = p.Pkt.proto;
+  }
+
+(* Locally-administered MACs derived from the addresses, so L2 NFs (the
+   bridges) see per-host MAC variety in generated traffic. *)
+let mac_of_ip ip = 0x02_00_00_00_00_00 lor ip
+
+let to_pkt ?port ?size ?ts_ns f =
+  Pkt.make ?port ?size ?ts_ns ~proto:f.proto ~eth_src:(mac_of_ip f.ip_src)
+    ~eth_dst:(mac_of_ip f.ip_dst) ~ip_src:f.ip_src ~ip_dst:f.ip_dst ~src_port:f.src_port
+    ~dst_port:f.dst_port ()
+
+let reverse f =
+  { f with ip_src = f.ip_dst; ip_dst = f.ip_src; src_port = f.dst_port; dst_port = f.src_port }
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let normalize f = if compare f (reverse f) <= 0 then f else reverse f
+let hash = Hashtbl.hash
+
+let pp fmt f =
+  Format.fprintf fmt "%a:%d->%a:%d/%d" Pkt.pp_ip f.ip_src f.src_port Pkt.pp_ip f.ip_dst
+    f.dst_port
+    (Pkt.proto_number f.proto)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,42 @@
+(** Flow identities.
+
+    A flow is the unit of related packets that an NF logically tracks (paper
+    §1).  The canonical identity is the 5-tuple; NFs that track coarser flows
+    (a policer by destination address, a PSD by source address) derive their
+    keys from a subset of these fields. *)
+
+type t = {
+  ip_src : int;
+  ip_dst : int;
+  src_port : int;
+  dst_port : int;
+  proto : Pkt.proto;
+}
+
+val of_pkt : Pkt.t -> t
+
+val mac_of_ip : int -> int
+(** A locally-administered MAC derived from an IPv4 address — how generated
+    traffic gives each host a distinct link-layer identity. *)
+
+val to_pkt : ?port:int -> ?size:int -> ?ts_ns:int -> t -> Pkt.t
+(** A minimal packet carrying this flow's headers; MACs derive from the
+    addresses via {!mac_of_ip}. *)
+
+val reverse : t -> t
+(** Source and destination swapped — the reply direction. *)
+
+val normalize : t -> t
+(** The lexicographically smaller of the flow and its reverse; two packets of
+    the same bidirectional session normalize to the same value. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

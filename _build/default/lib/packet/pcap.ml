@@ -1,0 +1,78 @@
+let magic = 0xa1b2c3d4
+let linktype_ethernet = 1
+
+(* pcap headers are little-endian when written with the standard magic *)
+let add_u16le buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff))
+
+let add_u32le buf v =
+  add_u16le buf (v land 0xffff);
+  add_u16le buf ((v lsr 16) land 0xffff)
+
+let to_buffer pkts =
+  let buf = Buffer.create 4096 in
+  add_u32le buf magic;
+  add_u16le buf 2;
+  (* major *)
+  add_u16le buf 4;
+  (* minor *)
+  add_u32le buf 0;
+  (* thiszone *)
+  add_u32le buf 0;
+  (* sigfigs *)
+  add_u32le buf 65535;
+  (* snaplen *)
+  add_u32le buf linktype_ethernet;
+  List.iter
+    (fun p ->
+      let frame = Wire.serialize p in
+      let ts = p.Pkt.ts_ns in
+      add_u32le buf (ts / 1_000_000_000);
+      add_u32le buf (ts mod 1_000_000_000 / 1_000);
+      add_u32le buf (Bytes.length frame);
+      add_u32le buf (Bytes.length frame);
+      Buffer.add_bytes buf frame)
+    pkts;
+  buf
+
+let write_file path pkts =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc (to_buffer pkts))
+
+let get_u32le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let of_string s =
+  let n = String.length s in
+  if n < 24 then Error "pcap: truncated global header"
+  else if get_u32le s 0 <> magic then Error "pcap: bad magic (only microsecond LE supported)"
+  else begin
+    let pkts = ref [] in
+    let off = ref 24 in
+    let error = ref None in
+    while !error = None && !off + 16 <= n do
+      let sec = get_u32le s !off in
+      let usec = get_u32le s (!off + 4) in
+      let caplen = get_u32le s (!off + 8) in
+      if !off + 16 + caplen > n then error := Some "pcap: truncated packet record"
+      else begin
+        let frame = Bytes.of_string (String.sub s (!off + 16) caplen) in
+        let ts_ns = (sec * 1_000_000_000) + (usec * 1000) in
+        (match Wire.parse ~ts_ns frame with Ok p -> pkts := p :: !pkts | Error _ -> ());
+        off := !off + 16 + caplen
+      end
+    done;
+    match !error with Some e -> Error e | None -> Ok (List.rev !pkts)
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,18 @@
+(** Reading and writing libpcap capture files.
+
+    The classic [0xa1b2c3d4] microsecond format with Ethernet link type.
+    The churn experiments of the paper (§6.3) are driven from generated
+    PCAPs replayed in a loop; this module lets those workloads be saved to
+    disk and inspected with standard tools. *)
+
+val write_file : string -> Pkt.t list -> unit
+(** Serialize the packets (via {!Wire.serialize}) into a pcap file;
+    timestamps come from [ts_ns]. *)
+
+val read_file : string -> (Pkt.t list, string) result
+(** Parse a pcap file back into packets; the receive [port] of every packet
+    is 0.  Frames that fail to parse are skipped. *)
+
+val to_buffer : Pkt.t list -> Buffer.t
+
+val of_string : string -> (Pkt.t list, string) result

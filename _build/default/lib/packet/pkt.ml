@@ -1,0 +1,77 @@
+type proto = Tcp | Udp | Other of int
+
+type t = {
+  port : int;
+  eth_src : int;
+  eth_dst : int;
+  eth_type : int;
+  ip_src : int;
+  ip_dst : int;
+  proto : proto;
+  src_port : int;
+  dst_port : int;
+  size : int;
+  ts_ns : int;
+}
+
+let ipv4_ethertype = 0x0800
+
+let proto_number = function Tcp -> 6 | Udp -> 17 | Other n -> n land 0xff
+
+let proto_of_number = function 6 -> Tcp | 17 -> Udp | n -> Other (n land 0xff)
+
+let make ?(port = 0) ?(eth_src = 0x02_00_00_00_00_01) ?(eth_dst = 0x02_00_00_00_00_02)
+    ?(proto = Tcp) ?(size = 64) ?(ts_ns = 0) ~ip_src ~ip_dst ~src_port ~dst_port () =
+  {
+    port;
+    eth_src;
+    eth_dst;
+    eth_type = ipv4_ethertype;
+    ip_src;
+    ip_dst;
+    proto;
+    src_port;
+    dst_port;
+    size;
+    ts_ns;
+  }
+
+let field_int p = function
+  | Field.Eth_src -> p.eth_src
+  | Field.Eth_dst -> p.eth_dst
+  | Field.Eth_type -> p.eth_type
+  | Field.Ip_src -> p.ip_src
+  | Field.Ip_dst -> p.ip_dst
+  | Field.Ip_proto -> proto_number p.proto
+  | Field.Src_port -> p.src_port
+  | Field.Dst_port -> p.dst_port
+
+let get_field p f = Bitvec.of_int ~width:(Field.width f) (field_int p f)
+
+let flip p =
+  {
+    p with
+    eth_src = p.eth_dst;
+    eth_dst = p.eth_src;
+    ip_src = p.ip_dst;
+    ip_dst = p.ip_src;
+    src_port = p.dst_port;
+    dst_port = p.src_port;
+  }
+
+let with_port p port = { p with port }
+
+(* 7B preamble + 1B SFD + 12B inter-frame gap *)
+let wire_size p = p.size + 20
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let pp_ip fmt ip =
+  Format.fprintf fmt "%d.%d.%d.%d" ((ip lsr 24) land 0xff) ((ip lsr 16) land 0xff)
+    ((ip lsr 8) land 0xff) (ip land 0xff)
+
+let pp fmt p =
+  let proto_str = match p.proto with Tcp -> "tcp" | Udp -> "udp" | Other n -> string_of_int n in
+  Format.fprintf fmt "[port %d] %a:%d -> %a:%d %s %dB" p.port pp_ip p.ip_src p.src_port
+    pp_ip p.ip_dst p.dst_port proto_str p.size

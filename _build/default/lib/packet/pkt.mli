@@ -1,0 +1,68 @@
+(** Concrete packets.
+
+    A packet is a parsed Ethernet/IPv4/L4 header set plus wire metadata.
+    Header values are plain non-negative integers (a 48-bit MAC fits in an
+    OCaml int); [size] is the full frame length in bytes, used by the
+    performance model and by throughput accounting. *)
+
+type proto = Tcp | Udp | Other of int
+
+type t = {
+  port : int;  (** device the packet arrived on *)
+  eth_src : int;  (** 48-bit MAC *)
+  eth_dst : int;
+  eth_type : int;  (** 16-bit; 0x0800 for IPv4 *)
+  ip_src : int;  (** 32-bit IPv4 address *)
+  ip_dst : int;
+  proto : proto;
+  src_port : int;  (** 16-bit; 0 when [proto] is [Other] *)
+  dst_port : int;
+  size : int;  (** frame bytes, header included *)
+  ts_ns : int;  (** arrival timestamp, nanoseconds *)
+}
+
+val ipv4_ethertype : int
+
+val proto_number : proto -> int
+
+val proto_of_number : int -> proto
+
+val make :
+  ?port:int ->
+  ?eth_src:int ->
+  ?eth_dst:int ->
+  ?proto:proto ->
+  ?size:int ->
+  ?ts_ns:int ->
+  ip_src:int ->
+  ip_dst:int ->
+  src_port:int ->
+  dst_port:int ->
+  unit ->
+  t
+(** A TCP/IPv4 packet by default, 64 bytes, port 0, timestamp 0. *)
+
+val get_field : t -> Field.t -> Bitvec.t
+(** The wire bits of one header field, MSB first. *)
+
+val field_int : t -> Field.t -> int
+
+val flip : t -> t
+(** Swap source and destination addresses and ports (the WAN reply direction
+    of a LAN flow). *)
+
+val with_port : t -> int -> t
+
+val wire_size : t -> int
+(** Bytes the frame occupies on the wire including Ethernet preamble,
+    start-of-frame delimiter and inter-frame gap (size + 20) — what line-rate
+    math must use. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val pp_ip : Format.formatter -> int -> unit
+(** Dotted-quad rendering of a 32-bit address. *)

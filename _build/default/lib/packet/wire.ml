@@ -1,0 +1,134 @@
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+
+let set_u16 b off v =
+  set_u8 b off (v lsr 8);
+  set_u8 b (off + 1) v
+
+let set_u32 b off v =
+  set_u16 b off (v lsr 16);
+  set_u16 b (off + 2) v
+
+let set_u48 b off v =
+  set_u16 b off (v lsr 32);
+  set_u32 b (off + 2) v
+
+let get_u8 b off = Char.code (Bytes.get b off)
+let get_u16 b off = (get_u8 b off lsl 8) lor get_u8 b (off + 1)
+let get_u32 b off = (get_u16 b off lsl 16) lor get_u16 b (off + 2)
+let get_u48 b off = (get_u16 b off lsl 32) lor get_u32 b (off + 2)
+
+let internet_checksum buf =
+  let n = Bytes.length buf in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    sum := !sum + get_u16 buf !i;
+    i := !i + 2
+  done;
+  if n mod 2 = 1 then sum := !sum + (get_u8 buf (n - 1) lsl 8);
+  while !sum > 0xffff do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
+let eth_header = 14
+let ip_header = 20
+
+let l4_header = function Pkt.Tcp -> 20 | Pkt.Udp -> 8 | Pkt.Other _ -> 0
+
+let min_size proto = eth_header + ip_header + l4_header proto
+
+let serialize (p : Pkt.t) =
+  let hdr = min_size p.Pkt.proto in
+  if p.Pkt.size < hdr then
+    invalid_arg (Printf.sprintf "Wire.serialize: frame of %d B below header size %d B" p.Pkt.size hdr);
+  let b = Bytes.make p.Pkt.size '\000' in
+  (* Ethernet *)
+  set_u48 b 0 p.Pkt.eth_dst;
+  set_u48 b 6 p.Pkt.eth_src;
+  set_u16 b 12 p.Pkt.eth_type;
+  (* IPv4 *)
+  let ip_total = p.Pkt.size - eth_header in
+  set_u8 b 14 0x45;
+  set_u16 b 16 ip_total;
+  set_u8 b 22 64 (* TTL *);
+  set_u8 b 23 (Pkt.proto_number p.Pkt.proto);
+  set_u32 b 26 p.Pkt.ip_src;
+  set_u32 b 30 p.Pkt.ip_dst;
+  let ip_csum = internet_checksum (Bytes.sub b eth_header ip_header) in
+  set_u16 b 24 ip_csum;
+  (* L4 *)
+  let l4_off = eth_header + ip_header in
+  let l4_len = p.Pkt.size - l4_off in
+  (match p.Pkt.proto with
+  | Pkt.Tcp ->
+      set_u16 b l4_off p.Pkt.src_port;
+      set_u16 b (l4_off + 2) p.Pkt.dst_port;
+      set_u8 b (l4_off + 12) 0x50 (* data offset = 5 words *)
+  | Pkt.Udp ->
+      set_u16 b l4_off p.Pkt.src_port;
+      set_u16 b (l4_off + 2) p.Pkt.dst_port;
+      set_u16 b (l4_off + 4) l4_len
+  | Pkt.Other _ -> ());
+  (* L4 checksum over pseudo-header + segment *)
+  (match p.Pkt.proto with
+  | Pkt.Tcp | Pkt.Udp ->
+      let pseudo = Bytes.make (12 + l4_len) '\000' in
+      set_u32 pseudo 0 p.Pkt.ip_src;
+      set_u32 pseudo 4 p.Pkt.ip_dst;
+      set_u8 pseudo 9 (Pkt.proto_number p.Pkt.proto);
+      set_u16 pseudo 10 l4_len;
+      Bytes.blit b l4_off pseudo 12 l4_len;
+      let csum = internet_checksum pseudo in
+      let csum_off = if p.Pkt.proto = Pkt.Tcp then l4_off + 16 else l4_off + 6 in
+      set_u16 b csum_off (if csum = 0 then 0xffff else csum)
+  | Pkt.Other _ -> ());
+  b
+
+let parse ?(port = 0) ?(ts_ns = 0) b =
+  let n = Bytes.length b in
+  if n < eth_header then Error "frame shorter than an Ethernet header"
+  else
+    let eth_dst = get_u48 b 0 and eth_src = get_u48 b 6 and eth_type = get_u16 b 12 in
+    if eth_type <> Pkt.ipv4_ethertype then
+      Ok
+        {
+          Pkt.port;
+          eth_src;
+          eth_dst;
+          eth_type;
+          ip_src = 0;
+          ip_dst = 0;
+          proto = Pkt.Other 0;
+          src_port = 0;
+          dst_port = 0;
+          size = n;
+          ts_ns;
+        }
+    else if n < eth_header + ip_header then Error "frame truncated inside the IPv4 header"
+    else
+      let proto = Pkt.proto_of_number (get_u8 b 23) in
+      let ip_src = get_u32 b 26 and ip_dst = get_u32 b 30 in
+      let l4_off = eth_header + ((get_u8 b 14 land 0xf) * 4) in
+      let needs = match proto with Pkt.Tcp | Pkt.Udp -> 4 | Pkt.Other _ -> 0 in
+      if n < l4_off + needs then Error "frame truncated inside the L4 header"
+      else
+        let src_port, dst_port =
+          match proto with
+          | Pkt.Tcp | Pkt.Udp -> (get_u16 b l4_off, get_u16 b (l4_off + 2))
+          | Pkt.Other _ -> (0, 0)
+        in
+        Ok
+          {
+            Pkt.port;
+            eth_src;
+            eth_dst;
+            eth_type;
+            ip_src;
+            ip_dst;
+            proto;
+            src_port;
+            dst_port;
+            size = n;
+            ts_ns;
+          }

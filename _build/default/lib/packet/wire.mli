@@ -1,0 +1,20 @@
+(** Wire encoding of packets: Ethernet + IPv4 + TCP/UDP serialization and
+    parsing, and the internet checksum.  Used by the pcap reader/writer and
+    by tests that want bit-exact frames. *)
+
+val internet_checksum : bytes -> int
+(** RFC 1071 ones-complement checksum over the buffer (padded with a zero
+    byte when of odd length). *)
+
+val serialize : Pkt.t -> bytes
+(** Encode the packet into a frame of exactly [p.size] bytes (the L4 payload
+    is zero-filled).  IPv4 header and TCP/UDP checksums are computed.
+    Raises [Invalid_argument] when [p.size] is too small to hold the
+    headers (54 bytes for TCP, 42 for UDP). *)
+
+val parse : ?port:int -> ?ts_ns:int -> bytes -> (Pkt.t, string) result
+(** Decode a frame.  Non-IPv4 ethertypes and unknown IP protocols are
+    accepted (ports read as zero); truncated frames are an [Error]. *)
+
+val min_size : Pkt.proto -> int
+(** Smallest frame that [serialize] accepts for this protocol. *)

@@ -1,0 +1,1 @@
+lib/rs3/attack.ml: Array Bitvec Fun Gf2 Hashtbl List Nic Option Packet Random

@@ -1,0 +1,1 @@
+lib/rs3/attack.mli: Bitvec Nic Packet Random

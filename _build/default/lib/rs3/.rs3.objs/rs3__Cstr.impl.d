@@ -1,0 +1,1 @@
+lib/rs3/cstr.ml: Field Format List Packet Printf

@@ -1,0 +1,1 @@
+lib/rs3/cstr.mli: Format Packet

@@ -1,0 +1,1 @@
+lib/rs3/problem.ml: Array Cstr Format Hashtbl List Nic Packet

@@ -1,0 +1,1 @@
+lib/rs3/problem.mli: Cstr Format Nic

@@ -1,0 +1,1 @@
+lib/rs3/solve.ml: Array Bitvec Gf2 List Printf Random Sat Validate Window

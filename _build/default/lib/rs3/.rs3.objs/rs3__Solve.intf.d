@@ -1,0 +1,1 @@
+lib/rs3/solve.mli: Bitvec Problem

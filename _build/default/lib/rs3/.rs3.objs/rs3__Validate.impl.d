@@ -1,0 +1,1 @@
+lib/rs3/validate.ml: Array Cstr Format Hashtbl List Nic Packet Problem Random

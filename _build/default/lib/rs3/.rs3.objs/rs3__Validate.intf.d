@@ -1,0 +1,1 @@
+lib/rs3/validate.mli: Bitvec Nic Problem Random

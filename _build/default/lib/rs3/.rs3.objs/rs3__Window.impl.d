@@ -1,0 +1,1 @@
+lib/rs3/window.ml: Array Bitvec Cstr Gf2 List Nic Option Problem Stdlib

@@ -1,0 +1,1 @@
+lib/rs3/window.mli: Bitvec Gf2 Problem

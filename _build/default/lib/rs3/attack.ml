@@ -1,0 +1,76 @@
+let set_field (p : Packet.Pkt.t) f v =
+  match f with
+  | Packet.Field.Ip_src -> { p with Packet.Pkt.ip_src = v }
+  | Packet.Field.Ip_dst -> { p with Packet.Pkt.ip_dst = v }
+  | Packet.Field.Src_port -> { p with Packet.Pkt.src_port = v }
+  | Packet.Field.Dst_port -> { p with Packet.Pkt.dst_port = v }
+  | Packet.Field.Ip_proto -> { p with Packet.Pkt.proto = Packet.Pkt.proto_of_number v }
+  | Packet.Field.Eth_src -> { p with Packet.Pkt.eth_src = v }
+  | Packet.Field.Eth_dst -> { p with Packet.Pkt.eth_dst = v }
+  | Packet.Field.Eth_type -> { p with Packet.Pkt.eth_type = v }
+
+(* Packet whose hash-input bits equal [d]; header bits outside the selected
+   slices are drawn randomly. *)
+let packet_of_input rng field_set d =
+  let base =
+    Packet.Pkt.make
+      ~ip_src:(Random.State.int rng 0x3fffffff)
+      ~ip_dst:(Random.State.int rng 0x3fffffff)
+      ~src_port:(Random.State.int rng 0x10000)
+      ~dst_port:(Random.State.int rng 0x10000)
+      ()
+  in
+  List.fold_left
+    (fun (pkt, off) (f, bits) ->
+      let w = Packet.Field.width f in
+      let top = Bitvec.to_int (Bitvec.sub d ~pos:off ~len:bits) in
+      let low_mask = (1 lsl (w - bits)) - 1 in
+      let v = (top lsl (w - bits)) lor (Packet.Pkt.field_int base f land low_mask) in
+      (set_field pkt f v, off + bits))
+    (base, 0) (Nic.Field_set.slices field_set)
+  |> fst
+
+let colliding_packets ~key ~field_set ~target_hash ~rng ~n =
+  let input_bits = Nic.Field_set.input_bits field_set in
+  (* h_b(d) = ⊕_x d(x)·k(x+b): 32 linear equations over the input bits *)
+  let sys = Gf2.System.create ~cols:input_bits in
+  for b = 0 to 31 do
+    let coeffs =
+      List.filter (fun x -> Bitvec.get key (x + b)) (List.init input_bits Fun.id)
+    in
+    Gf2.System.add_equation sys ~coeffs ~rhs:((target_hash lsr (31 - b)) land 1 = 1)
+  done;
+  match Gf2.System.eliminate sys with
+  | None -> invalid_arg "Attack.colliding_packets: no input hashes to the target"
+  | Some solved ->
+      let seen = Hashtbl.create n in
+      let rec draw acc remaining budget =
+        if remaining = 0 || budget = 0 then List.rev acc
+        else
+          let x = Gf2.System.sample solved ~rng ~one_bias:0.5 in
+          let d = Bitvec.init input_bits (fun i -> x.(i)) in
+          if Hashtbl.mem seen d then draw acc remaining (budget - 1)
+          else begin
+            Hashtbl.replace seen d ();
+            draw (packet_of_input rng field_set d :: acc) (remaining - 1) (budget - 1)
+          end
+      in
+      let pkts = draw [] n (20 * n) in
+      if pkts = [] then invalid_arg "Attack.colliding_packets: empty solution space"
+      else pkts
+
+let collision_rate ~key ~field_set pkts =
+  let counts = Hashtbl.create 64 in
+  let total = ref 0 in
+  List.iter
+    (fun p ->
+      match Nic.Field_set.hash_input field_set p with
+      | Some d ->
+          incr total;
+          let h = Nic.Toeplitz.hash_int ~key d in
+          Hashtbl.replace counts h (1 + Option.value ~default:0 (Hashtbl.find_opt counts h))
+      | None -> ())
+    pkts;
+  if !total = 0 then 0.0
+  else
+    float_of_int (Hashtbl.fold (fun _ c acc -> max c acc) counts 0) /. float_of_int !total

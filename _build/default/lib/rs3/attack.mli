@@ -1,0 +1,28 @@
+(** The state-sharding attack of paper §5 — and why key randomization
+    blunts it.
+
+    An attacker who knows an NF's RSS key can synthesize flows whose
+    Toeplitz hashes collide exactly: for a fixed key the hash is a linear
+    map of the input bits, so "inputs hashing to [target]" is one more GF(2)
+    system.  Colliding flows land in the same indirection-table entry, pile
+    onto one core, and can exhaust that core's (capacity-divided) state with
+    far fewer flows than the sequential NF would need.
+
+    Maestro's defense is that RS3 draws keys randomly from the solution
+    space: a collision set crafted against one deployment's key spreads
+    normally under another's. *)
+
+val colliding_packets :
+  key:Bitvec.t ->
+  field_set:Nic.Field_set.t ->
+  target_hash:int ->
+  rng:Random.State.t ->
+  n:int ->
+  Packet.Pkt.t list
+(** [n] distinct TCP packets whose RSS hash under [key]/[field_set] is
+    exactly [target_hash].  Raises [Invalid_argument] when no input hashes
+    to the target (possible for rank-deficient keys). *)
+
+val collision_rate : key:Bitvec.t -> field_set:Nic.Field_set.t -> Packet.Pkt.t list -> float
+(** Fraction of the packets sharing the most common hash — 1.0 means the
+    attack set fully collides. *)

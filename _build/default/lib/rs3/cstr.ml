@@ -1,0 +1,63 @@
+open Packet
+
+type pair = { fa : Field.t; fb : Field.t; bits : int }
+
+type t = { port_a : int; port_b : int; pairs : pair list }
+
+let make_sliced ~port_a ~port_b pairs =
+  if pairs = [] then invalid_arg "Cstr.make: empty pair list";
+  List.iter
+    (fun { fa; fb; bits } ->
+      if bits < 1 || bits > Field.width fa || bits > Field.width fb then
+        invalid_arg
+          (Printf.sprintf "Cstr.make: %d bits out of range for %s~%s" bits (Field.to_string fa)
+             (Field.to_string fb)))
+    pairs;
+  if port_a <= port_b then { port_a; port_b; pairs }
+  else
+    {
+      port_a = port_b;
+      port_b = port_a;
+      pairs = List.map (fun { fa; fb; bits } -> { fa = fb; fb = fa; bits }) pairs;
+    }
+
+let make ~port_a ~port_b pairs =
+  List.iter
+    (fun (fa, fb) ->
+      if Field.width fa <> Field.width fb then
+        invalid_arg
+          (Printf.sprintf "Cstr.make: width mismatch %s vs %s" (Field.to_string fa)
+             (Field.to_string fb)))
+    pairs;
+  make_sliced ~port_a ~port_b
+    (List.map (fun (fa, fb) -> { fa; fb; bits = Field.width fa }) pairs)
+
+let same_flow ~port fields = make ~port_a:port ~port_b:port (List.map (fun f -> (f, f)) fields)
+
+let symmetric ~port_a ~port_b =
+  make ~port_a ~port_b
+    [
+      (Field.Ip_src, Field.Ip_dst);
+      (Field.Ip_dst, Field.Ip_src);
+      (Field.Src_port, Field.Dst_port);
+      (Field.Dst_port, Field.Src_port);
+    ]
+
+let fields_of_port t port =
+  let a = if t.port_a = port then List.map (fun p -> p.fa) t.pairs else [] in
+  let b = if t.port_b = port then List.map (fun p -> p.fb) t.pairs else [] in
+  List.sort_uniq Field.compare (a @ b)
+
+let is_self_identity t =
+  t.port_a = t.port_b
+  && List.for_all (fun { fa; fb; bits } -> Field.equal fa fb && bits = Field.width fa) t.pairs
+
+let pp_pair fmt { fa; fb; bits } =
+  if bits = Field.width fa && bits = Field.width fb then
+    Format.fprintf fmt "%s=%s" (Field.to_string fa) (Field.to_string fb)
+  else Format.fprintf fmt "%s[0:%d]=%s[0:%d]" (Field.to_string fa) bits (Field.to_string fb) bits
+
+let pp fmt t =
+  Format.fprintf fmt "p%d~p%d: %a" t.port_a t.port_b
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " & ") pp_pair)
+    t.pairs

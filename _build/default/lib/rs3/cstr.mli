@@ -1,0 +1,44 @@
+(** Sharding constraints, RS3's input language (paper §3.5).
+
+    A constraint relates packets [d] arriving on [port_a] and [d'] on
+    [port_b]: if every listed field pair is equal ([d.fa = d'.fb]) and
+    [d ≠ d'], the two packets' RSS hashes must match so they reach the same
+    core.  A constraint set is a conjunction of such implications (the
+    disjunction of the paper's §3.4 is already decomposed: [(C1 ∨ C2) → H]
+    is [(C1 → H) ∧ (C2 → H)]). *)
+
+type pair = {
+  fa : Packet.Field.t;  (** field of the port-a packet *)
+  fb : Packet.Field.t;  (** field of the port-b packet *)
+  bits : int;  (** how many leading bits must agree; the full width for
+                   whole-field equality, less for subnet/prefix sharding
+                   (the HHH case of §3.5) *)
+}
+
+type t = { port_a : int; port_b : int; pairs : pair list }
+
+val make : port_a:int -> port_b:int -> (Packet.Field.t * Packet.Field.t) list -> t
+(** Whole-field equalities.  Normalizes so that [port_a <= port_b]
+    (C_ij = C_ji, §3.5) and checks width agreement.  Raises
+    [Invalid_argument] on width mismatch or an empty pair list. *)
+
+val make_sliced : port_a:int -> port_b:int -> pair list -> t
+(** Prefix-aware variant; [bits] must be positive and within both fields'
+    widths. *)
+
+val same_flow : port:int -> Packet.Field.t list -> t
+(** Packets on one port agreeing on all the given fields must meet: the
+    plain per-flow constraint. *)
+
+val symmetric : port_a:int -> port_b:int -> t
+(** The firewall/NAT session symmetry: src/dst addresses and ports swapped
+    between the two ports. *)
+
+val fields_of_port : t -> int -> Packet.Field.t list
+(** Fields this constraint mentions for packets of the given port. *)
+
+val is_self_identity : t -> bool
+(** Same port and every pair is [f = f] — vacuously satisfied by any key
+    (the hash is a function). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+type t = { nic : Nic.Model.t; field_sets : Nic.Field_set.t array; constraints : Cstr.t list }
+
+let validate t =
+  Array.iter
+    (fun fs ->
+      if not (Nic.Model.supports t.nic fs) then
+        invalid_arg
+          (Format.asprintf "Rs3.Problem: %s does not support %a" (Nic.Model.name t.nic)
+             Nic.Field_set.pp fs))
+    t.field_sets;
+  List.iter
+    (fun (c : Cstr.t) ->
+      List.iter
+        (fun port ->
+          if port < 0 || port >= Array.length t.field_sets then
+            invalid_arg "Rs3.Problem: constraint port out of range";
+          List.iter
+            (fun f ->
+              match Nic.Field_set.offset t.field_sets.(port) f with
+              | Some _ -> ()
+              | None ->
+                  invalid_arg
+                    (Format.asprintf "Rs3.Problem: field %a not in port %d's field set"
+                       Packet.Field.pp f port))
+            (Cstr.fields_of_port c port))
+        [ c.Cstr.port_a; c.Cstr.port_b ])
+    t.constraints
+
+let make ?(nic = Nic.Model.E810) ~field_sets constraints =
+  let t = { nic; field_sets = Array.of_list field_sets; constraints } in
+  validate t;
+  t
+
+let for_constraints ?(nic = Nic.Model.E810) ~nports constraints =
+  (* unconstrained ports hash the full tuple for load balancing *)
+  let default = Nic.Field_set.ipv4_tcp in
+  let sets = Array.make nports default in
+  let missing = ref None in
+  (* per port, the fewest leading bits any constraint demands of each field:
+     the exact hash-input slice (hashing less than a requirement demands is
+     coarser sharding, which is always safe) *)
+  let slice_req port =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (c : Cstr.t) ->
+        List.iter
+          (fun { Cstr.fa; fb; bits } ->
+            let note f =
+              match Hashtbl.find_opt tbl f with
+              | Some b when b <= bits -> ()
+              | _ -> Hashtbl.replace tbl f bits
+            in
+            if c.Cstr.port_a = port then note fa;
+            if c.Cstr.port_b = port then note fb)
+          c.Cstr.pairs)
+      constraints;
+    Hashtbl.fold (fun f b acc -> (f, b) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Packet.Field.compare a b)
+  in
+  List.iteri
+    (fun port _ ->
+      let slices = slice_req port in
+      if slices <> [] && List.exists (fun (f, _) -> not (Packet.Field.rss_capable f)) slices
+      then
+        missing :=
+          Some
+            (Format.asprintf "no %s RSS field set covers {%a} needed on port %d"
+               (Nic.Model.name nic)
+               (Format.pp_print_list
+                  ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+                  Packet.Field.pp)
+               (List.map fst slices) port)
+      else if slices <> [] then begin
+        let sliced = Nic.Field_set.make_sliced slices in
+        if Nic.Model.supports nic sliced then sets.(port) <- sliced
+        else
+          (* the NIC cannot flex-extract sub-fields: fall back to a rigid
+             covering set — the solver's key-quality gate decides whether
+             the zero-window workaround still distributes traffic *)
+          match Nic.Model.best_set_covering nic (List.map fst slices) with
+          | Some s -> sets.(port) <- s
+          | None ->
+              missing :=
+                Some
+                  (Format.asprintf "no %s RSS field set covers {%a} needed on port %d"
+                     (Nic.Model.name nic)
+                     (Format.pp_print_list
+                        ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+                        Packet.Field.pp)
+                     (List.map fst slices) port)
+      end)
+    (Array.to_list sets);
+  match !missing with
+  | Some msg -> Error msg
+  | None ->
+      let t = { nic; field_sets = sets; constraints } in
+      (try
+         validate t;
+         Ok t
+       with Invalid_argument msg -> Error msg)
+
+let nports t = Array.length t.field_sets
+let key_bits t = 8 * Nic.Model.key_bytes t.nic
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>nic: %s@ " (Nic.Model.name t.nic);
+  Array.iteri (fun p fs -> Format.fprintf fmt "port %d: %a@ " p Nic.Field_set.pp fs) t.field_sets;
+  Format.fprintf fmt "%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Cstr.pp)
+    t.constraints

@@ -1,0 +1,26 @@
+(** An RS3 problem: find one RSS key per port, over chosen per-port field
+    sets, satisfying a set of constraints (Equation 3 of the paper,
+    generalized to multiple keys and field sets). *)
+
+type t = {
+  nic : Nic.Model.t;
+  field_sets : Nic.Field_set.t array;  (** one per port; index = port *)
+  constraints : Cstr.t list;
+}
+
+val make : ?nic:Nic.Model.t -> field_sets:Nic.Field_set.t list -> Cstr.t list -> t
+(** Validates that every field set is supported by the NIC and that every
+    constraint's fields are contained in its port's field set.  Raises
+    [Invalid_argument] otherwise. *)
+
+val for_constraints : ?nic:Nic.Model.t -> nports:int -> Cstr.t list -> (t, string) result
+(** Picks, per port, the smallest NIC-supported field set covering that
+    port's constrained fields (ports with no constraints get the full
+    tuple set).  [Error] when some field cannot be hashed by the NIC. *)
+
+val nports : t -> int
+
+val key_bits : t -> int
+(** Bits per key on this NIC. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+type backend = [ `Gauss | `Sat ]
+
+type solution = { keys : Bitvec.t array; attempts : int; backend : backend; free_bits : int }
+
+(* --- GF(2) backend ------------------------------------------------------- *)
+
+let solve_gauss p ~rng ~max_attempts ~one_bias =
+  let sys = Window.to_gf2 p in
+  match Gf2.System.eliminate sys with
+  | None -> Error "window equations are inconsistent"
+  | Some solved ->
+      let free_bits = Gf2.System.n_free solved in
+      let rec attempt n =
+        if n > max_attempts then
+          Error
+            (Printf.sprintf
+               "no quality key found in %d attempts: the constraints force a degenerate hash \
+                (disjoint sharding requirements)"
+               max_attempts)
+        else
+          let x = Gf2.System.sample solved ~rng ~one_bias in
+          let keys = Window.keys_of_solution p x in
+          if Validate.quality_ok p ~keys ~rng then
+            Ok { keys; attempts = n; backend = `Gauss; free_bits }
+          else attempt (n + 1)
+      in
+      attempt 1
+
+(* --- SAT backend --------------------------------------------------------- *)
+
+let solve_sat p ~rng ~max_attempts ~one_bias =
+  let nvars = Window.total_vars p in
+  let s = Sat.Solver.create ~seed:(Random.State.bits rng) () in
+  let vars = Array.init nvars (fun _ -> Sat.Solver.new_var s) in
+  List.iter
+    (fun eq ->
+      match eq with
+      | Window.Equal (pa, i, pb, j) ->
+          let a = vars.(Window.var_of p ~port:pa ~bit:i)
+          and b = vars.(Window.var_of p ~port:pb ~bit:j) in
+          Sat.Solver.add_clause s [ Sat.Lit.neg a; Sat.Lit.pos b ];
+          Sat.Solver.add_clause s [ Sat.Lit.pos a; Sat.Lit.neg b ]
+      | Window.Zero (pt, i) ->
+          Sat.Solver.add_clause s [ Sat.Lit.neg vars.(Window.var_of p ~port:pt ~bit:i) ])
+    (Window.equations p);
+  if not (Sat.Solver.okay s) then Error "window clauses are inconsistent"
+  else
+    let rec attempt n =
+      if n > max_attempts then
+        Error
+          (Printf.sprintf
+             "no quality key found in %d attempts: the constraints force a degenerate hash \
+              (disjoint sharding requirements)"
+             max_attempts)
+      else begin
+        (* Seed every key bit as a soft assumption (biased toward 1), then
+           relax by UNSAT cores until satisfiable: Fu–Malik-style diagnosis
+           with randomized discarding, as in paper §4. *)
+        let soft =
+          ref
+            (Array.to_list vars
+            |> List.map (fun v -> Sat.Lit.make v (Random.State.float rng 1.0 < one_bias)))
+        in
+        let result = ref None in
+        while !result = None do
+          match Sat.Solver.solve ~assumptions:!soft s with
+          | Sat.Solver.Sat ->
+              let x = Array.map (fun v -> Sat.Solver.value s v) vars in
+              result := Some x
+          | Sat.Solver.Unsat -> (
+              match Sat.Solver.unsat_core s with
+              | [] -> result := Some [||] (* hard clauses unsat; cannot happen *)
+              | core ->
+                  let keep l =
+                    (not (List.exists (Sat.Lit.equal l) core)) || Random.State.bool rng
+                  in
+                  let kept = List.filter keep !soft in
+                  (* guarantee progress even if every coin flip said keep *)
+                  soft :=
+                    (if List.length kept < List.length !soft then kept
+                     else List.filter (fun l -> not (List.exists (Sat.Lit.equal l) core)) !soft))
+        done;
+        match !result with
+        | Some [||] | None -> Error "window clauses are inconsistent"
+        | Some x ->
+            let keys = Window.keys_of_solution p x in
+            if Validate.quality_ok p ~keys ~rng then
+              Ok { keys; attempts = n; backend = `Sat; free_bits = -1 }
+            else attempt (n + 1)
+      end
+    in
+    attempt 1
+
+let solve ?(backend = `Gauss) ?(seed = 0x1234) ?(max_attempts = 16) ?(one_bias = 0.5) p =
+  let rng = Random.State.make [| seed |] in
+  match backend with
+  | `Gauss -> solve_gauss p ~rng ~max_attempts ~one_bias
+  | `Sat -> solve_sat p ~rng ~max_attempts ~one_bias

@@ -1,0 +1,37 @@
+(** RS3's key search (paper §3.5 and §4 "Finding good RSS keys").
+
+    Two interchangeable backends solve the window equations:
+
+    - [`Gauss]: the equations are a linear system over GF(2); Gaussian
+      elimination gives the whole solution space and free bits are sampled
+      directly (biased toward 1, the paper's soft-constraint goal).
+    - [`Sat]: the equations become CNF clauses on our CDCL solver and key
+      bits are seeded by soft assumption literals; on UNSAT the assumption
+      core is extracted and a random subset of the clashing soft bits is
+      discarded — the randomized Fu–Malik-style partial-MaxSAT diagnosis
+      loop the paper adapts from [33].
+
+    Candidate keys are accepted only after the §4 quality test
+    ({!Validate.quality_ok}); degenerate solutions trigger re-sampling with
+    a fresh seed, mirroring the paper's parallel-solver retry. *)
+
+type backend = [ `Gauss | `Sat ]
+
+type solution = {
+  keys : Bitvec.t array;  (** one per port *)
+  attempts : int;  (** sampling rounds until a quality key emerged *)
+  backend : backend;
+  free_bits : int;  (** dimension of the solution space *)
+}
+
+val solve :
+  ?backend:backend ->
+  ?seed:int ->
+  ?max_attempts:int ->
+  ?one_bias:float ->
+  Problem.t ->
+  (solution, string) result
+(** [Error] when the window system is inconsistent (cannot happen for
+    constraints built from field equalities — kept for safety) or when no
+    sampled solution passes the quality test, which is the solver-level
+    symptom of disjoint requirements (rule R3). *)

@@ -1,0 +1,105 @@
+(* full 32-bit draws: Random.int caps at 2^30, which would starve the top
+   address bits that prefix-sharded keys hash *)
+let rand32 rng = (Random.State.bits rng lsl 2) lxor Random.State.bits rng land 0xffffffff
+
+let random_pkt rng ~port =
+  Packet.Pkt.make ~port ~ip_src:(rand32 rng) ~ip_dst:(rand32 rng)
+    ~src_port:(Random.State.int rng 0x10000)
+    ~dst_port:(Random.State.int rng 0x10000)
+    ()
+
+let set_field (p : Packet.Pkt.t) f v =
+  match f with
+  | Packet.Field.Ip_src -> { p with Packet.Pkt.ip_src = v }
+  | Packet.Field.Ip_dst -> { p with Packet.Pkt.ip_dst = v }
+  | Packet.Field.Src_port -> { p with Packet.Pkt.src_port = v }
+  | Packet.Field.Dst_port -> { p with Packet.Pkt.dst_port = v }
+  | Packet.Field.Ip_proto -> { p with Packet.Pkt.proto = Packet.Pkt.proto_of_number v }
+  | Packet.Field.Eth_src -> { p with Packet.Pkt.eth_src = v }
+  | Packet.Field.Eth_dst -> { p with Packet.Pkt.eth_dst = v }
+  | Packet.Field.Eth_type -> { p with Packet.Pkt.eth_type = v }
+
+let hash_with (p : Problem.t) keys ~port pkt =
+  match Nic.Field_set.hash_input p.Problem.field_sets.(port) pkt with
+  | Some d -> Some (Nic.Toeplitz.hash_int ~key:keys.(port) d)
+  | None -> None
+
+let check_constraints (p : Problem.t) ~keys ~rng ~trials =
+  let violation = ref None in
+  List.iter
+    (fun (c : Cstr.t) ->
+      if !violation = None then
+        for _ = 1 to trials do
+          if !violation = None then begin
+            let d_b = random_pkt rng ~port:c.Cstr.port_b in
+            let d_a =
+              List.fold_left
+                (fun acc { Cstr.fa; fb; bits } ->
+                  (* copy the matched prefix, keep the low bits random *)
+                  let w = Packet.Field.width fa in
+                  let mask_hi = ((1 lsl bits) - 1) lsl (w - bits) in
+                  let v =
+                    Packet.Pkt.field_int d_b fb land mask_hi
+                    lor (Packet.Pkt.field_int acc fa land lnot mask_hi)
+                  in
+                  set_field acc fa v)
+                (random_pkt rng ~port:c.Cstr.port_a)
+                c.Cstr.pairs
+            in
+            match (hash_with p keys ~port:c.Cstr.port_a d_a, hash_with p keys ~port:c.Cstr.port_b d_b) with
+            | Some ha, Some hb when ha <> hb ->
+                violation :=
+                  Some
+                    (Format.asprintf "constraint %a violated: %08x vs %08x" Cstr.pp c ha hb)
+            | _ -> ()
+          end
+        done)
+    p.Problem.constraints;
+  match !violation with Some msg -> Error msg | None -> Ok ()
+
+type spread = {
+  distinct_hashes : int;
+  bucket_imbalance : float;
+  nonempty_buckets : int;
+  constant_hash : bool;
+}
+
+(* Buckets are measured at queue scale (64 >= any realistic core count), not
+   at indirection-table scale: a legitimately coarse sharding key — a /8
+   subnet prefix gives at most 256 hash values — must still count as healthy
+   as long as it can feed every queue. *)
+let spread_buckets = 64
+
+let spread_of_key ~key ~field_set ~rng ~trials =
+  let buckets = Array.make spread_buckets 0 in
+  let seen = Hashtbl.create trials in
+  for _ = 1 to trials do
+    let pkt = random_pkt rng ~port:0 in
+    match Nic.Field_set.hash_input field_set pkt with
+    | Some d ->
+        let h = Nic.Toeplitz.hash_int ~key d in
+        Hashtbl.replace seen h ();
+        buckets.(h land (spread_buckets - 1)) <- buckets.(h land (spread_buckets - 1)) + 1
+    | None -> ()
+  done;
+  let total = Array.fold_left ( + ) 0 buckets in
+  let mean = float_of_int total /. float_of_int spread_buckets in
+  let worst = Array.fold_left max 0 buckets in
+  {
+    distinct_hashes = Hashtbl.length seen;
+    bucket_imbalance = (if total = 0 then 1. else float_of_int worst /. mean);
+    nonempty_buckets = Array.fold_left (fun a c -> if c > 0 then a + 1 else a) 0 buckets;
+    constant_hash = Hashtbl.length seen <= 1;
+  }
+
+let quality_ok (p : Problem.t) ~keys ~rng =
+  let trials = 4096 in
+  Array.to_list (Array.mapi (fun port key -> (port, key)) keys)
+  |> List.for_all (fun (port, key) ->
+         let s = spread_of_key ~key ~field_set:p.Problem.field_sets.(port) ~rng ~trials in
+         (* degenerate keys collapse to a handful of hash values or leave
+            the low (table-indexing) hash bits dead; healthy ones — even
+            legitimately coarse prefix-sharded ones — can feed every queue *)
+         (not s.constant_hash)
+         && s.distinct_hashes >= spread_buckets
+         && s.nonempty_buckets >= spread_buckets / 2)

@@ -1,0 +1,33 @@
+(** Independent validation of RSS keys.
+
+    The window reduction is exact, but solutions are still re-checked the
+    way the paper's artifact does: hash randomly drawn packet pairs that
+    satisfy each constraint and require equal hashes; and measure how well
+    each key spreads unconstrained traffic over the indirection table —
+    rejecting the degenerate keys §4 warns about (e.g. hashes that can only
+    take two values, or the all-zero hash a disjoint-requirement system
+    forces). *)
+
+val check_constraints :
+  Problem.t -> keys:Bitvec.t array -> rng:Random.State.t -> trials:int -> (unit, string) result
+(** For every constraint, draw [trials] satisfying packet pairs and compare
+    hashes.  The first violated constraint is reported. *)
+
+type spread = {
+  distinct_hashes : int;
+  bucket_imbalance : float;
+      (** max/mean occupancy over the hash-indexed buckets; 1.0 is ideal *)
+  nonempty_buckets : int;
+      (** buckets (indexed by the low hash bits, as the indirection table
+          is) that received at least one packet — a key whose variability
+          sits only in the high hash bits fails here *)
+  constant_hash : bool;
+}
+
+val spread_of_key :
+  key:Bitvec.t -> field_set:Nic.Field_set.t -> rng:Random.State.t -> trials:int -> spread
+
+val quality_ok : Problem.t -> keys:Bitvec.t array -> rng:Random.State.t -> bool
+(** The paper's acceptance test: every port's key must spread unconstrained
+    traffic (no constant or two-value hashes, no pathological bucket
+    skew). *)

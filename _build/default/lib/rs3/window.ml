@@ -1,0 +1,78 @@
+type equation = Equal of int * int * int * int | Zero of int * int
+
+let offset_exn fs f =
+  match Nic.Field_set.offset fs f with
+  | Some o -> o
+  | None -> invalid_arg "Rs3.Window: field outside the port's field set"
+
+(* No early-out for self-identity constraints: a partial identity (the
+   Policer's "same dst-IP" on a ports-bearing field set) is NOT vacuous — it
+   demands that all other windows cancel.  A full-tuple identity naturally
+   yields no equations below. *)
+let equations_of_constraint (p : Problem.t) (c : Cstr.t) =
+  begin
+    let a = c.Cstr.port_a and b = c.Cstr.port_b in
+    let fs_a = p.Problem.field_sets.(a) and fs_b = p.Problem.field_sets.(b) in
+    let len_a = Nic.Field_set.input_bits fs_a and len_b = Nic.Field_set.input_bits fs_b in
+    let dom = Array.make len_a false and ran = Array.make len_b false in
+    let eqs = ref [] in
+    List.iter
+      (fun { Cstr.fa; fb; bits } ->
+        let oa = offset_exn fs_a fa and ob = offset_exn fs_b fb in
+        (* only the leading [bits] of the field slices are matched; the
+           remaining slice bits stay unmatched and get their windows zeroed
+           below.  A slice shorter than the pair demands is coarser sharding
+           — always safe — so clamp. *)
+        let sa = Option.value ~default:bits (Nic.Field_set.slice_bits fs_a fa) in
+        let sb = Option.value ~default:bits (Nic.Field_set.slice_bits fs_b fb) in
+        let bits = min bits (min sa sb) in
+        for i = 0 to bits - 1 do
+          dom.(oa + i) <- true;
+          ran.(ob + i) <- true;
+          if not (a = b && oa + i = ob + i) then
+            for t = 0 to 31 do
+              eqs := Equal (a, oa + i + t, b, ob + i + t) :: !eqs
+            done
+        done)
+      c.Cstr.pairs;
+    (* Unmatched input bits: their windows must vanish.  On a same-port
+       constraint a bit is unmatched if it is missing from either side. *)
+    let zero port x = for t = 0 to 31 do eqs := Zero (port, x + t) :: !eqs done in
+    if a = b then
+      for x = 0 to len_a - 1 do
+        if not (dom.(x) && ran.(x)) then zero a x
+      done
+    else begin
+      for x = 0 to len_a - 1 do
+        if not dom.(x) then zero a x
+      done;
+      for y = 0 to len_b - 1 do
+        if not ran.(y) then zero b y
+      done
+    end;
+    !eqs
+  end
+
+let equations p =
+  List.concat_map (equations_of_constraint p) p.Problem.constraints
+  |> List.sort_uniq Stdlib.compare
+
+let var_of p ~port ~bit = (port * Problem.key_bits p) + bit
+
+let total_vars p = Problem.nports p * Problem.key_bits p
+
+let to_gf2 p =
+  let sys = Gf2.System.create ~cols:(total_vars p) in
+  List.iter
+    (fun eq ->
+      match eq with
+      | Equal (pa, i, pb, j) ->
+          Gf2.System.add_equal sys (var_of p ~port:pa ~bit:i) (var_of p ~port:pb ~bit:j)
+      | Zero (pt, i) -> Gf2.System.add_zero sys (var_of p ~port:pt ~bit:i))
+    (equations p);
+  sys
+
+let keys_of_solution p x =
+  let kb = Problem.key_bits p in
+  Array.init (Problem.nports p) (fun port ->
+      Bitvec.init kb (fun bit -> x.(var_of p ~port ~bit)))

@@ -1,0 +1,46 @@
+(** Reduction of RS3 constraints to linear equations on key bits.
+
+    {b Theory.}  Toeplitz hash bit [b] of input [d] under key [k] is
+    [h_b(k,d) = ⊕_x d(x) ∧ k(x+b)] (paper Eq. 1).  Call
+    [w_k(x) = (k(x), …, k(x+31))] the {e window} of input bit [x].  For a
+    constraint "[d] on port [a] and [d'] on port [b] agree on field pairs
+    π ⇒ equal hashes", expand:
+
+    [h(k_a,d) ⊕ h(k_b,d') = ⊕_{x∈dom π} d(x)·(w_a(x) ⊕ w_b(π x))
+                           ⊕ ⊕_{x∉dom π} d(x)·w_a(x)
+                           ⊕ ⊕_{y∉ran π} d'(y)·w_b(y)]
+
+    Since the constrained packet pairs span all assignments of the matched
+    bits and leave the unmatched bits free, the sum vanishes for {e all} of
+    them iff every coefficient does:
+
+    - [w_a(x) = w_b(π x)] for matched bits, and
+    - [w_a(x) = 0], [w_b(y) = 0] for unmatched bits.
+
+    These are plain GF(2) equations on key bits — Equation 3 becomes a
+    linear system, solved exactly (no quantifier, no search).  The paper's
+    [d ≠ d'] proviso only removes single points from the span and does not
+    change the coefficient argument.
+
+    The window-zero equations are also how NIC field-set limitations are
+    absorbed: a Policer on an E810 must hash the ports-bearing set, and the
+    equations cancel the port windows out of the key (§6.1). *)
+
+type equation =
+  | Equal of int * int * int * int  (** [Equal (pa, i, pb, j)]: key bit [i] of port [pa] equals bit [j] of port [pb] *)
+  | Zero of int * int  (** [Zero (p, i)]: key bit [i] of port [p] is 0 *)
+
+val equations : Problem.t -> equation list
+(** Deduplicated equations for all constraints of the problem.
+    Self-identity constraints contribute nothing. *)
+
+val var_of : Problem.t -> port:int -> bit:int -> int
+(** Flat variable index for the GF(2)/SAT encodings. *)
+
+val total_vars : Problem.t -> int
+
+val to_gf2 : Problem.t -> Gf2.System.t
+(** The equations as a linear system over all ports' key bits. *)
+
+val keys_of_solution : Problem.t -> bool array -> Bitvec.t array
+(** Extract per-port keys from a variable assignment. *)

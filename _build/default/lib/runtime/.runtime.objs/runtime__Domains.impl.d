@@ -1,0 +1,1 @@
+lib/runtime/domains.ml: Array Domain Dsl List Maestro Nic Packet Rwlock

@@ -1,0 +1,1 @@
+lib/runtime/domains.mli: Dsl Maestro Packet

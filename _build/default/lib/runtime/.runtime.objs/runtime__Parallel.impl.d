@@ -1,0 +1,1 @@
+lib/runtime/parallel.ml: Array Dsl Maestro Nic Option Packet

@@ -1,0 +1,1 @@
+lib/runtime/rebalance.ml: Array Dsl Hashtbl Maestro Nic Option Packet

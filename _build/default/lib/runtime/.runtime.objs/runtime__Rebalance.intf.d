@@ -1,0 +1,1 @@
+lib/runtime/rebalance.mli: Maestro Packet

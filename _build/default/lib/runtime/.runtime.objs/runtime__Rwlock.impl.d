@@ -1,0 +1,1 @@
+lib/runtime/rwlock.ml: Array Atomic Domain Fun

@@ -1,0 +1,74 @@
+let dispatch_plan (plan : Maestro.Plan.t) pkts =
+  let nf = plan.Maestro.Plan.nf in
+  let engines =
+    Array.init nf.Dsl.Ast.devices (fun port -> Maestro.Plan.rss_engine plan port)
+  in
+  Array.map (fun p -> Nic.Rss.dispatch engines.(p.Packet.Pkt.port) p) pkts
+
+let run_shared_nothing (plan : Maestro.Plan.t) pkts =
+  if plan.Maestro.Plan.strategy <> Maestro.Plan.Shared_nothing then
+    invalid_arg "Domains.run_shared_nothing: plan is not shared-nothing";
+  let nf = plan.Maestro.Plan.nf in
+  let info = Dsl.Check.check_exn nf in
+  let cores = plan.Maestro.Plan.cores in
+  let assignment = dispatch_plan plan pkts in
+  (* per-core work queues, preserving arrival order within a core *)
+  let queues = Array.make cores [] in
+  Array.iteri (fun i core -> queues.(core) <- i :: queues.(core)) assignment;
+  let verdicts = Array.make (Array.length pkts) Dsl.Interp.Dropped in
+  let worker core () =
+    let inst = Dsl.Instance.create ~divide:cores nf in
+    List.iter
+      (fun i -> verdicts.(i) <- Dsl.Interp.process nf info inst pkts.(i))
+      (List.rev queues.(core))
+  in
+  let domains = Array.init cores (fun core -> Domain.spawn (worker core)) in
+  Array.iter Domain.join domains;
+  verdicts
+
+let run_lock_based (plan : Maestro.Plan.t) pkts =
+  let nf = plan.Maestro.Plan.nf in
+  let info = Dsl.Check.check_exn nf in
+  let cores = plan.Maestro.Plan.cores in
+  let assignment = dispatch_plan plan pkts in
+  let queues = Array.make cores [] in
+  Array.iteri (fun i core -> queues.(core) <- i :: queues.(core)) assignment;
+  let inst = Dsl.Instance.create nf in
+  let lock = Rwlock.create ~cores in
+  let verdicts = Array.make (Array.length pkts) Dsl.Interp.Dropped in
+  (* OCaml has no transactional rollback, so a packet that *may* write on
+     any path must take the write lock up front: classify statically.  The
+     speculative read→restart discipline (and the per-core aging that keeps
+     rejuvenation off the write lock) is modeled deterministically in
+     {!Parallel.run}; this runtime only demonstrates race-free real-domain
+     execution. *)
+  let rec stmt_writes (s : Dsl.Ast.stmt) =
+    match s with
+    | Dsl.Ast.Map_put _ | Dsl.Ast.Map_erase _ | Dsl.Ast.Vec_set _ | Dsl.Ast.Chain_alloc _
+    | Dsl.Ast.Chain_rejuv _ | Dsl.Ast.Chain_expire _ | Dsl.Ast.Sketch_touch _ ->
+        true
+    | Dsl.Ast.If (_, t, f) -> stmt_writes t || stmt_writes f
+    | Dsl.Ast.Let (_, _, k)
+    | Dsl.Ast.Map_get { k; _ }
+    | Dsl.Ast.Vec_get { k; _ }
+    | Dsl.Ast.Sketch_query { k; _ }
+    | Dsl.Ast.Set_field (_, _, k) ->
+        stmt_writes k
+    | Dsl.Ast.Forward _ | Dsl.Ast.Drop -> false
+  in
+  let nf_writes = stmt_writes nf.Dsl.Ast.process in
+  let worker core () =
+    List.iter
+      (fun i ->
+        let pkt = pkts.(i) in
+        if nf_writes then
+          Rwlock.with_write lock (fun () ->
+              verdicts.(i) <- Dsl.Interp.process nf info inst pkt)
+        else
+          Rwlock.with_read lock ~core (fun () ->
+              verdicts.(i) <- Dsl.Interp.process nf info inst pkt))
+      (List.rev queues.(core))
+  in
+  let domains = Array.init cores (fun core -> Domain.spawn (worker core)) in
+  Array.iter Domain.join domains;
+  verdicts

@@ -1,0 +1,23 @@
+(** Real multicore execution on OCaml 5 domains.
+
+    Shared-nothing plans run with one domain per core, each owning its state
+    instance — no synchronization whatsoever, exactly the generated
+    architecture.  Lock-based plans share one instance guarded by the
+    {!Rwlock}: packets classified as read-only take the core-local flag,
+    writers take all flags (the speculative-restart discipline is
+    approximated by a pre-classification pass so the shared interpreter
+    state is never mutated under a read lock).
+
+    Verdicts are returned in the original packet order.  On a shared-nothing
+    plan they are deterministic regardless of scheduling, because same-flow
+    packets never cross cores — the property Maestro's RSS keys establish. *)
+
+val run_shared_nothing :
+  Maestro.Plan.t -> Packet.Pkt.t array -> Dsl.Interp.action array
+(** Raises [Invalid_argument] if the plan is not shared-nothing. *)
+
+val run_lock_based : Maestro.Plan.t -> Packet.Pkt.t array -> Dsl.Interp.action array
+(** Runs any shared-state plan with the read/write lock.  NOTE: per-core
+    verdict streams are deterministic, but cross-core write interleaving can
+    differ from arrival order (as on real hardware); use the deterministic
+    {!Parallel.run} for exact equivalence checks. *)

@@ -1,0 +1,142 @@
+type stats = {
+  cores : int;
+  per_core_pkts : int array;
+  reads : int;
+  writes : int;
+  read_pkts : int;
+  write_pkts : int;
+  spec_restarts : int;
+  expired_flows : int;
+  rejuv_local : int;
+  tm_rw_sets : (int * int) list;
+}
+
+let empty_stats ~cores =
+  {
+    cores;
+    per_core_pkts = Array.make cores 0;
+    reads = 0;
+    writes = 0;
+    read_pkts = 0;
+    write_pkts = 0;
+    spec_restarts = 0;
+    expired_flows = 0;
+    rejuv_local = 0;
+    tm_rw_sets = [];
+  }
+
+let imbalance s =
+  let total = Array.fold_left ( + ) 0 s.per_core_pkts in
+  if total = 0 then 1.0
+  else
+    let mean = float_of_int total /. float_of_int s.cores in
+    float_of_int (Array.fold_left max 0 s.per_core_pkts) /. mean
+
+type result = { verdicts : Dsl.Interp.action array; stats : stats }
+
+let run_sequential nf pkts =
+  let info = Dsl.Check.check_exn nf in
+  let inst = Dsl.Instance.create nf in
+  Array.map (fun p -> Dsl.Interp.process nf info inst p) pkts
+
+(* Per-packet accounting of one interpreter run. *)
+type pkt_ops = {
+  mutable r : int;
+  mutable w : int;
+  mutable rejuvs : int;
+  mutable expired : int;
+}
+
+let observe ops (e : Dsl.Interp.op_event) =
+  (match e.Dsl.Interp.kind with
+  | Dsl.Interp.Op_chain_rejuv -> ops.rejuvs <- ops.rejuvs + 1
+  | Dsl.Interp.Op_chain_expire -> ops.expired <- ops.expired + e.Dsl.Interp.expired
+  | _ -> ());
+  (* Rejuvenation is served by the per-core aging replicas (§4) and expiry
+     only writes when flows actually age out, so neither forces the write
+     lock on the fast path. *)
+  let counts_as_write =
+    match e.Dsl.Interp.kind with
+    | Dsl.Interp.Op_chain_rejuv -> false
+    | Dsl.Interp.Op_chain_expire -> e.Dsl.Interp.expired > 0
+    | _ -> e.Dsl.Interp.write
+  in
+  if counts_as_write then ops.w <- ops.w + 1 else ops.r <- ops.r + 1
+
+let run ?reta (plan : Maestro.Plan.t) pkts =
+  let nf = plan.Maestro.Plan.nf in
+  let info = Dsl.Check.check_exn nf in
+  let cores = plan.Maestro.Plan.cores in
+  let engines =
+    Array.init nf.Dsl.Ast.devices (fun port ->
+        let r = Option.map (fun retas -> retas.(port)) reta in
+        Maestro.Plan.rss_engine ?reta:r plan port)
+  in
+  let shared_nothing = plan.Maestro.Plan.strategy = Maestro.Plan.Shared_nothing in
+  let instances =
+    if shared_nothing then
+      Array.init cores (fun _ -> Dsl.Instance.create ~divide:(Maestro.Plan.state_divisor plan) nf)
+    else Array.make 1 (Dsl.Instance.create nf)
+  in
+  let per_core_pkts = Array.make cores 0 in
+  let reads = ref 0 and writes = ref 0 in
+  let read_pkts = ref 0 and write_pkts = ref 0 in
+  let spec_restarts = ref 0 and expired_flows = ref 0 and rejuv_local = ref 0 in
+  let tm_rw_sets = ref [] in
+  let tm = plan.Maestro.Plan.strategy = Maestro.Plan.Tm_based in
+  let lock_based = plan.Maestro.Plan.strategy = Maestro.Plan.Lock_based in
+  let verdicts =
+    Array.map
+      (fun pkt ->
+        let core = Nic.Rss.dispatch engines.(pkt.Packet.Pkt.port) pkt in
+        per_core_pkts.(core) <- per_core_pkts.(core) + 1;
+        let inst = if shared_nothing then instances.(core) else instances.(0) in
+        let ops = { r = 0; w = 0; rejuvs = 0; expired = 0 } in
+        let verdict = Dsl.Interp.process ~on_op:(observe ops) nf info inst pkt in
+        reads := !reads + ops.r;
+        writes := !writes + ops.w;
+        expired_flows := !expired_flows + ops.expired;
+        rejuv_local := !rejuv_local + ops.rejuvs;
+        if lock_based then
+          if ops.w > 0 then begin
+            (* speculative read execution hit a write: restart under the
+               all-cores write lock *)
+            incr write_pkts;
+            incr spec_restarts
+          end
+          else incr read_pkts;
+        if tm then tm_rw_sets := (ops.r, ops.w) :: !tm_rw_sets;
+        verdict)
+      pkts
+  in
+  {
+    verdicts;
+    stats =
+      {
+        cores;
+        per_core_pkts;
+        reads = !reads;
+        writes = !writes;
+        read_pkts = !read_pkts;
+        write_pkts = !write_pkts;
+        spec_restarts = !spec_restarts;
+        expired_flows = !expired_flows;
+        rejuv_local = !rejuv_local;
+        tm_rw_sets = !tm_rw_sets;
+      };
+  }
+
+let dispatch_counts ?reta (plan : Maestro.Plan.t) pkts =
+  let nf = plan.Maestro.Plan.nf in
+  let engines =
+    Array.init nf.Dsl.Ast.devices (fun port ->
+        let r = Option.map (fun retas -> retas.(port)) reta in
+        Maestro.Plan.rss_engine ?reta:r plan port)
+  in
+  let counts = Array.make plan.Maestro.Plan.cores 0 in
+  Array.iter
+    (fun pkt ->
+      let core = Nic.Rss.dispatch engines.(pkt.Packet.Pkt.port) pkt in
+      counts.(core) <- counts.(core) + 1)
+    pkts;
+  counts

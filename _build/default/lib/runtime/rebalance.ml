@@ -1,0 +1,90 @@
+type report = {
+  epochs : int;
+  static_imbalance : float array;
+  dynamic_imbalance : float array;
+  migrated_buckets : int;
+  migrated_flows : int;
+}
+
+let imbalance_of counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 1.0
+  else
+    let mean = float_of_int total /. float_of_int (Array.length counts) in
+    float_of_int (Array.fold_left max 0 counts) /. mean
+
+let study (plan : Maestro.Plan.t) pkts ~epoch_pkts =
+  if Array.length pkts < epoch_pkts || epoch_pkts < 1 then
+    invalid_arg "Rebalance.study: trace shorter than one epoch";
+  let nf = plan.Maestro.Plan.nf in
+  let cores = plan.Maestro.Plan.cores in
+  let nports = nf.Dsl.Ast.devices in
+  let static_engines = Array.init nports (fun port -> Maestro.Plan.rss_engine plan port) in
+  let dynamic_engines = Array.init nports (fun port -> Maestro.Plan.rss_engine plan port) in
+  let epochs = Array.length pkts / epoch_pkts in
+  let static_imbalance = Array.make epochs 1.0 in
+  let dynamic_imbalance = Array.make epochs 1.0 in
+  let migrated_buckets = ref 0 and migrated_flows = ref 0 in
+  for e = 0 to epochs - 1 do
+    let slice = Array.sub pkts (e * epoch_pkts) epoch_pkts in
+    let run engines =
+      let counts = Array.make cores 0 in
+      let bucket_loads =
+        Array.init nports (fun port ->
+            Array.make (Nic.Reta.size (Nic.Rss.reta engines.(port))) 0.0)
+      in
+      let bucket_flows = Hashtbl.create 1024 in
+      Array.iter
+        (fun (pkt : Packet.Pkt.t) ->
+          let port = pkt.Packet.Pkt.port in
+          let engine = engines.(port) in
+          (match Nic.Rss.hash_of engine pkt with
+          | Some h ->
+              let reta = Nic.Rss.reta engine in
+              let b = h land (Nic.Reta.size reta - 1) in
+              bucket_loads.(port).(b) <- bucket_loads.(port).(b) +. 1.0;
+              Hashtbl.replace bucket_flows
+                ((port, b), Packet.Flow.normalize (Packet.Flow.of_pkt pkt))
+                ()
+          | None -> ());
+          let q = Nic.Rss.dispatch engine pkt in
+          counts.(q) <- counts.(q) + 1)
+        slice;
+      (counts, bucket_loads, bucket_flows)
+    in
+    let s_counts, _, _ = run static_engines in
+    static_imbalance.(e) <- imbalance_of s_counts;
+    let d_counts, d_loads, d_flows = run dynamic_engines in
+    dynamic_imbalance.(e) <- imbalance_of d_counts;
+    (* distinct flows observed per (port, bucket) this epoch *)
+    let flows_in_bucket = Hashtbl.create 256 in
+    Hashtbl.iter
+      (fun (pb, _flow) () ->
+        Hashtbl.replace flows_in_bucket pb
+          (1 + Option.value ~default:0 (Hashtbl.find_opt flows_in_bucket pb)))
+      d_flows;
+    (* rebalance each port's table from this epoch's observations *)
+    for port = 0 to nports - 1 do
+      let engine = dynamic_engines.(port) in
+      let before = Nic.Reta.entries (Nic.Rss.reta engine) in
+      let reta' = Nic.Reta.rebalance (Nic.Rss.reta engine) ~bucket_load:d_loads.(port) in
+      let after = Nic.Reta.entries reta' in
+      Array.iteri
+        (fun b q ->
+          if q <> after.(b) then begin
+            incr migrated_buckets;
+            migrated_flows :=
+              !migrated_flows
+              + Option.value ~default:0 (Hashtbl.find_opt flows_in_bucket (port, b))
+          end)
+        before;
+      dynamic_engines.(port) <- Nic.Rss.with_reta engine reta'
+    done
+  done;
+  {
+    epochs;
+    static_imbalance;
+    dynamic_imbalance;
+    migrated_buckets = !migrated_buckets;
+    migrated_flows = !migrated_flows;
+  }

@@ -1,0 +1,20 @@
+(** Dynamic RSS++-style indirection-table rebalancing (paper §4 implements
+    the static version and notes "their dynamic versions could be used to
+    handle changes in skew over time" — this is that extension).
+
+    The trace is processed in epochs; after each epoch the per-bucket loads
+    observed during it drive a rebalance of every port's indirection table.
+    Because RSS++ moves whole buckets, colliding flows stay together and —
+    on a shared-nothing plan — moving a bucket migrates its flows' state
+    between cores, which is counted. *)
+
+type report = {
+  epochs : int;
+  static_imbalance : float array;  (** per-epoch max/mean core load, fixed tables *)
+  dynamic_imbalance : float array;  (** same, tables rebalanced after each epoch *)
+  migrated_buckets : int;  (** indirection entries reassigned over the run *)
+  migrated_flows : int;  (** flows whose state moved cores (shared-nothing) *)
+}
+
+val study : Maestro.Plan.t -> Packet.Pkt.t array -> epoch_pkts:int -> report
+(** Raises [Invalid_argument] when the trace is shorter than one epoch. *)

@@ -1,0 +1,26 @@
+type t = { flags : bool Atomic.t array }
+
+let create ~cores =
+  if cores < 1 then invalid_arg "Rwlock.create";
+  { flags = Array.init cores (fun _ -> Atomic.make false) }
+
+let cores t = Array.length t.flags
+
+let acquire flag =
+  while not (Atomic.compare_and_set flag false true) do
+    Domain.cpu_relax ()
+  done
+
+let read_lock t ~core = acquire t.flags.(core)
+let read_unlock t ~core = Atomic.set t.flags.(core) false
+
+let write_lock t = Array.iter acquire t.flags
+let write_unlock t = Array.iter (fun f -> Atomic.set f false) t.flags
+
+let with_read t ~core f =
+  read_lock t ~core;
+  Fun.protect ~finally:(fun () -> read_unlock t ~core) f
+
+let with_write t f =
+  write_lock t;
+  Fun.protect ~finally:(fun () -> write_unlock t) f

@@ -1,0 +1,27 @@
+(** The custom read/write lock of paper §3.6.
+
+    One spin flag per core: a reader takes only its own core's flag (no
+    shared cache line is written by concurrent readers on distinct cores); a
+    writer takes every flag in ascending order (deadlock-free).  Implemented
+    over OCaml [Atomic] cells — each flag is a separate boxed atomic, which
+    the runtime allocates independently, standing in for the cache-line
+    padding of the C original. *)
+
+type t
+
+val create : cores:int -> t
+
+val cores : t -> int
+
+val read_lock : t -> core:int -> unit
+
+val read_unlock : t -> core:int -> unit
+
+val write_lock : t -> unit
+(** Acquires all per-core flags, in order. *)
+
+val write_unlock : t -> unit
+
+val with_read : t -> core:int -> (unit -> 'a) -> 'a
+
+val with_write : t -> (unit -> 'a) -> 'a

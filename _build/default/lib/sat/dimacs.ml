@@ -1,0 +1,45 @@
+type cnf = { nvars : int; clauses : Lit.t list list }
+
+let parse text =
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; _nc ] -> nvars := int_of_string nv
+        | _ -> failwith "Dimacs.parse: bad problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None -> failwith ("Dimacs.parse: bad token " ^ tok)
+               | Some 0 ->
+                   clauses := List.rev !current :: !clauses;
+                   current := []
+               | Some i ->
+                   nvars := max !nvars (abs i);
+                   current := Lit.of_dimacs i :: !current))
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  { nvars = !nvars; clauses = List.rev !clauses }
+
+let print fmt { nvars; clauses } =
+  Format.fprintf fmt "p cnf %d %d@." nvars (List.length clauses);
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Format.fprintf fmt "%d " (Lit.to_dimacs l)) c;
+      Format.fprintf fmt "0@.")
+    clauses
+
+let load s { nvars; clauses } =
+  while Solver.nvars s < nvars do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (Solver.add_clause s) clauses

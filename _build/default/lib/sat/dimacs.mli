@@ -1,0 +1,11 @@
+(** DIMACS CNF reading and writing, for interoperability and tests. *)
+
+type cnf = { nvars : int; clauses : Lit.t list list }
+
+val parse : string -> cnf
+(** Parse DIMACS CNF text.  Raises [Failure] on malformed input. *)
+
+val print : Format.formatter -> cnf -> unit
+
+val load : Solver.t -> cnf -> unit
+(** Allocate the variables (those not yet present) and add all clauses. *)

@@ -1,0 +1,24 @@
+type t = int
+type var = int
+
+let make v sign =
+  if v < 0 then invalid_arg "Lit.make";
+  (2 * v) + if sign then 0 else 1
+
+let pos v = make v true
+let neg v = make v false
+let var l = l / 2
+let sign l = l land 1 = 0
+let negate l = l lxor 1
+let to_int l = l
+let of_int i = if i < 0 then invalid_arg "Lit.of_int" else i
+let to_dimacs l = if sign l then var l + 1 else -(var l + 1)
+
+let of_dimacs i =
+  if i = 0 then invalid_arg "Lit.of_dimacs"
+  else if i > 0 then pos (i - 1)
+  else neg (-i - 1)
+
+let equal = Int.equal
+let compare = Int.compare
+let pp fmt l = Format.fprintf fmt "%s%d" (if sign l then "" else "~") (var l)

@@ -1,0 +1,39 @@
+(** Propositional literals.
+
+    A variable is a non-negative integer; a literal packs a variable and a
+    sign into a single integer ([2v] positive, [2v+1] negative), the classic
+    MiniSat encoding. *)
+
+type t = private int
+
+type var = int
+
+val make : var -> bool -> t
+(** [make v sign] is [v] when [sign] is [true], [¬v] otherwise. *)
+
+val pos : var -> t
+
+val neg : var -> t
+
+val var : t -> var
+
+val sign : t -> bool
+(** [true] for a positive literal. *)
+
+val negate : t -> t
+
+val to_int : t -> int
+(** The raw encoding, suitable as an array index in [0 .. 2*nvars-1]. *)
+
+val of_int : int -> t
+
+val to_dimacs : t -> int
+(** 1-based signed integer as in the DIMACS format. *)
+
+val of_dimacs : int -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

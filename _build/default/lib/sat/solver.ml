@@ -1,0 +1,516 @@
+type clause = { mutable lits : Lit.t array; mutable act : float; learnt : bool }
+
+(* Assignment values: -1 undefined, 0 false, 1 true. *)
+let l_undef = -1
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause list;
+  mutable learnts : clause list;
+  mutable n_learnts : int;
+  mutable watches : clause list array; (* indexed by Lit.to_int *)
+  mutable assigns : int array; (* per var *)
+  mutable var_level : int array;
+  mutable reason : clause option array;
+  mutable activity : float array;
+  mutable polarity : bool array;
+  mutable seen : bool array;
+  mutable trail : Lit.t array;
+  mutable trail_size : int;
+  mutable trail_lim : int array;
+  mutable n_levels : int;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool;
+  mutable core : Lit.t list;
+  mutable conflicts : int;
+  mutable heap : int array; (* binary max-heap of vars by activity *)
+  mutable heap_size : int;
+  mutable heap_pos : int array; (* var -> index in heap, -1 if absent *)
+  rng : Random.State.t;
+}
+
+let create ?(seed = 0x5eed) () =
+  {
+    nvars = 0;
+    clauses = [];
+    learnts = [];
+    n_learnts = 0;
+    watches = Array.make 16 [];
+    assigns = Array.make 8 l_undef;
+    var_level = Array.make 8 0;
+    reason = Array.make 8 None;
+    activity = Array.make 8 0.;
+    polarity = Array.make 8 false;
+    seen = Array.make 8 false;
+    trail = Array.make 8 (Lit.pos 0);
+    trail_size = 0;
+    trail_lim = Array.make 8 0;
+    n_levels = 0;
+    qhead = 0;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    ok = true;
+    core = [];
+    conflicts = 0;
+    heap = Array.make 8 0;
+    heap_size = 0;
+    heap_pos = Array.make 8 (-1);
+    rng = Random.State.make [| seed |];
+  }
+
+let nvars s = s.nvars
+let nclauses s = List.length s.clauses
+let okay s = s.ok
+let n_conflicts s = s.conflicts
+
+let grow_array a n default =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max n (2 * Array.length a)) default in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+(* --- activity heap ------------------------------------------------------ *)
+
+let heap_lt s a b = s.activity.(a) > s.activity.(b)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b;
+  s.heap.(j) <- a;
+  s.heap_pos.(a) <- j;
+  s.heap_pos.(b) <- i
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_lt s s.heap.(i) s.heap.(parent) then begin
+      heap_swap s i parent;
+      heap_up s parent
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && heap_lt s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_size && heap_lt s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap <- grow_array s.heap (s.heap_size + 1) 0;
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    heap_up s (s.heap_size - 1)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_size > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_size);
+    s.heap_pos.(s.heap.(0)) <- 0;
+    heap_down s 0
+  end;
+  v
+
+let heap_fix s v = if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* --- variables ---------------------------------------------------------- *)
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assigns <- grow_array s.assigns (v + 1) l_undef;
+  s.var_level <- grow_array s.var_level (v + 1) 0;
+  s.reason <- grow_array s.reason (v + 1) None;
+  s.activity <- grow_array s.activity (v + 1) 0.;
+  s.polarity <- grow_array s.polarity (v + 1) false;
+  s.seen <- grow_array s.seen (v + 1) false;
+  s.heap_pos <- grow_array s.heap_pos (v + 1) (-1);
+  s.watches <- grow_array s.watches (2 * (v + 1)) [];
+  s.trail <- grow_array s.trail (v + 1) (Lit.pos 0);
+  s.assigns.(v) <- l_undef;
+  s.reason.(v) <- None;
+  s.heap_pos.(v) <- -1;
+  heap_insert s v;
+  v
+
+let lit_val s l =
+  let a = s.assigns.(Lit.var l) in
+  if a = l_undef then l_undef else if Lit.sign l then a else 1 - a
+
+let decision_level s = s.n_levels
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_fix s v
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+let cla_bump s c =
+  if c.learnt then begin
+    c.act <- c.act +. s.cla_inc;
+    if c.act > 1e20 then begin
+      List.iter (fun c -> c.act <- c.act *. 1e-20) s.learnts;
+      s.cla_inc <- s.cla_inc *. 1e-20
+    end
+  end
+
+let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
+
+(* --- trail -------------------------------------------------------------- *)
+
+let enqueue s l reason =
+  s.assigns.(Lit.var l) <- (if Lit.sign l then 1 else 0);
+  s.var_level.(Lit.var l) <- decision_level s;
+  s.reason.(Lit.var l) <- reason;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+let new_decision_level s =
+  s.trail_lim <- grow_array s.trail_lim (s.n_levels + 1) 0;
+  s.trail_lim.(s.n_levels) <- s.trail_size;
+  s.n_levels <- s.n_levels + 1
+
+let cancel_until s level =
+  if decision_level s > level then begin
+    let bound = s.trail_lim.(level) in
+    for i = s.trail_size - 1 downto bound do
+      let l = s.trail.(i) in
+      let v = Lit.var l in
+      s.polarity.(v) <- Lit.sign l;
+      s.assigns.(v) <- l_undef;
+      s.reason.(v) <- None;
+      heap_insert s v
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    s.n_levels <- level
+  end
+
+(* --- watched literals --------------------------------------------------- *)
+
+let watch s l c = s.watches.(Lit.to_int l) <- c :: s.watches.(Lit.to_int l)
+
+let attach s c =
+  watch s (Lit.negate c.lits.(0)) c;
+  watch s (Lit.negate c.lits.(1)) c
+
+(* Propagate all enqueued facts; returns the conflicting clause, if any. *)
+let propagate s =
+  let conflict = ref None in
+  while !conflict = None && s.qhead < s.trail_size do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    let ws = s.watches.(Lit.to_int p) in
+    s.watches.(Lit.to_int p) <- [];
+    let rec go = function
+      | [] -> ()
+      | c :: rest -> (
+          (* Invariant: ~p is one of the two watched literals of c. *)
+          let not_p = Lit.negate p in
+          if Lit.equal c.lits.(0) not_p then begin
+            c.lits.(0) <- c.lits.(1);
+            c.lits.(1) <- not_p
+          end;
+          if lit_val s c.lits.(0) = 1 then begin
+            watch s p c;
+            go rest
+          end
+          else
+            let n = Array.length c.lits in
+            let rec find k = if k >= n then -1 else if lit_val s c.lits.(k) <> 0 then k else find (k + 1) in
+            match find 2 with
+            | k when k >= 0 ->
+                c.lits.(1) <- c.lits.(k);
+                c.lits.(k) <- not_p;
+                watch s (Lit.negate c.lits.(1)) c;
+                go rest
+            | _ ->
+                watch s p c;
+                if lit_val s c.lits.(0) = 0 then begin
+                  (* conflict: keep the remaining watchers where they were *)
+                  List.iter (fun c -> watch s p c) rest;
+                  s.qhead <- s.trail_size;
+                  conflict := Some c
+                end
+                else begin
+                  enqueue s c.lits.(0) (Some c);
+                  go rest
+                end)
+    in
+    go ws
+  done;
+  !conflict
+
+(* --- clauses ------------------------------------------------------------ *)
+
+exception Unsat_root
+
+let add_clause_internal s lits learnt =
+  match lits with
+  | [] -> raise Unsat_root
+  | [ l ] ->
+      if lit_val s l = 0 then raise Unsat_root
+      else if lit_val s l = l_undef then begin
+        enqueue s l None;
+        match propagate s with Some _ -> raise Unsat_root | None -> ()
+      end
+  | _ ->
+      let c = { lits = Array.of_list lits; act = 0.; learnt } in
+      attach s c;
+      if learnt then begin
+        s.learnts <- c :: s.learnts;
+        s.n_learnts <- s.n_learnts + 1
+      end
+      else s.clauses <- c :: s.clauses
+
+let add_clause s lits =
+  if s.ok then begin
+    (* Root-level simplification: drop false literals, detect tautologies and
+       already-satisfied clauses.  Callers may add clauses between solves, so
+       first undo any leftover assumption levels. *)
+    cancel_until s 0;
+    let lits = List.sort_uniq Lit.compare lits in
+    let tautology =
+      List.exists (fun l -> List.exists (Lit.equal (Lit.negate l)) lits) lits
+    in
+    let satisfied = List.exists (fun l -> lit_val s l = 1) lits in
+    if not (tautology || satisfied) then
+      let lits = List.filter (fun l -> lit_val s l <> 0) lits in
+      List.iter (fun l -> if Lit.var l >= s.nvars then invalid_arg "Sat.add_clause: unknown variable") lits;
+      try add_clause_internal s lits false with Unsat_root -> s.ok <- false
+  end
+
+(* --- conflict analysis -------------------------------------------------- *)
+
+(* First-UIP learning scheme. Returns the learnt clause (asserting literal
+   first) and the backjump level. *)
+let analyze s confl =
+  let learnt = ref [] in
+  let path_c = ref 0 in
+  let p = ref None in
+  let index = ref (s.trail_size - 1) in
+  let confl = ref (Some confl) in
+  let continue = ref true in
+  while !continue do
+    let c = match !confl with Some c -> c | None -> assert false in
+    cla_bump s c;
+    Array.iter
+      (fun q ->
+        let skip = match !p with Some p -> Lit.equal p q | None -> false in
+        let v = Lit.var q in
+        if (not skip) && (not s.seen.(v)) && s.var_level.(v) > 0 then begin
+          s.seen.(v) <- true;
+          var_bump s v;
+          if s.var_level.(v) >= decision_level s then incr path_c
+          else learnt := q :: !learnt
+        end)
+      c.lits;
+    (* next node to expand: most recent seen literal on the trail *)
+    while not s.seen.(Lit.var s.trail.(!index)) do
+      decr index
+    done;
+    let pl = s.trail.(!index) in
+    decr index;
+    s.seen.(Lit.var pl) <- false;
+    p := Some pl;
+    decr path_c;
+    if !path_c <= 0 then continue := false else confl := s.reason.(Lit.var pl)
+  done;
+  let asserting = Lit.negate (match !p with Some p -> p | None -> assert false) in
+  let tail = !learnt in
+  List.iter (fun q -> s.seen.(Lit.var q) <- false) tail;
+  let bt_level = List.fold_left (fun acc q -> max acc s.var_level.(Lit.var q)) 0 tail in
+  (asserting :: tail, bt_level)
+
+(* Conflict clause in terms of assumptions, for unsat cores: walk the trail
+   from a failed literal back to the assumption decisions that imply it. *)
+let analyze_final s p assumptions =
+  let core_vars = Hashtbl.create 16 in
+  Hashtbl.replace core_vars (Lit.var p) ();
+  if decision_level s > 0 then begin
+    s.seen.(Lit.var p) <- true;
+    for i = s.trail_size - 1 downto s.trail_lim.(0) do
+      let x = Lit.var s.trail.(i) in
+      if s.seen.(x) then begin
+        (match s.reason.(x) with
+        | None -> Hashtbl.replace core_vars x ()
+        | Some c ->
+            Array.iter
+              (fun q -> if s.var_level.(Lit.var q) > 0 then s.seen.(Lit.var q) <- true)
+              c.lits);
+        s.seen.(x) <- false
+      end
+    done;
+    s.seen.(Lit.var p) <- false
+  end;
+  List.filter (fun a -> Hashtbl.mem core_vars (Lit.var a)) assumptions
+
+(* --- learnt DB reduction ------------------------------------------------ *)
+
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  let v = Lit.var c.lits.(0) in
+  s.assigns.(v) <> l_undef && s.reason.(v) = Some c
+
+let reduce_db s =
+  let cmp a b = Float.compare a.act b.act in
+  let sorted = List.sort cmp s.learnts in
+  let n = s.n_learnts in
+  let kept = ref [] and removed = ref 0 in
+  List.iteri
+    (fun i c ->
+      if i < n / 2 && (not (locked s c)) && Array.length c.lits > 2 then begin
+        (* detach from watches *)
+        let strip l =
+          s.watches.(Lit.to_int l) <- List.filter (fun c' -> c' != c) s.watches.(Lit.to_int l)
+        in
+        strip (Lit.negate c.lits.(0));
+        strip (Lit.negate c.lits.(1));
+        incr removed
+      end
+      else kept := c :: !kept)
+    sorted;
+  s.learnts <- !kept;
+  s.n_learnts <- s.n_learnts - !removed
+
+(* --- search ------------------------------------------------------------- *)
+
+(* Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let luby x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+let pick_branch s =
+  let rec pop () =
+    if s.heap_size = 0 then None
+    else
+      let v = heap_pop s in
+      if s.assigns.(v) = l_undef then Some v else pop ()
+  in
+  match pop () with
+  | None -> None
+  | Some v ->
+      let sign =
+        if Random.State.int s.rng 100 < 2 then Random.State.bool s.rng else s.polarity.(v)
+      in
+      Some (Lit.make v sign)
+
+type result = Sat | Unsat
+
+let solve ?(assumptions = []) s =
+  if not s.ok then begin
+    s.core <- [];
+    Unsat
+  end
+  else begin
+    cancel_until s 0;
+    s.core <- [];
+    let n_assumptions = List.length assumptions in
+    let assumption_arr = Array.of_list assumptions in
+    let restart_base = 100 in
+    let restart_num = ref 0 in
+    let conflict_budget = ref (restart_base * luby !restart_num) in
+    let max_learnts = ref (max 1000 (4 * List.length s.clauses)) in
+    let result = ref None in
+    (try
+       while !result = None do
+         match propagate s with
+         | Some confl ->
+             s.conflicts <- s.conflicts + 1;
+             decr conflict_budget;
+             if decision_level s = 0 then begin
+               s.ok <- false;
+               result := Some Unsat
+             end
+             else begin
+               let learnt, bt = analyze s confl in
+               cancel_until s bt;
+               (try add_clause_internal s learnt true
+                with Unsat_root ->
+                  s.ok <- false;
+                  result := Some Unsat);
+               (match learnt with
+               | first :: _ :: _ when !result = None && lit_val s first = l_undef ->
+                   (* assert the UIP literal with the learnt clause as reason *)
+                   (match s.learnts with
+                   | c :: _ when Lit.equal c.lits.(0) first -> enqueue s first (Some c)
+                   | _ -> ())
+               | _ -> ());
+               var_decay s;
+               cla_decay s
+             end
+         | None ->
+             if !conflict_budget <= 0 then begin
+               incr restart_num;
+               conflict_budget := restart_base * luby !restart_num;
+               cancel_until s 0
+             end
+             else if s.n_learnts > !max_learnts then begin
+               max_learnts := !max_learnts + (!max_learnts / 2);
+               reduce_db s
+             end
+             else if decision_level s < n_assumptions then begin
+               let a = assumption_arr.(decision_level s) in
+               match lit_val s a with
+               | 1 -> new_decision_level s
+               | 0 ->
+                   s.core <- analyze_final s a assumptions;
+                   result := Some Unsat
+               | _ ->
+                   new_decision_level s;
+                   enqueue s a None
+             end
+             else begin
+               match pick_branch s with
+               | None -> result := Some Sat
+               | Some l ->
+                   new_decision_level s;
+                   enqueue s l None
+             end
+       done
+     with Unsat_root ->
+       s.ok <- false;
+       result := Some Unsat);
+    match !result with
+    | Some Sat -> Sat (* keep the trail so that [value] can read the model *)
+    | Some Unsat ->
+        if not s.ok then s.core <- [];
+        cancel_until s 0;
+        Unsat
+    | None -> assert false
+  end
+
+let value s v = if v < 0 || v >= s.nvars then invalid_arg "Sat.value" else s.assigns.(v) = 1
+
+let lit_value s l = if Lit.sign l then value s (Lit.var l) else not (value s (Lit.var l))
+
+let unsat_core s = s.core

@@ -1,0 +1,51 @@
+(** A CDCL SAT solver.
+
+    Conflict-driven clause learning in the MiniSat mould: two-watched-literal
+    propagation, first-UIP conflict analysis, VSIDS-style variable activity,
+    phase saving, Luby restarts, learnt-clause database reduction, and
+    solving under assumptions with extraction of an UNSAT core (the subset of
+    assumptions responsible for the conflict, per MiniSat's [analyzeFinal]).
+
+    The core extraction is what RS3 uses for its randomized Fu–Malik-style
+    partial-MaxSAT loop when searching for RSS keys with many 1 bits (§4 of
+    the paper). *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+
+val new_var : t -> Lit.var
+(** Allocate a fresh variable. *)
+
+val nvars : t -> int
+
+val nclauses : t -> int
+(** Number of problem (non-learnt) clauses currently held. *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause (a disjunction).  An empty clause, or one falsified at the
+    root level, makes the solver permanently unsatisfiable. *)
+
+type result = Sat | Unsat
+
+val solve : ?assumptions:Lit.t list -> t -> result
+(** Solve the current clause set under the given assumption literals.  The
+    solver remains usable afterwards: more variables and clauses may be
+    added and [solve] called again. *)
+
+val value : t -> Lit.var -> bool
+(** Model value of a variable after [solve] returned [Sat].  Unconstrained
+    variables read as [false]. *)
+
+val lit_value : t -> Lit.t -> bool
+
+val unsat_core : t -> Lit.t list
+(** After [solve ~assumptions] returned [Unsat], the subset of [assumptions]
+    whose conjunction is inconsistent with the clauses.  Empty when the
+    clause set is unsatisfiable on its own. *)
+
+val okay : t -> bool
+(** [false] once the clause set is unsatisfiable regardless of assumptions. *)
+
+val n_conflicts : t -> int
+(** Total conflicts encountered, for diagnostics. *)

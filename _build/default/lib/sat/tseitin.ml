@@ -1,0 +1,93 @@
+type formula =
+  | True
+  | False
+  | Atom of Lit.t
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Xor of formula * formula
+  | Iff of formula * formula
+  | Imp of formula * formula
+
+let atom v = Atom (Lit.pos v)
+
+(* [define_and s ls] returns a literal x with x <-> /\ ls. *)
+let define_and s ls =
+  let x = Lit.pos (Solver.new_var s) in
+  List.iter (fun l -> Solver.add_clause s [ Lit.negate x; l ]) ls;
+  Solver.add_clause s (x :: List.map Lit.negate ls);
+  x
+
+let define_or s ls =
+  let x = Lit.pos (Solver.new_var s) in
+  List.iter (fun l -> Solver.add_clause s [ x; Lit.negate l ]) ls;
+  Solver.add_clause s (Lit.negate x :: ls);
+  x
+
+(* x <-> a xor b *)
+let define_xor s a b =
+  let x = Lit.pos (Solver.new_var s) in
+  Solver.add_clause s [ Lit.negate x; Lit.negate a; Lit.negate b ];
+  Solver.add_clause s [ Lit.negate x; a; b ];
+  Solver.add_clause s [ x; Lit.negate a; b ];
+  Solver.add_clause s [ x; a; Lit.negate b ];
+  x
+
+let true_lit s =
+  (* A constant-true literal; cheap enough to allocate per call given how
+     rarely constants appear in our encodings. *)
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos v ];
+  Lit.pos v
+
+let rec lit_of s = function
+  | True -> true_lit s
+  | False -> Lit.negate (true_lit s)
+  | Atom l -> l
+  | Not f -> Lit.negate (lit_of s f)
+  | And [] -> true_lit s
+  | And [ f ] -> lit_of s f
+  | And fs -> define_and s (List.map (lit_of s) fs)
+  | Or [] -> Lit.negate (true_lit s)
+  | Or [ f ] -> lit_of s f
+  | Or fs -> define_or s (List.map (lit_of s) fs)
+  | Xor (a, b) -> define_xor s (lit_of s a) (lit_of s b)
+  | Iff (a, b) -> Lit.negate (define_xor s (lit_of s a) (lit_of s b))
+  | Imp (a, b) -> lit_of s (Or [ Not a; b ])
+
+(* Assert directly where possible to avoid auxiliary variables at the top
+   level of the formula. *)
+let rec assert_formula s = function
+  | True -> ()
+  | False -> Solver.add_clause s []
+  | Atom l -> Solver.add_clause s [ l ]
+  | Not (Atom l) -> Solver.add_clause s [ Lit.negate l ]
+  | Not (Not f) -> assert_formula s f
+  | And fs -> List.iter (assert_formula s) fs
+  | Or fs -> Solver.add_clause s (List.map (lit_of s) fs)
+  | Imp (a, b) -> assert_formula s (Or [ Not a; b ])
+  | (Not _ | Xor _ | Iff _) as f -> Solver.add_clause s [ lit_of s f ]
+
+let xor_clause s lits rhs =
+  match lits with
+  | [] -> if rhs then Solver.add_clause s []
+  | first :: rest ->
+      let acc = List.fold_left (fun acc l -> define_xor s acc l) first rest in
+      Solver.add_clause s [ (if rhs then acc else Lit.negate acc) ]
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Atom l -> Lit.pp fmt l
+  | Not f -> Format.fprintf fmt "!(%a)" pp f
+  | And fs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " & ") pp)
+        fs
+  | Or fs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " | ") pp)
+        fs
+  | Xor (a, b) -> Format.fprintf fmt "(%a ^ %a)" pp a pp b
+  | Iff (a, b) -> Format.fprintf fmt "(%a <-> %a)" pp a pp b
+  | Imp (a, b) -> Format.fprintf fmt "(%a -> %a)" pp a pp b

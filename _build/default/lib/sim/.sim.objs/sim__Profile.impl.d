@@ -1,0 +1,1 @@
+lib/sim/profile.ml: Array Dsl Float Format Hashtbl List Option Packet

@@ -1,0 +1,1 @@
+lib/sim/throughput.ml: Array Cost Dsl Float Machine Maestro Nic Packet Profile

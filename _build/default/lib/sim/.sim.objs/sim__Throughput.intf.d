@@ -1,0 +1,1 @@
+lib/sim/throughput.mli: Cost Machine Maestro Packet Profile

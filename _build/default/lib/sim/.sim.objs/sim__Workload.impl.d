@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Dsl Fun List Nfs Packet Profile Random Traffic

@@ -1,0 +1,59 @@
+type params = {
+  base_cycles : float;
+  op_compute_cycles : float;
+  accesses_per_op : float;
+  l1_cycles : float;
+  l2_cycles : float;
+  llc_cycles : float;
+  dram_cycles : float;
+  read_lock_cycles : float;
+  remote_lock_cycles : float;
+  write_section_factor : float;
+  tm_cycle_factor : float;
+  tm_enter_cycles : float;
+  tm_conflict_coeff : float;
+  tm_max_retries : int;
+}
+
+let default =
+  {
+    base_cycles = 180.0;
+    op_compute_cycles = 30.0;
+    accesses_per_op = 2.0;
+    l1_cycles = 4.0;
+    l2_cycles = 14.0;
+    llc_cycles = 45.0;
+    dram_cycles = 180.0;
+    read_lock_cycles = 30.0;
+    remote_lock_cycles = 120.0;
+    write_section_factor = 1.6;
+    tm_cycle_factor = 1.25;
+    tm_enter_cycles = 60.0;
+    tm_conflict_coeff = 0.06;
+    tm_max_retries = 3;
+  }
+
+let mem_access_cycles ?(params = default) (m : Machine.t) ~ws_bytes =
+  let ws = Float.max 1.0 ws_bytes in
+  let frac cap = Float.min 1.0 (float_of_int cap /. ws) in
+  let p1 = frac m.Machine.l1d_bytes in
+  let p2 = Float.max 0.0 (frac m.Machine.l2_bytes -. p1) in
+  let p3 = Float.max 0.0 (frac m.Machine.llc_bytes -. p1 -. p2) in
+  let p4 = Float.max 0.0 (1.0 -. p1 -. p2 -. p3) in
+  (p1 *. params.l1_cycles) +. (p2 *. params.l2_cycles) +. (p3 *. params.llc_cycles)
+  +. (p4 *. params.dram_cycles)
+
+let working_set_bytes (p : Profile.t) ~shards =
+  let shards = float_of_int (max 1 shards) in
+  let entries =
+    Float.min p.Profile.effective_flows (float_of_int p.Profile.flow_capacity)
+  in
+  (p.Profile.fixed_state_bytes /. shards) +. (p.Profile.bytes_per_flow *. entries /. shards)
+
+let packet_cycles ?(params = default) m (p : Profile.t) ~ws_bytes =
+  let ops = p.Profile.reads_per_pkt +. p.Profile.writes_per_pkt in
+  let per_op =
+    params.op_compute_cycles
+    +. (params.accesses_per_op *. mem_access_cycles ~params m ~ws_bytes)
+  in
+  params.base_cycles +. (ops *. per_op)

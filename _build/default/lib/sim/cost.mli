@@ -1,0 +1,38 @@
+(** The per-packet cycle model.
+
+    Parameters are calibrated once against the paper's testbed (§6.2) and
+    then held fixed across every experiment: the *shapes* of the figures
+    must emerge from the mechanisms (cache locality, lock serialization,
+    transaction aborts), not from per-figure tuning. *)
+
+type params = {
+  base_cycles : float;  (** rx + parse + tx + descriptor handling *)
+  op_compute_cycles : float;  (** bookkeeping per stateful operation *)
+  accesses_per_op : float;  (** memory touches per stateful operation *)
+  l1_cycles : float;
+  l2_cycles : float;
+  llc_cycles : float;
+  dram_cycles : float;
+  read_lock_cycles : float;  (** core-local atomic flag *)
+  remote_lock_cycles : float;  (** one remote per-core flag (cache-line transfer) *)
+  write_section_factor : float;
+      (** speculative restart: wasted read pass + full write pass *)
+  tm_cycle_factor : float;  (** RTM instrumentation overhead *)
+  tm_enter_cycles : float;  (** xbegin/xend *)
+  tm_conflict_coeff : float;  (** pairwise conflict probability per transactional write *)
+  tm_max_retries : int;
+}
+
+val default : params
+
+val mem_access_cycles : ?params:params -> Machine.t -> ws_bytes:float -> float
+(** Average cycles for one state access given the per-core working set, from
+    the stack of hit probabilities down the hierarchy. *)
+
+val working_set_bytes : Profile.t -> shards:int -> float
+(** Per-core working set when flows are sharded over [shards] instances
+    (1 for shared state).  Uses the {e effective} flow count, so Zipfian
+    traffic caches better. *)
+
+val packet_cycles : ?params:params -> Machine.t -> Profile.t -> ws_bytes:float -> float
+(** Core-local processing cycles per packet (no coordination). *)

@@ -1,0 +1,31 @@
+type sample = { avg_us : float; p50_us : float; p99_us : float; stddev_us : float }
+
+(* Fixed round-trip path: TG tx ring + wire + DUT rx/tx + TG rx, measured
+   ~10.5 us on the testbed class we model. *)
+let fixed_path_us = 10.5
+
+let probe ?(machine = Machine.xeon_6226r) ?(params = Cost.default) ?(probes = 1000)
+    ?(seed = 7) (plan : Maestro.Plan.t) (profile : Profile.t) =
+  let rng = Random.State.make [| seed |] in
+  let shards =
+    match plan.Maestro.Plan.strategy with Maestro.Plan.Shared_nothing -> plan.Maestro.Plan.cores | _ -> 1
+  in
+  let ws = Cost.working_set_bytes profile ~shards in
+  let cycles = Cost.packet_cycles ~params machine profile ~ws_bytes:ws in
+  let proc_us = cycles /. machine.Machine.freq_hz *. 1e6 in
+  let draws =
+    Array.init probes (fun _ ->
+        (* light-load queueing jitter: a few buffered packets at most *)
+        let jitter = Random.State.float rng 1.0 +. Random.State.float rng 1.0 in
+        fixed_path_us +. proc_us +. jitter)
+  in
+  Array.sort Float.compare draws;
+  let n = float_of_int probes in
+  let avg = Array.fold_left ( +. ) 0.0 draws /. n in
+  let var = Array.fold_left (fun a x -> a +. ((x -. avg) ** 2.0)) 0.0 draws /. n in
+  {
+    avg_us = avg;
+    p50_us = draws.(probes / 2);
+    p99_us = draws.(probes * 99 / 100);
+    stddev_us = Float.sqrt var;
+  }

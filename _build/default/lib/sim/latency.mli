@@ -1,0 +1,20 @@
+(** The latency model for the §6.4 probe experiment.
+
+    Under light load (1 Gbps background, far from any bottleneck) latency is
+    dominated by fixed costs: NIC/DMA/ring traversal on both hosts plus the
+    NF's per-packet processing.  Parallelization does not add to it — RSS
+    steering happens in NIC hardware — which is the paper's observation:
+    sequential and parallel NFs measure alike (~11 µs, ~12 µs for the CL). *)
+
+type sample = { avg_us : float; p50_us : float; p99_us : float; stddev_us : float }
+
+val probe :
+  ?machine:Machine.t ->
+  ?params:Cost.params ->
+  ?probes:int ->
+  ?seed:int ->
+  Maestro.Plan.t ->
+  Profile.t ->
+  sample
+(** Draw latency probes: fixed path cost + processing cycles + small
+    queueing jitter. *)

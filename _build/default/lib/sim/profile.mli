@@ -1,0 +1,32 @@
+(** Trace-driven NF profiling.
+
+    One sequential pass over the workload gathers everything the cost model
+    needs: stateful-operation mix, the read/write-packet split under the
+    speculative lock discipline, the TM write rate (where rejuvenation
+    counts — hardware transactions get no per-core aging trick), flow-count
+    and skew statistics (the effective flow count is [exp] of the empirical
+    entropy, which captures why Zipfian traffic caches better), and the
+    state footprint per flow. *)
+
+type t = {
+  pkts : int;
+  reads_per_pkt : float;  (** stateful reads (rejuvenation included) *)
+  writes_per_pkt : float;  (** writes under the lock discipline *)
+  tm_writes_per_pkt : float;  (** writes as a transaction sees them *)
+  chain_ops_per_pkt : float;
+  write_pkt_fraction : float;  (** packets needing the write lock *)
+  distinct_flows : int;
+  effective_flows : float;  (** exp(entropy) of the packet-over-flow distribution *)
+  avg_frame_bytes : float;
+  bytes_per_flow : float;  (** marginal state footprint *)
+  flow_capacity : int;  (** most flows the NF can track (smallest map) *)
+  fixed_state_bytes : float;  (** footprint independent of flow count (sketches) *)
+  drops : int;  (** packets the NF dropped (sanity signal) *)
+}
+
+val of_trace : ?skip:int -> Dsl.Ast.t -> Packet.Pkt.t array -> t
+(** [skip] packets are executed (warming flow tables up) but excluded from
+    the statistics — how the paper's read-heavy steady state is profiled
+    without counting session establishment as churn. *)
+
+val pp : Format.formatter -> t -> unit

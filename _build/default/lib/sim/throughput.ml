@@ -1,0 +1,105 @@
+type bottleneck = Cpu | Pcie | Line_rate
+
+type eval = {
+  mpps : float;
+  gbps : float;
+  bottleneck : bottleneck;
+  cycles_per_pkt : float;
+  shares : float array;
+  imbalance : float;
+}
+
+let bottleneck_name = function
+  | Cpu -> "cpu"
+  | Pcie -> "pcie"
+  | Line_rate -> "line-rate"
+
+let shares_of ?(balanced = false) (plan : Maestro.Plan.t) pkts =
+  let nf = plan.Maestro.Plan.nf in
+  let cores = plan.Maestro.Plan.cores in
+  let engines =
+    Array.init nf.Dsl.Ast.devices (fun port -> Maestro.Plan.rss_engine plan port)
+  in
+  let engines =
+    if not balanced then engines
+    else
+      Array.map
+        (fun engine ->
+          let reta = Nic.Rss.reta engine in
+          let load = Array.make (Nic.Reta.size reta) 0.0 in
+          Array.iter
+            (fun pkt ->
+              match Nic.Rss.hash_of engine pkt with
+              | Some h -> load.(h land (Nic.Reta.size reta - 1)) <- load.(h land (Nic.Reta.size reta - 1)) +. 1.0
+              | None -> ())
+            pkts;
+          Nic.Rss.with_reta engine (Nic.Reta.rebalance reta ~bucket_load:load))
+        engines
+  in
+  let counts = Array.make cores 0 in
+  Array.iter
+    (fun pkt ->
+      let q = Nic.Rss.dispatch engines.(pkt.Packet.Pkt.port) pkt in
+      counts.(q) <- counts.(q) + 1)
+    pkts;
+  let total = Float.max 1.0 (float_of_int (Array.fold_left ( + ) 0 counts)) in
+  Array.map (fun c -> float_of_int c /. total) counts
+
+let evaluate ?(machine = Machine.xeon_6226r) ?(params = Cost.default) ?(balanced_reta = false)
+    (plan : Maestro.Plan.t) (profile : Profile.t) pkts =
+  let cores = plan.Maestro.Plan.cores in
+  let n = float_of_int cores in
+  let freq = machine.Machine.freq_hz in
+  let shards = match plan.Maestro.Plan.strategy with Maestro.Plan.Shared_nothing -> cores | _ -> 1 in
+  let ws = Cost.working_set_bytes profile ~shards in
+  let c_pkt = Cost.packet_cycles ~params machine profile ~ws_bytes:ws in
+  let shares = shares_of ~balanced:balanced_reta plan pkts in
+  let max_share = Array.fold_left Float.max 0.0 shares in
+  let x_cpu =
+    match plan.Maestro.Plan.strategy with
+    | Maestro.Plan.Shared_nothing | Maestro.Plan.Load_balance ->
+        (* independent cores: the hottest core saturates first *)
+        let per_core_pps = freq /. c_pkt in
+        if max_share <= 0.0 then per_core_pps *. n else per_core_pps /. max_share
+    | Maestro.Plan.Lock_based ->
+        let fw = profile.Profile.write_pkt_fraction in
+        let hold = (params.Cost.write_section_factor *. c_pkt) +. (n *. params.Cost.remote_lock_cycles) in
+        let read_cost = c_pkt +. params.Cost.read_lock_cycles in
+        let denom = (fw *. n *. hold) +. ((1.0 -. fw) *. read_cost) in
+        let x_serial = n *. freq /. denom in
+        (* load imbalance independently binds the read-parallel part *)
+        let x_balance =
+          if max_share <= 0.0 then x_serial else freq /. read_cost /. max_share
+        in
+        Float.min x_serial x_balance
+    | Maestro.Plan.Tm_based ->
+        let kappa =
+          Float.min 0.85 (params.Cost.tm_conflict_coeff *. profile.Profile.tm_writes_per_pkt)
+        in
+        let p_abort = 1.0 -. Float.pow (1.0 -. kappa) (n -. 1.0) in
+        let attempts =
+          Float.min (float_of_int params.Cost.tm_max_retries) (1.0 /. Float.max 0.05 (1.0 -. p_abort))
+        in
+        let p_fallback = Float.pow p_abort (float_of_int params.Cost.tm_max_retries) in
+        let c_tx = (c_pkt *. params.Cost.tm_cycle_factor) +. params.Cost.tm_enter_cycles in
+        let hold = (params.Cost.write_section_factor *. c_pkt) +. (n *. params.Cost.remote_lock_cycles) in
+        let denom = (p_fallback *. n *. hold) +. ((1.0 -. p_fallback) *. attempts *. c_tx) in
+        n *. freq /. denom
+  in
+  let frame = int_of_float (Float.round profile.Profile.avg_frame_bytes) in
+  let x_pcie = Machine.pcie_pps machine ~frame_bytes:frame in
+  let x_line = Machine.line_rate_pps machine ~frame_bytes:frame in
+  let pps, bottleneck =
+    if x_cpu <= x_pcie && x_cpu <= x_line then (x_cpu, Cpu)
+    else if x_pcie <= x_line then (x_pcie, Pcie)
+    else (x_line, Line_rate)
+  in
+  let imbalance = if max_share <= 0.0 then 1.0 else max_share *. n in
+  {
+    mpps = pps /. 1e6;
+    gbps = pps *. profile.Profile.avg_frame_bytes *. 8.0 /. 1e9;
+    bottleneck;
+    cycles_per_pkt = c_pkt;
+    shares;
+    imbalance;
+  }

@@ -1,0 +1,45 @@
+(** System throughput under a parallelization plan — the quantity every
+    evaluation figure plots (maximum rate with negligible loss, §6.2).
+
+    The evaluation is trace-driven: per-core load shares come from pushing
+    the actual workload through the plan's real RSS configuration (Toeplitz
+    keys + indirection table), and the operation mix comes from a profiled
+    run of the NF itself.  On top of that, closed-form contention laws turn
+    per-core costs into system throughput:
+
+    - {e shared-nothing / load-balance}: cores are independent; the
+      slowest-loaded core saturates first, so
+      [X = min_i (core_pps_i / share_i)], then the NIC-side PCIe/line-rate
+      ceilings apply.
+    - {e read/write locks}: a write packet restarts, takes every per-core
+      flag and serializes the system for its write section; read packets
+      only pay a local atomic.  With write fraction [fw]:
+      [X = n·F / (fw·n·(hold + n·lk) + (1-fw)·(c + rd))].
+    - {e transactional memory}: abort probability grows with concurrent
+      writers, [p = 1-(1-κ)^(n-1)] with [κ] proportional to the
+      transactional write rate; retries inflate cost and exhausted retries
+      fall back to a global lock that serializes like a write packet. *)
+
+type bottleneck = Cpu | Pcie | Line_rate
+
+type eval = {
+  mpps : float;
+  gbps : float;
+  bottleneck : bottleneck;
+  cycles_per_pkt : float;  (** core-local cost, coordination excluded *)
+  shares : float array;  (** per-core fraction of the traffic *)
+  imbalance : float;  (** max/mean of shares *)
+}
+
+val evaluate :
+  ?machine:Machine.t ->
+  ?params:Cost.params ->
+  ?balanced_reta:bool ->
+  Maestro.Plan.t ->
+  Profile.t ->
+  Packet.Pkt.t array ->
+  eval
+(** [balanced_reta] applies RSS++-style static table rebalancing using the
+    trace's observed bucket loads (Fig. 5's "balanced" series). *)
+
+val bottleneck_name : bottleneck -> string

@@ -1,0 +1,181 @@
+type t = { label : string; nf : Dsl.Ast.t; trace : Packet.Pkt.t array; skip : int }
+
+let lan = 0
+let wan = 1
+
+let generic ?(fresh = 0.02) ~seed ~flows ~pkts ~size nf label =
+  let rng = Random.State.make [| seed |] in
+  let fs = Traffic.Gen.flows rng flows in
+  let spec =
+    {
+      Traffic.Gen.default_spec with
+      pkts;
+      size;
+      reply_fraction = 0.5;
+      fresh_fraction = fresh;
+    }
+  in
+  let trace, skip = Traffic.Gen.steady_uniform ~spec rng ~flows:fs in
+  { label; nf; trace; skip }
+
+(* The NAT's replies must target (external ip, allocated port): learn the
+   translation by running the NAT itself over the establishment pass. *)
+let nat_workload ?(fresh = 0.02) ~seed ~flows ~pkts ~size nf =
+  let rng = Random.State.make [| seed |] in
+  let fs = Traffic.Gen.flows rng flows in
+  let info = Dsl.Check.check_exn nf in
+  let inst = Dsl.Instance.create nf in
+  let establish =
+    Array.of_list
+      (List.mapi (fun i f -> Packet.Flow.to_pkt ~port:lan ~size ~ts_ns:(i * 100) f) fs)
+  in
+  let translated =
+    Array.map
+      (fun pkt ->
+        match Dsl.Interp.process nf info inst pkt with
+        | Dsl.Interp.Fwd (_, out) -> Some (pkt, out)
+        | Dsl.Interp.Dropped -> None)
+      establish
+  in
+  let sessions = Array.of_list (List.filter_map Fun.id (Array.to_list translated)) in
+  if Array.length sessions = 0 then invalid_arg "Workload: NAT admitted no sessions";
+  let offset = Array.length establish * 100 in
+  let body =
+    Array.init pkts (fun i ->
+        let ts_ns = offset + (i * 100) in
+        if Random.State.float rng 1.0 < fresh then
+          let f = List.hd (Traffic.Gen.flows rng 1) in
+          Packet.Flow.to_pkt ~port:lan ~size ~ts_ns f
+        else
+          let orig, out = sessions.(Random.State.int rng (Array.length sessions)) in
+          if Random.State.bool rng then { orig with Packet.Pkt.ts_ns }
+          else
+            (* the server replies to the translated source *)
+            { (Packet.Pkt.flip out) with Packet.Pkt.port = wan; ts_ns })
+  in
+  { label = "nat"; nf; trace = Array.append establish body; skip = Array.length establish }
+
+(* LB: backends register from their subnet during warmup; clients arrive
+   from the WAN addressing the virtual service. *)
+let lb_workload ?(fresh = 0.02) ~seed ~flows ~pkts ~size nf =
+  let rng = Random.State.make [| seed |] in
+  let vip = 0x0a000164 (* 10.0.1.100 *) in
+  let backends =
+    Array.init Nfs.Lb.default_backends (fun i ->
+        Packet.Pkt.make ~port:lan ~size ~ts_ns:(i * 100)
+          ~ip_src:(0x0a000100 lor (i + 1))
+          ~ip_dst:vip ~src_port:80 ~dst_port:12345 ())
+  in
+  let client () =
+    {
+      Packet.Flow.ip_src = 0x60000000 lor Random.State.int rng 0x0fffffff;
+      ip_dst = vip;
+      src_port = 1024 + Random.State.int rng 60000;
+      dst_port = 80;
+      proto = Packet.Pkt.Tcp;
+    }
+  in
+  let clients = Array.init flows (fun _ -> client ()) in
+  let offset = Array.length backends * 100 in
+  let establish =
+    Array.mapi
+      (fun i f -> Packet.Flow.to_pkt ~port:wan ~size ~ts_ns:(offset + (i * 100)) f)
+      clients
+  in
+  let offset = offset + (Array.length establish * 100) in
+  let body =
+    Array.init pkts (fun i ->
+        let f =
+          if Random.State.float rng 1.0 < fresh then client ()
+          else clients.(Random.State.int rng (Array.length clients))
+        in
+        Packet.Flow.to_pkt ~port:wan ~size ~ts_ns:(offset + (i * 100)) f)
+  in
+  {
+    label = "lb";
+    nf;
+    trace = Array.concat [ backends; establish; body ];
+    skip = Array.length backends + Array.length establish;
+  }
+
+(* HHH: a monitor for inbound traffic — sources spread over the whole
+   address space (the 10/8-client default would collapse every packet onto
+   one /8 prefix and one core). *)
+let hhh_workload ~seed ~flows ~pkts ~size nf =
+  let rng = Random.State.make [| seed |] in
+  let source () =
+    {
+      Packet.Flow.ip_src = Random.State.int rng 0x3fffffff;
+      ip_dst = 0x0a000042;
+      src_port = 1024 + Random.State.int rng 60000;
+      dst_port = 80;
+      proto = Packet.Pkt.Tcp;
+    }
+  in
+  let fs = Array.init flows (fun _ -> source ()) in
+  let trace =
+    Array.init pkts (fun i ->
+        Packet.Flow.to_pkt ~port:lan ~size ~ts_ns:(i * 100)
+          fs.(Random.State.int rng (Array.length fs)))
+  in
+  { label = "hhh"; nf; trace; skip = 0 }
+
+(* SBridge: frames addressed between its statically configured hosts. *)
+let sbridge_workload ~seed ~pkts ~size nf =
+  let rng = Random.State.make [| seed |] in
+  let bindings = Array.of_list Nfs.Bridge.default_bindings in
+  let pick_host () = bindings.(Random.State.int rng (Array.length bindings)) in
+  let trace =
+    Array.init pkts (fun i ->
+        let src_mac, src_port_dev = pick_host () in
+        let dst_mac, _ = pick_host () in
+        Packet.Pkt.make ~port:src_port_dev ~size ~ts_ns:(i * 100) ~eth_src:src_mac
+          ~eth_dst:dst_mac
+          ~ip_src:(Random.State.int rng 0x3fffffff)
+          ~ip_dst:(Random.State.int rng 0x3fffffff)
+          ~src_port:(Random.State.int rng 0x10000)
+          ~dst_port:(Random.State.int rng 0x10000)
+          ())
+  in
+  { label = "sbridge"; nf; trace; skip = 0 }
+
+let read_heavy ?(seed = 42) ?(flows = 8192) ?(pkts = 24_000) ?(size = 64) ?(fresh = 0.02) name =
+  let nf = Nfs.Registry.find_exn name in
+  match name with
+  | "nat" -> nat_workload ~fresh ~seed ~flows ~pkts ~size nf
+  | "lb" -> lb_workload ~fresh ~seed ~flows ~pkts ~size nf
+  | "sbridge" -> sbridge_workload ~seed ~pkts ~size nf
+  | "hhh" -> hhh_workload ~seed ~flows ~pkts ~size nf
+  | _ -> { (generic ~fresh ~seed ~flows ~pkts ~size nf name) with label = name }
+
+let zipf ?(seed = 43) ?(pkts = 50_000) ?(size = 64) name =
+  let nf = Nfs.Registry.find_exn name in
+  match name with
+  | "nat" | "lb" | "sbridge" ->
+      (* skew only changes flow popularity; reuse the NF-aware shape with a
+         reduced flow count so elephants dominate *)
+      let w = read_heavy ~seed ~flows:1000 ~pkts ~size name in
+      { w with label = name ^ "-zipf" }
+  | _ ->
+      let rng = Random.State.make [| seed |] in
+      let z = Traffic.Zipf.paper () in
+      let fs = Traffic.Gen.flows rng (Traffic.Zipf.nflows z) in
+      let arr = Array.of_list fs in
+      let spec =
+        {
+          Traffic.Gen.default_spec with
+          pkts;
+          size;
+          reply_fraction = 0.5;
+          fresh_fraction = 0.005;
+        }
+      in
+      let trace, skip =
+        Traffic.Gen.steady ~spec rng ~flows:fs ~pick:(fun rng ->
+            arr.(Traffic.Zipf.sample z rng))
+      in
+      { label = name ^ "-zipf"; nf; trace; skip }
+
+let profile_of w = Profile.of_trace ~skip:w.skip w.nf w.trace
+
+let body w = Array.sub w.trace w.skip (Array.length w.trace - w.skip)

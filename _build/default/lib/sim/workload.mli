@@ -1,0 +1,35 @@
+(** NF-aware benchmark workloads.
+
+    The evaluation's default traffic (§6.4) is uniformly-distributed,
+    read-heavy, 64-byte packets: sessions are established in a warmup pass
+    and the measured body mostly revisits them (a small fresh-flow residue
+    keeps it "read-heavy" rather than read-only).  Some NFs need appropriate
+    traffic to be exercised meaningfully:
+
+    - the NAT's reply packets must target the external address and the
+      allocated port, so replies are synthesized by observing the NAT's own
+      translations;
+    - the LB serves WAN clients against LAN backends, so backends register
+      during warmup and the body arrives from the WAN;
+    - the static bridge only forwards frames addressed to its configured
+      MAC bindings. *)
+
+type t = {
+  label : string;
+  nf : Dsl.Ast.t;
+  trace : Packet.Pkt.t array;
+  skip : int;  (** warmup prefix to exclude from profiling *)
+}
+
+val read_heavy :
+  ?seed:int -> ?flows:int -> ?pkts:int -> ?size:int -> ?fresh:float -> string -> t
+(** Per-NF appropriate steady-state traffic for a registry NF name. *)
+
+val zipf :
+  ?seed:int -> ?pkts:int -> ?size:int -> string -> t
+(** The paper's Zipfian workload (1k flows, 48 = 80 %) for a registry NF. *)
+
+val profile_of : t -> Profile.t
+
+val body : t -> Packet.Pkt.t array
+(** The measured part of the trace (after warmup). *)

@@ -1,0 +1,1 @@
+lib/state/dchain.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/state/dchain.mli: Format

@@ -1,0 +1,1 @@
+lib/state/expire.ml: Dchain List Map_s Vector

@@ -1,0 +1,1 @@
+lib/state/expire.mli: Dchain Map_s Vector

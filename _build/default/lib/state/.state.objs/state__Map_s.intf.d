@@ -1,0 +1,1 @@
+lib/state/map_s.mli: Format

@@ -1,0 +1,1 @@
+lib/state/sketch.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/state/vector.ml: Array

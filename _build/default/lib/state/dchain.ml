@@ -1,0 +1,102 @@
+(* Allocated indices form a doubly-linked list in recency order (head =
+   oldest); cell [cap] is the list sentinel.  Free indices form a singly
+   linked stack through [next]. *)
+
+type t = {
+  cap : int;
+  next : int array; (* cap + 1 cells; for free cells: next free index or -1 *)
+  prev : int array;
+  last_touch : int array;
+  state : bool array; (* true = allocated *)
+  mutable free_head : int;
+  mutable n_alloc : int;
+}
+
+let nil = -1
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Dchain.create: capacity must be >= 1";
+  let t =
+    {
+      cap = capacity;
+      next = Array.make (capacity + 1) nil;
+      prev = Array.make (capacity + 1) nil;
+      last_touch = Array.make capacity 0;
+      state = Array.make capacity false;
+      free_head = 0;
+      n_alloc = 0;
+    }
+  in
+  for i = 0 to capacity - 2 do
+    t.next.(i) <- i + 1
+  done;
+  t.next.(capacity - 1) <- nil;
+  (* sentinel: empty allocated list *)
+  t.next.(capacity) <- capacity;
+  t.prev.(capacity) <- capacity;
+  t
+
+let capacity t = t.cap
+let allocated t = t.n_alloc
+let is_allocated t i = i >= 0 && i < t.cap && t.state.(i)
+
+let unlink t i =
+  t.next.(t.prev.(i)) <- t.next.(i);
+  t.prev.(t.next.(i)) <- t.prev.(i)
+
+let push_back t i =
+  let s = t.cap in
+  t.prev.(i) <- t.prev.(s);
+  t.next.(i) <- s;
+  t.next.(t.prev.(s)) <- i;
+  t.prev.(s) <- i
+
+let allocate t ~now =
+  if t.free_head = nil then None
+  else begin
+    let i = t.free_head in
+    t.free_head <- t.next.(i);
+    t.state.(i) <- true;
+    t.last_touch.(i) <- now;
+    push_back t i;
+    t.n_alloc <- t.n_alloc + 1;
+    Some i
+  end
+
+let rejuvenate t i ~now =
+  if not (is_allocated t i) then false
+  else begin
+    t.last_touch.(i) <- max t.last_touch.(i) now;
+    unlink t i;
+    push_back t i;
+    true
+  end
+
+let last_touch t i = if is_allocated t i then Some t.last_touch.(i) else None
+
+let free t i =
+  if not (is_allocated t i) then false
+  else begin
+    unlink t i;
+    t.state.(i) <- false;
+    t.next.(i) <- t.free_head;
+    t.free_head <- i;
+    t.n_alloc <- t.n_alloc - 1;
+    true
+  end
+
+let oldest t =
+  let h = t.next.(t.cap) in
+  if h = t.cap then None else Some h
+
+let expire_before t ~threshold =
+  let rec go acc =
+    match oldest t with
+    | Some i when t.last_touch.(i) < threshold ->
+        ignore (free t i);
+        go (i :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  go []
+
+let pp fmt t = Format.fprintf fmt "dchain[%d/%d]" t.n_alloc t.cap

@@ -1,0 +1,41 @@
+(** The Vigor "dchain": a time-aware index allocator (paper Table 1).
+
+    It hands out integer indices from a fixed pool, remembers when each
+    allocated index was last touched, and expires the stale ones in
+    least-recently-touched order.  NFs pair it with a {!Map_s} (flow key →
+    index) and {!Vector}s (index → per-flow data) to build flow tables with
+    aging. *)
+
+type t
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+val allocated : t -> int
+(** Number of indices currently allocated. *)
+
+val allocate : t -> now:int -> int option
+(** A fresh index touched at [now], or [None] when the pool is exhausted. *)
+
+val rejuvenate : t -> int -> now:int -> bool
+(** Refresh the last-touch time of an allocated index; [false] when the
+    index is not allocated. *)
+
+val is_allocated : t -> int -> bool
+
+val last_touch : t -> int -> int option
+(** Last-touch time of an allocated index. *)
+
+val free : t -> int -> bool
+(** Explicitly release an index; [false] when not allocated. *)
+
+val expire_before : t -> threshold:int -> int list
+(** Free every index whose last touch is strictly below [threshold]; the
+    freed indices are returned oldest first, for the caller to purge the
+    associated map/vector entries. *)
+
+val oldest : t -> int option
+(** The least recently touched allocated index. *)
+
+val pp : Format.formatter -> t -> unit

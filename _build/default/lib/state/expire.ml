@@ -1,0 +1,18 @@
+let expire_single_map chain ~keys ~map ~threshold =
+  let freed = Dchain.expire_before chain ~threshold in
+  List.iter (fun i -> ignore (Map_s.erase map (Vector.get keys i))) freed;
+  List.length freed
+
+let allocate_flow chain ~keys ~map ~key ~now =
+  match Dchain.allocate chain ~now with
+  | None -> None
+  | Some i ->
+      if Map_s.put map key i then begin
+        Vector.set keys i key;
+        Some i
+      end
+      else begin
+        (* map full despite a free index: undo the allocation *)
+        ignore (Dchain.free chain i);
+        None
+      end

@@ -1,0 +1,15 @@
+(** Flow-table expiry: the Vigor [expire_items_single_map] idiom.
+
+    A flow table is a {!Map_s} from flow key to index, a {!Dchain} that owns
+    the indices and their ages, and {!Vector}s holding per-flow data, one of
+    which holds the key itself so expired map entries can be removed. *)
+
+val expire_single_map :
+  Dchain.t -> keys:string Vector.t -> map:Map_s.t -> threshold:int -> int
+(** Free every index last touched before [threshold], erase the matching map
+    entries, and return how many flows expired. *)
+
+val allocate_flow :
+  Dchain.t -> keys:string Vector.t -> map:Map_s.t -> key:string -> now:int -> int option
+(** Allocate an index for a new flow and record [key] in both the map and
+    the key vector; [None] when the table is full. *)

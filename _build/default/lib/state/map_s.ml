@@ -1,0 +1,33 @@
+type t = { capacity : int; table : (string, int) Hashtbl.t }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Map_s.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create (min capacity 4096) }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.table
+let get t k = Hashtbl.find_opt t.table k
+let mem t k = Hashtbl.mem t.table k
+
+let put t k v =
+  if Hashtbl.mem t.table k then begin
+    Hashtbl.replace t.table k v;
+    true
+  end
+  else if Hashtbl.length t.table >= t.capacity then false
+  else begin
+    Hashtbl.replace t.table k v;
+    true
+  end
+
+let erase t k =
+  if Hashtbl.mem t.table k then begin
+    Hashtbl.remove t.table k;
+    true
+  end
+  else false
+
+let iter t f = Hashtbl.iter f t.table
+let clear t = Hashtbl.reset t.table
+
+let pp fmt t = Format.fprintf fmt "map[%d/%d]" (size t) t.capacity

@@ -1,0 +1,33 @@
+(** The Vigor map: integers indexed by arbitrary byte-string keys, with a
+    fixed capacity (paper Table 1).
+
+    Two operations access the same stored entry iff they use the same key —
+    the property the Constraints Generator's rule R1 relies on.  The map
+    never resizes: when full, [put] fails and the NF observes it (the
+    sequential semantics that sharded per-core instances must reproduce
+    locally, §4 "State sharding"). *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val size : t -> int
+
+val get : t -> string -> int option
+
+val mem : t -> string -> bool
+
+val put : t -> string -> int -> bool
+(** Insert or overwrite; [false] iff the map is full and the key absent. *)
+
+val erase : t -> string -> bool
+(** [true] iff the key was present. *)
+
+val iter : t -> (string -> int -> unit) -> unit
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type t = { depth : int; width : int; rows : int array array }
+
+let create ?(depth = 5) ?(width = 4096) () =
+  if depth < 1 || width < 1 then invalid_arg "Sketch.create";
+  { depth; width; rows = Array.init depth (fun _ -> Array.make width 0) }
+
+let depth t = t.depth
+let width t = t.width
+
+(* Per-row salted hashing; Hashtbl.hash on the salted string gives
+   independent-enough rows for a simulator. *)
+let index t row key = Hashtbl.hash (row, key) mod t.width
+
+let add t key n =
+  for row = 0 to t.depth - 1 do
+    let i = index t row key in
+    t.rows.(row).(i) <- t.rows.(row).(i) + n
+  done
+
+let increment t key = add t key 1
+
+let count t key =
+  let m = ref max_int in
+  for row = 0 to t.depth - 1 do
+    m := min !m t.rows.(row).(index t row key)
+  done;
+  !m
+
+let over_limit t key ~limit = count t key > limit
+
+let clear t = Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.rows
+
+let memory_bytes t = 4 * t.depth * t.width

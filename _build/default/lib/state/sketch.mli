@@ -1,0 +1,31 @@
+(** A count-min sketch (paper Table 1, used by the Connection Limiter).
+
+    [depth] independent hash rows of [width] counters; an item's estimated
+    count is the minimum of its [depth] counters, which can only
+    over-estimate.  The CL drops a new connection when every indexed entry
+    surpasses the limit — i.e. when the estimate exceeds it (§6.1). *)
+
+type t
+
+val create : ?depth:int -> ?width:int -> unit -> t
+(** Defaults: depth 5 (the paper's default), width 4096. *)
+
+val depth : t -> int
+
+val width : t -> int
+
+val increment : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+val count : t -> string -> int
+(** The count-min estimate. *)
+
+val over_limit : t -> string -> limit:int -> bool
+(** Whether all of the item's entries surpass [limit] — the CL's drop test. *)
+
+val clear : t -> unit
+(** Reset all counters (the periodic refresh of a time-framed limiter). *)
+
+val memory_bytes : t -> int
+(** Footprint in bytes (4 per counter), for the cache model. *)

@@ -1,0 +1,24 @@
+type 'a t = { default : 'a; data : 'a array }
+
+let create ~capacity ~default =
+  if capacity < 1 then invalid_arg "Vector.create: capacity must be >= 1";
+  { default; data = Array.make capacity default }
+
+let capacity t = Array.length t.data
+
+let check t i = if i < 0 || i >= Array.length t.data then invalid_arg "Vector: index out of range"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i v =
+  check t i;
+  t.data.(i) <- v
+
+let update t i f =
+  check t i;
+  t.data.(i) <- f t.data.(i)
+
+let iteri t f = Array.iteri f t.data
+let reset t = Array.fill t.data 0 (Array.length t.data) t.default

@@ -1,0 +1,22 @@
+(** The Vigor vector: arbitrary data indexed by integers in
+    [0 .. capacity-1] (paper Table 1).  NFs use it to store per-flow records
+    at the index a {!Dchain} allocated. *)
+
+type 'a t
+
+val create : capacity:int -> default:'a -> 'a t
+
+val capacity : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] when out of range — the DSL guarantees indices
+    come from a dchain of the same capacity. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val update : 'a t -> int -> ('a -> 'a) -> unit
+
+val iteri : 'a t -> (int -> 'a -> unit) -> unit
+
+val reset : 'a t -> unit
+(** Restore every slot to the default. *)

@@ -1,0 +1,1 @@
+lib/symbex/exec.ml: Array Dsl Format List Packet Sym Tree

@@ -1,0 +1,1 @@
+lib/symbex/exec.mli: Dsl Format Tree

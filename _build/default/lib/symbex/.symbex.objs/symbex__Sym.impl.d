@@ -1,0 +1,1 @@
+lib/symbex/sym.ml: Dsl Format Int List Packet Stdlib

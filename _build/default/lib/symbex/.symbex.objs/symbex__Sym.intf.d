@@ -1,0 +1,1 @@
+lib/symbex/sym.mli: Dsl Format Packet

@@ -1,0 +1,1 @@
+lib/symbex/tree.ml: Dsl Format List Packet Stdlib Sym

@@ -1,0 +1,1 @@
+lib/symbex/tree.mli: Dsl Format Packet Sym

@@ -1,0 +1,218 @@
+open Dsl.Ast
+
+type model = { nf : Dsl.Ast.t; info : Dsl.Check.info; trees : Tree.t array }
+
+let path_budget = 100_000
+
+(* Constant folding keeps the tree free of decidable branches. *)
+let rec simplify (s : Sym.t) : Sym.t =
+  match s with
+  | Sym.Bin (op, a, b) -> (
+      let a = simplify a and b = simplify b in
+      match (op, a, b) with
+      | (Eq | Neq | Lt | Le | Add | Sub | Mul | Div | Mod | Land | Lor), Sym.Const (wa, va), Sym.Const (wb, vb)
+        ->
+          let w = max wa wb in
+          let mask v = if w >= 62 then v else v land ((1 lsl w) - 1) in
+          let bool_ b = Sym.Const (1, if b then 1 else 0) in
+          (match op with
+          | Add -> Sym.Const (w, mask (va + vb))
+          | Sub -> Sym.Const (w, mask (va - vb))
+          | Mul -> Sym.Const (w, mask (va * vb))
+          | Div -> Sym.Const (w, if vb = 0 then 0 else mask (va / vb))
+          | Mod -> Sym.Const (w, if vb = 0 then 0 else mask (va mod vb))
+          | Eq -> bool_ (va = vb)
+          | Neq -> bool_ (va <> vb)
+          | Lt -> bool_ (va < vb)
+          | Le -> bool_ (va <= vb)
+          | Land -> Sym.Const (1, va land vb)
+          | Lor -> Sym.Const (1, va lor vb))
+      | Eq, a, b when Sym.equal a b -> Sym.Const (1, 1)
+      | Neq, a, b when Sym.equal a b -> Sym.Const (1, 0)
+      | Land, Sym.Const (_, 1), x | Land, x, Sym.Const (_, 1) -> x
+      | Land, Sym.Const (_, 0), _ | Land, _, Sym.Const (_, 0) -> Sym.Const (1, 0)
+      | Lor, Sym.Const (_, 0), x | Lor, x, Sym.Const (_, 0) -> x
+      | Lor, Sym.Const (_, 1), _ | Lor, _, Sym.Const (_, 1) -> Sym.Const (1, 1)
+      | _ -> Sym.Bin (op, a, b))
+  | Sym.Not a -> (
+      match simplify a with Sym.Const (_, v) -> Sym.Const (1, 1 - v) | a -> Sym.Not a)
+  | Sym.Cast (w, a) -> (
+      match simplify a with
+      | Sym.Const (_, v) -> Sym.Const (w, if w >= 62 then v else v land ((1 lsl w) - 1))
+      | a -> Sym.Cast (w, a))
+  | s -> s
+
+type env = {
+  vars : (string * Sym.t) list;
+  records : (string * (int * string)) list; (* record var -> (call id, object) *)
+  headers : (Packet.Field.t * Sym.t) list; (* current symbolic header values *)
+  rewrites : (Packet.Field.t * Sym.t) list; (* Set_field history, oldest first *)
+  path : Tree.path;
+}
+
+let header env f =
+  match List.assoc_opt f env.headers with Some s -> s | None -> Sym.Field f
+
+let run nf =
+  let info = Dsl.Check.check_exn nf in
+  let next_id = ref 0 in
+  let paths_seen = ref 0 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let rec eval env port (e : expr) : Sym.t =
+    match e with
+    | Const (w, v) -> Sym.Const (w, v)
+    | Field f -> header env f
+    | In_port -> Sym.Const (16, port)
+    | Now -> Sym.Now
+    | Pkt_len -> Sym.Pkt_len
+    | Var x -> (
+        match List.assoc_opt x env.vars with
+        | Some s -> s
+        | None -> failwith ("symbex: unbound variable " ^ x))
+    | Record_field (r, f) -> (
+        match List.assoc_opt r env.records with
+        | Some (id, obj) -> Sym.Record (id, obj, f)
+        | None -> failwith ("symbex: unbound record " ^ r))
+    | Bin (op, a, b) -> simplify (Sym.Bin (op, eval env port a, eval env port b))
+    | Not a -> simplify (Sym.Not (eval env port a))
+    | Cast (w, a) -> simplify (Sym.Cast (w, eval env port a))
+  in
+  let eval_key env port key = List.map (eval env port) key in
+  let mk_call env port obj kind ?key ?index ?(stored = []) () =
+    { Tree.id = fresh (); port; obj; kind; key; index; stored; path = env.path }
+  in
+  (* Fork on a symbolic condition, pruning syntactically contradicted sides. *)
+  let rec branch env port cond k_true k_false =
+    match cond with
+    | Sym.Const (_, 1) -> go { env with path = env.path } port k_true
+    | Sym.Const (_, _) -> go env port k_false
+    | _ ->
+        let holds b = List.exists (fun (c, p) -> Sym.equal c cond && p = b) env.path in
+        if holds true then go env port k_true
+        else if holds false then go env port k_false
+        else
+          let t_true = go { env with path = env.path @ [ (cond, true) ] } port k_true in
+          let t_false = go { env with path = env.path @ [ (cond, false) ] } port k_false in
+          Tree.Branch { cond; t_true; t_false }
+  and go env port stmt : Tree.t =
+    match stmt with
+    | If (c, t, f) -> branch env port (eval env port c) t f
+    | Let (x, e, k) -> go { env with vars = (x, eval env port e) :: env.vars } port k
+    | Map_get { obj; key; found; value; k } ->
+        let call =
+          mk_call env port obj Dsl.Interp.Op_map_get ~key:(eval_key env port key) ()
+        in
+        let env =
+          {
+            env with
+            vars =
+              (found, Sym.Call (call.Tree.id, "found"))
+              :: (value, Sym.Call (call.Tree.id, "value"))
+              :: env.vars;
+          }
+        in
+        Tree.Call_node (call, go env port k)
+    | Map_put { obj; key; value; ok; k } ->
+        let call =
+          mk_call env port obj Dsl.Interp.Op_map_put ~key:(eval_key env port key)
+            ~stored:[ ("value", eval env port value) ]
+            ()
+        in
+        let env = { env with vars = (ok, Sym.Call (call.Tree.id, "ok")) :: env.vars } in
+        Tree.Call_node (call, go env port k)
+    | Map_erase { obj; key; k } ->
+        let call =
+          mk_call env port obj Dsl.Interp.Op_map_erase ~key:(eval_key env port key) ()
+        in
+        Tree.Call_node (call, go env port k)
+    | Vec_get { obj; index; record; k } ->
+        let call =
+          mk_call env port obj Dsl.Interp.Op_vec_get ~index:(eval env port index) ()
+        in
+        let env = { env with records = (record, (call.Tree.id, obj)) :: env.records } in
+        Tree.Call_node (call, go env port k)
+    | Vec_set { obj; index; fields; k } ->
+        let call =
+          mk_call env port obj Dsl.Interp.Op_vec_set ~index:(eval env port index)
+            ~stored:(List.map (fun (f, e) -> (f, eval env port e)) fields)
+            ()
+        in
+        Tree.Call_node (call, go env port k)
+    | Chain_alloc { obj; index; k_ok; k_fail } ->
+        let call = mk_call env port obj Dsl.Interp.Op_chain_alloc () in
+        let ok_sym = Sym.Call (call.Tree.id, "ok") in
+        let env_ok =
+          {
+            env with
+            vars = (index, Sym.Call (call.Tree.id, "index")) :: env.vars;
+            path = env.path @ [ (ok_sym, true) ];
+          }
+        in
+        let env_fail = { env with path = env.path @ [ (ok_sym, false) ] } in
+        Tree.Call_node
+          ( call,
+            Tree.Branch
+              { cond = ok_sym; t_true = go env_ok port k_ok; t_false = go env_fail port k_fail }
+          )
+    | Chain_rejuv { obj; index; k } ->
+        let call =
+          mk_call env port obj Dsl.Interp.Op_chain_rejuv ~index:(eval env port index) ()
+        in
+        Tree.Call_node (call, go env port k)
+    | Chain_expire { obj; purges; k; _ } ->
+        (* the purged maps and key vectors are recorded so the report can tie
+           them to the chain's flow-table cluster *)
+        let stored =
+          List.concat_map (fun (m, v) -> [ (m, Sym.Const (1, 0)); (v, Sym.Const (1, 0)) ]) purges
+        in
+        let call = mk_call env port obj Dsl.Interp.Op_chain_expire ~stored () in
+        Tree.Call_node (call, go env port k)
+    | Sketch_touch { obj; key; k } ->
+        let call =
+          mk_call env port obj Dsl.Interp.Op_sketch_touch ~key:(eval_key env port key) ()
+        in
+        Tree.Call_node (call, go env port k)
+    | Sketch_query { obj; key; count; k } ->
+        let call =
+          mk_call env port obj Dsl.Interp.Op_sketch_query ~key:(eval_key env port key) ()
+        in
+        let env = { env with vars = (count, Sym.Call (call.Tree.id, "count")) :: env.vars } in
+        Tree.Call_node (call, go env port k)
+    | Set_field (f, e, k) ->
+        let v = eval env port e in
+        let env =
+          {
+            env with
+            headers = (f, v) :: List.remove_assoc f env.headers;
+            rewrites = env.rewrites @ [ (f, v) ];
+          }
+        in
+        go env port k
+    | Forward e ->
+        incr paths_seen;
+        if !paths_seen > path_budget then failwith "symbex: path budget exceeded";
+        Tree.Action_node { action = Tree.Forward (eval env port e, env.rewrites); path = env.path }
+    | Drop ->
+        incr paths_seen;
+        if !paths_seen > path_budget then failwith "symbex: path budget exceeded";
+        Tree.Action_node { action = Tree.Drop; path = env.path }
+  in
+  let tree_for port =
+    go { vars = []; records = []; headers = []; rewrites = []; path = [] } port nf.process
+  in
+  { nf; info; trees = Array.init nf.devices tree_for }
+
+let calls model = Array.to_list model.trees |> List.concat_map Tree.all_calls
+
+let paths model =
+  Array.fold_left (fun acc t -> acc + Tree.count_paths t) 0 model.trees
+
+let pp fmt model =
+  Array.iteri
+    (fun port tree ->
+      Format.fprintf fmt "@[<v 2>== port %d ==@ %a@]@." port Tree.pp tree)
+    model.trees

@@ -1,0 +1,27 @@
+(** Exhaustive symbolic execution of NF programs (paper §3.3).
+
+    One symbolic packet is pushed through the NF per input device (RSS is
+    configured per port, so the analysis is port-specific).  Branch
+    conditions that depend on symbols fork the execution; conditions that
+    fold to constants (like [in_port == 0] once the port is fixed) do not.
+    The result is a sound and complete model: an execution tree per port
+    containing every code path any concrete packet could trigger. *)
+
+type model = {
+  nf : Dsl.Ast.t;
+  info : Dsl.Check.info;
+  trees : Tree.t array;  (** one execution tree per device *)
+}
+
+val run : Dsl.Ast.t -> model
+(** Raises [Invalid_argument] when the NF does not validate, and [Failure]
+    if the tree exceeds the path budget (impossible for loop-free NFs of
+    sane size; the budget guards against pathological inputs). *)
+
+val calls : model -> Tree.call list
+(** All stateful calls of all ports. *)
+
+val paths : model -> int
+(** Total number of execution paths across ports. *)
+
+val pp : Format.formatter -> model -> unit

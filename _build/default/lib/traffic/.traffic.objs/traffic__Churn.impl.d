@@ -1,0 +1,1 @@
+lib/traffic/churn.ml: Array Float Hashtbl Packet Random

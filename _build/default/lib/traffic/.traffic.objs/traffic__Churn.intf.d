@@ -1,0 +1,1 @@
+lib/traffic/churn.mli: Packet Random

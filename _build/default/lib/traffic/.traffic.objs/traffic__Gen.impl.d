@@ -1,0 +1,1 @@
+lib/traffic/gen.ml: Array Hashtbl List Packet Random

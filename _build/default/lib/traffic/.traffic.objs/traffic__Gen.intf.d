@@ -1,0 +1,1 @@
+lib/traffic/gen.mli: Packet Random

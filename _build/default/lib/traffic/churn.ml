@@ -1,0 +1,55 @@
+type spec = {
+  active_flows : int;
+  flows_per_gbit : float;
+  pkts : int;
+  size : int;
+  gap_ns : int;
+}
+
+let default_spec =
+  { active_flows = 1024; flows_per_gbit = 0.0; pkts = 50_000; size = 64; gap_ns = 100 }
+
+let gbits spec = float_of_int (spec.pkts * spec.size * 8) /. 1e9
+
+let generations spec =
+  int_of_float (Float.round (spec.flows_per_gbit *. gbits spec))
+
+let relative_churn spec = float_of_int (generations spec) /. gbits spec
+
+let absolute_churn_fpm spec ~gbps = relative_churn spec *. gbps *. 60.0
+
+let flow_of_slot rng cache slot gen =
+  let key = (slot, gen) in
+  match Hashtbl.find_opt cache key with
+  | Some f -> f
+  | None ->
+      let f =
+        {
+          Packet.Flow.ip_src = 0x0a000000 lor Random.State.int rng 0xffffff;
+          ip_dst = 0x60000000 lor Random.State.int rng 0x0fffffff;
+          src_port = 1024 + Random.State.int rng 60000;
+          dst_port = 1 + Random.State.int rng 1023;
+          proto = Packet.Pkt.Tcp;
+        }
+      in
+      Hashtbl.replace cache key f;
+      f
+
+let trace rng spec =
+  if spec.active_flows < 1 then invalid_arg "Churn.trace: active_flows";
+  let gens = generations spec in
+  (* one slot generation advances every [step] packets, spreading flow
+     replacement evenly through the trace *)
+  let step = if gens = 0 then max_int else max 1 (spec.pkts / gens) in
+  let cache = Hashtbl.create 4096 in
+  Array.init spec.pkts (fun i ->
+      let slot = i mod spec.active_flows in
+      (* replacements sweep round-robin over slots: after [advanced] total
+         replacements, slot [s] has been replaced once per full sweep past
+         it *)
+      let advanced = i / step in
+      let gen =
+        if advanced > slot then ((advanced - slot - 1) / spec.active_flows) + 1 else 0
+      in
+      let flow = flow_of_slot rng cache slot gen in
+      Packet.Flow.to_pkt ~port:0 ~size:spec.size ~ts_ns:(i * spec.gap_ns) flow)

@@ -1,0 +1,32 @@
+(** Churn workloads (paper §6.3).
+
+    Churn — the rate of flow creation/expiry — is specified {e relative} to
+    the traffic volume, in flows per Gbit, because the replayed PCAP's
+    absolute churn (flows per minute) scales with the replay rate.  Traces
+    keep a window of active flows, retire the oldest slot at an even pace
+    and are cyclic: replaying the trace in a loop recreates the flows that
+    expired at the start. *)
+
+type spec = {
+  active_flows : int;  (** concurrently live flows *)
+  flows_per_gbit : float;  (** relative churn; 0 = no churn *)
+  pkts : int;
+  size : int;  (** frame bytes *)
+  gap_ns : int;
+}
+
+val default_spec : spec
+
+val trace : Random.State.t -> spec -> Packet.Pkt.t array
+(** LAN-side packets establishing and reusing flows; each new generation of
+    a slot is a fresh flow. *)
+
+val relative_churn : spec -> float
+(** Flows per Gbit actually realized by the construction. *)
+
+val absolute_churn_fpm : spec -> gbps:float -> float
+(** Flows per minute when the trace is replayed at [gbps] (paper: absolute
+    churn = relative churn × achieved rate). *)
+
+val generations : spec -> int
+(** Total flow creations in one pass of the trace. *)

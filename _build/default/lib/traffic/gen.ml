@@ -1,0 +1,103 @@
+let lan = 0
+let wan = 1
+
+let flows rng n =
+  let seen = Hashtbl.create n in
+  let rec fresh () =
+    let f =
+      {
+        Packet.Flow.ip_src = 0x0a000000 lor Random.State.int rng 0xffffff;
+        ip_dst = 0x60000000 lor Random.State.int rng 0x0fffffff;
+        src_port = 1024 + Random.State.int rng 60000;
+        dst_port = 1 + Random.State.int rng 1023;
+        proto = Packet.Pkt.Tcp;
+      }
+    in
+    if Hashtbl.mem seen f then fresh ()
+    else begin
+      Hashtbl.replace seen f ();
+      f
+    end
+  in
+  List.init n (fun _ -> fresh ())
+
+type trace_spec = {
+  pkts : int;
+  size : int;
+  reply_fraction : float;
+  fresh_fraction : float;
+  gap_ns : int;
+}
+
+let default_spec =
+  { pkts = 10_000; size = 64; reply_fraction = 0.3; fresh_fraction = 0.0; gap_ns = 100 }
+
+let fresh_flow rng =
+  {
+    Packet.Flow.ip_src = 0x0b000000 lor Random.State.int rng 0xffffff;
+    ip_dst = 0x60000000 lor Random.State.int rng 0x0fffffff;
+    src_port = 1024 + Random.State.int rng 60000;
+    dst_port = 1 + Random.State.int rng 1023;
+    proto = Packet.Pkt.Tcp;
+  }
+
+let trace ?(spec = default_spec) rng ~pick =
+  let seen = Hashtbl.create 1024 in
+  Array.init spec.pkts (fun i ->
+      let flow = pick rng in
+      let started = Hashtbl.mem seen flow in
+      if not started then Hashtbl.replace seen flow ();
+      let reply = started && Random.State.float rng 1.0 < spec.reply_fraction in
+      let flow, port = if reply then (Packet.Flow.reverse flow, wan) else (flow, lan) in
+      Packet.Flow.to_pkt ~port ~size:spec.size ~ts_ns:(i * spec.gap_ns) flow)
+
+let steady ?(spec = default_spec) rng ~flows:fs ~pick =
+  let nf = List.length fs in
+  (* both directions are established so the measured body is steady state
+     for reply-observing NFs too (a bridge learns the far side's MACs) *)
+  let establish =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun i f ->
+              [
+                Packet.Flow.to_pkt ~port:lan ~size:spec.size ~ts_ns:(2 * i * spec.gap_ns) f;
+                Packet.Flow.to_pkt ~port:wan ~size:spec.size
+                  ~ts_ns:(((2 * i) + 1) * spec.gap_ns)
+                  (Packet.Flow.reverse f);
+              ])
+            fs))
+  in
+  let offset = 2 * nf * spec.gap_ns in
+  let body =
+    Array.init spec.pkts (fun i ->
+        let flow, port =
+          if Random.State.float rng 1.0 < spec.fresh_fraction then (fresh_flow rng, lan)
+          else
+            let flow = pick rng in
+            if Random.State.float rng 1.0 < spec.reply_fraction then
+              (Packet.Flow.reverse flow, wan)
+            else (flow, lan)
+        in
+        Packet.Flow.to_pkt ~port ~size:spec.size ~ts_ns:(offset + (i * spec.gap_ns)) flow)
+  in
+  (Array.append establish body, Array.length establish)
+
+let steady_uniform ?spec rng ~flows:fs =
+  let arr = Array.of_list fs in
+  if Array.length arr = 0 then invalid_arg "Traffic.Gen.steady_uniform: no flows";
+  steady ?spec rng ~flows:fs ~pick:(fun rng -> arr.(Random.State.int rng (Array.length arr)))
+
+let uniform ?spec rng ~flows:fs =
+  let arr = Array.of_list fs in
+  if Array.length arr = 0 then invalid_arg "Traffic.Gen.uniform: no flows";
+  trace ?spec rng ~pick:(fun rng -> arr.(Random.State.int rng (Array.length arr)))
+
+let packet_sizes = [ 64; 128; 256; 512; 1024; 1500 ]
+
+let count_new_flows pkts =
+  let seen = Hashtbl.create 1024 in
+  Array.iter
+    (fun p -> Hashtbl.replace seen (Packet.Flow.normalize (Packet.Flow.of_pkt p)) ())
+    pkts;
+  Hashtbl.length seen

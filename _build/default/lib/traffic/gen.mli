@@ -1,0 +1,51 @@
+(** Workload generation: flows and packet traces.
+
+    Traces are deterministic given the RNG seed.  The conventions match the
+    evaluated NFs: device 0 is the LAN, device 1 the WAN; client addresses
+    live in 10.0.0.0/8 and servers in 96.0.0.0/3, so generated flows never
+    collide with each other's reverse direction. *)
+
+val flows : Random.State.t -> int -> Packet.Flow.t list
+(** [n] distinct TCP flows, client → server. *)
+
+type trace_spec = {
+  pkts : int;  (** packets to generate *)
+  size : int;  (** frame bytes *)
+  reply_fraction : float;
+      (** probability that a packet of an already-seen flow travels
+          WAN→LAN (reversed headers); a flow's first packet is always
+          LAN→WAN so stateful NFs see the session start *)
+  fresh_fraction : float;
+      (** probability that a packet starts a brand-new flow — "read-heavy"
+          traffic is not read-only (§6.4) *)
+  gap_ns : int;  (** inter-packet timestamp gap *)
+}
+
+val default_spec : trace_spec
+
+val trace :
+  ?spec:trace_spec -> Random.State.t -> pick:(Random.State.t -> Packet.Flow.t) -> Packet.Pkt.t array
+(** Build a trace, drawing each packet's flow from [pick]. *)
+
+val uniform :
+  ?spec:trace_spec -> Random.State.t -> flows:Packet.Flow.t list -> Packet.Pkt.t array
+(** Uniformly distributed flows — the read-heavy workload of §6.4. *)
+
+val steady :
+  ?spec:trace_spec ->
+  Random.State.t ->
+  flows:Packet.Flow.t list ->
+  pick:(Random.State.t -> Packet.Flow.t) ->
+  Packet.Pkt.t array * int
+(** An establishment pass (one LAN packet per flow) followed by the measured
+    body drawn from [pick]; returns the trace and the warmup length to skip
+    when profiling steady-state behaviour. *)
+
+val steady_uniform :
+  ?spec:trace_spec -> Random.State.t -> flows:Packet.Flow.t list -> Packet.Pkt.t array * int
+
+val packet_sizes : int list
+(** The Fig. 8 sweep: 64 … 1500 bytes. *)
+
+val count_new_flows : Packet.Pkt.t array -> int
+(** Number of distinct normalized flows in a trace. *)

@@ -1,0 +1,51 @@
+type t = { exponent : float; nflows : int; cdf : float array }
+
+let build exponent nflows =
+  if nflows < 1 then invalid_arg "Zipf.make";
+  let weights = Array.init nflows (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) exponent) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make nflows 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  { exponent; nflows; cdf }
+
+let make ?(exponent = 1.0) ~nflows () = build exponent nflows
+
+let share_of_top t k =
+  if k <= 0 then 0.0 else if k >= t.nflows then 1.0 else t.cdf.(k - 1)
+
+let calibrate ?(top = 48) ?(share = 0.8) ~nflows () =
+  if top < 1 || top >= nflows then invalid_arg "Zipf.calibrate";
+  (* share_of_top is monotonically increasing in the exponent: bisect *)
+  let rec bisect lo hi n =
+    let mid = (lo +. hi) /. 2.0 in
+    if n = 0 then build mid nflows
+    else
+      let s = share_of_top (build mid nflows) top in
+      if s < share then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+  in
+  bisect 0.01 8.0 60
+
+let paper () = calibrate ~top:48 ~share:0.8 ~nflows:1000 ()
+
+let exponent t = t.exponent
+let nflows t = t.nflows
+
+let sample t rng =
+  let u = Random.State.float rng 1.0 in
+  (* binary search for the first cdf entry >= u *)
+  let lo = ref 0 and hi = ref (t.nflows - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let trace ?spec rng t ~flows =
+  let arr = Array.of_list flows in
+  if Array.length arr < t.nflows then invalid_arg "Zipf.trace: not enough flows";
+  Gen.trace ?spec rng ~pick:(fun rng -> arr.(sample t rng))

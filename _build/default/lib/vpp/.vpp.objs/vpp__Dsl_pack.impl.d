@@ -1,0 +1,1 @@
+lib/vpp/dsl_pack.ml: Buffer Char List

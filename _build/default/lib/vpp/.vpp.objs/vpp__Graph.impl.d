@@ -1,0 +1,1 @@
+lib/vpp/graph.ml: Array Hashtbl List Option Packet

@@ -1,0 +1,1 @@
+lib/vpp/graph.mli: Packet

@@ -1,0 +1,1 @@
+lib/vpp/nat44.ml: Array Dsl_pack Graph Packet Sim State

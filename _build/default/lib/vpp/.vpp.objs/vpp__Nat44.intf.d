@@ -1,0 +1,1 @@
+lib/vpp/nat44.mli: Graph Packet Sim

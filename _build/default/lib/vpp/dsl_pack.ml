@@ -1,0 +1,12 @@
+(* Big-endian key packing, matching the byte-string keys of the stateful
+   containers (the same encoding Dsl.Ast.key_of_parts uses). *)
+let pack parts =
+  let buf = Buffer.create 16 in
+  List.iter
+    (fun (width, v) ->
+      let bytes = (width + 7) / 8 in
+      for i = bytes - 1 downto 0 do
+        Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+      done)
+    parts;
+  Buffer.contents buf

@@ -1,0 +1,62 @@
+type disposition = To_node of string | Tx of int | Drop_pkt
+
+type node = {
+  name : string;
+  handler : Packet.Pkt.t array -> (Packet.Pkt.t * disposition) array;
+}
+
+type t = { entry : string; nodes : (string, node) Hashtbl.t; mutable visits : int }
+
+let batch_size = 256
+
+let create ~entry nodes =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem tbl n.name then invalid_arg ("Vpp.Graph: duplicate node " ^ n.name);
+      Hashtbl.replace tbl n.name n)
+    nodes;
+  if not (Hashtbl.mem tbl entry) then invalid_arg ("Vpp.Graph: unknown entry " ^ entry);
+  { entry; nodes = tbl; visits = 0 }
+
+type verdict = Sent of int * Packet.Pkt.t | Dropped
+
+let run t pkts =
+  let n = Array.length pkts in
+  let verdicts = Array.make n Dropped in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min batch_size (n - !pos) in
+    (* frames: (original index, current headers) walking the graph *)
+    let rec process name frames =
+      if frames <> [] then begin
+        let nd =
+          match Hashtbl.find_opt t.nodes name with
+          | Some nd -> nd
+          | None -> invalid_arg ("Vpp.Graph: dangling next node " ^ name)
+        in
+        t.visits <- t.visits + 1;
+        let arr = Array.of_list frames in
+        let out = nd.handler (Array.map snd arr) in
+        if Array.length out <> Array.length arr then
+          invalid_arg ("Vpp.Graph: node " ^ name ^ " returned a short vector");
+        let nexts = Hashtbl.create 4 in
+        Array.iteri
+          (fun i (pkt, d) ->
+            let idx, _ = arr.(i) in
+            match d with
+            | Tx port -> verdicts.(idx) <- Sent (port, pkt)
+            | Drop_pkt -> verdicts.(idx) <- Dropped
+            | To_node next ->
+                Hashtbl.replace nexts next
+                  ((idx, pkt) :: Option.value ~default:[] (Hashtbl.find_opt nexts next)))
+          out;
+        Hashtbl.iter (fun next frames -> process next (List.rev frames)) nexts
+      end
+    in
+    process t.entry (List.init len (fun i -> (!pos + i, pkts.(!pos + i))));
+    pos := !pos + len
+  done;
+  verdicts
+
+let nodes_visited t = t.visits

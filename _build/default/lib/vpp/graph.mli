@@ -1,0 +1,32 @@
+(** A miniature Vector Packet Processing framework (paper §6.4, [7]).
+
+    VPP's organizing idea is to push {e vectors} (batches) of packets
+    through a graph of nodes, amortizing instruction-cache misses and
+    per-packet overhead across the batch.  Nodes consume a whole batch and
+    tag each packet with its next node or a disposition.  This module is a
+    faithful, working miniature: nodes, a graph, and a batch scheduler. *)
+
+type disposition = To_node of string | Tx of int  (** output device *) | Drop_pkt
+
+type node = {
+  name : string;
+  handler : Packet.Pkt.t array -> (Packet.Pkt.t * disposition) array;
+      (** one (possibly rewritten) packet and disposition per batch entry *)
+}
+
+type t
+
+val create : entry:string -> node list -> t
+(** Raises [Invalid_argument] on duplicate or dangling node names. *)
+
+val batch_size : int
+(** VPP's classic 256. *)
+
+type verdict = Sent of int * Packet.Pkt.t | Dropped
+
+val run : t -> Packet.Pkt.t array -> verdict array
+(** Push the trace through the graph in batches, preserving input order in
+    the verdict array. *)
+
+val nodes_visited : t -> int
+(** Total node invocations so far (for the batching-efficiency ablation). *)

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Bitvec Bytes QCheck QCheck_alcotest

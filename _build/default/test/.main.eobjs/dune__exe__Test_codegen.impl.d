@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Astring_contains Bitvec Bytes Char Dsl List Maestro Nfs Printf String

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Dsl List Nfs Packet Printf State String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Maestro Nfs Printf Random Sim Traffic Vpp

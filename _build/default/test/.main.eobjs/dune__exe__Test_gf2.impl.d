@@ -1,0 +1,1 @@
+test/test_gf2.ml: Alcotest Array Fun Gf2 List QCheck QCheck_alcotest Random System

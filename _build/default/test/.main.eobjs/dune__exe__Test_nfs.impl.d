@@ -1,0 +1,1 @@
+test/test_nfs.ml: Alcotest Dsl List Nfs Packet QCheck QCheck_alcotest Random

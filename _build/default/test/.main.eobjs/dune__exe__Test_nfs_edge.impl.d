@@ -1,0 +1,1 @@
+test/test_nfs_edge.ml: Alcotest Dsl List Nfs Packet

@@ -1,0 +1,1 @@
+test/test_nic.ml: Alcotest Bitvec Field Field_set List Model Nic Option Packet Pkt QCheck QCheck_alcotest Random Reta Rss String Toeplitz

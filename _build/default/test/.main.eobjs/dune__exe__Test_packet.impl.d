@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bitvec Bytes Field Filename Flow Format Fun List Packet Pcap Pkt QCheck QCheck_alcotest Result String Sys Wire

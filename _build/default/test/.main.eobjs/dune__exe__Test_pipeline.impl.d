@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Astring_contains Dsl Hashtbl List Maestro Nfs Nic Packet Printf Random Runtime Sim

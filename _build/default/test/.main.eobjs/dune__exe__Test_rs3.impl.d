@@ -1,0 +1,1 @@
+test/test_rs3.ml: Alcotest Array Attack Bitvec Cstr Field Hashtbl List Nic Packet Pkt Problem QCheck QCheck_alcotest Random Result Rs3 Solve Validate Window

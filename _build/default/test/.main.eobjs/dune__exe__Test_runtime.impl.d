@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Domain Dsl List Maestro Nfs Option Packet Printf QCheck QCheck_alcotest Random Runtime Traffic

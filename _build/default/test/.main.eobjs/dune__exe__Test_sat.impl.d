@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Dimacs Format List Lit QCheck QCheck_alcotest Sat Solver Tseitin

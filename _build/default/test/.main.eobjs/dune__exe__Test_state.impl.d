@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Dchain Expire Hashtbl List Map_s Option QCheck QCheck_alcotest Random Sketch State Vector

@@ -1,0 +1,1 @@
+test/test_symbex.ml: Alcotest Array Dsl Field Fun List Nfs Packet QCheck QCheck_alcotest Random Symbex

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Float Hashtbl List Packet Printf QCheck QCheck_alcotest Random Traffic

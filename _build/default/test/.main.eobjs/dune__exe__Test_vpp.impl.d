@@ -1,0 +1,1 @@
+test/test_vpp.ml: Alcotest Array Dsl Packet Printf Runtime Sim Vpp

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "maestro"
+    [
+      ("bitvec", Test_bitvec.suite);
+      ("gf2", Test_gf2.suite);
+      ("packet", Test_packet.suite);
+      ("nic", Test_nic.suite);
+      ("dsl", Test_dsl.suite);
+      ("state", Test_state.suite);
+      ("symbex", Test_symbex.suite);
+      ("nfs", Test_nfs.suite);
+      ("nfs-edge", Test_nfs_edge.suite);
+      ("rs3", Test_rs3.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("codegen", Test_codegen.suite);
+      ("runtime", Test_runtime.suite);
+      ("traffic", Test_traffic.suite);
+      ("sim", Test_sim.suite);
+      ("vpp", Test_vpp.suite);
+      ("experiments", Test_experiments.suite);
+      ("sat", Test_sat.suite);
+    ]

@@ -1,0 +1,134 @@
+(* Unit and property tests for the Bitvec substrate. *)
+
+let bv = Alcotest.testable Bitvec.pp Bitvec.equal
+
+let test_of_hex () =
+  let v = Bitvec.of_hex "6d5a56da" in
+  Alcotest.(check int) "length" 32 (Bitvec.length v);
+  Alcotest.(check string) "roundtrip" "6d5a56da" (Bitvec.to_hex v);
+  (* 0x6d = 0110 1101: bit 0 is the MSB *)
+  Alcotest.(check bool) "bit0" false (Bitvec.get v 0);
+  Alcotest.(check bool) "bit1" true (Bitvec.get v 1);
+  Alcotest.(check bool) "bit7" true (Bitvec.get v 7)
+
+let test_of_hex_separators () =
+  Alcotest.check bv "colons" (Bitvec.of_hex "deadbeef") (Bitvec.of_hex "de:ad be\nef")
+
+let test_of_hex_invalid () =
+  Alcotest.check_raises "odd" (Invalid_argument "Bitvec.of_hex: odd digit count") (fun () ->
+      ignore (Bitvec.of_hex "abc"));
+  Alcotest.check_raises "char" (Invalid_argument "Bitvec.of_hex: invalid character")
+    (fun () -> ignore (Bitvec.of_hex "zz"))
+
+let test_of_int () =
+  let v = Bitvec.of_int ~width:16 0x8001 in
+  Alcotest.(check bool) "msb" true (Bitvec.get v 0);
+  Alcotest.(check bool) "mid" false (Bitvec.get v 8);
+  Alcotest.(check bool) "lsb" true (Bitvec.get v 15);
+  Alcotest.(check int) "roundtrip" 0x8001 (Bitvec.to_int v)
+
+let test_int32 () =
+  let v = Bitvec.of_int32 0xdeadbeefl in
+  Alcotest.(check int32) "roundtrip" 0xdeadbeefl (Bitvec.to_int32 v);
+  Alcotest.(check string) "hex" "deadbeef" (Bitvec.to_hex v)
+
+let test_set_get () =
+  let v = Bitvec.create 10 in
+  let v = Bitvec.set v 9 true in
+  Alcotest.(check bool) "set" true (Bitvec.get v 9);
+  Alcotest.(check int) "popcount" 1 (Bitvec.popcount v);
+  let v = Bitvec.set v 9 false in
+  Alcotest.(check bool) "cleared" true (Bitvec.is_zero v)
+
+let test_sub_append () =
+  let v = Bitvec.of_hex "abcd" in
+  let hi = Bitvec.sub v ~pos:0 ~len:8 and lo = Bitvec.sub v ~pos:8 ~len:8 in
+  Alcotest.(check string) "hi" "ab" (Bitvec.to_hex hi);
+  Alcotest.(check string) "lo" "cd" (Bitvec.to_hex lo);
+  Alcotest.check bv "append" v (Bitvec.append hi lo);
+  Alcotest.check bv "concat" v (Bitvec.concat [ hi; lo ])
+
+let test_unaligned () =
+  (* a 12-bit vector: unused low bits of last byte must not affect equality *)
+  let a = Bitvec.of_bytes ~bits:12 (Bytes.of_string "\xab\xcf") in
+  let b = Bitvec.of_bytes ~bits:12 (Bytes.of_string "\xab\xc0") in
+  Alcotest.check bv "normalized" a b;
+  Alcotest.(check int) "length" 12 (Bitvec.length a)
+
+let test_logic () =
+  let a = Bitvec.of_hex "f0f0" and b = Bitvec.of_hex "ff00" in
+  Alcotest.(check string) "xor" "0ff0" (Bitvec.to_hex (Bitvec.xor a b));
+  Alcotest.(check string) "and" "f000" (Bitvec.to_hex (Bitvec.and_ a b));
+  Alcotest.(check string) "or" "fff0" (Bitvec.to_hex (Bitvec.or_ a b));
+  Alcotest.(check string) "not" "0f0f" (Bitvec.to_hex (Bitvec.not_ a))
+
+let test_rotate () =
+  let v = Bitvec.of_hex "8000" in
+  Alcotest.(check string) "rotl1" "0001" (Bitvec.to_hex (Bitvec.rotate_left v 1));
+  Alcotest.(check string) "rotl16" "8000" (Bitvec.to_hex (Bitvec.rotate_left v 16));
+  Alcotest.(check string) "rotl-neg" "4000" (Bitvec.to_hex (Bitvec.rotate_left v (-1)))
+
+let test_to_bin () =
+  Alcotest.(check string) "bin" "10100101" (Bitvec.to_bin (Bitvec.of_hex "a5"))
+
+let test_bool_list () =
+  let l = [ true; false; true ] in
+  Alcotest.(check (list bool)) "roundtrip" l (Bitvec.to_bool_list (Bitvec.of_bool_list l))
+
+(* --- properties --------------------------------------------------------- *)
+
+let gen_bv =
+  QCheck.Gen.(
+    int_range 0 70 >>= fun n ->
+    list_repeat n bool >|= Bitvec.of_bool_list)
+
+let arb_bv = QCheck.make ~print:Bitvec.to_hex gen_bv
+
+let prop_xor_involution =
+  QCheck.Test.make ~name:"xor is an involution" ~count:200
+    (QCheck.pair arb_bv arb_bv) (fun (a, b) ->
+      let b = Bitvec.init (Bitvec.length a) (fun i -> i < Bitvec.length b && Bitvec.get b i) in
+      Bitvec.equal a Bitvec.(xor (xor a b) b))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip on byte-aligned vectors" ~count:200 arb_bv
+    (fun v ->
+      let aligned = Bitvec.append v (Bitvec.create ((8 - (Bitvec.length v mod 8)) mod 8)) in
+      Bitvec.equal aligned (Bitvec.of_hex (Bitvec.to_hex aligned)))
+
+let prop_popcount_xor =
+  QCheck.Test.make ~name:"popcount(a xor a) = 0" ~count:200 arb_bv (fun a ->
+      Bitvec.popcount (Bitvec.xor a a) = 0)
+
+let prop_sub_concat =
+  QCheck.Test.make ~name:"splitting then concatenating is the identity" ~count:200
+    (QCheck.pair arb_bv QCheck.small_nat) (fun (v, k) ->
+      let n = Bitvec.length v in
+      let k = if n = 0 then 0 else k mod (n + 1) in
+      let a = Bitvec.sub v ~pos:0 ~len:k and b = Bitvec.sub v ~pos:k ~len:(n - k) in
+      Bitvec.equal v (Bitvec.append a b))
+
+let prop_rotate_full_circle =
+  QCheck.Test.make ~name:"rotating by the width is the identity" ~count:200 arb_bv
+    (fun v -> Bitvec.length v = 0 || Bitvec.equal v (Bitvec.rotate_left v (Bitvec.length v)))
+
+let suite =
+  [
+    Alcotest.test_case "of_hex" `Quick test_of_hex;
+    Alcotest.test_case "of_hex separators" `Quick test_of_hex_separators;
+    Alcotest.test_case "of_hex invalid" `Quick test_of_hex_invalid;
+    Alcotest.test_case "of_int" `Quick test_of_int;
+    Alcotest.test_case "int32 roundtrip" `Quick test_int32;
+    Alcotest.test_case "set/get" `Quick test_set_get;
+    Alcotest.test_case "sub/append" `Quick test_sub_append;
+    Alcotest.test_case "unaligned widths" `Quick test_unaligned;
+    Alcotest.test_case "bitwise logic" `Quick test_logic;
+    Alcotest.test_case "rotate" `Quick test_rotate;
+    Alcotest.test_case "to_bin" `Quick test_to_bin;
+    Alcotest.test_case "bool list" `Quick test_bool_list;
+    QCheck_alcotest.to_alcotest prop_xor_involution;
+    QCheck_alcotest.to_alcotest prop_hex_roundtrip;
+    QCheck_alcotest.to_alcotest prop_popcount_xor;
+    QCheck_alcotest.to_alcotest prop_sub_concat;
+    QCheck_alcotest.to_alcotest prop_rotate_full_circle;
+  ]

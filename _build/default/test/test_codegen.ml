@@ -1,0 +1,88 @@
+(* Tests for the C emitter: structural sanity of the generated source for
+   every NF and strategy (the paper's Fig. 13 artifact). *)
+
+let contains = Astring_contains.contains
+
+let emit ?(strategy = `Auto) ?(cores = 16) name =
+  let request = { Maestro.Pipeline.default_request with cores; strategy } in
+  let o = Maestro.Pipeline.parallelize_exn ~request (Nfs.Registry.find_exn name) in
+  (o.Maestro.Pipeline.plan, Maestro.Codegen.emit_c o.Maestro.Pipeline.plan)
+
+let balanced_braces code =
+  let depth = ref 0 and ok = ref true in
+  String.iter
+    (fun c ->
+      if c = '{' then incr depth
+      else if c = '}' then begin
+        decr depth;
+        if !depth < 0 then ok := false
+      end)
+    code;
+  !ok && !depth = 0
+
+let test_all_nfs_emit () =
+  List.iter
+    (fun name ->
+      let plan, code = emit name in
+      Alcotest.(check bool) (name ^ ": braces balance") true (balanced_braces code);
+      Alcotest.(check bool) (name ^ ": has init") true (contains code "int init(void)");
+      Alcotest.(check bool) (name ^ ": has process") true (contains code "int process(");
+      (* every state object appears *)
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (name ^ ": declares " ^ Dsl.Ast.decl_name d)
+            true
+            (contains code (Dsl.Ast.decl_name d)))
+        plan.Maestro.Plan.nf.Dsl.Ast.state;
+      (* one key array per port *)
+      Array.iteri
+        (fun port _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: key for port %d" name port)
+            true
+            (contains code (Printf.sprintf "RSS_HASH_PORT_%d" port)))
+        plan.Maestro.Plan.rss)
+    Nfs.Registry.extended_names
+
+let test_shared_nothing_divides_capacity () =
+  let _, code = emit ~cores:16 "fw" in
+  (* 65536 split over 16 cores *)
+  Alcotest.(check bool) "per-core capacity" true (contains code "4096");
+  Alcotest.(check bool) "per-core instances" true (contains code "[core_id]")
+
+let test_lock_based_keeps_capacity () =
+  let _, code = emit ~strategy:`Force_locks "fw" in
+  Alcotest.(check bool) "full capacity" true (contains code "map_init(&fw_flows, 65536)");
+  Alcotest.(check bool) "no per-core suffix on state" false (contains code "fw_flows[core_id]")
+
+let test_key_bytes_match_plan () =
+  let plan, code = emit "fw" in
+  let key = plan.Maestro.Plan.rss.(0).Maestro.Plan.key in
+  let first_byte = Printf.sprintf "0x%02x," (Char.code (Bytes.get (Bitvec.to_bytes key) 0)) in
+  Alcotest.(check bool) "first key byte present" true (contains code first_byte);
+  Alcotest.(check bool) "52-byte array" true (contains code "RSS_HASH_PORT_0[52]")
+
+let test_warnings_surface_in_header () =
+  let _, code = emit "lb" in
+  Alcotest.(check bool) "warning comment" true (contains code "warning:")
+
+let test_flex_extraction_flagged () =
+  let _, code = emit "hhh" in
+  Alcotest.(check bool) "flex comment" true (contains code "flex-extract top 8 bits")
+
+let test_tm_header () =
+  let _, code = emit ~strategy:`Force_tm "fw" in
+  Alcotest.(check bool) "rtm comment" true (contains code "restricted transaction")
+
+let suite =
+  [
+    Alcotest.test_case "all NFs emit structurally sane C" `Quick test_all_nfs_emit;
+    Alcotest.test_case "shared-nothing divides capacity" `Quick
+      test_shared_nothing_divides_capacity;
+    Alcotest.test_case "lock-based keeps capacity" `Quick test_lock_based_keeps_capacity;
+    Alcotest.test_case "key bytes match the plan" `Quick test_key_bytes_match_plan;
+    Alcotest.test_case "warnings surface" `Quick test_warnings_surface_in_header;
+    Alcotest.test_case "flex extraction flagged" `Quick test_flex_extraction_flagged;
+    Alcotest.test_case "tm header" `Quick test_tm_header;
+  ]

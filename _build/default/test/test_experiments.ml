@@ -1,0 +1,161 @@
+(* Shape assertions for every reproduced figure: who wins, by roughly what
+   factor, where the crossovers are.  These encode EXPERIMENTS.md's claims so
+   a regression in the model breaks the build.  Workloads are scaled down
+   for test speed; the bench harness runs the full-size versions. *)
+
+let plan_for ?(seed = 0xbeef) ?(strategy = `Auto) name cores =
+  let request = { Maestro.Pipeline.default_request with cores; strategy; seed } in
+  (Maestro.Pipeline.parallelize_exn ~request (Nfs.Registry.find_exn name)).Maestro.Pipeline.plan
+
+let gbps ?balanced_reta ?params plan profile trace =
+  (Sim.Throughput.evaluate ?balanced_reta ?params plan profile trace).Sim.Throughput.gbps
+
+let small name = Sim.Workload.read_heavy ~pkts:8000 ~flows:2000 name
+
+(* Fig. 8: 64B traffic tops out at the PCIe ceiling (~45 Gbps), large packets
+   approach line rate. *)
+let test_fig8_shape () =
+  let g size =
+    let w = Sim.Workload.read_heavy ~pkts:4000 ~flows:2000 ~size "nop" in
+    let p = Sim.Workload.profile_of w in
+    gbps (plan_for "nop" 16) p w.Sim.Workload.trace
+  in
+  let g64 = g 64 and g1500 = g 1500 in
+  Alcotest.(check bool) (Printf.sprintf "64B ≈ 45G (got %.1f)" g64) true (g64 > 40.0 && g64 < 52.0);
+  Alcotest.(check bool) (Printf.sprintf "1500B ≈ line rate (got %.1f)" g1500) true (g1500 > 90.0)
+
+(* Fig. 10: shared-nothing scales ~linearly until PCIe; locks trail; the
+   policer's locks collapse; TM rises then falls. *)
+let test_fig10_shared_nothing_linear () =
+  List.iter
+    (fun name ->
+      let w = small name in
+      let p = Sim.Workload.profile_of w in
+      let g c = gbps (plan_for name c) p w.Sim.Workload.trace in
+      let g1 = g 1 and g4 = g 4 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s 4-core speedup (%.1f/%.1f)" name g4 g1)
+        true
+        (g4 /. g1 > 3.5))
+    [ "fw"; "policer"; "psd"; "cl" ]
+
+let test_fig10_shared_nothing_beats_locks () =
+  List.iter
+    (fun name ->
+      let w = small name in
+      let p = Sim.Workload.profile_of w in
+      let sn = gbps (plan_for name 16) p w.Sim.Workload.trace in
+      let locks = gbps (plan_for ~strategy:`Force_locks name 16) p w.Sim.Workload.trace in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s SN %.1f > locks %.1f at 16 cores" name sn locks)
+        true (sn > locks))
+    [ "fw"; "policer"; "psd"; "nat"; "cl" ]
+
+let test_fig10_policer_locks_catastrophic () =
+  let w = small "policer" in
+  let p = Sim.Workload.profile_of w in
+  let g c = gbps (plan_for ~strategy:`Force_locks "policer" c) p w.Sim.Workload.trace in
+  Alcotest.(check bool) "never scales past ~2x" true (g 16 < 2.0 *. g 1);
+  let sn16 = gbps (plan_for "policer" 16) p w.Sim.Workload.trace in
+  Alcotest.(check bool) "SN is >5x better at 16" true (sn16 > 5.0 *. g 16)
+
+let test_fig10_tm_crossover () =
+  let w = small "fw" in
+  let p = Sim.Workload.profile_of w in
+  let g c = gbps (plan_for ~strategy:`Force_tm "fw" c) p w.Sim.Workload.trace in
+  Alcotest.(check bool) "tm grows to 4" true (g 4 > 1.5 *. g 1);
+  Alcotest.(check bool) "tm collapses by 16" true (g 16 < g 4);
+  (* and TM never beats the optimized locks at high core counts (§6.4) *)
+  let locks16 = gbps (plan_for ~strategy:`Force_locks "fw" 16) p w.Sim.Workload.trace in
+  Alcotest.(check bool) "locks beat tm at 16" true (locks16 > g 16)
+
+let test_fig10_psd_compound_speedup () =
+  (* the paper's headline: PSD 16-core ≈ 19x its 1-core version, parallelism
+     compounding with cache locality *)
+  let w = Sim.Workload.read_heavy ~pkts:12_000 ~flows:8192 "psd" in
+  let p = Sim.Workload.profile_of w in
+  let g c = gbps (plan_for "psd" c) p w.Sim.Workload.trace in
+  let speedup = g 16 /. g 1 in
+  Alcotest.(check bool) (Printf.sprintf "super-linear-ish (%.1fx)" speedup) true (speedup > 10.0)
+
+(* Fig. 9: churn kills locks, barely dents shared-nothing. *)
+let test_fig9_churn () =
+  let trace_of churn =
+    Traffic.Churn.trace (Random.State.make [| 9 |])
+      {
+        Traffic.Churn.default_spec with
+        Traffic.Churn.active_flows = 1024;
+        flows_per_gbit = churn;
+        pkts = 12_000;
+      }
+  in
+  let nf = Nfs.Registry.find_exn "fw" in
+  let eval strategy churn =
+    let trace = trace_of churn in
+    let p = Sim.Profile.of_trace ~skip:1024 nf trace in
+    gbps (plan_for ~strategy "fw" 8) p trace
+  in
+  let sn_quiet = eval `Auto 0.0 and sn_churny = eval `Auto 300_000.0 in
+  let locks_quiet = eval `Force_locks 0.0 and locks_churny = eval `Force_locks 300_000.0 in
+  Alcotest.(check bool) "sn barely dented" true (sn_churny > 0.6 *. sn_quiet);
+  Alcotest.(check bool) "locks collapse" true (locks_churny < 0.4 *. locks_quiet)
+
+(* Fig. 5: zipf hurts unbalanced shared-nothing; balancing recovers part;
+   one core prefers zipf (cache). *)
+let test_fig5_zipf () =
+  let uni = Sim.Workload.read_heavy ~pkts:20_000 ~flows:1000 "fw" in
+  let zipf = Sim.Workload.zipf ~pkts:20_000 "fw" in
+  let pu = Sim.Workload.profile_of uni and pz = Sim.Workload.profile_of zipf in
+  let g ?balanced_reta profile (w : Sim.Workload.t) cores =
+    gbps ?balanced_reta (plan_for "fw" cores) profile w.Sim.Workload.trace
+  in
+  Alcotest.(check bool) "1 core: zipf >= uniform (cache bonus)" true
+    (g pz zipf 1 >= g pu uni 1);
+  Alcotest.(check bool) "8 cores: uniform beats zipf" true (g pu uni 8 > 1.3 *. g pz zipf 8);
+  Alcotest.(check bool) "8 cores: balancing helps zipf" true
+    (g ~balanced_reta:true pz zipf 8 >= g pz zipf 8)
+
+(* Fig. 11: Maestro SN decisively beats VPP; Maestro locks edge it out. *)
+let test_fig11_vpp () =
+  let w = Sim.Workload.read_heavy ~pkts:8000 ~flows:2000 "nat" in
+  let p = Sim.Workload.profile_of w in
+  let sn = gbps (plan_for "nat" 16) p w.Sim.Workload.trace in
+  let locks = gbps (plan_for ~strategy:`Force_locks "nat" 16) p w.Sim.Workload.trace in
+  let vpp =
+    gbps ~params:Vpp.Nat44.cost_params
+      (plan_for ~strategy:`Force_locks "nat" 16)
+      p w.Sim.Workload.trace
+  in
+  Alcotest.(check bool) (Printf.sprintf "SN %.1f decisively beats VPP %.1f" sn vpp) true
+    (sn > 1.5 *. vpp);
+  Alcotest.(check bool) (Printf.sprintf "locks %.1f slightly beat VPP %.1f" locks vpp) true
+    (locks > vpp && locks < 1.25 *. vpp)
+
+(* Fig. 6: solving dominates generation time; NOP/SBridge are instant. *)
+let test_fig6_solving_dominates () =
+  let t name =
+    let o = Maestro.Pipeline.parallelize_exn (Nfs.Registry.find_exn name) in
+    o.Maestro.Pipeline.timing
+  in
+  let fw = t "fw" in
+  Alcotest.(check bool) "fw solving dominates" true
+    (fw.Maestro.Pipeline.solving_s > 0.5 *. Maestro.Pipeline.total_s fw);
+  let nop = t "nop" in
+  Alcotest.(check bool) "nop instant" true (Maestro.Pipeline.total_s nop < 0.1)
+
+let suite =
+  [
+    Alcotest.test_case "fig8: pcie vs line rate" `Slow test_fig8_shape;
+    Alcotest.test_case "fig10: shared-nothing near-linear" `Slow
+      test_fig10_shared_nothing_linear;
+    Alcotest.test_case "fig10: shared-nothing beats locks" `Slow
+      test_fig10_shared_nothing_beats_locks;
+    Alcotest.test_case "fig10: policer locks catastrophic" `Slow
+      test_fig10_policer_locks_catastrophic;
+    Alcotest.test_case "fig10: tm rises then collapses" `Slow test_fig10_tm_crossover;
+    Alcotest.test_case "fig10: psd compound speedup" `Slow test_fig10_psd_compound_speedup;
+    Alcotest.test_case "fig9: churn shapes" `Slow test_fig9_churn;
+    Alcotest.test_case "fig5: zipf shapes" `Slow test_fig5_zipf;
+    Alcotest.test_case "fig11: vpp comparison shapes" `Slow test_fig11_vpp;
+    Alcotest.test_case "fig6: solving dominates" `Slow test_fig6_solving_dominates;
+  ]

@@ -1,0 +1,149 @@
+(* Tests for GF(2) linear systems. *)
+
+open Gf2
+
+let solve_exn sys =
+  match System.eliminate sys with
+  | Some s -> s
+  | None -> Alcotest.fail "expected a consistent system"
+
+let test_simple_solve () =
+  (* x0 + x1 = 1, x1 = 1  =>  x0 = 0, x1 = 1 *)
+  let sys = System.create ~cols:2 in
+  System.add_equation sys ~coeffs:[ 0; 1 ] ~rhs:true;
+  System.add_equation sys ~coeffs:[ 1 ] ~rhs:true;
+  let s = solve_exn sys in
+  let x = System.solve s in
+  Alcotest.(check (array bool)) "solution" [| false; true |] x;
+  Alcotest.(check int) "rank" 2 (System.rank s);
+  Alcotest.(check int) "free" 0 (System.n_free s);
+  Alcotest.(check bool) "check" true (System.check sys x)
+
+let test_inconsistent () =
+  let sys = System.create ~cols:1 in
+  System.add_equation sys ~coeffs:[ 0 ] ~rhs:true;
+  System.add_equation sys ~coeffs:[ 0 ] ~rhs:false;
+  Alcotest.(check bool) "unsat" true (System.eliminate sys = None)
+
+let test_inconsistent_implied () =
+  (* x0+x1=0, x1+x2=0, x0+x2=1 is inconsistent by summing *)
+  let sys = System.create ~cols:3 in
+  System.add_equation sys ~coeffs:[ 0; 1 ] ~rhs:false;
+  System.add_equation sys ~coeffs:[ 1; 2 ] ~rhs:false;
+  System.add_equation sys ~coeffs:[ 0; 2 ] ~rhs:true;
+  Alcotest.(check bool) "unsat" true (System.eliminate sys = None)
+
+let test_free_variables () =
+  let sys = System.create ~cols:4 in
+  System.add_equal sys 0 1;
+  System.add_zero sys 2;
+  let s = solve_exn sys in
+  Alcotest.(check int) "free" 2 (System.n_free s);
+  let x = System.solve s in
+  Alcotest.(check bool) "x0=x1" true (x.(0) = x.(1));
+  Alcotest.(check bool) "x2=0" true (not x.(2))
+
+let test_duplicate_coeffs_cancel () =
+  (* x0 + x0 + x1 = 1 is x1 = 1 *)
+  let sys = System.create ~cols:2 in
+  System.add_equation sys ~coeffs:[ 0; 0; 1 ] ~rhs:true;
+  let s = solve_exn sys in
+  Alcotest.(check int) "rank 1" 1 (System.rank s);
+  Alcotest.(check bool) "x1" true (System.solve s).(1)
+
+let test_nullspace () =
+  let sys = System.create ~cols:3 in
+  System.add_equation sys ~coeffs:[ 0; 1; 2 ] ~rhs:false;
+  let s = solve_exn sys in
+  let basis = System.nullspace s in
+  Alcotest.(check int) "dim" 2 (List.length basis);
+  List.iter
+    (fun v -> Alcotest.(check bool) "basis vector solves homogeneous" true (System.check sys v))
+    basis
+
+let test_sample_bias () =
+  (* An unconstrained 64-var system sampled with bias 1.0 must be all ones. *)
+  let sys = System.create ~cols:64 in
+  let s = solve_exn sys in
+  let rng = Random.State.make [| 1 |] in
+  let x = System.sample s ~rng ~one_bias:1.0 in
+  Alcotest.(check bool) "all ones" true (Array.for_all Fun.id x);
+  let y = System.sample s ~rng ~one_bias:0.0 in
+  Alcotest.(check bool) "all zeros" true (Array.for_all not y)
+
+let test_out_of_range () =
+  let sys = System.create ~cols:2 in
+  Alcotest.check_raises "index" (Invalid_argument "Gf2.System.add_equation: index")
+    (fun () -> System.add_equation sys ~coeffs:[ 2 ] ~rhs:false)
+
+(* --- properties --------------------------------------------------------- *)
+
+(* Random systems: generate a hidden solution, emit equations consistent with
+   it; elimination must find some solution satisfying all equations. *)
+let prop_consistent_systems_solve =
+  QCheck.Test.make ~name:"systems built from a hidden witness are solvable" ~count:100
+    QCheck.(pair (int_range 1 40) (int_range 0 60))
+    (fun (cols, nrows) ->
+      let rng = Random.State.make [| cols; nrows |] in
+      let hidden = Array.init cols (fun _ -> Random.State.bool rng) in
+      let sys = System.create ~cols in
+      for _ = 1 to nrows do
+        let coeffs =
+          List.filter (fun _ -> Random.State.bool rng) (List.init cols Fun.id)
+        in
+        let rhs = List.fold_left (fun acc i -> if hidden.(i) then not acc else acc) false coeffs in
+        System.add_equation sys ~coeffs ~rhs
+      done;
+      match System.eliminate sys with
+      | None -> false
+      | Some s ->
+          let x = System.solve s in
+          System.check sys x && System.check sys hidden)
+
+let prop_sampled_solutions_check =
+  QCheck.Test.make ~name:"sampled solutions satisfy the system" ~count:100
+    QCheck.(pair (int_range 1 30) (int_range 0 40))
+    (fun (cols, nrows) ->
+      let rng = Random.State.make [| cols; nrows; 7 |] in
+      let hidden = Array.init cols (fun _ -> Random.State.bool rng) in
+      let sys = System.create ~cols in
+      for _ = 1 to nrows do
+        let coeffs = List.filter (fun _ -> Random.State.bool rng) (List.init cols Fun.id) in
+        let rhs = List.fold_left (fun acc i -> if hidden.(i) then not acc else acc) false coeffs in
+        System.add_equation sys ~coeffs ~rhs
+      done;
+      match System.eliminate sys with
+      | None -> false
+      | Some s ->
+          List.for_all
+            (fun bias -> System.check sys (System.sample s ~rng ~one_bias:bias))
+            [ 0.0; 0.3; 0.7; 1.0 ])
+
+let prop_rank_plus_free =
+  QCheck.Test.make ~name:"rank + free = cols on consistent systems" ~count:100
+    QCheck.(int_range 1 30)
+    (fun cols ->
+      let rng = Random.State.make [| cols; 13 |] in
+      let sys = System.create ~cols in
+      for _ = 1 to cols / 2 do
+        let i = Random.State.int rng cols and j = Random.State.int rng cols in
+        System.add_equal sys i j
+      done;
+      match System.eliminate sys with
+      | None -> false
+      | Some s -> System.rank s + System.n_free s = cols)
+
+let suite =
+  [
+    Alcotest.test_case "simple solve" `Quick test_simple_solve;
+    Alcotest.test_case "inconsistent" `Quick test_inconsistent;
+    Alcotest.test_case "inconsistent (implied)" `Quick test_inconsistent_implied;
+    Alcotest.test_case "free variables" `Quick test_free_variables;
+    Alcotest.test_case "duplicate coefficients cancel" `Quick test_duplicate_coeffs_cancel;
+    Alcotest.test_case "nullspace" `Quick test_nullspace;
+    Alcotest.test_case "sample bias" `Quick test_sample_bias;
+    Alcotest.test_case "out of range" `Quick test_out_of_range;
+    QCheck_alcotest.to_alcotest prop_consistent_systems_solve;
+    QCheck_alcotest.to_alcotest prop_sampled_solutions_check;
+    QCheck_alcotest.to_alcotest prop_rank_plus_free;
+  ]

@@ -1,0 +1,293 @@
+(* Behavioral tests for the eight evaluated NFs, run sequentially through
+   the DSL interpreter. *)
+
+open Dsl.Ast
+
+let ip a b c d = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+let lan = 0
+let wan = 1
+
+let pkt ?(port = 0) ?(ts_ns = 0) ?(size = 64) src sport dst dport =
+  Packet.Pkt.make ~port ~ts_ns ~size ~ip_src:src ~ip_dst:dst ~src_port:sport ~dst_port:dport ()
+
+type runner = { nf : t; run : Packet.Pkt.t -> Dsl.Interp.action }
+
+let runner nf =
+  let info = Dsl.Check.check_exn nf in
+  let inst = Dsl.Instance.create nf in
+  { nf; run = (fun p -> Dsl.Interp.process nf info inst p) }
+
+let is_fwd port = function Dsl.Interp.Fwd (p, _) -> p = port | Dsl.Interp.Dropped -> false
+let is_drop = function Dsl.Interp.Dropped -> true | Dsl.Interp.Fwd _ -> false
+
+let check_fwd msg port action = Alcotest.(check bool) msg true (is_fwd port action)
+let check_drop msg action = Alcotest.(check bool) msg true (is_drop action)
+
+(* --- NOP ----------------------------------------------------------------- *)
+
+let test_nop () =
+  let r = runner (Nfs.Nop.make ()) in
+  check_fwd "lan->wan" wan (r.run (pkt ~port:lan 1 2 3 4));
+  check_fwd "wan->lan" lan (r.run (pkt ~port:wan 1 2 3 4))
+
+(* --- FW ------------------------------------------------------------------ *)
+
+let test_fw_blocks_unsolicited () =
+  let r = runner (Nfs.Fw.make ()) in
+  check_drop "unsolicited wan" (r.run (pkt ~port:wan (ip 8 8 8 8) 53 (ip 10 0 0 1) 4444))
+
+let test_fw_admits_replies () =
+  let r = runner (Nfs.Fw.make ()) in
+  let client = ip 10 0 0 1 and server = ip 8 8 8 8 in
+  check_fwd "outbound" wan (r.run (pkt ~port:lan client 4444 server 53));
+  (* the symmetric reply must get in *)
+  check_fwd "reply admitted" lan (r.run (pkt ~port:wan server 53 client 4444));
+  (* a different server is still blocked *)
+  check_drop "other server blocked" (r.run (pkt ~port:wan (ip 9 9 9 9) 53 client 4444))
+
+let test_fw_expiry () =
+  let r = runner (Nfs.Fw.make ~expiry_ns:1_000 ()) in
+  let client = ip 10 0 0 1 and server = ip 8 8 8 8 in
+  check_fwd "outbound" wan (r.run (pkt ~port:lan ~ts_ns:0 client 4444 server 53));
+  check_fwd "fresh reply ok" lan (r.run (pkt ~port:wan ~ts_ns:500 server 53 client 4444));
+  (* long after expiry, the reply is unsolicited again *)
+  check_drop "stale reply dropped" (r.run (pkt ~port:wan ~ts_ns:1_000_000 server 53 client 4444))
+
+let test_fw_rejuvenation_keeps_flow_alive () =
+  let r = runner (Nfs.Fw.make ~expiry_ns:1_000 ()) in
+  let client = ip 10 0 0 1 and server = ip 8 8 8 8 in
+  check_fwd "outbound" wan (r.run (pkt ~port:lan ~ts_ns:0 client 4444 server 53));
+  (* keep touching the flow every 800ns: it must never expire *)
+  for i = 1 to 5 do
+    check_fwd "kept alive" lan (r.run (pkt ~port:wan ~ts_ns:(i * 800) server 53 client 4444))
+  done
+
+(* --- Policer ------------------------------------------------------------- *)
+
+let test_policer_uploads_unpoliced () =
+  let r = runner (Nfs.Policer.make ()) in
+  check_fwd "upload passes" wan (r.run (pkt ~port:lan (ip 10 0 0 1) 1 (ip 8 8 8 8) 2))
+
+let test_policer_limits_rate () =
+  (* burst of 150 bytes, 1 byte per 8ns: two quick 100B packets exceed it *)
+  let r = runner (Nfs.Policer.make ~burst:150 ~ns_per_byte:8 ()) in
+  let user = ip 10 0 0 9 in
+  check_fwd "first within burst" lan (r.run (pkt ~port:wan ~size:100 ~ts_ns:0 (ip 8 8 8 8) 80 user 5555));
+  check_drop "second exceeds burst" (r.run (pkt ~port:wan ~size:100 ~ts_ns:10 (ip 8 8 8 8) 80 user 5555))
+
+let test_policer_refills () =
+  let r = runner (Nfs.Policer.make ~burst:150 ~ns_per_byte:8 ()) in
+  let user = ip 10 0 0 9 in
+  check_fwd "first" lan (r.run (pkt ~port:wan ~size:100 ~ts_ns:0 (ip 8 8 8 8) 80 user 5555));
+  (* after 100 * 8 ns the bucket regained 100 bytes *)
+  check_fwd "refilled" lan (r.run (pkt ~port:wan ~size:100 ~ts_ns:900 (ip 8 8 8 8) 80 user 5555))
+
+let test_policer_per_user_isolation () =
+  let r = runner (Nfs.Policer.make ~burst:150 ~ns_per_byte:8 ()) in
+  check_fwd "user a" lan (r.run (pkt ~port:wan ~size:100 ~ts_ns:0 (ip 8 8 8 8) 80 (ip 10 0 0 1) 5555));
+  (* a different user has their own bucket *)
+  check_fwd "user b unaffected" lan
+    (r.run (pkt ~port:wan ~size:100 ~ts_ns:1 (ip 8 8 8 8) 80 (ip 10 0 0 2) 5555))
+
+(* --- Bridges ------------------------------------------------------------- *)
+
+let mac i = 0x02_00_00_00_10_00 + i
+
+let bpkt ~port ~src_mac ~dst_mac =
+  Packet.Pkt.make ~port ~eth_src:src_mac ~eth_dst:dst_mac ~ip_src:(ip 10 0 0 1)
+    ~ip_dst:(ip 10 0 0 2) ~src_port:1 ~dst_port:2 ()
+
+let test_sbridge_static_forwarding () =
+  let r = runner (Nfs.Bridge.static ~bindings:[ (mac 1, lan); (mac 2, wan) ] ()) in
+  check_fwd "to wan host" wan (r.run (bpkt ~port:lan ~src_mac:(mac 1) ~dst_mac:(mac 2)));
+  check_fwd "to lan host" lan (r.run (bpkt ~port:wan ~src_mac:(mac 2) ~dst_mac:(mac 1)));
+  check_drop "unknown mac dropped" (r.run (bpkt ~port:lan ~src_mac:(mac 1) ~dst_mac:(mac 99)));
+  check_drop "same-port filtered" (r.run (bpkt ~port:lan ~src_mac:(mac 2) ~dst_mac:(mac 1)))
+
+let test_dbridge_learns () =
+  let r = runner (Nfs.Bridge.dynamic ()) in
+  (* unknown destination: dropped, but the source was learned *)
+  check_drop "unknown dst" (r.run (bpkt ~port:lan ~src_mac:(mac 1) ~dst_mac:(mac 2)));
+  (* now mac 2 speaks from the wan side; mac 1 is known on the lan port *)
+  check_fwd "learned" lan (r.run (bpkt ~port:wan ~src_mac:(mac 2) ~dst_mac:(mac 1)));
+  (* and the reverse direction works too *)
+  check_fwd "both ways" wan (r.run (bpkt ~port:lan ~src_mac:(mac 1) ~dst_mac:(mac 2)))
+
+let test_dbridge_migration () =
+  let r = runner (Nfs.Bridge.dynamic ()) in
+  check_drop "learn mac1 on lan" (r.run (bpkt ~port:lan ~src_mac:(mac 1) ~dst_mac:(mac 9)));
+  (* the host moves to the wan port *)
+  check_drop "relearn on wan" (r.run (bpkt ~port:wan ~src_mac:(mac 1) ~dst_mac:(mac 9)));
+  (* traffic for mac1 from wan is now same-port filtered *)
+  check_drop "same port" (r.run (bpkt ~port:wan ~src_mac:(mac 3) ~dst_mac:(mac 1)));
+  check_fwd "from lan" wan (r.run (bpkt ~port:lan ~src_mac:(mac 4) ~dst_mac:(mac 1)))
+
+(* --- PSD ----------------------------------------------------------------- *)
+
+let test_psd_allows_below_threshold () =
+  let r = runner (Nfs.Psd.make ~threshold:4 ()) in
+  let src = ip 10 0 0 7 in
+  for port = 1 to 4 do
+    check_fwd "scan below threshold" wan (r.run (pkt ~port:lan src 1000 (ip 8 8 8 8) port))
+  done
+
+let test_psd_blocks_scan () =
+  let r = runner (Nfs.Psd.make ~threshold:4 ()) in
+  let src = ip 10 0 0 7 in
+  for port = 1 to 4 do
+    ignore (r.run (pkt ~port:lan src 1000 (ip 8 8 8 8) port))
+  done;
+  check_drop "fifth port blocked" (r.run (pkt ~port:lan src 1000 (ip 8 8 8 8) 5));
+  (* revisiting an already-authorized port is fine *)
+  check_fwd "known port ok" wan (r.run (pkt ~port:lan src 1000 (ip 8 8 8 8) 3));
+  (* other sources are unaffected *)
+  check_fwd "other source" wan (r.run (pkt ~port:lan (ip 10 0 0 8) 1000 (ip 8 8 8 8) 5))
+
+(* --- NAT ----------------------------------------------------------------- *)
+
+let ext_ip = 0xc0a80101
+
+let test_nat_translates_and_replies () =
+  let r = runner (Nfs.Nat.make ~external_ip:ext_ip ()) in
+  let client = ip 10 0 0 1 and server = ip 8 8 8 8 in
+  (match r.run (pkt ~port:lan client 4444 server 80) with
+  | Dsl.Interp.Fwd (p, out) ->
+      Alcotest.(check int) "to wan" wan p;
+      Alcotest.(check int) "src rewritten" ext_ip out.Packet.Pkt.ip_src;
+      Alcotest.(check bool) "port allocated" true (out.Packet.Pkt.src_port >= 1024);
+      (* the reply to the allocated port must reach the client *)
+      (match r.run (pkt ~port:wan server 80 ext_ip out.Packet.Pkt.src_port) with
+      | Dsl.Interp.Fwd (p', back) ->
+          Alcotest.(check int) "to lan" lan p';
+          Alcotest.(check int) "dst restored" client back.Packet.Pkt.ip_dst;
+          Alcotest.(check int) "dport restored" 4444 back.Packet.Pkt.dst_port
+      | Dsl.Interp.Dropped -> Alcotest.fail "reply dropped")
+  | Dsl.Interp.Dropped -> Alcotest.fail "outbound dropped")
+
+let test_nat_blocks_spoofed_reply () =
+  let r = runner (Nfs.Nat.make ~external_ip:ext_ip ()) in
+  let client = ip 10 0 0 1 and server = ip 8 8 8 8 in
+  match r.run (pkt ~port:lan client 4444 server 80) with
+  | Dsl.Interp.Fwd (_, out) ->
+      (* a different host aiming at the allocated port is rejected *)
+      check_drop "spoofed" (r.run (pkt ~port:wan (ip 6 6 6 6) 80 ext_ip out.Packet.Pkt.src_port));
+      (* even the right server from a different port *)
+      check_drop "wrong port" (r.run (pkt ~port:wan server 81 ext_ip out.Packet.Pkt.src_port))
+  | Dsl.Interp.Dropped -> Alcotest.fail "outbound dropped"
+
+let test_nat_allocates_distinct_ports () =
+  let r = runner (Nfs.Nat.make ()) in
+  let server = ip 8 8 8 8 in
+  let out1 = r.run (pkt ~port:lan (ip 10 0 0 1) 1111 server 80) in
+  let out2 = r.run (pkt ~port:lan (ip 10 0 0 2) 2222 server 80) in
+  match (out1, out2) with
+  | Dsl.Interp.Fwd (_, a), Dsl.Interp.Fwd (_, b) ->
+      Alcotest.(check bool) "distinct external ports" true
+        (a.Packet.Pkt.src_port <> b.Packet.Pkt.src_port)
+  | _ -> Alcotest.fail "translation failed"
+
+let test_nat_same_flow_same_port () =
+  let r = runner (Nfs.Nat.make ()) in
+  let server = ip 8 8 8 8 in
+  match (r.run (pkt ~port:lan (ip 10 0 0 1) 1111 server 80), r.run (pkt ~port:lan (ip 10 0 0 1) 1111 server 80)) with
+  | Dsl.Interp.Fwd (_, a), Dsl.Interp.Fwd (_, b) ->
+      Alcotest.(check int) "stable mapping" a.Packet.Pkt.src_port b.Packet.Pkt.src_port
+  | _ -> Alcotest.fail "translation failed"
+
+(* --- LB ------------------------------------------------------------------ *)
+
+let test_lb_sticky_flows () =
+  let r = runner (Nfs.Lb.make ~backends:4 ()) in
+  (* register two backends *)
+  ignore (r.run (pkt ~port:lan (ip 10 0 1 1) 80 (ip 1 1 1 1) 99));
+  ignore (r.run (pkt ~port:lan (ip 10 0 1 2) 80 (ip 1 1 1 1) 99));
+  (* a wan flow gets pinned to some backend and sticks to it *)
+  let client = pkt ~port:wan (ip 7 7 7 7) 3333 (ip 5 5 5 5) 80 in
+  match r.run client with
+  | Dsl.Interp.Fwd (p, first) ->
+      Alcotest.(check int) "to lan" lan p;
+      let backend = first.Packet.Pkt.ip_dst in
+      Alcotest.(check bool) "a registered backend" true
+        (backend = ip 10 0 1 1 || backend = ip 10 0 1 2);
+      for _ = 1 to 3 do
+        match r.run client with
+        | Dsl.Interp.Fwd (_, again) ->
+            Alcotest.(check int) "sticky" backend again.Packet.Pkt.ip_dst
+        | Dsl.Interp.Dropped -> Alcotest.fail "sticky packet dropped"
+      done
+  | Dsl.Interp.Dropped -> Alcotest.fail "no backend found (slot empty)"
+
+let test_lb_no_backends_drops () =
+  let r = runner (Nfs.Lb.make ~backends:4 ()) in
+  check_drop "no backends" (r.run (pkt ~port:wan (ip 7 7 7 7) 3333 (ip 5 5 5 5) 80))
+
+(* --- CL ------------------------------------------------------------------ *)
+
+let test_cl_limits_connections () =
+  let r = runner (Nfs.Cl.make ~limit:3 ()) in
+  let src = ip 10 0 0 1 and dst = ip 8 8 8 8 in
+  (* distinct flows between one pair count against the limit *)
+  for i = 1 to 4 do
+    check_fwd "within limit" wan (r.run (pkt ~port:lan src (1000 + i) dst 80))
+  done;
+  check_drop "over limit" (r.run (pkt ~port:lan src 2000 dst 80));
+  (* established flows keep working *)
+  check_fwd "existing flow ok" wan (r.run (pkt ~port:lan src 1001 dst 80));
+  (* another destination pair is unaffected *)
+  check_fwd "other pair" wan (r.run (pkt ~port:lan src 3000 (ip 9 9 9 9) 80))
+
+(* --- cross-cutting ------------------------------------------------------- *)
+
+(* Determinism: running the same packet sequence on two fresh instances
+   produces identical verdicts — the baseline for parallel equivalence. *)
+let prop_sequential_determinism =
+  QCheck.Test.make ~name:"sequential NFs are deterministic" ~count:20
+    QCheck.(pair (int_range 0 1000000) (int_range 1 50))
+    (fun (seed, n) ->
+      let rng = Random.State.make [| seed |] in
+      let mk () = runner (Nfs.Fw.make ()) in
+      let a = mk () and b = mk () in
+      let pkts =
+        List.init n (fun i ->
+            pkt
+              ~port:(Random.State.int rng 2)
+              ~ts_ns:(i * 1000)
+              (Random.State.int rng 16)
+              (Random.State.int rng 4)
+              (Random.State.int rng 16)
+              (Random.State.int rng 4))
+      in
+      List.for_all
+        (fun p ->
+          match (a.run p, b.run p) with
+          | Dsl.Interp.Dropped, Dsl.Interp.Dropped -> true
+          | Dsl.Interp.Fwd (pa, oa), Dsl.Interp.Fwd (pb, ob) ->
+              pa = pb && Packet.Pkt.equal oa ob
+          | _ -> false)
+        pkts)
+
+let suite =
+  [
+    Alcotest.test_case "nop forwards" `Quick test_nop;
+    Alcotest.test_case "fw blocks unsolicited" `Quick test_fw_blocks_unsolicited;
+    Alcotest.test_case "fw admits replies" `Quick test_fw_admits_replies;
+    Alcotest.test_case "fw expiry" `Quick test_fw_expiry;
+    Alcotest.test_case "fw rejuvenation" `Quick test_fw_rejuvenation_keeps_flow_alive;
+    Alcotest.test_case "policer uploads unpoliced" `Quick test_policer_uploads_unpoliced;
+    Alcotest.test_case "policer limits rate" `Quick test_policer_limits_rate;
+    Alcotest.test_case "policer refills" `Quick test_policer_refills;
+    Alcotest.test_case "policer per-user isolation" `Quick test_policer_per_user_isolation;
+    Alcotest.test_case "sbridge static forwarding" `Quick test_sbridge_static_forwarding;
+    Alcotest.test_case "dbridge learns" `Quick test_dbridge_learns;
+    Alcotest.test_case "dbridge migration" `Quick test_dbridge_migration;
+    Alcotest.test_case "psd below threshold" `Quick test_psd_allows_below_threshold;
+    Alcotest.test_case "psd blocks scan" `Quick test_psd_blocks_scan;
+    Alcotest.test_case "nat translate/reply" `Quick test_nat_translates_and_replies;
+    Alcotest.test_case "nat blocks spoofed" `Quick test_nat_blocks_spoofed_reply;
+    Alcotest.test_case "nat distinct ports" `Quick test_nat_allocates_distinct_ports;
+    Alcotest.test_case "nat stable mapping" `Quick test_nat_same_flow_same_port;
+    Alcotest.test_case "lb sticky flows" `Quick test_lb_sticky_flows;
+    Alcotest.test_case "lb no backends" `Quick test_lb_no_backends_drops;
+    Alcotest.test_case "cl limits connections" `Quick test_cl_limits_connections;
+    QCheck_alcotest.to_alcotest prop_sequential_determinism;
+  ]

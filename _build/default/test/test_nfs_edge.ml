@@ -1,0 +1,190 @@
+(* Edge-case behavior of the NF corpus: capacity exhaustion, expiry
+   interplay, throttling boundaries — the semantics §4 says sharding must
+   preserve locally. *)
+
+
+let ip a b c d = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let pkt ?(port = 0) ?(ts_ns = 0) ?(size = 64) src sport dst dport =
+  Packet.Pkt.make ~port ~ts_ns ~size ~ip_src:src ~ip_dst:dst ~src_port:sport ~dst_port:dport ()
+
+let runner nf =
+  let info = Dsl.Check.check_exn nf in
+  let inst = Dsl.Instance.create nf in
+  fun p -> Dsl.Interp.process nf info inst p
+
+let is_fwd port = function Dsl.Interp.Fwd (p, _) -> p = port | Dsl.Interp.Dropped -> false
+let is_drop = function Dsl.Interp.Dropped -> true | Dsl.Interp.Fwd _ -> false
+
+(* --- capacity exhaustion --------------------------------------------------- *)
+
+let test_fw_outbound_survives_full_table () =
+  let run = runner (Nfs.Fw.make ~capacity:4 ()) in
+  (* fill the flow table *)
+  for i = 1 to 4 do
+    assert (is_fwd 1 (run (pkt (ip 10 0 0 i) 1000 (ip 96 0 0 1) 80)))
+  done;
+  (* a fifth outbound flow still forwards (fail-open for egress) ... *)
+  Alcotest.(check bool) "outbound still flows" true
+    (is_fwd 1 (run (pkt (ip 10 0 0 9) 1000 (ip 96 0 0 1) 80)));
+  (* ... but its reply is unsolicited: the session was never recorded *)
+  Alcotest.(check bool) "untracked reply dropped" true
+    (is_drop (run (pkt ~port:1 (ip 96 0 0 1) 80 (ip 10 0 0 9) 1000)))
+
+let test_fw_expiry_frees_capacity () =
+  let run = runner (Nfs.Fw.make ~capacity:2 ~expiry_ns:1_000 ()) in
+  assert (is_fwd 1 (run (pkt ~ts_ns:0 (ip 10 0 0 1) 1 (ip 96 0 0 1) 80)));
+  assert (is_fwd 1 (run (pkt ~ts_ns:10 (ip 10 0 0 2) 1 (ip 96 0 0 1) 80)));
+  (* both slots full and fresh: a third flow is untracked *)
+  assert (is_fwd 1 (run (pkt ~ts_ns:20 (ip 10 0 0 3) 1 (ip 96 0 0 1) 80)));
+  Alcotest.(check bool) "third reply dropped while full" true
+    (is_drop (run (pkt ~port:1 ~ts_ns:30 (ip 96 0 0 1) 80 (ip 10 0 0 3) 1)));
+  (* after expiry the table admits and tracks new flows again *)
+  assert (is_fwd 1 (run (pkt ~ts_ns:10_000 (ip 10 0 0 4) 1 (ip 96 0 0 1) 80)));
+  Alcotest.(check bool) "tracked after expiry" true
+    (is_fwd 0 (run (pkt ~port:1 ~ts_ns:10_010 (ip 96 0 0 1) 80 (ip 10 0 0 4) 1)))
+
+let test_nat_port_pool_exhaustion () =
+  let run = runner (Nfs.Nat.make ~capacity:2 ()) in
+  assert (is_fwd 1 (run (pkt (ip 10 0 0 1) 1 (ip 96 0 0 1) 80)));
+  assert (is_fwd 1 (run (pkt (ip 10 0 0 2) 1 (ip 96 0 0 1) 80)));
+  (* no external ports left: new connections are refused *)
+  Alcotest.(check bool) "third connection refused" true
+    (is_drop (run (pkt (ip 10 0 0 3) 1 (ip 96 0 0 1) 80)));
+  (* existing sessions keep working *)
+  Alcotest.(check bool) "existing session fine" true
+    (is_fwd 1 (run (pkt (ip 10 0 0 1) 1 (ip 96 0 0 1) 80)))
+
+(* --- policer boundaries ----------------------------------------------------- *)
+
+let test_policer_exact_burst_boundary () =
+  let run = runner (Nfs.Policer.make ~burst:128 ~ns_per_byte:8 ()) in
+  let user = ip 10 0 0 1 in
+  (* exactly the burst: admitted; one byte more would not be *)
+  Alcotest.(check bool) "exact burst passes" true
+    (is_fwd 0 (run (pkt ~port:1 ~size:128 ~ts_ns:0 (ip 96 0 0 1) 80 user 1)));
+  Alcotest.(check bool) "empty bucket drops" true
+    (is_drop (run (pkt ~port:1 ~size:64 ~ts_ns:8 (ip 96 0 0 1) 80 user 1)))
+
+let test_policer_bucket_never_exceeds_burst () =
+  let run = runner (Nfs.Policer.make ~burst:100 ~ns_per_byte:1 ()) in
+  let user = ip 10 0 0 2 in
+  assert (is_fwd 0 (run (pkt ~port:1 ~size:64 ~ts_ns:0 (ip 96 0 0 1) 80 user 1)));
+  (* wait far longer than needed to refill: the bucket caps at [burst],
+     so a 101-byte... (frame min is 64; use two 64B back-to-back) *)
+  assert (is_fwd 0 (run (pkt ~port:1 ~size:64 ~ts_ns:1_000_000 (ip 96 0 0 1) 80 user 1)));
+  Alcotest.(check bool) "second in a row exceeds the capped bucket" true
+    (is_drop (run (pkt ~port:1 ~size:64 ~ts_ns:1_000_010 (ip 96 0 0 1) 80 user 1)))
+
+(* --- psd / cl boundaries ----------------------------------------------------- *)
+
+let test_psd_threshold_is_exact () =
+  let run = runner (Nfs.Psd.make ~threshold:3 ()) in
+  let src = ip 10 0 0 3 in
+  for port = 1 to 3 do
+    assert (is_fwd 1 (run (pkt src 999 (ip 96 0 0 1) port)))
+  done;
+  Alcotest.(check bool) "port 4 blocked" true (is_drop (run (pkt src 999 (ip 96 0 0 1) 4)))
+
+let test_psd_expiry_resets_budget () =
+  let run = runner (Nfs.Psd.make ~threshold:2 ~expiry_ns:1_000 ()) in
+  let src = ip 10 0 0 4 in
+  assert (is_fwd 1 (run (pkt ~ts_ns:0 src 9 (ip 96 0 0 1) 1)));
+  assert (is_fwd 1 (run (pkt ~ts_ns:1 src 9 (ip 96 0 0 1) 2)));
+  assert (is_drop (run (pkt ~ts_ns:2 src 9 (ip 96 0 0 1) 3)));
+  (* after the window, the source starts fresh *)
+  Alcotest.(check bool) "budget reset" true
+    (is_fwd 1 (run (pkt ~ts_ns:10_000 src 9 (ip 96 0 0 1) 3)))
+
+let test_cl_flows_within_one_pair_share_budget () =
+  let run = runner (Nfs.Cl.make ~limit:2 ()) in
+  let src = ip 10 0 0 5 and dst = ip 96 0 0 5 in
+  assert (is_fwd 1 (run (pkt src 1001 dst 80)));
+  assert (is_fwd 1 (run (pkt src 1002 dst 80)));
+  assert (is_fwd 1 (run (pkt src 1003 dst 80)));
+  Alcotest.(check bool) "fourth connection over the limit" true
+    (is_drop (run (pkt src 1004 dst 80)));
+  (* distinct pair unaffected even with same source *)
+  Alcotest.(check bool) "other server fine" true (is_fwd 1 (run (pkt src 1005 (ip 96 0 0 6) 80)))
+
+(* --- hhh ---------------------------------------------------------------------- *)
+
+let test_hhh_throttles_heavy_prefix () =
+  let run = runner (Nfs.Hhh.make ~budgets:(1000, 1000, 3) ()) in
+  (* one /24 sends 5 packets from distinct hosts: the budget admits counts
+     up to 3, so the packet seeing an estimate of 4 is the first throttled *)
+  let verdicts =
+    List.init 5 (fun i -> run (pkt (ip 77 1 1 (10 + i)) 1000 (ip 10 0 0 66) 80))
+  in
+  Alcotest.(check int) "first four pass, fifth throttled" 4
+    (List.length (List.filter (is_fwd 1) verdicts));
+  (* a different /24 in the same /16 still has budget at /24 level *)
+  Alcotest.(check bool) "sibling /24 unaffected" true
+    (is_fwd 1 (run (pkt (ip 77 1 2 10) 1000 (ip 10 0 0 66) 80)))
+
+let test_hhh_wan_passthrough () =
+  let run = runner (Nfs.Hhh.make ()) in
+  Alcotest.(check bool) "reverse direction untouched" true
+    (is_fwd 0 (run (pkt ~port:1 (ip 10 0 0 66) 80 (ip 77 1 1 10) 1000)))
+
+(* --- lb ------------------------------------------------------------------------ *)
+
+let test_lb_inactive_slot_drops () =
+  let run = runner (Nfs.Lb.make ~backends:4 ()) in
+  (* register only slot of backend 10.0.1.1; clients hashing to empty slots
+     are refused *)
+  assert (is_fwd 1 (run (pkt (ip 10 0 1 1) 80 (ip 10 0 1 100) 9)));
+  let outcomes =
+    List.init 16 (fun i -> run (pkt ~port:1 (ip 96 0 0 (i + 1)) (3000 + i) (ip 10 0 1 100) 80))
+  in
+  let served = List.length (List.filter (is_fwd 0) outcomes) in
+  let refused = List.length (List.filter is_drop outcomes) in
+  Alcotest.(check int) "all accounted" 16 (served + refused);
+  Alcotest.(check bool) "some served, some refused" true (served > 0 && refused > 0)
+
+let test_lb_non_subnet_lan_traffic_passes () =
+  let run = runner (Nfs.Lb.make ()) in
+  (* ordinary LAN hosts are not mistaken for backends *)
+  Alcotest.(check bool) "passes through" true
+    (is_fwd 1 (run (pkt (ip 10 9 9 9) 1234 (ip 96 0 0 1) 80)))
+
+(* --- scenario 5 semantics ------------------------------------------------------ *)
+
+let test_interchangeable_scenario_behaviour () =
+  let run = runner (Nfs.Scenarios.interchangeable ()) in
+  let mac_ip = ip 10 0 0 7 in
+  (* register (source MAC, source IP) on the LAN side *)
+  let reg =
+    Packet.Pkt.make ~port:0
+      ~eth_src:(Packet.Flow.mac_of_ip mac_ip)
+      ~ip_src:mac_ip ~ip_dst:(ip 96 0 0 1) ~src_port:1 ~dst_port:2 ()
+  in
+  assert (is_fwd 1 (run reg));
+  (* WAN packets to that MAC pass only when the destination IP matches *)
+  let to_mac dst =
+    Packet.Pkt.make ~port:1
+      ~eth_dst:(Packet.Flow.mac_of_ip mac_ip)
+      ~ip_src:(ip 96 0 0 1) ~ip_dst:dst ~src_port:2 ~dst_port:1 ()
+  in
+  Alcotest.(check bool) "matching ip admitted" true (is_fwd 0 (run (to_mac mac_ip)));
+  Alcotest.(check bool) "mismatching ip dropped" true (is_drop (run (to_mac (ip 10 0 0 8))))
+
+let suite =
+  [
+    Alcotest.test_case "fw: full table fails open outbound" `Quick
+      test_fw_outbound_survives_full_table;
+    Alcotest.test_case "fw: expiry frees capacity" `Quick test_fw_expiry_frees_capacity;
+    Alcotest.test_case "nat: port pool exhaustion" `Quick test_nat_port_pool_exhaustion;
+    Alcotest.test_case "policer: exact burst boundary" `Quick test_policer_exact_burst_boundary;
+    Alcotest.test_case "policer: bucket caps at burst" `Quick
+      test_policer_bucket_never_exceeds_burst;
+    Alcotest.test_case "psd: threshold exact" `Quick test_psd_threshold_is_exact;
+    Alcotest.test_case "psd: expiry resets budget" `Quick test_psd_expiry_resets_budget;
+    Alcotest.test_case "cl: per-pair budget" `Quick test_cl_flows_within_one_pair_share_budget;
+    Alcotest.test_case "hhh: throttles heavy /24" `Quick test_hhh_throttles_heavy_prefix;
+    Alcotest.test_case "hhh: reverse passthrough" `Quick test_hhh_wan_passthrough;
+    Alcotest.test_case "lb: inactive slots refuse" `Quick test_lb_inactive_slot_drops;
+    Alcotest.test_case "lb: non-subnet traffic passes" `Quick
+      test_lb_non_subnet_lan_traffic_passes;
+    Alcotest.test_case "fig2⑤: guard semantics" `Quick test_interchangeable_scenario_behaviour;
+  ]

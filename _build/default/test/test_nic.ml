@@ -1,0 +1,239 @@
+(* Tests for the NIC library: Toeplitz hash (against the published Microsoft
+   verification vectors), field sets, capability models, RETA, RSS. *)
+
+open Packet
+open Nic
+
+let ip a b c d = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+(* The Microsoft RSS hash verification suite: (src ip:port, dst ip:port,
+   expected hash with TCP ports, expected hash over addresses only). *)
+let microsoft_vectors =
+  [
+    (ip 66 9 149 187, 2794, ip 161 142 100 80, 1766, 0x51ccc178, 0x323e8fc2);
+    (ip 199 92 111 2, 14230, ip 65 69 140 83, 4739, 0xc626b0ea, 0xd718262a);
+    (ip 24 19 198 95, 12898, ip 12 22 207 184, 38024, 0x5c2b394a, 0xd2d0a5de);
+    (ip 38 27 205 30, 48228, ip 209 142 163 6, 2217, 0xafc7327f, 0x82989176);
+    (ip 153 39 163 191, 44251, ip 202 188 127 2, 1303, 0x10e828a2, 0x5d1809c5);
+  ]
+
+let test_toeplitz_microsoft_tcp () =
+  List.iter
+    (fun (src, sport, dst, dport, expected_tcp, _) ->
+      let p = Pkt.make ~ip_src:src ~ip_dst:dst ~src_port:sport ~dst_port:dport () in
+      match Field_set.hash_input Field_set.ipv4_tcp p with
+      | None -> Alcotest.fail "no hash input"
+      | Some d ->
+          Alcotest.(check int) "tcp hash" expected_tcp
+            (Toeplitz.hash_int ~key:Toeplitz.microsoft_test_key d))
+    microsoft_vectors
+
+let test_toeplitz_microsoft_ip_only () =
+  List.iter
+    (fun (src, _, dst, _, _, expected_ip) ->
+      let p = Pkt.make ~ip_src:src ~ip_dst:dst ~src_port:0 ~dst_port:0 () in
+      match Field_set.hash_input Field_set.ipv4 p with
+      | None -> Alcotest.fail "no hash input"
+      | Some d ->
+          Alcotest.(check int) "ip hash" expected_ip
+            (Toeplitz.hash_int ~key:Toeplitz.microsoft_test_key d))
+    microsoft_vectors
+
+let test_toeplitz_zero_key () =
+  let key = Bitvec.create (52 * 8) in
+  let p = Pkt.make ~ip_src:123 ~ip_dst:456 ~src_port:7 ~dst_port:8 () in
+  match Field_set.hash_input Field_set.ipv4_tcp p with
+  | None -> Alcotest.fail "no input"
+  | Some d -> Alcotest.(check int) "zero key hashes to zero" 0 (Toeplitz.hash_int ~key d)
+
+let test_toeplitz_key_too_short () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Toeplitz.hash ~key:(Bitvec.create 64) (Bitvec.create 96));
+       false
+     with Invalid_argument _ -> true)
+
+(* A key made of a repeated 16-bit pattern hashes symmetrically under
+   src/dst swap of both addresses and ports — the Woo & Park construction
+   our RS3 must rediscover. *)
+let test_toeplitz_repeated_pattern_symmetry () =
+  let key = Bitvec.of_hex (String.concat "" (List.init 26 (fun _ -> "6d5a"))) in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 100 do
+    let p =
+      Pkt.make ~ip_src:(Random.State.int rng 0x3fffffff)
+        ~ip_dst:(Random.State.int rng 0x3fffffff)
+        ~src_port:(Random.State.int rng 0x10000)
+        ~dst_port:(Random.State.int rng 0x10000)
+        ()
+    in
+    let d = Option.get (Field_set.hash_input Field_set.ipv4_tcp p) in
+    let d' = Option.get (Field_set.hash_input Field_set.ipv4_tcp (Pkt.flip p)) in
+    Alcotest.(check int32) "symmetric" (Toeplitz.hash ~key d) (Toeplitz.hash ~key d')
+  done
+
+let test_field_set_canonical_order () =
+  let a = Field_set.make [ Field.Dst_port; Field.Ip_src; Field.Src_port; Field.Ip_dst ] in
+  Alcotest.(check bool) "order-insensitive" true (Field_set.equal a Field_set.ipv4_tcp);
+  Alcotest.(check int) "input bits" 96 (Field_set.input_bits a)
+
+let test_field_set_offsets () =
+  Alcotest.(check (option int)) "ip_src" (Some 0) (Field_set.offset Field_set.ipv4_tcp Field.Ip_src);
+  Alcotest.(check (option int)) "ip_dst" (Some 32) (Field_set.offset Field_set.ipv4_tcp Field.Ip_dst);
+  Alcotest.(check (option int)) "sport" (Some 64) (Field_set.offset Field_set.ipv4_tcp Field.Src_port);
+  Alcotest.(check (option int)) "dport" (Some 80) (Field_set.offset Field_set.ipv4_tcp Field.Dst_port);
+  Alcotest.(check (option int)) "absent" None (Field_set.offset Field_set.ipv4 Field.Src_port)
+
+let test_field_set_rejects_mac () =
+  Alcotest.(check bool) "mac rejected" true
+    (try
+       ignore (Field_set.make [ Field.Eth_src ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_field_set_matches () =
+  let tcp = Pkt.make ~ip_src:1 ~ip_dst:2 ~src_port:3 ~dst_port:4 () in
+  let icmp = Pkt.make ~proto:(Pkt.Other 1) ~ip_src:1 ~ip_dst:2 ~src_port:0 ~dst_port:0 () in
+  Alcotest.(check bool) "tcp matches" true (Field_set.matches Field_set.ipv4_tcp tcp);
+  Alcotest.(check bool) "icmp no ports" false (Field_set.matches Field_set.ipv4_tcp icmp);
+  Alcotest.(check bool) "icmp ip-only ok" true (Field_set.matches Field_set.ipv4 icmp)
+
+let test_nic_capabilities () =
+  Alcotest.(check bool) "e810 supports tcp tuple" true (Model.supports Model.E810 Field_set.ipv4_tcp);
+  Alcotest.(check bool) "e810 arbitrary subset" true
+    (Model.supports Model.E810 (Field_set.make [ Field.Ip_dst ]));
+  Alcotest.(check bool) "e810 dst-only pair" true
+    (Model.supports Model.E810 (Field_set.make [ Field.Ip_dst; Field.Dst_port ]));
+  Alcotest.(check bool) "x710 is rigid" false
+    (Model.supports Model.X710 (Field_set.make [ Field.Ip_dst ]));
+  Alcotest.(check bool) "x710 address pair ok" true (Model.supports Model.X710 Field_set.ipv4);
+  Alcotest.(check int) "e810 key bytes" 52 (Model.key_bytes Model.E810);
+  Alcotest.(check int) "x710 key bytes" 40 (Model.key_bytes Model.X710)
+
+let test_best_set_covering () =
+  (* the Policer scenario: needs dst IP only; the E810 hashes exactly that
+     field (L3_DST_ONLY), the X710 falls back to its rigid address pair *)
+  (match Model.best_set_covering Model.E810 [ Field.Ip_dst ] with
+  | None -> Alcotest.fail "should find a covering set"
+  | Some s ->
+      Alcotest.(check bool) "e810 picks the exact subset" true
+        (Field_set.equal s (Field_set.make [ Field.Ip_dst ])));
+  (match Model.best_set_covering Model.X710 [ Field.Ip_dst ] with
+  | None -> Alcotest.fail "x710 should cover"
+  | Some s -> Alcotest.(check bool) "x710 falls back to the pair" true (Field_set.equal s Field_set.ipv4));
+  Alcotest.(check bool) "mac is uncoverable" true
+    (Model.best_set_covering Model.E810 [ Field.Eth_src ] = None)
+
+let test_reta_round_robin () =
+  let r = Reta.create ~size:8 ~queues:3 () in
+  Alcotest.(check (array int)) "pattern" [| 0; 1; 2; 0; 1; 2; 0; 1 |] (Reta.entries r);
+  Alcotest.(check int) "lookup masks" (Reta.lookup r 9) (Reta.lookup r 1)
+
+let test_reta_bad_size () =
+  Alcotest.(check bool) "power of two" true
+    (try
+       ignore (Reta.create ~size:100 ~queues:2 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_reta_rebalance () =
+  let r = Reta.create ~size:8 ~queues:2 () in
+  (* all the load lands in buckets 0,2,4,6 -> all on queue 0 *)
+  let load = [| 10.; 0.; 10.; 0.; 10.; 0.; 10.; 0. |] in
+  let before = Reta.imbalance r ~bucket_load:load in
+  Alcotest.(check bool) "imbalanced before" true (before > 1.9);
+  let r' = Reta.rebalance r ~bucket_load:load in
+  let after = Reta.imbalance r' ~bucket_load:load in
+  Alcotest.(check bool) "balanced after" true (after <= 1.01);
+  Alcotest.(check int) "queues preserved" 2 (Reta.queues r')
+
+let test_rss_dispatch_deterministic () =
+  let rng = Random.State.make [| 7 |] in
+  let key = Rss.random_key rng Model.E810 in
+  let rss = Rss.configure ~key ~sets:[ Field_set.ipv4_tcp ] ~queues:4 () in
+  let p = Pkt.make ~ip_src:(ip 10 1 2 3) ~ip_dst:(ip 10 4 5 6) ~src_port:111 ~dst_port:222 () in
+  let q = Rss.dispatch rss p in
+  Alcotest.(check int) "stable" q (Rss.dispatch rss p);
+  Alcotest.(check bool) "in range" true (q >= 0 && q < 4)
+
+let test_rss_unmatched_goes_to_zero () =
+  let rng = Random.State.make [| 8 |] in
+  let rss = Rss.configure ~key:(Rss.random_key rng Model.E810) ~sets:[ Field_set.ipv4_tcp ] ~queues:4 () in
+  let icmp = Pkt.make ~proto:(Pkt.Other 1) ~ip_src:1 ~ip_dst:2 ~src_port:0 ~dst_port:0 () in
+  Alcotest.(check int) "default queue" 0 (Rss.dispatch rss icmp)
+
+let test_rss_validates_key_size () =
+  Alcotest.(check bool) "wrong key size" true
+    (try
+       ignore (Rss.configure ~key:(Bitvec.create 8) ~sets:[] ~queues:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_rss_validates_nic_support () =
+  let rng = Random.State.make [| 9 |] in
+  Alcotest.(check bool) "x710 rejects dst-only" true
+    (try
+       ignore
+         (Rss.configure ~nic:Model.X710
+            ~key:(Rss.random_key rng Model.X710)
+            ~sets:[ Field_set.make [ Field.Ip_dst ] ]
+            ~queues:2 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- properties --------------------------------------------------------- *)
+
+let prop_same_flow_same_queue =
+  QCheck.Test.make ~name:"packets of one flow always reach the same queue" ~count:100
+    QCheck.(pair (int_range 0 1000000) (int_range 1 16))
+    (fun (seed, queues) ->
+      let rng = Random.State.make [| seed |] in
+      let key = Rss.random_key rng Model.E810 in
+      let rss = Rss.configure ~key ~sets:[ Field_set.ipv4_tcp ] ~queues () in
+      let p =
+        Pkt.make
+          ~ip_src:(Random.State.int rng 0x3fffffff)
+          ~ip_dst:(Random.State.int rng 0x3fffffff)
+          ~src_port:(Random.State.int rng 0x10000)
+          ~dst_port:(Random.State.int rng 0x10000)
+          ()
+      in
+      (* size and timestamp never matter *)
+      let q1 = Rss.dispatch rss p in
+      let q2 = Rss.dispatch rss { p with Pkt.size = 1500; ts_ns = 99 } in
+      q1 = q2)
+
+let prop_toeplitz_linear_in_input =
+  QCheck.Test.make ~name:"toeplitz is linear over GF(2) in the input" ~count:100
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let key = Bitvec.random rng (52 * 8) in
+      let a = Bitvec.random rng 96 and b = Bitvec.random rng 96 in
+      let h v = Toeplitz.hash_int ~key v in
+      h (Bitvec.xor a b) = h a lxor h b)
+
+let suite =
+  [
+    Alcotest.test_case "toeplitz microsoft tcp vectors" `Quick test_toeplitz_microsoft_tcp;
+    Alcotest.test_case "toeplitz microsoft ip vectors" `Quick test_toeplitz_microsoft_ip_only;
+    Alcotest.test_case "toeplitz zero key" `Quick test_toeplitz_zero_key;
+    Alcotest.test_case "toeplitz key too short" `Quick test_toeplitz_key_too_short;
+    Alcotest.test_case "repeated-pattern key is symmetric" `Quick
+      test_toeplitz_repeated_pattern_symmetry;
+    Alcotest.test_case "field set canonical order" `Quick test_field_set_canonical_order;
+    Alcotest.test_case "field set offsets" `Quick test_field_set_offsets;
+    Alcotest.test_case "field set rejects mac" `Quick test_field_set_rejects_mac;
+    Alcotest.test_case "field set matches" `Quick test_field_set_matches;
+    Alcotest.test_case "nic capabilities" `Quick test_nic_capabilities;
+    Alcotest.test_case "best covering set" `Quick test_best_set_covering;
+    Alcotest.test_case "reta round robin" `Quick test_reta_round_robin;
+    Alcotest.test_case "reta bad size" `Quick test_reta_bad_size;
+    Alcotest.test_case "reta rebalance" `Quick test_reta_rebalance;
+    Alcotest.test_case "rss dispatch deterministic" `Quick test_rss_dispatch_deterministic;
+    Alcotest.test_case "rss unmatched to queue 0" `Quick test_rss_unmatched_goes_to_zero;
+    Alcotest.test_case "rss validates key size" `Quick test_rss_validates_key_size;
+    Alcotest.test_case "rss validates nic support" `Quick test_rss_validates_nic_support;
+    QCheck_alcotest.to_alcotest prop_same_flow_same_queue;
+    QCheck_alcotest.to_alcotest prop_toeplitz_linear_in_input;
+  ]

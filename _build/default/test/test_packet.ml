@@ -1,0 +1,164 @@
+(* Tests for the packet library: fields, flows, wire format, pcap. *)
+
+open Packet
+
+let ip a b c d = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let sample_pkt =
+  Pkt.make ~port:1 ~ip_src:(ip 10 0 0 1) ~ip_dst:(ip 192 168 1 2) ~src_port:1234
+    ~dst_port:80 ()
+
+let test_field_widths () =
+  Alcotest.(check int) "eth" 48 (Field.width Field.Eth_src);
+  Alcotest.(check int) "ip" 32 (Field.width Field.Ip_src);
+  Alcotest.(check int) "port" 16 (Field.width Field.Src_port);
+  Alcotest.(check int) "proto" 8 (Field.width Field.Ip_proto)
+
+let test_field_strings () =
+  List.iter
+    (fun f ->
+      match Field.of_string (Field.to_string f) with
+      | Some f' -> Alcotest.(check bool) "roundtrip" true (Field.equal f f')
+      | None -> Alcotest.fail "of_string failed")
+    Field.all
+
+let test_rss_capability () =
+  Alcotest.(check bool) "mac not hashable" false (Field.rss_capable Field.Eth_src);
+  Alcotest.(check bool) "ip hashable" true (Field.rss_capable Field.Ip_src)
+
+let test_symmetric_counterpart () =
+  Alcotest.(check bool) "src<->dst ip" true
+    (Field.symmetric_counterpart Field.Ip_src = Some Field.Ip_dst);
+  Alcotest.(check bool) "proto none" true (Field.symmetric_counterpart Field.Ip_proto = None)
+
+let test_get_field () =
+  let v = Pkt.get_field sample_pkt Field.Ip_src in
+  Alcotest.(check int) "width" 32 (Bitvec.length v);
+  Alcotest.(check int) "value" (ip 10 0 0 1) (Bitvec.to_int v);
+  Alcotest.(check int) "port value" 1234 (Bitvec.to_int (Pkt.get_field sample_pkt Field.Src_port))
+
+let test_flip () =
+  let f = Pkt.flip sample_pkt in
+  Alcotest.(check int) "src<->dst ip" sample_pkt.Pkt.ip_dst f.Pkt.ip_src;
+  Alcotest.(check int) "ports" sample_pkt.Pkt.src_port f.Pkt.dst_port;
+  Alcotest.(check bool) "flip twice is identity" true (Pkt.equal sample_pkt (Pkt.flip f))
+
+let test_wire_size () =
+  Alcotest.(check int) "64B frame is 84B on wire" 84 (Pkt.wire_size sample_pkt)
+
+let test_flow_normalize () =
+  let fwd = Flow.of_pkt sample_pkt and rev = Flow.of_pkt (Pkt.flip sample_pkt) in
+  Alcotest.(check bool) "same session" true (Flow.equal (Flow.normalize fwd) (Flow.normalize rev));
+  Alcotest.(check bool) "directions differ" false (Flow.equal fwd rev);
+  Alcotest.(check bool) "reverse involution" true (Flow.equal fwd (Flow.reverse rev))
+
+let test_checksum () =
+  (* classic RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d *)
+  let b = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  Alcotest.(check int) "rfc1071" 0x220d (Wire.internet_checksum b)
+
+let test_serialize_parse_roundtrip () =
+  let frame = Wire.serialize sample_pkt in
+  Alcotest.(check int) "frame size" sample_pkt.Pkt.size (Bytes.length frame);
+  match Wire.parse ~port:1 frame with
+  | Error e -> Alcotest.fail e
+  | Ok p -> Alcotest.(check bool) "roundtrip" true (Pkt.equal sample_pkt p)
+
+let test_serialize_ip_header_checksum () =
+  let frame = Wire.serialize sample_pkt in
+  (* recomputing the IPv4 header checksum over the header must give zero *)
+  Alcotest.(check int) "ip header checksum validates" 0
+    (Wire.internet_checksum (Bytes.sub frame 14 20))
+
+let test_udp_roundtrip () =
+  let p = Pkt.make ~proto:Pkt.Udp ~size:100 ~ip_src:1 ~ip_dst:2 ~src_port:53 ~dst_port:5353 () in
+  match Wire.parse (Wire.serialize p) with
+  | Error e -> Alcotest.fail e
+  | Ok q ->
+      Alcotest.(check bool) "udp" true (q.Pkt.proto = Pkt.Udp);
+      Alcotest.(check int) "sport" 53 q.Pkt.src_port
+
+let test_serialize_too_small () =
+  let p = Pkt.make ~size:40 ~ip_src:1 ~ip_dst:2 ~src_port:1 ~dst_port:2 () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Wire.serialize p);
+       false
+     with Invalid_argument _ -> true)
+
+let test_parse_truncated () =
+  Alcotest.(check bool) "truncated is an error" true
+    (Result.is_error (Wire.parse (Bytes.create 10)))
+
+let test_pcap_roundtrip () =
+  let pkts =
+    List.init 5 (fun i ->
+        Pkt.make ~ip_src:(ip 10 0 0 i) ~ip_dst:(ip 10 0 1 i) ~src_port:(1000 + i)
+          ~dst_port:80 ~ts_ns:(i * 1_000_000) ())
+  in
+  let path = Filename.temp_file "maestro" ".pcap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Pcap.write_file path pkts;
+      match Pcap.read_file path with
+      | Error e -> Alcotest.fail e
+      | Ok read ->
+          Alcotest.(check int) "count" 5 (List.length read);
+          List.iter2
+            (fun a b ->
+              Alcotest.(check int) "ip" a.Pkt.ip_src b.Pkt.ip_src;
+              Alcotest.(check int) "port" a.Pkt.src_port b.Pkt.src_port;
+              (* pcap stores microseconds *)
+              Alcotest.(check int) "timestamp" a.Pkt.ts_ns b.Pkt.ts_ns)
+            pkts read)
+
+let test_pcap_bad_magic () =
+  Alcotest.(check bool) "bad magic" true
+    (Result.is_error (Pcap.of_string (String.make 24 'x')))
+
+(* --- properties --------------------------------------------------------- *)
+
+let gen_pkt =
+  QCheck.Gen.(
+    let ip = int_bound 0xffffff in
+    let port = int_bound 0xffff in
+    map2
+      (fun (s, d) (sp, dp) ->
+        Pkt.make ~ip_src:s ~ip_dst:d ~src_port:sp ~dst_port:dp
+          ~size:(64 + (s mod 256)) ())
+      (pair ip ip) (pair port port))
+
+let arb_pkt = QCheck.make ~print:(Format.asprintf "%a" Pkt.pp) gen_pkt
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"serialize/parse roundtrip" ~count:200 arb_pkt (fun p ->
+      match Wire.parse (Wire.serialize p) with Ok q -> Pkt.equal p q | Error _ -> false)
+
+let prop_flip_preserves_session =
+  QCheck.Test.make ~name:"flip preserves the normalized flow" ~count:200 arb_pkt (fun p ->
+      Flow.equal
+        (Flow.normalize (Flow.of_pkt p))
+        (Flow.normalize (Flow.of_pkt (Pkt.flip p))))
+
+let suite =
+  [
+    Alcotest.test_case "field widths" `Quick test_field_widths;
+    Alcotest.test_case "field strings" `Quick test_field_strings;
+    Alcotest.test_case "rss capability" `Quick test_rss_capability;
+    Alcotest.test_case "symmetric counterpart" `Quick test_symmetric_counterpart;
+    Alcotest.test_case "get_field" `Quick test_get_field;
+    Alcotest.test_case "flip" `Quick test_flip;
+    Alcotest.test_case "wire size" `Quick test_wire_size;
+    Alcotest.test_case "flow normalize" `Quick test_flow_normalize;
+    Alcotest.test_case "internet checksum" `Quick test_checksum;
+    Alcotest.test_case "serialize/parse roundtrip" `Quick test_serialize_parse_roundtrip;
+    Alcotest.test_case "ip header checksum" `Quick test_serialize_ip_header_checksum;
+    Alcotest.test_case "udp roundtrip" `Quick test_udp_roundtrip;
+    Alcotest.test_case "serialize too small" `Quick test_serialize_too_small;
+    Alcotest.test_case "parse truncated" `Quick test_parse_truncated;
+    Alcotest.test_case "pcap roundtrip" `Quick test_pcap_roundtrip;
+    Alcotest.test_case "pcap bad magic" `Quick test_pcap_bad_magic;
+    QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+    QCheck_alcotest.to_alcotest prop_flip_preserves_session;
+  ]

@@ -1,0 +1,315 @@
+(* Tests for RS3: the window-equation reduction and both solver backends. *)
+
+open Packet
+open Rs3
+
+let rng seed = Random.State.make [| seed |]
+
+let random_pkt ?(port = 0) st =
+  Pkt.make ~port
+    ~ip_src:(Random.State.int st 0x3fffffff)
+    ~ip_dst:(Random.State.int st 0x3fffffff)
+    ~src_port:(Random.State.int st 0x10000)
+    ~dst_port:(Random.State.int st 0x10000)
+    ()
+
+let hash_on problem keys port pkt =
+  match Nic.Field_set.hash_input problem.Problem.field_sets.(port) pkt with
+  | Some d -> Nic.Toeplitz.hash_int ~key:keys.(port) d
+  | None -> Alcotest.fail "no hash input"
+
+let solve_exn ?backend problem =
+  match Solve.solve ?backend ~seed:99 problem with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+(* --- constraint constructors --------------------------------------------- *)
+
+let test_cstr_normalizes_ports () =
+  let c = Cstr.make ~port_a:1 ~port_b:0 [ (Field.Ip_src, Field.Ip_dst) ] in
+  Alcotest.(check int) "a" 0 c.Cstr.port_a;
+  Alcotest.(check int) "b" 1 c.Cstr.port_b;
+  Alcotest.(check bool) "pairs flipped" true
+    (c.Cstr.pairs = [ { Cstr.fa = Field.Ip_dst; fb = Field.Ip_src; bits = 32 } ])
+
+let test_cstr_rejects_width_mismatch () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Cstr.make ~port_a:0 ~port_b:0 [ (Field.Ip_src, Field.Src_port) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_self_identity () =
+  Alcotest.(check bool) "identity" true
+    (Cstr.is_self_identity (Cstr.same_flow ~port:0 [ Field.Ip_src; Field.Ip_dst ]));
+  Alcotest.(check bool) "symmetric is not" false
+    (Cstr.is_self_identity (Cstr.symmetric ~port_a:0 ~port_b:0))
+
+(* --- problems ------------------------------------------------------------ *)
+
+let fw_problem () =
+  (* the firewall: 5-tuple per port, sessions symmetric across ports *)
+  match
+    Problem.for_constraints ~nports:2
+      [
+        Cstr.same_flow ~port:0 [ Field.Ip_src; Field.Ip_dst; Field.Src_port; Field.Dst_port ];
+        Cstr.same_flow ~port:1 [ Field.Ip_src; Field.Ip_dst; Field.Src_port; Field.Dst_port ];
+        Cstr.symmetric ~port_a:0 ~port_b:1;
+      ]
+  with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+let policer_problem () =
+  match Problem.for_constraints ~nports:2 [ Cstr.same_flow ~port:1 [ Field.Ip_dst ] ] with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+let nat_problem () =
+  (* LAN shards on the server (dst), WAN on the server (src), cross-linked *)
+  match
+    Problem.for_constraints ~nports:2
+      [
+        Cstr.same_flow ~port:0 [ Field.Ip_dst; Field.Dst_port ];
+        Cstr.same_flow ~port:1 [ Field.Ip_src; Field.Src_port ];
+        Cstr.make ~port_a:0 ~port_b:1
+          [ (Field.Ip_dst, Field.Ip_src); (Field.Dst_port, Field.Src_port) ];
+      ]
+  with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+let test_identity_constraints_leave_keys_free () =
+  let p =
+    match
+      Problem.for_constraints ~nports:1
+        [ Cstr.same_flow ~port:0 [ Field.Ip_src; Field.Ip_dst; Field.Src_port; Field.Dst_port ] ]
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check (list pass)) "no equations" [] (Window.equations p);
+  let s = solve_exn p in
+  Alcotest.(check int) "all bits free" (Problem.key_bits p) s.Solve.free_bits
+
+let test_fw_solution_is_symmetric () =
+  let p = fw_problem () in
+  let s = solve_exn p in
+  let st = rng 5 in
+  for _ = 1 to 200 do
+    let pkt = random_pkt st in
+    (* the WAN sees the reply: src/dst swapped, hashed with the WAN key *)
+    let h_lan = hash_on p s.Solve.keys 0 pkt in
+    let h_wan = hash_on p s.Solve.keys 1 (Pkt.flip pkt) in
+    Alcotest.(check int) "reply meets its flow" h_lan h_wan
+  done
+
+let test_fw_distinct_flows_spread () =
+  let p = fw_problem () in
+  let s = solve_exn p in
+  let st = rng 7 in
+  let seen = Hashtbl.create 256 in
+  for _ = 1 to 256 do
+    Hashtbl.replace seen (hash_on p s.Solve.keys 0 (random_pkt st)) ()
+  done;
+  Alcotest.(check bool) "spreads" true (Hashtbl.length seen > 200)
+
+let test_policer_ignores_ports_and_src () =
+  let p = policer_problem () in
+  let s = solve_exn p in
+  let st = rng 11 in
+  for _ = 1 to 200 do
+    let a = random_pkt st in
+    let b = { (random_pkt st) with Pkt.ip_dst = a.Pkt.ip_dst } in
+    Alcotest.(check int) "same destination meets"
+      (hash_on p s.Solve.keys 1 a) (hash_on p s.Solve.keys 1 b)
+  done;
+  (* but different destinations spread *)
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 200 do
+    Hashtbl.replace seen (hash_on p s.Solve.keys 1 (random_pkt st)) ()
+  done;
+  Alcotest.(check bool) "distinct destinations spread" true (Hashtbl.length seen > 100)
+
+let test_nat_cross_port_server_sharding () =
+  let p = nat_problem () in
+  let s = solve_exn p in
+  let st = rng 13 in
+  for _ = 1 to 200 do
+    let lan = random_pkt st ~port:0 in
+    (* any WAN packet from the same server must land with the LAN flow *)
+    let wan =
+      Pkt.make ~port:1 ~ip_src:lan.Pkt.ip_dst
+        ~ip_dst:(Random.State.int st 0x3fffffff)
+        ~src_port:lan.Pkt.dst_port
+        ~dst_port:(Random.State.int st 0x10000)
+        ()
+    in
+    Alcotest.(check int) "server-sharded" (hash_on p s.Solve.keys 0 lan)
+      (hash_on p s.Solve.keys 1 wan)
+  done
+
+let test_disjoint_requirements_rejected () =
+  (* rule R3 as seen by the solver: sharding by src on one map and by dst on
+     another forces a constant hash, which the quality test rejects *)
+  match
+    Problem.for_constraints ~nports:1
+      [ Cstr.same_flow ~port:0 [ Field.Ip_src ]; Cstr.same_flow ~port:0 [ Field.Ip_dst ] ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok p -> (
+      match Solve.solve ~seed:1 p with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "expected degenerate-hash rejection")
+
+let test_sat_backend_agrees () =
+  List.iter
+    (fun problem ->
+      let p = problem () in
+      let s = solve_exn ~backend:`Sat p in
+      (match Validate.check_constraints p ~keys:s.Solve.keys ~rng:(rng 3) ~trials:100 with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check bool) "sat quality" true
+        (Validate.quality_ok p ~keys:s.Solve.keys ~rng:(rng 4)))
+    [ fw_problem; policer_problem; nat_problem ]
+
+let test_validate_catches_bad_keys () =
+  let p = fw_problem () in
+  let st = rng 17 in
+  (* random unconstrained keys almost surely break the symmetry *)
+  let keys = Array.init 2 (fun _ -> Bitvec.random st (8 * 52)) in
+  Alcotest.(check bool) "violation detected" true
+    (Result.is_error (Validate.check_constraints p ~keys ~rng:st ~trials:200))
+
+let test_spread_detects_constant_hash () =
+  let zero = Bitvec.create (8 * 52) in
+  let s =
+    Validate.spread_of_key ~key:zero ~field_set:Nic.Field_set.ipv4_tcp ~rng:(rng 19) ~trials:500
+  in
+  Alcotest.(check bool) "constant" true s.Validate.constant_hash
+
+(* The reproduction's Toeplitz finding: sharding on one address over a rigid
+   ports-bearing input leaves exactly ONE effective key bit — the zero
+   windows of the ignored fields overlap all but bit 63 of the key.  The
+   surviving hash (the bit-reversed address when k[63]=1) is full-rank, but
+   there is no key randomization freedom at all: every accepted key computes
+   the SAME hash function, defeating the §5 DoS defense — and its queue-index
+   bits are the address's high bits, which carry almost no entropy in real
+   traffic.  Flex-extracted subset inputs (what the E810 model offers) keep
+   hundreds of free key bits instead. *)
+let test_rigid_input_has_no_key_freedom () =
+  let p =
+    Problem.make ~field_sets:[ Nic.Field_set.ipv4_tcp ]
+      [ Cstr.same_flow ~port:0 [ Field.Ip_dst ] ]
+  in
+  match (Solve.solve ~seed:3 p, Solve.solve ~seed:77 p) with
+  | Ok a, Ok b ->
+      let st = rng 31 in
+      for _ = 1 to 200 do
+        let pkt = random_pkt st in
+        (* different seeds, same hash values: no randomization freedom *)
+        Alcotest.(check int) "hash is forced" (hash_on p a.Solve.keys 0 pkt)
+          (hash_on p b.Solve.keys 0 pkt)
+      done;
+      (* whereas the flex-extracted formulation keeps the key free *)
+      let q =
+        Problem.make
+          ~field_sets:[ Nic.Field_set.make [ Field.Ip_dst ] ]
+          [ Cstr.same_flow ~port:0 [ Field.Ip_dst ] ]
+      in
+      (match (Solve.solve ~seed:3 q, Solve.solve ~seed:77 q) with
+      | Ok a', Ok b' ->
+          let differs = ref false in
+          for _ = 1 to 50 do
+            let pkt = random_pkt st in
+            if hash_on q a'.Solve.keys 0 pkt <> hash_on q b'.Solve.keys 0 pkt then
+              differs := true
+          done;
+          Alcotest.(check bool) "flex keys are randomizable" true !differs
+      | _ -> Alcotest.fail "flex formulation should solve")
+  | Error _, _ | _, Error _ ->
+      (* also acceptable: the quality gate refuses the rigid workaround *)
+      ()
+
+let test_problem_rejects_uncoverable_fields () =
+  (* MAC-keyed sharding cannot be expressed on any modeled NIC *)
+  Alcotest.(check bool) "error" true
+    (Result.is_error
+       (Problem.for_constraints ~nports:1
+          [ Cstr.make ~port_a:0 ~port_b:0 [ (Field.Eth_src, Field.Eth_src) ] ]))
+
+(* --- the §5 collision attack ------------------------------------------------ *)
+
+let test_attack_finds_collisions () =
+  let st = rng 23 in
+  let key = Bitvec.random st (52 * 8) in
+  let field_set = Nic.Field_set.ipv4_tcp in
+  let pkts = Attack.colliding_packets ~key ~field_set ~target_hash:0x12345678 ~rng:st ~n:100 in
+  Alcotest.(check int) "count" 100 (List.length pkts);
+  List.iter
+    (fun p ->
+      match Nic.Field_set.hash_input field_set p with
+      | Some d ->
+          Alcotest.(check int) "hash is the target" 0x12345678 (Nic.Toeplitz.hash_int ~key d)
+      | None -> Alcotest.fail "no input")
+    pkts;
+  Alcotest.(check (float 0.001)) "fully colliding" 1.0
+    (Attack.collision_rate ~key ~field_set pkts)
+
+let test_attack_defeated_by_rekeying () =
+  let st = rng 29 in
+  let key = Bitvec.random st (52 * 8) in
+  let other = Bitvec.random st (52 * 8) in
+  let field_set = Nic.Field_set.ipv4_tcp in
+  let pkts = Attack.colliding_packets ~key ~field_set ~target_hash:0xdead00d ~rng:st ~n:200 in
+  (* under an independently drawn key the collision set falls apart *)
+  Alcotest.(check bool) "spread under a fresh key" true
+    (Attack.collision_rate ~key:other ~field_set pkts < 0.2)
+
+(* --- properties ----------------------------------------------------------- *)
+
+let prop_solutions_always_validate =
+  QCheck.Test.make ~name:"gauss solutions satisfy their constraints" ~count:25
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let p = fw_problem () in
+      match Solve.solve ~seed p with
+      | Error _ -> false
+      | Ok s ->
+          Result.is_ok
+            (Validate.check_constraints p ~keys:s.Solve.keys ~rng:(rng seed) ~trials:50))
+
+let prop_backends_equisatisfiable =
+  QCheck.Test.make ~name:"gauss and sat agree on satisfiability" ~count:10
+    QCheck.(int_range 0 100)
+    (fun seed ->
+      let p = nat_problem () in
+      let a = Result.is_ok (Solve.solve ~backend:`Gauss ~seed p) in
+      let b = Result.is_ok (Solve.solve ~backend:`Sat ~seed p) in
+      a = b)
+
+let suite =
+  [
+    Alcotest.test_case "cstr normalizes ports" `Quick test_cstr_normalizes_ports;
+    Alcotest.test_case "cstr width mismatch" `Quick test_cstr_rejects_width_mismatch;
+    Alcotest.test_case "self identity" `Quick test_self_identity;
+    Alcotest.test_case "identity constraints leave keys free" `Quick
+      test_identity_constraints_leave_keys_free;
+    Alcotest.test_case "fw keys are symmetric across ports" `Quick test_fw_solution_is_symmetric;
+    Alcotest.test_case "fw distinct flows spread" `Quick test_fw_distinct_flows_spread;
+    Alcotest.test_case "policer shards on dst ip only" `Quick test_policer_ignores_ports_and_src;
+    Alcotest.test_case "nat shards on the server" `Quick test_nat_cross_port_server_sharding;
+    Alcotest.test_case "disjoint requirements rejected (R3)" `Quick
+      test_disjoint_requirements_rejected;
+    Alcotest.test_case "sat backend agrees" `Quick test_sat_backend_agrees;
+    Alcotest.test_case "validate catches bad keys" `Quick test_validate_catches_bad_keys;
+    Alcotest.test_case "spread detects constant hash" `Quick test_spread_detects_constant_hash;
+    Alcotest.test_case "uncoverable fields rejected" `Quick test_problem_rejects_uncoverable_fields;
+    Alcotest.test_case "rigid input leaves no key freedom" `Quick
+      test_rigid_input_has_no_key_freedom;
+    Alcotest.test_case "attack finds exact collisions" `Quick test_attack_finds_collisions;
+    Alcotest.test_case "attack defeated by re-keying" `Quick test_attack_defeated_by_rekeying;
+    QCheck_alcotest.to_alcotest prop_solutions_always_validate;
+    QCheck_alcotest.to_alcotest prop_backends_equisatisfiable;
+  ]

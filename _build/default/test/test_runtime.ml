@@ -1,0 +1,255 @@
+(* Semantic-equivalence tests: the heart of the paper's claim.  Generated
+   parallel NFs must behave like their sequential versions. *)
+
+let rng seed = Random.State.make [| seed |]
+
+let plan_of ?(cores = 8) ?strategy name =
+  let request =
+    {
+      Maestro.Pipeline.default_request with
+      cores;
+      strategy = Option.value ~default:`Auto strategy;
+    }
+  in
+  (Maestro.Pipeline.parallelize_exn ~request (Nfs.Registry.find_exn name)).Maestro.Pipeline.plan
+
+let verdicts_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Dsl.Interp.Dropped, Dsl.Interp.Dropped -> true
+         | Dsl.Interp.Fwd (pa, oa), Dsl.Interp.Fwd (pb, ob) ->
+             pa = pb && Packet.Pkt.equal oa ob
+         | _ -> false)
+       a b
+
+let mixed_trace seed npkts nflows =
+  let st = rng seed in
+  let flows = Traffic.Gen.flows st nflows in
+  Traffic.Gen.uniform
+    ~spec:{ Traffic.Gen.default_spec with pkts = npkts }
+    st ~flows
+
+(* --- shared-nothing equivalence ------------------------------------------ *)
+
+let check_equivalence name trace =
+  let nf = Nfs.Registry.find_exn name in
+  let seq = Runtime.Parallel.run_sequential nf trace in
+  let plan = plan_of name in
+  let par = Runtime.Parallel.run plan trace in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: parallel == sequential" name)
+    true
+    (verdicts_equal seq par.Runtime.Parallel.verdicts)
+
+let test_fw_equivalence () = check_equivalence "fw" (mixed_trace 11 4000 300)
+let test_policer_equivalence () = check_equivalence "policer" (mixed_trace 12 4000 300)
+let test_psd_equivalence () = check_equivalence "psd" (mixed_trace 13 4000 300)
+let test_cl_equivalence () = check_equivalence "cl" (mixed_trace 14 4000 300)
+let test_nop_equivalence () = check_equivalence "nop" (mixed_trace 15 2000 100)
+let test_sbridge_lb_mode () = check_equivalence "sbridge" (mixed_trace 16 1000 50)
+
+(* Lock-based and TM plans serialize on shared state: equivalence holds for
+   every NF, including the ones that cannot shard. *)
+let test_lock_based_equivalence () =
+  List.iter
+    (fun name ->
+      let nf = Nfs.Registry.find_exn name in
+      let trace = mixed_trace 17 2000 200 in
+      let seq = Runtime.Parallel.run_sequential nf trace in
+      let plan = plan_of ~strategy:`Force_locks name in
+      let par = Runtime.Parallel.run plan trace in
+      Alcotest.(check bool) (name ^ " lock-based == sequential") true
+        (verdicts_equal seq par.Runtime.Parallel.verdicts))
+    [ "fw"; "dbridge"; "lb"; "nat"; "cl" ]
+
+let test_tm_equivalence () =
+  let nf = Nfs.Registry.find_exn "fw" in
+  let trace = mixed_trace 18 2000 200 in
+  let seq = Runtime.Parallel.run_sequential nf trace in
+  let plan = plan_of ~strategy:`Force_tm "fw" in
+  let par = Runtime.Parallel.run plan trace in
+  Alcotest.(check bool) "tm == sequential" true (verdicts_equal seq par.Runtime.Parallel.verdicts);
+  Alcotest.(check int) "rw sets recorded" (Array.length trace)
+    (List.length par.Runtime.Parallel.stats.Runtime.Parallel.tm_rw_sets)
+
+(* NAT: ports may be allocated differently per core, so equivalence is
+   behavioral: same forward/drop pattern and replies restored correctly. *)
+let test_nat_behavioral_equivalence () =
+  let nf = Nfs.Registry.find_exn "nat" in
+  let trace = mixed_trace 19 3000 250 in
+  let seq = Runtime.Parallel.run_sequential nf trace in
+  let plan = plan_of "nat" in
+  let par = (Runtime.Parallel.run plan trace).Runtime.Parallel.verdicts in
+  Array.iteri
+    (fun i (a, b) ->
+      match (a, b) with
+      | Dsl.Interp.Dropped, Dsl.Interp.Dropped -> ()
+      | Dsl.Interp.Fwd (pa, oa), Dsl.Interp.Fwd (pb, ob) ->
+          Alcotest.(check int) "same direction" pa pb;
+          (* replies towards the LAN must restore identical client headers *)
+          if pa = 0 then begin
+            Alcotest.(check int) "client ip" oa.Packet.Pkt.ip_dst ob.Packet.Pkt.ip_dst;
+            Alcotest.(check int) "client port" oa.Packet.Pkt.dst_port ob.Packet.Pkt.dst_port
+          end
+      | _ -> Alcotest.fail (Printf.sprintf "verdict %d diverged" i))
+    (Array.map2 (fun a b -> (a, b)) seq par)
+
+(* Write/read packet classification feeds the §6.4 performance stories. *)
+let test_lock_stats_read_heavy () =
+  let plan = plan_of ~strategy:`Force_locks "fw" in
+  let st = rng 21 in
+  let flows = Traffic.Gen.flows st 64 in
+  let trace =
+    Traffic.Gen.uniform ~spec:{ Traffic.Gen.default_spec with pkts = 4000; reply_fraction = 0.5 }
+      st ~flows
+  in
+  let r = Runtime.Parallel.run plan trace in
+  let s = r.Runtime.Parallel.stats in
+  (* 64 new flows in 4000 packets: writes are rare *)
+  Alcotest.(check bool) "read packets dominate" true
+    (s.Runtime.Parallel.read_pkts > 9 * s.Runtime.Parallel.write_pkts);
+  Alcotest.(check int) "restarts = write pkts" s.Runtime.Parallel.write_pkts
+    s.Runtime.Parallel.spec_restarts;
+  Alcotest.(check bool) "rejuvenations stayed local" true
+    (s.Runtime.Parallel.rejuv_local > 0)
+
+let test_policer_lock_stats_write_heavy () =
+  let plan = plan_of ~strategy:`Force_locks "policer" in
+  let st = rng 22 in
+  let flows = Traffic.Gen.flows st 64 in
+  let trace =
+    Traffic.Gen.uniform ~spec:{ Traffic.Gen.default_spec with pkts = 2000; reply_fraction = 0.9 }
+      st ~flows
+  in
+  let r = Runtime.Parallel.run plan trace in
+  let s = r.Runtime.Parallel.stats in
+  (* every policed (WAN->LAN) packet updates its token bucket *)
+  Alcotest.(check bool) "writes dominate reads side" true
+    (s.Runtime.Parallel.write_pkts > s.Runtime.Parallel.read_pkts / 4)
+
+let test_dispatch_spreads_over_cores () =
+  let plan = plan_of ~cores:8 "fw" in
+  let trace = mixed_trace 23 4000 512 in
+  let counts = Runtime.Parallel.dispatch_counts plan trace in
+  Alcotest.(check int) "8 cores" 8 (Array.length counts);
+  Array.iteri
+    (fun i c -> Alcotest.(check bool) (Printf.sprintf "core %d used" i) true (c > 0))
+    counts
+
+let test_dynamic_rebalance_reduces_imbalance () =
+  let st = rng 31 in
+  let z = Traffic.Zipf.paper () in
+  let fs = Traffic.Gen.flows st 1000 in
+  let spec = { Traffic.Gen.default_spec with Traffic.Gen.pkts = 12_000; reply_fraction = 0.0 } in
+  let trace = Traffic.Zipf.trace ~spec st z ~flows:fs in
+  let plan = plan_of ~cores:8 "fw" in
+  let r = Runtime.Rebalance.study plan trace ~epoch_pkts:3000 in
+  Alcotest.(check int) "epochs" 4 r.Runtime.Rebalance.epochs;
+  (* the first epoch has no observations yet: identical *)
+  Alcotest.(check (float 0.0001)) "epoch 0 identical"
+    r.Runtime.Rebalance.static_imbalance.(0)
+    r.Runtime.Rebalance.dynamic_imbalance.(0);
+  (* afterwards the rebalanced tables are at least as even *)
+  for e = 1 to r.Runtime.Rebalance.epochs - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "epoch %d no worse" e)
+      true
+      (r.Runtime.Rebalance.dynamic_imbalance.(e)
+      <= r.Runtime.Rebalance.static_imbalance.(e) +. 0.05)
+  done;
+  Alcotest.(check bool) "some epoch strictly better" true
+    (Array.exists2
+       (fun d s -> d < s -. 0.1)
+       r.Runtime.Rebalance.dynamic_imbalance r.Runtime.Rebalance.static_imbalance);
+  Alcotest.(check bool) "migrations counted" true (r.Runtime.Rebalance.migrated_buckets > 0)
+
+(* --- real domains ---------------------------------------------------------- *)
+
+let test_domains_shared_nothing_equivalence () =
+  let nf = Nfs.Registry.find_exn "fw" in
+  let trace = mixed_trace 24 1500 150 in
+  let seq = Runtime.Parallel.run_sequential nf trace in
+  let plan = plan_of ~cores:4 "fw" in
+  let par = Runtime.Domains.run_shared_nothing plan trace in
+  Alcotest.(check bool) "domains == sequential" true (verdicts_equal seq par)
+
+let test_domains_lock_based_equivalence () =
+  (* dbridge writes on most packets: the conservative discipline serializes
+     them, so verdicts match the deterministic run *)
+  let nf = Nfs.Registry.find_exn "sbridge" in
+  let st = rng 25 in
+  let pkts =
+    Array.init 500 (fun i ->
+        Packet.Pkt.make ~port:(i mod 2)
+          ~eth_src:(0x02_00_00_00_10_00 + Random.State.int st 64)
+          ~eth_dst:(0x02_00_00_00_10_00 + Random.State.int st 64)
+          ~ip_src:1 ~ip_dst:2 ~src_port:3 ~dst_port:4 ())
+  in
+  let seq = Runtime.Parallel.run_sequential nf pkts in
+  let plan = plan_of ~cores:4 ~strategy:`Force_locks "sbridge" in
+  let par = Runtime.Domains.run_lock_based plan pkts in
+  Alcotest.(check bool) "domain locks == sequential" true (verdicts_equal seq par)
+
+let test_rwlock_mutual_exclusion () =
+  let lock = Runtime.Rwlock.create ~cores:4 in
+  let counter = ref 0 in
+  let writers =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              Runtime.Rwlock.with_write lock (fun () -> incr counter)
+            done))
+  in
+  Array.iter Domain.join writers;
+  Alcotest.(check int) "no lost updates" 4000 !counter
+
+let test_rwlock_readers_disjoint () =
+  let lock = Runtime.Rwlock.create ~cores:2 in
+  (* two readers on different cores can hold their locks simultaneously *)
+  Runtime.Rwlock.read_lock lock ~core:0;
+  Runtime.Rwlock.read_lock lock ~core:1;
+  Runtime.Rwlock.read_unlock lock ~core:0;
+  Runtime.Rwlock.read_unlock lock ~core:1;
+  Runtime.Rwlock.with_write lock (fun () -> ());
+  Alcotest.(check pass) "no deadlock" () ()
+
+(* --- properties ------------------------------------------------------------ *)
+
+let prop_shared_nothing_equivalence =
+  QCheck.Test.make ~name:"fw shared-nothing equivalence on random traces" ~count:10
+    QCheck.(pair (int_range 0 10000) (int_range 2 16))
+    (fun (seed, cores) ->
+      let nf = Nfs.Registry.find_exn "fw" in
+      let trace = mixed_trace seed 800 100 in
+      let seq = Runtime.Parallel.run_sequential nf trace in
+      let plan = plan_of ~cores "fw" in
+      let par = Runtime.Parallel.run plan trace in
+      verdicts_equal seq par.Runtime.Parallel.verdicts)
+
+let suite =
+  [
+    Alcotest.test_case "fw shared-nothing equivalence" `Quick test_fw_equivalence;
+    Alcotest.test_case "policer shared-nothing equivalence" `Quick test_policer_equivalence;
+    Alcotest.test_case "psd shared-nothing equivalence" `Quick test_psd_equivalence;
+    Alcotest.test_case "cl shared-nothing equivalence" `Quick test_cl_equivalence;
+    Alcotest.test_case "nop equivalence" `Quick test_nop_equivalence;
+    Alcotest.test_case "sbridge load-balance equivalence" `Quick test_sbridge_lb_mode;
+    Alcotest.test_case "lock-based equivalence (all NFs)" `Quick test_lock_based_equivalence;
+    Alcotest.test_case "tm equivalence" `Quick test_tm_equivalence;
+    Alcotest.test_case "nat behavioral equivalence" `Quick test_nat_behavioral_equivalence;
+    Alcotest.test_case "fw lock stats are read-heavy" `Quick test_lock_stats_read_heavy;
+    Alcotest.test_case "policer lock stats are write-heavy" `Quick
+      test_policer_lock_stats_write_heavy;
+    Alcotest.test_case "dispatch spreads over cores" `Quick test_dispatch_spreads_over_cores;
+    Alcotest.test_case "dynamic rebalance reduces imbalance" `Quick
+      test_dynamic_rebalance_reduces_imbalance;
+    Alcotest.test_case "domains shared-nothing equivalence" `Quick
+      test_domains_shared_nothing_equivalence;
+    Alcotest.test_case "domains lock-based equivalence" `Quick
+      test_domains_lock_based_equivalence;
+    Alcotest.test_case "rwlock mutual exclusion" `Quick test_rwlock_mutual_exclusion;
+    Alcotest.test_case "rwlock readers disjoint" `Quick test_rwlock_readers_disjoint;
+    QCheck_alcotest.to_alcotest prop_shared_nothing_equivalence;
+  ]

@@ -1,0 +1,219 @@
+(* Tests for the CDCL SAT solver. *)
+
+open Sat
+
+let fresh_vars s n = List.init n (fun _ -> Solver.new_var s)
+
+let test_trivial_sat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos v ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "model" true (Solver.value s v)
+
+let test_trivial_unsat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos v ];
+  Solver.add_clause s [ Lit.neg v ];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "not okay" false (Solver.okay s)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  Solver.add_clause s [];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_implication_chain () =
+  (* x0 -> x1 -> ... -> x9, x0 true: all must be true *)
+  let s = Solver.create () in
+  let vars = fresh_vars s 10 in
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+        Solver.add_clause s [ Lit.neg a; Lit.pos b ];
+        chain rest
+    | _ -> ()
+  in
+  chain vars;
+  Solver.add_clause s [ Lit.pos (List.hd vars) ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  List.iter (fun v -> Alcotest.(check bool) "implied" true (Solver.value s v)) vars
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: classically unsat, requires real conflict analysis *)
+  let s = Solver.create () in
+  let p = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Solver.new_var s)) in
+  for i = 0 to 2 do
+    Solver.add_clause s [ Lit.pos p.(i).(0); Lit.pos p.(i).(1) ]
+  done;
+  for h = 0 to 1 do
+    for i = 0 to 2 do
+      for j = i + 1 to 2 do
+        Solver.add_clause s [ Lit.neg p.(i).(h); Lit.neg p.(j).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_pigeonhole_4_4 () =
+  let s = Solver.create () in
+  let n = 4 in
+  let p = Array.init n (fun _ -> Array.init n (fun _ -> Solver.new_var s)) in
+  for i = 0 to n - 1 do
+    Solver.add_clause s (List.init n (fun h -> Lit.pos p.(i).(h)))
+  done;
+  for h = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        Solver.add_clause s [ Lit.neg p.(i).(h); Lit.neg p.(j).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "sat (equal holes)" true (Solver.solve s = Solver.Sat)
+
+let test_assumptions () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.neg a; Lit.pos b ];
+  Alcotest.(check bool) "sat under a" true (Solver.solve ~assumptions:[ Lit.pos a ] s = Solver.Sat);
+  Alcotest.(check bool) "b forced" true (Solver.value s b);
+  Alcotest.(check bool) "unsat under a,~b" true
+    (Solver.solve ~assumptions:[ Lit.pos a; Lit.neg b ] s = Solver.Unsat);
+  Alcotest.(check bool) "still okay" true (Solver.okay s);
+  Alcotest.(check bool) "sat again with no assumptions" true (Solver.solve s = Solver.Sat)
+
+let test_unsat_core () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  (* a & b are contradictory via clauses; c is irrelevant *)
+  Solver.add_clause s [ Lit.neg a; Lit.neg b ];
+  let assumptions = [ Lit.pos a; Lit.pos b; Lit.pos c ] in
+  Alcotest.(check bool) "unsat" true (Solver.solve ~assumptions s = Solver.Unsat);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core nonempty" true (core <> []);
+  Alcotest.(check bool) "core subset of assumptions" true
+    (List.for_all (fun l -> List.exists (Lit.equal l) assumptions) core);
+  Alcotest.(check bool) "c not in core" true
+    (not (List.exists (Lit.equal (Lit.pos c)) core));
+  (* the core must itself be unsat *)
+  Alcotest.(check bool) "core is unsat" true (Solver.solve ~assumptions:core s = Solver.Unsat)
+
+let test_incremental () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a; Lit.pos b ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Solver.add_clause s [ Lit.neg a ];
+  Alcotest.(check bool) "still sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "b now true" true (Solver.value s b);
+  Solver.add_clause s [ Lit.neg b ];
+  Alcotest.(check bool) "now unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_tseitin_xor_chain () =
+  (* x0 ^ x1 ^ x2 = 1 with x0=1, x1=1 forces x2=1 *)
+  let s = Solver.create () in
+  let vars = fresh_vars s 3 in
+  Tseitin.xor_clause s (List.map Lit.pos vars) true;
+  Solver.add_clause s [ Lit.pos (List.nth vars 0) ];
+  Solver.add_clause s [ Lit.pos (List.nth vars 1) ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "x2" true (Solver.value s (List.nth vars 2))
+
+let test_tseitin_formula () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  (* (a | b) & (a -> c) & !b  =>  a & c *)
+  Tseitin.(assert_formula s (And [ Or [ atom a; atom b ]; Imp (atom a, atom c); Not (atom b) ]));
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "a" true (Solver.value s a);
+  Alcotest.(check bool) "c" true (Solver.value s c);
+  Alcotest.(check bool) "not b" false (Solver.value s b)
+
+let test_tseitin_iff_xor () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Tseitin.(assert_formula s (Iff (atom a, atom b)));
+  Tseitin.(assert_formula s (Xor (atom a, atom b)));
+  Alcotest.(check bool) "iff & xor is unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_dimacs_roundtrip () =
+  let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let cnf = Dimacs.parse text in
+  Alcotest.(check int) "nvars" 3 cnf.Dimacs.nvars;
+  Alcotest.(check int) "nclauses" 2 (List.length cnf.Dimacs.clauses);
+  let s = Solver.create () in
+  Dimacs.load s cnf;
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  let printed = Format.asprintf "%a" Dimacs.print cnf in
+  let reparsed = Dimacs.parse printed in
+  Alcotest.(check int) "reparse clauses" 2 (List.length reparsed.Dimacs.clauses)
+
+(* --- properties --------------------------------------------------------- *)
+
+(* Random 3-SAT around the satisfiable regime, cross-checked against a brute
+   force enumeration. *)
+let brute_force nvars clauses =
+  let rec go assignment v =
+    if v = nvars then
+      List.for_all
+        (List.exists (fun l ->
+             let value = List.nth assignment (Lit.var l) in
+             if Lit.sign l then value else not value))
+        clauses
+    else go (assignment @ [ true ]) (v + 1) || go (assignment @ [ false ]) (v + 1)
+  in
+  go [] 0
+
+let gen_cnf =
+  QCheck.Gen.(
+    pair (int_range 1 8) (int_range 1 30) >>= fun (nvars, nclauses) ->
+    let gen_lit = map2 (fun v s -> Lit.make (v mod nvars) s) (int_bound (nvars - 1)) bool in
+    list_repeat nclauses (list_size (int_range 1 3) gen_lit) >|= fun clauses ->
+    (nvars, clauses))
+
+let prop_agrees_with_brute_force =
+  QCheck.Test.make ~name:"solver agrees with brute force on small CNFs" ~count:300
+    (QCheck.make gen_cnf) (fun (nvars, clauses) ->
+      let s = Solver.create () in
+      ignore (fresh_vars s nvars);
+      List.iter (Solver.add_clause s) clauses;
+      let expected = brute_force nvars clauses in
+      match Solver.solve s with
+      | Solver.Sat ->
+          expected
+          && List.for_all
+               (List.exists (fun l -> Solver.lit_value s l))
+               clauses
+      | Solver.Unsat -> not expected)
+
+let prop_core_is_unsat =
+  QCheck.Test.make ~name:"unsat cores are themselves unsat" ~count:100
+    (QCheck.make gen_cnf) (fun (nvars, clauses) ->
+      let s = Solver.create () in
+      let vars = fresh_vars s nvars in
+      List.iter (Solver.add_clause s) clauses;
+      let assumptions = List.map Lit.pos vars in
+      match Solver.solve ~assumptions s with
+      | Solver.Sat -> true
+      | Solver.Unsat ->
+          let core = Solver.unsat_core s in
+          (not (Solver.okay s)) || Solver.solve ~assumptions:core s = Solver.Unsat)
+
+let suite =
+  [
+    Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+    Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+    Alcotest.test_case "empty clause" `Quick test_empty_clause;
+    Alcotest.test_case "implication chain" `Quick test_implication_chain;
+    Alcotest.test_case "pigeonhole 3-into-2 unsat" `Quick test_pigeonhole_3_2;
+    Alcotest.test_case "pigeonhole 4-into-4 sat" `Quick test_pigeonhole_4_4;
+    Alcotest.test_case "assumptions" `Quick test_assumptions;
+    Alcotest.test_case "unsat core" `Quick test_unsat_core;
+    Alcotest.test_case "incremental" `Quick test_incremental;
+    Alcotest.test_case "tseitin xor chain" `Quick test_tseitin_xor_chain;
+    Alcotest.test_case "tseitin formula" `Quick test_tseitin_formula;
+    Alcotest.test_case "tseitin iff+xor unsat" `Quick test_tseitin_iff_xor;
+    Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+    QCheck_alcotest.to_alcotest prop_agrees_with_brute_force;
+    QCheck_alcotest.to_alcotest prop_core_is_unsat;
+  ]

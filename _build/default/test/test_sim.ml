@@ -1,0 +1,134 @@
+(* Tests for the performance model: machine ceilings, cache model, profiles,
+   throughput laws. *)
+
+let machine = Sim.Machine.xeon_6226r
+
+let test_line_rate () =
+  (* 64B frames: 100G / (84B * 8) ≈ 148.8 Mpps *)
+  let pps = Sim.Machine.line_rate_pps machine ~frame_bytes:64 in
+  Alcotest.(check bool) "148Mpps" true (Float.abs ((pps /. 1e6) -. 148.8) < 1.0)
+
+let test_pcie_shape () =
+  (* the Fig. 8 anchor: ~90 Mpps for 64B frames and near line rate at 1500B *)
+  let small = Sim.Machine.pcie_pps machine ~frame_bytes:64 /. 1e6 in
+  Alcotest.(check bool) (Printf.sprintf "64B ~90Mpps (got %.1f)" small) true
+    (small > 80.0 && small < 100.0);
+  let gbps1500 = Sim.Machine.pcie_pps machine ~frame_bytes:1500 *. 1500.0 *. 8.0 /. 1e9 in
+  Alcotest.(check bool) "1500B near line rate" true (gbps1500 > 90.0)
+
+let test_peak_monotone_in_gbps () =
+  (* throughput in Gbps grows with packet size (Fig. 8 blue curve) *)
+  let gbps size = Sim.Machine.peak_pps machine ~frame_bytes:size *. float_of_int size *. 8.0 /. 1e9 in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "monotone" true (gbps a < gbps b);
+        check rest
+    | _ -> ()
+  in
+  check Traffic.Gen.packet_sizes
+
+let test_mem_hierarchy_monotone () =
+  let cost ws = Sim.Cost.mem_access_cycles machine ~ws_bytes:ws in
+  Alcotest.(check bool) "l1 resident" true (cost 1000.0 <= 4.01);
+  Alcotest.(check bool) "l2 slower" true (cost 500_000.0 > cost 10_000.0);
+  Alcotest.(check bool) "llc slower" true (cost 10_000_000.0 > cost 500_000.0);
+  Alcotest.(check bool) "dram slower" true (cost 1e9 > cost 10_000_000.0)
+
+let test_working_set_shards () =
+  let w = Sim.Workload.read_heavy ~flows:4096 ~pkts:8000 "fw" in
+  let p = Sim.Workload.profile_of w in
+  let full = Sim.Cost.working_set_bytes p ~shards:1 in
+  let sharded = Sim.Cost.working_set_bytes p ~shards:16 in
+  Alcotest.(check bool) "16x smaller" true (Float.abs ((full /. sharded) -. 16.0) < 0.1)
+
+let test_profile_read_heavy_fw () =
+  let w = Sim.Workload.read_heavy "fw" in
+  let p = Sim.Workload.profile_of w in
+  Alcotest.(check bool) "low write fraction" true (p.Sim.Profile.write_pkt_fraction < 0.06);
+  Alcotest.(check bool) "rejuvenation visible to TM" true
+    (p.Sim.Profile.tm_writes_per_pkt > 0.9);
+  Alcotest.(check int) "nothing dropped" 0 p.Sim.Profile.drops
+
+let test_profile_zipf_caches_better () =
+  let u = Sim.Workload.read_heavy ~flows:1000 ~pkts:30_000 "fw" in
+  let z = Sim.Workload.zipf ~pkts:30_000 "fw" in
+  let pu = Sim.Workload.profile_of u and pz = Sim.Workload.profile_of z in
+  Alcotest.(check bool) "zipf has fewer effective flows" true
+    (pz.Sim.Profile.effective_flows < 0.5 *. pu.Sim.Profile.effective_flows)
+
+let plan_for ?(strategy = `Auto) name cores =
+  let request = { Maestro.Pipeline.default_request with cores; strategy } in
+  (Maestro.Pipeline.parallelize_exn ~request (Nfs.Registry.find_exn name)).Maestro.Pipeline.plan
+
+let test_throughput_scales_then_caps () =
+  let w = Sim.Workload.read_heavy "fw" in
+  let p = Sim.Workload.profile_of w in
+  let g cores = (Sim.Throughput.evaluate (plan_for "fw" cores) p w.Sim.Workload.trace).Sim.Throughput.gbps in
+  Alcotest.(check bool) "2 cores ~2x" true (g 2 /. g 1 > 1.8);
+  Alcotest.(check bool) "4 cores ~4x" true (g 4 /. g 1 > 3.6);
+  let e16 = Sim.Throughput.evaluate (plan_for "fw" 16) p w.Sim.Workload.trace in
+  Alcotest.(check string) "16 cores hits pcie" "pcie"
+    (Sim.Throughput.bottleneck_name e16.Sim.Throughput.bottleneck)
+
+let test_lock_law_collapses_on_writes () =
+  let w = Sim.Workload.read_heavy "policer" in
+  let p = Sim.Workload.profile_of w in
+  let g cores =
+    (Sim.Throughput.evaluate (plan_for ~strategy:`Force_locks "policer" cores) p
+       w.Sim.Workload.trace).Sim.Throughput.gbps
+  in
+  Alcotest.(check bool) "16 cores worse than 2" true (g 16 < g 2)
+
+let test_tm_rises_then_falls () =
+  let w = Sim.Workload.read_heavy "fw" in
+  let p = Sim.Workload.profile_of w in
+  let g cores =
+    (Sim.Throughput.evaluate (plan_for ~strategy:`Force_tm "fw" cores) p w.Sim.Workload.trace).Sim.Throughput.gbps
+  in
+  Alcotest.(check bool) "scales at first" true (g 4 > g 1);
+  Alcotest.(check bool) "collapses at 16" true (g 16 < g 4)
+
+let test_balanced_reta_helps_zipf () =
+  let w = Sim.Workload.zipf "fw" in
+  let p = Sim.Workload.profile_of w in
+  let plan = plan_for "fw" 8 in
+  let plain = Sim.Throughput.evaluate plan p w.Sim.Workload.trace in
+  let balanced = Sim.Throughput.evaluate ~balanced_reta:true plan p w.Sim.Workload.trace in
+  Alcotest.(check bool) "balancing helps" true
+    (balanced.Sim.Throughput.gbps >= plain.Sim.Throughput.gbps);
+  Alcotest.(check bool) "imbalance reduced" true
+    (balanced.Sim.Throughput.imbalance <= plain.Sim.Throughput.imbalance +. 1e-9)
+
+let test_latency_parallel_matches_sequential () =
+  let w = Sim.Workload.read_heavy "fw" in
+  let p = Sim.Workload.profile_of w in
+  let l1 = Sim.Latency.probe (plan_for "fw" 1) p in
+  let l16 = Sim.Latency.probe (plan_for "fw" 16) p in
+  Alcotest.(check bool) "≈11us" true (l1.Sim.Latency.avg_us > 10.0 && l1.Sim.Latency.avg_us < 13.0);
+  Alcotest.(check bool) "parallelization latency-neutral" true
+    (Float.abs (l16.Sim.Latency.avg_us -. l1.Sim.Latency.avg_us) < 0.5)
+
+let test_workloads_exist_for_all_nfs () =
+  List.iter
+    (fun name ->
+      let w = Sim.Workload.read_heavy ~pkts:2000 ~flows:500 name in
+      let p = Sim.Workload.profile_of w in
+      Alcotest.(check bool) (name ^ " profiled") true (p.Sim.Profile.pkts > 0))
+    Nfs.Registry.names
+
+let suite =
+  [
+    Alcotest.test_case "line rate" `Quick test_line_rate;
+    Alcotest.test_case "pcie shape (Fig. 8 anchors)" `Quick test_pcie_shape;
+    Alcotest.test_case "peak gbps monotone in size" `Quick test_peak_monotone_in_gbps;
+    Alcotest.test_case "memory hierarchy monotone" `Quick test_mem_hierarchy_monotone;
+    Alcotest.test_case "working set shards" `Quick test_working_set_shards;
+    Alcotest.test_case "fw profile is read-heavy" `Quick test_profile_read_heavy_fw;
+    Alcotest.test_case "zipf caches better" `Quick test_profile_zipf_caches_better;
+    Alcotest.test_case "throughput scales then caps" `Quick test_throughput_scales_then_caps;
+    Alcotest.test_case "lock law collapses on writes" `Quick test_lock_law_collapses_on_writes;
+    Alcotest.test_case "tm rises then falls" `Quick test_tm_rises_then_falls;
+    Alcotest.test_case "balanced reta helps zipf" `Quick test_balanced_reta_helps_zipf;
+    Alcotest.test_case "latency neutral" `Quick test_latency_parallel_matches_sequential;
+    Alcotest.test_case "workloads for all NFs" `Quick test_workloads_exist_for_all_nfs;
+  ]

@@ -1,0 +1,208 @@
+(* Direct tests for the Vigor stateful containers (paper Table 1). *)
+
+open State
+
+(* --- Map_s ---------------------------------------------------------------- *)
+
+let test_map_basics () =
+  let m = Map_s.create ~capacity:4 in
+  Alcotest.(check (option int)) "miss" None (Map_s.get m "a");
+  Alcotest.(check bool) "put" true (Map_s.put m "a" 1);
+  Alcotest.(check (option int)) "hit" (Some 1) (Map_s.get m "a");
+  Alcotest.(check bool) "overwrite" true (Map_s.put m "a" 2);
+  Alcotest.(check (option int)) "new value" (Some 2) (Map_s.get m "a");
+  Alcotest.(check int) "size" 1 (Map_s.size m)
+
+let test_map_capacity () =
+  let m = Map_s.create ~capacity:2 in
+  Alcotest.(check bool) "1" true (Map_s.put m "a" 1);
+  Alcotest.(check bool) "2" true (Map_s.put m "b" 2);
+  Alcotest.(check bool) "full" false (Map_s.put m "c" 3);
+  (* overwriting existing keys still works at capacity *)
+  Alcotest.(check bool) "overwrite ok" true (Map_s.put m "a" 9);
+  Alcotest.(check bool) "erase" true (Map_s.erase m "a");
+  Alcotest.(check bool) "room again" true (Map_s.put m "c" 3)
+
+let test_map_erase_absent () =
+  let m = Map_s.create ~capacity:2 in
+  Alcotest.(check bool) "absent" false (Map_s.erase m "zzz")
+
+let test_map_binary_keys () =
+  let m = Map_s.create ~capacity:8 in
+  let k1 = "\x00\x01\x00" and k2 = "\x00\x00\x01" in
+  ignore (Map_s.put m k1 1);
+  ignore (Map_s.put m k2 2);
+  Alcotest.(check (option int)) "k1" (Some 1) (Map_s.get m k1);
+  Alcotest.(check (option int)) "k2" (Some 2) (Map_s.get m k2)
+
+(* --- Vector --------------------------------------------------------------- *)
+
+let test_vector () =
+  let v = Vector.create ~capacity:4 ~default:0 in
+  Vector.set v 2 42;
+  Alcotest.(check int) "set/get" 42 (Vector.get v 2);
+  Vector.update v 2 (fun x -> x + 1);
+  Alcotest.(check int) "update" 43 (Vector.get v 2);
+  Vector.reset v;
+  Alcotest.(check int) "reset" 0 (Vector.get v 2);
+  Alcotest.(check bool) "bounds" true
+    (try
+       ignore (Vector.get v 4);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Dchain --------------------------------------------------------------- *)
+
+let test_dchain_allocate_all () =
+  let c = Dchain.create ~capacity:3 in
+  let a = Dchain.allocate c ~now:1 and b = Dchain.allocate c ~now:2 in
+  let d = Dchain.allocate c ~now:3 in
+  Alcotest.(check bool) "three distinct" true
+    (match (a, b, d) with
+    | Some x, Some y, Some z -> x <> y && y <> z && x <> z
+    | _ -> false);
+  Alcotest.(check (option int)) "exhausted" None (Dchain.allocate c ~now:4);
+  Alcotest.(check int) "allocated" 3 (Dchain.allocated c)
+
+let test_dchain_expiry_order () =
+  let c = Dchain.create ~capacity:4 in
+  let i1 = Option.get (Dchain.allocate c ~now:10) in
+  let i2 = Option.get (Dchain.allocate c ~now:20) in
+  let i3 = Option.get (Dchain.allocate c ~now:30) in
+  Alcotest.(check (option int)) "oldest" (Some i1) (Dchain.oldest c);
+  (* rejuvenating the oldest moves it behind *)
+  Alcotest.(check bool) "rejuvenate" true (Dchain.rejuvenate c i1 ~now:40);
+  Alcotest.(check (option int)) "new oldest" (Some i2) (Dchain.oldest c);
+  (* expiry frees strictly-older entries, oldest first *)
+  Alcotest.(check (list int)) "expired" [ i2; i3 ] (Dchain.expire_before c ~threshold:35);
+  Alcotest.(check int) "one left" 1 (Dchain.allocated c);
+  Alcotest.(check bool) "i1 still allocated" true (Dchain.is_allocated c i1)
+
+let test_dchain_free_and_reuse () =
+  let c = Dchain.create ~capacity:2 in
+  let i = Option.get (Dchain.allocate c ~now:1) in
+  Alcotest.(check bool) "free" true (Dchain.free c i);
+  Alcotest.(check bool) "double free" false (Dchain.free c i);
+  Alcotest.(check bool) "reusable" true (Dchain.allocate c ~now:2 <> None)
+
+let test_dchain_last_touch () =
+  let c = Dchain.create ~capacity:2 in
+  let i = Option.get (Dchain.allocate c ~now:5) in
+  Alcotest.(check (option int)) "touch" (Some 5) (Dchain.last_touch c i);
+  ignore (Dchain.rejuvenate c i ~now:9);
+  Alcotest.(check (option int)) "rejuvenated" (Some 9) (Dchain.last_touch c i);
+  Alcotest.(check (option int)) "absent" None (Dchain.last_touch c 1)
+
+(* --- Sketch --------------------------------------------------------------- *)
+
+let test_sketch_counts () =
+  let s = Sketch.create ~depth:3 ~width:64 () in
+  Alcotest.(check int) "empty" 0 (Sketch.count s "k");
+  Sketch.increment s "k";
+  Sketch.increment s "k";
+  Alcotest.(check bool) "at least 2" true (Sketch.count s "k" >= 2);
+  Sketch.clear s;
+  Alcotest.(check int) "cleared" 0 (Sketch.count s "k")
+
+let test_sketch_over_limit () =
+  let s = Sketch.create () in
+  Sketch.add s "pair" 65;
+  Alcotest.(check bool) "over" true (Sketch.over_limit s "pair" ~limit:64);
+  Alcotest.(check bool) "not over" false (Sketch.over_limit s "pair" ~limit:65)
+
+(* count-min never under-estimates *)
+let prop_sketch_overestimates =
+  QCheck.Test.make ~name:"count-min never under-estimates" ~count:50
+    QCheck.(pair (int_range 1 200) (int_range 1 500))
+    (fun (keys, adds) ->
+      let rng = Random.State.make [| keys; adds |] in
+      let s = Sketch.create ~depth:4 ~width:128 () in
+      let truth = Hashtbl.create 64 in
+      for _ = 1 to adds do
+        let k = string_of_int (Random.State.int rng keys) in
+        Sketch.increment s k;
+        Hashtbl.replace truth k (1 + Option.value ~default:0 (Hashtbl.find_opt truth k))
+      done;
+      Hashtbl.fold (fun k v acc -> acc && Sketch.count s k >= v) truth true)
+
+(* --- Expire helpers -------------------------------------------------------- *)
+
+let test_expire_single_map () =
+  let chain = Dchain.create ~capacity:8 in
+  let keys = Vector.create ~capacity:8 ~default:"" in
+  let map = Map_s.create ~capacity:8 in
+  let add key now =
+    Option.get (Expire.allocate_flow chain ~keys ~map ~key ~now)
+  in
+  let _a = add "flow-a" 10 and _b = add "flow-b" 20 in
+  Alcotest.(check int) "both live" 2 (Map_s.size map);
+  let expired = Expire.expire_single_map chain ~keys ~map ~threshold:15 in
+  Alcotest.(check int) "one expired" 1 expired;
+  Alcotest.(check bool) "a gone" false (Map_s.mem map "flow-a");
+  Alcotest.(check bool) "b alive" true (Map_s.mem map "flow-b")
+
+let test_allocate_flow_full_map () =
+  let chain = Dchain.create ~capacity:4 in
+  let keys = Vector.create ~capacity:4 ~default:"" in
+  let map = Map_s.create ~capacity:1 in
+  Alcotest.(check bool) "first fits" true
+    (Expire.allocate_flow chain ~keys ~map ~key:"x" ~now:1 <> None);
+  (* the map (not the chain) is the binding constraint: allocation must be
+     rolled back *)
+  Alcotest.(check bool) "second refused" true
+    (Expire.allocate_flow chain ~keys ~map ~key:"y" ~now:2 = None);
+  Alcotest.(check int) "chain rolled back" 1 (Dchain.allocated chain)
+
+(* dchain invariant: allocated + free = capacity under random ops *)
+let prop_dchain_conservation =
+  QCheck.Test.make ~name:"dchain conserves its index pool" ~count:50
+    QCheck.(int_range 1 2000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let cap = 1 + Random.State.int rng 32 in
+      let c = Dchain.create ~capacity:cap in
+      let live = Hashtbl.create 16 in
+      let ok = ref true in
+      for step = 1 to 200 do
+        match Random.State.int rng 4 with
+        | 0 -> (
+            match Dchain.allocate c ~now:step with
+            | Some i ->
+                if Hashtbl.mem live i then ok := false;
+                Hashtbl.replace live i ()
+            | None -> if Hashtbl.length live <> cap then ok := false)
+        | 1 ->
+            if Hashtbl.length live > 0 then begin
+              let i = List.hd (List.of_seq (Hashtbl.to_seq_keys live)) in
+              ignore (Dchain.free c i);
+              Hashtbl.remove live i
+            end
+        | 2 ->
+            if Hashtbl.length live > 0 then begin
+              let i = List.hd (List.of_seq (Hashtbl.to_seq_keys live)) in
+              ignore (Dchain.rejuvenate c i ~now:step)
+            end
+        | _ ->
+            let freed = Dchain.expire_before c ~threshold:(step - 50) in
+            List.iter (Hashtbl.remove live) freed
+      done;
+      !ok && Dchain.allocated c = Hashtbl.length live)
+
+let suite =
+  [
+    Alcotest.test_case "map basics" `Quick test_map_basics;
+    Alcotest.test_case "map capacity" `Quick test_map_capacity;
+    Alcotest.test_case "map erase absent" `Quick test_map_erase_absent;
+    Alcotest.test_case "map binary keys" `Quick test_map_binary_keys;
+    Alcotest.test_case "vector" `Quick test_vector;
+    Alcotest.test_case "dchain allocate all" `Quick test_dchain_allocate_all;
+    Alcotest.test_case "dchain expiry order" `Quick test_dchain_expiry_order;
+    Alcotest.test_case "dchain free/reuse" `Quick test_dchain_free_and_reuse;
+    Alcotest.test_case "dchain last touch" `Quick test_dchain_last_touch;
+    Alcotest.test_case "sketch counts" `Quick test_sketch_counts;
+    Alcotest.test_case "sketch over limit" `Quick test_sketch_over_limit;
+    Alcotest.test_case "expire single map" `Quick test_expire_single_map;
+    Alcotest.test_case "allocate flow rollback" `Quick test_allocate_flow_full_map;
+    QCheck_alcotest.to_alcotest prop_sketch_overestimates;
+    QCheck_alcotest.to_alcotest prop_dchain_conservation;
+  ]

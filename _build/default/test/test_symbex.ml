@@ -1,0 +1,249 @@
+(* Tests for the exhaustive symbolic execution engine. *)
+
+open Dsl.Ast
+open Packet
+
+let fwd p = Forward (const ~width:16 p)
+
+let run nf = Symbex.Exec.run nf
+
+let test_stateless_single_path_per_port () =
+  let nf = Nfs.Nop.make () in
+  let model = run nf in
+  (* in_port folds to a constant per run: exactly one path per port *)
+  Alcotest.(check int) "two paths" 2 (Symbex.Exec.paths model);
+  Alcotest.(check int) "no calls" 0 (List.length (Symbex.Exec.calls model))
+
+let test_branch_on_field_forks () =
+  let nf =
+    {
+      name = "forker";
+      devices = 2;
+      state = [];
+      process = If (Field Field.Src_port ==. const ~width:16 80, fwd 1, Drop);
+    }
+  in
+  let model = run nf in
+  Alcotest.(check int) "two paths per port" 4 (Symbex.Exec.paths model)
+
+let test_constant_folding_prunes () =
+  let nf =
+    {
+      name = "folder";
+      devices = 1;
+      state = [];
+      process = If (const 1 ==. const 1, fwd 0, Drop);
+    }
+  in
+  let model = run nf in
+  Alcotest.(check int) "one path" 1 (Symbex.Exec.paths model)
+
+let test_contradictory_branch_pruned () =
+  let cond = Field Field.Src_port ==. const ~width:16 80 in
+  let nf =
+    {
+      name = "contra";
+      devices = 1;
+      state = [];
+      process = If (cond, If (cond, fwd 0, Drop), Drop);
+    }
+  in
+  let model = run nf in
+  (* the inner else-branch contradicts the outer condition: pruned *)
+  Alcotest.(check int) "two paths" 2 (Symbex.Exec.paths model)
+
+let test_map_get_branches_on_found () =
+  let nf =
+    {
+      name = "getter";
+      devices = 1;
+      state = [ Decl_map { name = "m"; capacity = 4; init = [] } ];
+      process =
+        Map_get
+          {
+            obj = "m";
+            key = [ Field Field.Ip_src ];
+            found = "f";
+            value = "v";
+            k = If (Var "f", fwd 0, Drop);
+          };
+    }
+  in
+  let model = run nf in
+  Alcotest.(check int) "two paths" 2 (Symbex.Exec.paths model);
+  let calls = Symbex.Exec.calls model in
+  Alcotest.(check int) "one call" 1 (List.length calls);
+  match (List.hd calls).Symbex.Tree.key with
+  | Some [ Symbex.Sym.Field Field.Ip_src ] -> ()
+  | _ -> Alcotest.fail "key not tracked"
+
+let test_rewrites_tracked_in_actions () =
+  let nf =
+    {
+      name = "rewriter";
+      devices = 2;
+      state = [];
+      process = Set_field (Field.Ip_dst, const ~width:32 42, fwd 1);
+    }
+  in
+  let model = run nf in
+  match Symbex.Tree.leaves model.Symbex.Exec.trees.(0) with
+  | [ (Symbex.Tree.Forward (_, [ (Field.Ip_dst, Symbex.Sym.Const (32, 42)) ]), _) ] -> ()
+  | _ -> Alcotest.fail "rewrite not recorded"
+
+let test_field_reads_after_rewrite_see_new_value () =
+  (* after ip.dst := ip.src, a key on ip.dst is symbolically ip.src *)
+  let nf =
+    {
+      name = "alias";
+      devices = 1;
+      state = [ Decl_map { name = "m"; capacity = 4; init = [] } ];
+      process =
+        Set_field
+          ( Field.Ip_dst,
+            Field Field.Ip_src,
+            Map_get
+              {
+                obj = "m";
+                key = [ Field Field.Ip_dst ];
+                found = "f";
+                value = "v";
+                k = Drop;
+              } );
+    }
+  in
+  let model = run nf in
+  match (List.hd (Symbex.Exec.calls model)).Symbex.Tree.key with
+  | Some [ Symbex.Sym.Field Field.Ip_src ] -> ()
+  | _ -> Alcotest.fail "rewrite not threaded through field reads"
+
+let test_chain_alloc_forks_structurally () =
+  let nf =
+    {
+      name = "alloc";
+      devices = 1;
+      state = [ Decl_chain { name = "c"; capacity = 4 } ];
+      process = Chain_alloc { obj = "c"; index = "i"; k_ok = fwd 0; k_fail = Drop };
+    }
+  in
+  let model = run nf in
+  Alcotest.(check int) "two paths" 2 (Symbex.Exec.paths model)
+
+let test_call_paths_recorded () =
+  let nf = Nfs.Fw.make () in
+  let model = run nf in
+  (* the map_put of the firewall only happens on the miss path: its recorded
+     path constraints must mention the map_get's found symbol negatively *)
+  let put =
+    List.find
+      (fun (c : Symbex.Tree.call) -> c.Symbex.Tree.kind = Dsl.Interp.Op_map_put)
+      (Symbex.Exec.calls model)
+  in
+  Alcotest.(check bool) "guarded by a miss" true
+    (List.exists
+       (fun (sym, polarity) ->
+         (not polarity) && match sym with Symbex.Sym.Call (_, "found") -> true | _ -> false)
+       put.Symbex.Tree.path)
+
+let test_classify_atoms () =
+  let open Symbex.Sym in
+  Alcotest.(check bool) "field" true (classify (Field Field.Ip_src) = A_field Field.Ip_src);
+  Alcotest.(check bool) "field+const" true
+    (classify (Bin (Dsl.Ast.Add, Field Field.Src_port, Const (16, 7))) = A_field Field.Src_port);
+  Alcotest.(check bool) "prefix" true
+    (classify (Bin (Dsl.Ast.Div, Field Field.Ip_src, Const (32, 1 lsl 24)))
+    = A_prefix (Field.Ip_src, 8));
+  Alcotest.(check bool) "nested prefix" true
+    (classify
+       (Bin
+          ( Dsl.Ast.Div,
+            Bin (Dsl.Ast.Div, Field Field.Ip_src, Const (32, 1 lsl 8)),
+            Const (32, 1 lsl 8) ))
+    = A_prefix (Field.Ip_src, 16));
+  Alcotest.(check bool) "mod is lossy" true
+    (match classify (Bin (Dsl.Ast.Mod, Field Field.Src_port, Const (16, 64))) with
+    | A_opaque _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "call result is opaque" true
+    (match classify (Call (3, "value")) with A_opaque _ -> true | _ -> false);
+  Alcotest.(check bool) "non-power divisor is lossy" true
+    (match classify (Bin (Dsl.Ast.Div, Field Field.Ip_src, Const (32, 1000))) with
+    | A_opaque _ -> true
+    | _ -> false)
+
+let test_tree_search_helpers () =
+  let nf = Nfs.Fw.make () in
+  let model = run nf in
+  let tree = model.Symbex.Exec.trees.(0) in
+  let get =
+    List.find
+      (fun (c : Symbex.Tree.call) -> c.Symbex.Tree.kind = Dsl.Interp.Op_map_get)
+      (Symbex.Tree.all_calls tree)
+  in
+  (match Symbex.Tree.continuation_of_call tree get.Symbex.Tree.id with
+  | Some _ -> ()
+  | None -> Alcotest.fail "continuation not found");
+  match
+    Symbex.Tree.find_branch tree (fun c ->
+        Symbex.Sym.equal c (Symbex.Sym.Call (get.Symbex.Tree.id, "found")))
+  with
+  | Some (_, t_found, t_miss) ->
+      Alcotest.(check bool) "found path forwards" true
+        (List.mem (Symbex.Tree.Forward (Symbex.Sym.Const (16, 1), []))
+           (Symbex.Tree.leaf_action_set t_found));
+      Alcotest.(check bool) "miss path exists" true
+        (Symbex.Tree.leaf_action_set t_miss <> [])
+  | None -> Alcotest.fail "found branch missing"
+
+(* the model is complete: every concrete execution's verdict is one of the
+   tree's leaf actions for that port *)
+let prop_model_covers_concrete_runs =
+  QCheck.Test.make ~name:"execution tree covers concrete verdicts" ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let nf = Nfs.Registry.find_exn "fw" in
+      let model = run nf in
+      let info = Dsl.Check.check_exn nf in
+      let inst = Dsl.Instance.create nf in
+      let rng = Random.State.make [| seed |] in
+      List.for_all
+        (fun _ ->
+          let port = Random.State.int rng 2 in
+          let pkt =
+            Packet.Pkt.make ~port
+              ~ip_src:(Random.State.int rng 64)
+              ~ip_dst:(Random.State.int rng 64)
+              ~src_port:(Random.State.int rng 16)
+              ~dst_port:(Random.State.int rng 16)
+              ()
+          in
+          let verdict = Dsl.Interp.process nf info inst pkt in
+          let leaf_ports =
+            Symbex.Tree.leaves model.Symbex.Exec.trees.(port)
+            |> List.map (fun (a, _) ->
+                   match a with
+                   | Symbex.Tree.Drop -> None
+                   | Symbex.Tree.Forward (Symbex.Sym.Const (_, p), _) -> Some p
+                   | Symbex.Tree.Forward _ -> Some (-1))
+          in
+          match verdict with
+          | Dsl.Interp.Dropped -> List.mem None leaf_ports
+          | Dsl.Interp.Fwd (p, _) -> List.mem (Some p) leaf_ports || List.mem (Some (-1)) leaf_ports)
+        (List.init 20 Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "stateless: one path per port" `Quick test_stateless_single_path_per_port;
+    Alcotest.test_case "field branch forks" `Quick test_branch_on_field_forks;
+    Alcotest.test_case "constant folding prunes" `Quick test_constant_folding_prunes;
+    Alcotest.test_case "contradictions pruned" `Quick test_contradictory_branch_pruned;
+    Alcotest.test_case "map_get forks on found" `Quick test_map_get_branches_on_found;
+    Alcotest.test_case "rewrites tracked" `Quick test_rewrites_tracked_in_actions;
+    Alcotest.test_case "rewrites alias field reads" `Quick
+      test_field_reads_after_rewrite_see_new_value;
+    Alcotest.test_case "chain_alloc forks" `Quick test_chain_alloc_forks_structurally;
+    Alcotest.test_case "call paths recorded" `Quick test_call_paths_recorded;
+    Alcotest.test_case "atom classification" `Quick test_classify_atoms;
+    Alcotest.test_case "tree search helpers" `Quick test_tree_search_helpers;
+    QCheck_alcotest.to_alcotest prop_model_covers_concrete_runs;
+  ]

@@ -1,0 +1,160 @@
+(* Tests for the workload generators. *)
+
+let rng seed = Random.State.make [| seed |]
+
+let test_flows_distinct () =
+  let fs = Traffic.Gen.flows (rng 1) 500 in
+  Alcotest.(check int) "count" 500 (List.length fs);
+  Alcotest.(check int) "distinct" 500
+    (List.length (List.sort_uniq Packet.Flow.compare fs))
+
+let test_flows_client_server_ranges () =
+  List.iter
+    (fun (f : Packet.Flow.t) ->
+      Alcotest.(check int) "client in 10/8" 0x0a (f.Packet.Flow.ip_src lsr 24);
+      Alcotest.(check bool) "server in 96/3" true (f.Packet.Flow.ip_dst lsr 29 = 0b011))
+    (Traffic.Gen.flows (rng 2) 100)
+
+let test_uniform_trace_shape () =
+  let st = rng 3 in
+  let flows = Traffic.Gen.flows st 50 in
+  let spec = { Traffic.Gen.default_spec with pkts = 2000; size = 128 } in
+  let trace = Traffic.Gen.uniform ~spec st ~flows in
+  Alcotest.(check int) "pkts" 2000 (Array.length trace);
+  Array.iter (fun p -> Alcotest.(check int) "size" 128 p.Packet.Pkt.size) trace;
+  Alcotest.(check int) "flows bounded" 50 (Traffic.Gen.count_new_flows trace);
+  (* timestamps increase *)
+  let ok = ref true in
+  Array.iteri (fun i p -> if p.Packet.Pkt.ts_ns <> i * spec.Traffic.Gen.gap_ns then ok := false) trace;
+  Alcotest.(check bool) "timestamps" true !ok
+
+let test_first_packet_is_lan () =
+  let st = rng 4 in
+  let flows = Traffic.Gen.flows st 20 in
+  let trace =
+    Traffic.Gen.uniform ~spec:{ Traffic.Gen.default_spec with pkts = 500; reply_fraction = 0.8 }
+      st ~flows
+  in
+  let seen = Hashtbl.create 32 in
+  Array.iter
+    (fun p ->
+      let key = Packet.Flow.normalize (Packet.Flow.of_pkt p) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        Alcotest.(check int) "session starts on the LAN" 0 p.Packet.Pkt.port
+      end)
+    trace
+
+let test_zipf_calibration () =
+  let z = Traffic.Zipf.paper () in
+  let share = Traffic.Zipf.share_of_top z 48 in
+  Alcotest.(check bool) "48 of 1000 flows carry ~80%" true (Float.abs (share -. 0.8) < 0.005);
+  Alcotest.(check int) "nflows" 1000 (Traffic.Zipf.nflows z)
+
+let test_zipf_sampling_skew () =
+  let z = Traffic.Zipf.paper () in
+  let st = rng 5 in
+  let counts = Array.make 1000 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let i = Traffic.Zipf.sample z st in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let top48 = Array.fold_left ( + ) 0 (Array.sub counts 0 48) in
+  let share = float_of_int top48 /. float_of_int n in
+  Alcotest.(check bool) "empirical share near 0.8" true (Float.abs (share -. 0.8) < 0.03);
+  Alcotest.(check bool) "rank 0 heaviest" true (counts.(0) > counts.(100))
+
+let test_zipf_trace () =
+  let st = rng 6 in
+  let z = Traffic.Zipf.paper () in
+  let flows = Traffic.Gen.flows st 1000 in
+  let trace = Traffic.Zipf.trace ~spec:{ Traffic.Gen.default_spec with pkts = 5000 } st z ~flows in
+  Alcotest.(check int) "pkts" 5000 (Array.length trace);
+  Alcotest.(check bool) "few flows dominate" true (Traffic.Gen.count_new_flows trace <= 1000)
+
+let test_churn_zero () =
+  let spec = { Traffic.Churn.default_spec with flows_per_gbit = 0.0; pkts = 5000 } in
+  let trace = Traffic.Churn.trace (rng 7) spec in
+  Alcotest.(check int) "no churn -> active flows only"
+    spec.Traffic.Churn.active_flows
+    (Traffic.Gen.count_new_flows trace)
+
+let test_churn_rate () =
+  let spec =
+    { Traffic.Churn.default_spec with active_flows = 256; flows_per_gbit = 20_000.0; pkts = 50_000 }
+  in
+  let trace = Traffic.Churn.trace (rng 8) spec in
+  let distinct = Traffic.Gen.count_new_flows trace in
+  let expected = spec.Traffic.Churn.active_flows + Traffic.Churn.generations spec in
+  (* the construction can lag slightly at the trace edges *)
+  Alcotest.(check bool)
+    (Printf.sprintf "distinct flows %d near expected %d" distinct expected)
+    true
+    (float_of_int (abs (distinct - expected)) < 0.15 *. float_of_int expected);
+  Alcotest.(check bool) "relative churn realized" true
+    (Float.abs ((Traffic.Churn.relative_churn spec /. spec.Traffic.Churn.flows_per_gbit) -. 1.0)
+     < 0.1)
+
+let test_churn_absolute_scaling () =
+  let spec = { Traffic.Churn.default_spec with flows_per_gbit = 1000.0; pkts = 50_000 } in
+  let at10 = Traffic.Churn.absolute_churn_fpm spec ~gbps:10.0 in
+  let at20 = Traffic.Churn.absolute_churn_fpm spec ~gbps:20.0 in
+  Alcotest.(check bool) "fpm scales with rate" true (Float.abs ((at20 /. at10) -. 2.0) < 1e-9)
+
+let test_churn_spread_evenly () =
+  let spec =
+    { Traffic.Churn.default_spec with active_flows = 64; flows_per_gbit = 50_000.0; pkts = 20_000 }
+  in
+  let trace = Traffic.Churn.trace (rng 9) spec in
+  (* count new-flow first-occurrences per quarter of the trace *)
+  let seen = Hashtbl.create 1024 in
+  let quarters = Array.make 4 0 in
+  Array.iteri
+    (fun i p ->
+      let f = Packet.Flow.of_pkt p in
+      if not (Hashtbl.mem seen f) then begin
+        Hashtbl.replace seen f ();
+        let q = i * 4 / Array.length trace in
+        quarters.(q) <- quarters.(q) + 1
+      end)
+    trace;
+  let mx = Array.fold_left max 0 quarters and mn = Array.fold_left min max_int quarters in
+  Alcotest.(check bool)
+    (Printf.sprintf "even spread (quarters %d..%d)" mn mx)
+    true
+    (float_of_int mn > 0.5 *. float_of_int mx)
+
+let test_packet_sizes () =
+  Alcotest.(check (list int)) "fig8 sweep" [ 64; 128; 256; 512; 1024; 1500 ]
+    Traffic.Gen.packet_sizes
+
+(* --- properties ------------------------------------------------------------ *)
+
+let prop_traces_deterministic =
+  QCheck.Test.make ~name:"traces are deterministic in the seed" ~count:20
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let mk () =
+        let st = rng seed in
+        let flows = Traffic.Gen.flows st 32 in
+        Traffic.Gen.uniform ~spec:{ Traffic.Gen.default_spec with pkts = 200 } st ~flows
+      in
+      mk () = mk ())
+
+let suite =
+  [
+    Alcotest.test_case "flows distinct" `Quick test_flows_distinct;
+    Alcotest.test_case "flows in address ranges" `Quick test_flows_client_server_ranges;
+    Alcotest.test_case "uniform trace shape" `Quick test_uniform_trace_shape;
+    Alcotest.test_case "sessions start on the LAN" `Quick test_first_packet_is_lan;
+    Alcotest.test_case "zipf calibration (48/1000 = 80%)" `Quick test_zipf_calibration;
+    Alcotest.test_case "zipf sampling skew" `Quick test_zipf_sampling_skew;
+    Alcotest.test_case "zipf trace" `Quick test_zipf_trace;
+    Alcotest.test_case "churn: zero" `Quick test_churn_zero;
+    Alcotest.test_case "churn: rate realized" `Quick test_churn_rate;
+    Alcotest.test_case "churn: absolute scales with rate" `Quick test_churn_absolute_scaling;
+    Alcotest.test_case "churn: spread evenly" `Quick test_churn_spread_evenly;
+    Alcotest.test_case "packet size sweep" `Quick test_packet_sizes;
+    QCheck_alcotest.to_alcotest prop_traces_deterministic;
+  ]

@@ -1,0 +1,98 @@
+(* Tests for the VPP-style batching framework and its nat44 baseline. *)
+
+let ip a b c d = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let pkt ?(port = 0) ?(ts_ns = 0) src sport dst dport =
+  Packet.Pkt.make ~port ~ts_ns ~ip_src:src ~ip_dst:dst ~src_port:sport ~dst_port:dport ()
+
+let test_graph_runs_batches () =
+  let doubler =
+    {
+      Vpp.Graph.name = "entry";
+      handler = Array.map (fun p -> (p, Vpp.Graph.Tx (1 - p.Packet.Pkt.port)));
+    }
+  in
+  let g = Vpp.Graph.create ~entry:"entry" [ doubler ] in
+  let pkts = Array.init 1000 (fun i -> pkt ~port:(i mod 2) i 1 2 3) in
+  let verdicts = Vpp.Graph.run g pkts in
+  Array.iteri
+    (fun i v ->
+      match v with
+      | Vpp.Graph.Sent (p, _) -> Alcotest.(check int) "crossed" (1 - (i mod 2)) p
+      | Vpp.Graph.Dropped -> Alcotest.fail "dropped")
+    verdicts;
+  (* 1000 packets in 256-packet batches = 4 node invocations *)
+  Alcotest.(check int) "batched" 4 (Vpp.Graph.nodes_visited g)
+
+let test_graph_rejects_bad_wiring () =
+  let bad = { Vpp.Graph.name = "entry"; handler = Array.map (fun p -> (p, Vpp.Graph.To_node "nowhere")) } in
+  let g = Vpp.Graph.create ~entry:"entry" [ bad ] in
+  Alcotest.(check bool) "dangling next detected" true
+    (try
+       ignore (Vpp.Graph.run g [| pkt 1 2 3 4 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_nat44_translates () =
+  let nat = Vpp.Nat44.create () in
+  let client = ip 10 0 0 1 and server = ip 96 0 0 1 in
+  match Vpp.Nat44.run nat [| pkt ~port:0 client 4444 server 80 |] with
+  | [| Vpp.Graph.Sent (1, out) |] ->
+      Alcotest.(check int) "src is external" (Vpp.Nat44.external_ip nat) out.Packet.Pkt.ip_src;
+      Alcotest.(check bool) "port allocated" true (out.Packet.Pkt.src_port >= 1024);
+      (* the reply comes back translated to the client *)
+      (match
+         Vpp.Nat44.run nat
+           [| pkt ~port:1 server 80 (Vpp.Nat44.external_ip nat) out.Packet.Pkt.src_port |]
+       with
+      | [| Vpp.Graph.Sent (0, back) |] ->
+          Alcotest.(check int) "client restored" client back.Packet.Pkt.ip_dst;
+          Alcotest.(check int) "client port restored" 4444 back.Packet.Pkt.dst_port
+      | _ -> Alcotest.fail "reply not delivered")
+  | _ -> Alcotest.fail "not translated"
+
+let test_nat44_blocks_spoofing () =
+  let nat = Vpp.Nat44.create () in
+  let client = ip 10 0 0 1 and server = ip 96 0 0 1 in
+  match Vpp.Nat44.run nat [| pkt ~port:0 client 4444 server 80 |] with
+  | [| Vpp.Graph.Sent (1, out) |] ->
+      (match
+         Vpp.Nat44.run nat
+           [| pkt ~port:1 (ip 6 6 6 6) 80 (Vpp.Nat44.external_ip nat) out.Packet.Pkt.src_port |]
+       with
+      | [| Vpp.Graph.Dropped |] -> ()
+      | _ -> Alcotest.fail "spoofed reply admitted")
+  | _ -> Alcotest.fail "not translated"
+
+let test_nat44_agrees_with_maestro_nat () =
+  (* both NATs, fed the same LAN traffic, admit exactly the same packets *)
+  let w = Sim.Workload.read_heavy ~pkts:4000 ~flows:500 "nat" in
+  let vpp = Vpp.Nat44.create () in
+  let vpp_verdicts = Vpp.Nat44.run vpp w.Sim.Workload.trace in
+  let maestro = Runtime.Parallel.run_sequential w.Sim.Workload.nf w.Sim.Workload.trace in
+  Array.iteri
+    (fun i v ->
+      let same =
+        match (v, maestro.(i)) with
+        | Vpp.Graph.Sent (pa, _), Dsl.Interp.Fwd (pb, _) -> pa = pb
+        | Vpp.Graph.Dropped, Dsl.Interp.Dropped -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) (Printf.sprintf "verdict %d" i) true same)
+    vpp_verdicts
+
+let test_cost_params_slower_reads () =
+  Alcotest.(check bool) "vpp touches more lines" true
+    (Vpp.Nat44.cost_params.Sim.Cost.accesses_per_op > Sim.Cost.default.Sim.Cost.accesses_per_op);
+  Alcotest.(check bool) "vpp batching lowers base" true
+    (Vpp.Nat44.cost_params.Sim.Cost.base_cycles < Sim.Cost.default.Sim.Cost.base_cycles)
+
+let suite =
+  [
+    Alcotest.test_case "graph runs batches" `Quick test_graph_runs_batches;
+    Alcotest.test_case "graph rejects bad wiring" `Quick test_graph_rejects_bad_wiring;
+    Alcotest.test_case "nat44 translates" `Quick test_nat44_translates;
+    Alcotest.test_case "nat44 blocks spoofing" `Quick test_nat44_blocks_spoofing;
+    Alcotest.test_case "nat44 agrees with maestro nat" `Quick test_nat44_agrees_with_maestro_nat;
+    Alcotest.test_case "cost params encode the §6.4 story" `Quick test_cost_params_slower_reads;
+  ]
