@@ -1,0 +1,36 @@
+(* Machine-readable benchmark output: one BENCH_<nf>.json per NF in the
+   corpus, written to the current directory.
+
+   Each file is a versioned Telemetry snapshot (schema
+   [Telemetry.schema_version]) of one full tour through the toolchain —
+   pipeline generation, 10k packets through the deterministic parallel
+   runtime, and one performance-model evaluation — so per-phase span
+   timings and work counters (symbex paths, GF(2) equations, Toeplitz
+   hashes, per-core packet counts, ...) are diffable across PRs. *)
+
+let pkts = 10_000
+
+let bench_nf name =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let w = Sim.Workload.read_heavy ~pkts name in
+  let outcome = Maestro.Pipeline.parallelize_exn w.Sim.Workload.nf in
+  let plan = outcome.Maestro.Pipeline.plan in
+  ignore (Runtime.Parallel.run plan w.Sim.Workload.trace);
+  let profile = Sim.Workload.profile_of w in
+  ignore (Sim.Throughput.evaluate plan profile w.Sim.Workload.trace);
+  let snap = Telemetry.snapshot () in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  let file = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out file in
+  output_string oc (Telemetry.to_json ~name snap);
+  close_out oc;
+  Format.printf "wrote %s (%d spans, %d counters, %d histograms)@." file
+    (List.length snap.Telemetry.spans)
+    (List.length snap.Telemetry.counters)
+    (List.length snap.Telemetry.histograms)
+
+let run () =
+  Format.printf "@.=== Benchmark telemetry (BENCH_<nf>.json) ===@.";
+  List.iter bench_nf Nfs.Registry.names

@@ -6,6 +6,7 @@
 
 let targets : (string * (unit -> unit)) list =
   [
+    ("bench-json", Bench_json.run);
     ("fig2", Figures.fig2);
     ("fig3", Figures.fig3);
     ("fig5", Figures.fig5);

@@ -51,6 +51,47 @@ let nic_arg =
 let emit_c_arg =
   Arg.(value & flag & info [ "emit-c" ] ~doc:"Print the generated DPDK-style C source.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Collect telemetry and print a per-phase summary (spans, counters, histograms).")
+
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "Collect telemetry and write the chronological span log to $(docv) in Chrome \
+           trace-event format (view in about:tracing or ui.perfetto.dev).")
+
+(* Run [f] inside a telemetry collection window when either flag asks for
+   one, then emit whatever was requested. *)
+let with_telemetry stats trace_json f =
+  let wanted = stats || trace_json <> None in
+  if wanted then begin
+    Telemetry.reset ();
+    Telemetry.enable ()
+  end;
+  let r = f () in
+  if wanted then begin
+    Telemetry.disable ();
+    if stats then Format.printf "%a@." Telemetry.pp_summary (Telemetry.snapshot ());
+    Option.iter
+      (fun file ->
+        match open_out file with
+        | oc ->
+            output_string oc (Telemetry.trace_events_json ());
+            close_out oc;
+            Format.printf "wrote span trace to %s@." file
+        | exception Sys_error msg ->
+            Format.eprintf "cannot write span trace: %s@." msg;
+            exit 1)
+      trace_json
+  end;
+  r
+
 (* --- list ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -72,12 +113,13 @@ let list_cmd =
 (* --- analyze ---------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run name verbose =
+  let run name verbose stats trace_json =
     match find_nf name with
     | Error e ->
         Format.eprintf "%s@." e;
         exit 1
     | Ok nf ->
+        with_telemetry stats trace_json @@ fun () ->
         let model = Symbex.Exec.run nf in
         if verbose then Format.printf "%a@." Symbex.Exec.pp model;
         let report = Maestro.Report.build model in
@@ -88,17 +130,18 @@ let analyze_cmd =
   let verbose = Arg.(value & flag & info [ "tree" ] ~doc:"Also print the execution trees.") in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Symbolically execute an NF and show the sharding analysis.")
-    Term.(const run $ nf_arg $ verbose)
+    Term.(const run $ nf_arg $ verbose $ stats_arg $ trace_json_arg)
 
 (* --- parallelize ------------------------------------------------------------ *)
 
 let parallelize_cmd =
-  let run name cores seed strategy solver nic emit_c =
+  let run name cores seed strategy solver nic emit_c stats trace_json =
     match find_nf name with
     | Error e ->
         Format.eprintf "%s@." e;
         exit 1
     | Ok nf -> (
+        with_telemetry stats trace_json @@ fun () ->
         let request = { Maestro.Pipeline.cores; nic; strategy; solver; seed } in
         match Maestro.Pipeline.parallelize ~request nf with
         | Error e ->
@@ -115,17 +158,18 @@ let parallelize_cmd =
     (Cmd.info "parallelize" ~doc:"Generate a parallel implementation of an NF.")
     Term.(
       const run $ nf_arg $ cores_arg $ seed_arg $ strategy_arg $ solver_arg $ nic_arg
-      $ emit_c_arg)
+      $ emit_c_arg $ stats_arg $ trace_json_arg)
 
 (* --- run --------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name cores seed strategy pkts flows =
+  let run name cores seed strategy pkts flows stats trace_json =
     match find_nf name with
     | Error e ->
         Format.eprintf "%s@." e;
         exit 1
     | Ok nf ->
+        with_telemetry stats trace_json @@ fun () ->
         let request = { Maestro.Pipeline.default_request with cores; seed; strategy } in
         let plan = (Maestro.Pipeline.parallelize_exn ~request nf).Maestro.Pipeline.plan in
         let rng = Random.State.make [| seed |] in
@@ -163,7 +207,9 @@ let run_cmd =
        ~doc:
          "Execute the generated parallel NF over a workload and compare it against the \
           sequential version.")
-    Term.(const run $ nf_arg $ cores_arg $ seed_arg $ strategy_arg $ pkts $ flows)
+    Term.(
+      const run $ nf_arg $ cores_arg $ seed_arg $ strategy_arg $ pkts $ flows $ stats_arg
+      $ trace_json_arg)
 
 let () =
   let doc = "Automatic parallelization of software network functions (NSDI'24 reproduction)" in

@@ -8,6 +8,8 @@
     processing function — mirroring the paper's Appendix A.1 excerpts. *)
 
 val emit_c : Plan.t -> string
+(** The full C translation unit: RSS keys, per-core state, lock discipline
+    (when the plan is lock-based) and the packet-processing loop. *)
 
 val emit_rss_keys : Plan.t -> string
 (** Just the key byte arrays, one per port (the Fig. 13 header block). *)

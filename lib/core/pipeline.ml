@@ -26,9 +26,9 @@ type outcome = {
   timing : timing;
 }
 
-let timed f =
+let timed name f =
   let t0 = Unix.gettimeofday () in
-  let r = f () in
+  let r = Telemetry.Span.with_span name f in
   (r, Unix.gettimeofday () -. t0)
 
 let random_rss rng nic nf =
@@ -36,19 +36,20 @@ let random_rss rng nic nf =
       { Plan.key = Nic.Rss.random_key rng nic; field_set = Nic.Field_set.ipv4_tcp })
 
 let parallelize ?(request = default_request) nf =
+  Telemetry.Span.with_span "pipeline" @@ fun () ->
   match Dsl.Check.check nf with
   | Error errs -> Error (String.concat "; " errs)
   | Ok _ ->
       let rng = Random.State.make [| request.seed |] in
-      let model, symbex_s = timed (fun () -> Symbex.Exec.run nf) in
-      let report, report_s = timed (fun () -> Report.build model) in
-      let decision, sharding_s = timed (fun () -> Sharding.decide report) in
+      let model, symbex_s = timed "symbex" (fun () -> Symbex.Exec.run nf) in
+      let report, report_s = timed "report" (fun () -> Report.build model) in
+      let decision, sharding_s = timed "sharding" (fun () -> Sharding.decide report) in
       let warnings_of_blocked reasons =
         List.map (Format.asprintf "%a" Sharding.pp_reason) reasons
       in
       let mk strategy rss constraints warnings solving_s =
         let plan, codegen_s =
-          timed (fun () ->
+          timed "codegen" (fun () ->
               {
                 Plan.nf;
                 cores = request.cores;
@@ -85,7 +86,7 @@ let parallelize ?(request = default_request) nf =
       | `Auto, Sharding.Blocked reasons -> lock_fallback (warnings_of_blocked reasons) 0.
       | `Auto, Sharding.Shard constraints -> (
           let solved, solving_s =
-            timed (fun () ->
+            timed "solving" (fun () ->
                 match
                   Rs3.Problem.for_constraints ~nic:request.nic ~nports:nf.Dsl.Ast.devices
                     constraints

@@ -14,7 +14,11 @@ type request = {
 }
 
 val default_request : request
+(** 16 cores, the E810 NIC model, [`Auto] strategy, the Gaussian solver. *)
 
+(** Wall-clock seconds spent in each pipeline stage.  When telemetry is
+    enabled the same figures appear as [pipeline/...] spans in
+    {!Telemetry.snapshot}. *)
 type timing = {
   symbex_s : float;
   report_s : float;
@@ -24,7 +28,11 @@ type timing = {
 }
 
 val total_s : timing -> float
+(** Sum of all stage timings. *)
 
+(** Everything the pipeline produced: the executable {!Plan.t}, the
+    sharding decision with its diagnostics, the stateful report it was
+    derived from, and stage timings. *)
 type outcome = {
   plan : Plan.t;
   decision : Sharding.decision;
@@ -39,3 +47,4 @@ val parallelize : ?request:request -> Dsl.Ast.t -> (outcome, string) result
     input). *)
 
 val parallelize_exn : ?request:request -> Dsl.Ast.t -> outcome
+(** Like {!parallelize} but raises [Failure] on error. *)

@@ -17,7 +17,10 @@ type strategy =
           read-only *)
 
 val strategy_name : strategy -> string
+(** Short human-readable name ("shared-nothing", "locks", ...). *)
 
+(** One port's RSS configuration: the 52-byte Toeplitz key and the packet
+    fields it hashes. *)
 type port_rss = { key : Bitvec.t; field_set : Nic.Field_set.t }
 
 type t = {
@@ -39,3 +42,4 @@ val state_divisor : t -> int
     shared-nothing (total memory constant, §4), 1 otherwise. *)
 
 val pp : Format.formatter -> t -> unit
+(** Human-readable plan summary: strategy, keys, warnings. *)

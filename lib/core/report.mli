@@ -28,14 +28,18 @@ type cluster = {
 type t = { model : Symbex.Exec.model; clusters : cluster list }
 
 val build : Symbex.Exec.model -> t
+(** Catalogue every stateful call in the execution trees and cluster the
+    objects that exchange indices. *)
 
 val stateless : t -> bool
+(** [true] when the NF touches no state at all. *)
 
 val writable_clusters : t -> cluster list
 (** Clusters that are not read-only — the ones sharding must reason about
     (read-only objects are replicated and filtered out, paper §3.4). *)
 
 val cluster_of_object : t -> string -> cluster option
+(** The cluster containing the named state object, if any. *)
 
 val pp : Format.formatter -> t -> unit
 (** Renders the SR like the paper's Fig. 3 top half. *)

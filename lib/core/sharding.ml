@@ -49,6 +49,12 @@ type decision =
   | Shard of Rs3.Cstr.t list
   | Blocked of blocked_reason list
 
+let c_clusters = Telemetry.Counter.make "sharding.writable_clusters" ~doc:"clusters sharding reasons about"
+let c_raw = Telemetry.Counter.make "sharding.constraints_raw" ~doc:"pairwise constraints before R2/R3 pruning"
+let c_constraints = Telemetry.Counter.make "sharding.constraints" ~doc:"constraints surviving pruning"
+let c_blocked = Telemetry.Counter.make "sharding.blocked_reasons" ~doc:"R3/R4 reasons blocking shared-nothing"
+let c_rescues = Telemetry.Counter.make "sharding.r5_rescues" ~doc:"objects re-keyed by rule R5"
+
 (* --- entry resolution ----------------------------------------------------- *)
 
 type tuple = { t_port : int; atoms : Sym.atom list }
@@ -425,6 +431,7 @@ let decide (report : Report.t) =
     match Report.writable_clusters report with
     | [] -> Read_only
     | clusters -> (
+        Telemetry.Counter.add c_clusters (List.length clusters);
         let model = report.Report.model in
         let nports = model.Exec.nf.Dsl.Ast.devices in
         let reasons = ref [] in
@@ -454,7 +461,9 @@ let decide (report : Report.t) =
                   | None -> Ok (List.map (function _, Ok t -> t | _ -> assert false) resolved)
                   | Some p -> (
                       match rescue_object model cluster (List.map fst entries) p with
-                      | Ok rewritten -> Ok (List.map snd rewritten)
+                      | Ok rewritten ->
+                          Telemetry.Counter.incr c_rescues;
+                          Ok (List.map snd rewritten)
                       | Error reason -> Error reason)
                 in
                 match tuples with
@@ -465,11 +474,20 @@ let decide (report : Report.t) =
                     | Ok cs -> all_constraints := cs @ !all_constraints))
               by_obj)
           clusters;
-        if !reasons <> [] then Blocked (List.rev !reasons)
-        else
+        if !reasons <> [] then begin
+          Telemetry.Counter.add c_blocked (List.length !reasons);
+          Blocked (List.rev !reasons)
+        end
+        else begin
+          Telemetry.Counter.add c_raw (List.length !all_constraints);
           match prune_constraints nports !all_constraints with
-          | Error d -> Blocked [ d ]
-          | Ok constraints -> Shard constraints)
+          | Error d ->
+              Telemetry.Counter.incr c_blocked;
+              Blocked [ d ]
+          | Ok constraints ->
+              Telemetry.Counter.add c_constraints (List.length constraints);
+              Shard constraints
+        end)
 
 let pp_decision fmt = function
   | No_state -> Format.pp_print_string fmt "stateless: RSS load-balances freely"

@@ -60,5 +60,8 @@ type decision =
       (** shared-nothing impossible; fall back to locks *)
 
 val decide : Report.t -> decision
+(** Apply R1–R5 to every writable cluster of the report.  Also feeds the
+    [sharding.*] telemetry counters when collection is enabled. *)
 
 val pp_decision : Format.formatter -> decision -> unit
+(** The decision plus each blocked reason, as the CLI prints it. *)

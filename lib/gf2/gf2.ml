@@ -4,6 +4,10 @@
 module System = struct
   let word_bits = 62
 
+  let c_equations = Telemetry.Counter.make "gf2.equations" ~doc:"equations added to GF(2) systems"
+  let c_eliminations = Telemetry.Counter.make "gf2.eliminations" ~doc:"Gaussian eliminations run"
+  let c_samples = Telemetry.Counter.make "gf2.samples" ~doc:"solutions sampled from solved systems"
+
   type row = int array
 
   type t = {
@@ -38,7 +42,8 @@ module System = struct
       coeffs;
     if rhs then row_flip r t.cols;
     t.equations <- r :: t.equations;
-    t.count <- t.count + 1
+    t.count <- t.count + 1;
+    Telemetry.Counter.incr c_equations
 
   let add_zero t i = add_equation t ~coeffs:[ i ] ~rhs:false
   let add_equal t i j = if i <> j then add_equation t ~coeffs:[ i; j ] ~rhs:false
@@ -53,6 +58,7 @@ module System = struct
      in its pivot column and zeros in every other pivot column, so solving is
      a direct read-off given values for the free variables. *)
   let eliminate t =
+    Telemetry.Counter.incr c_eliminations;
     let rows = List.rev_map Array.copy t.equations in
     let pivots = ref [] in
     let remaining = ref rows in
@@ -96,6 +102,7 @@ module System = struct
   let solve s = backsub s (Array.make s.s_cols false)
 
   let sample s ~rng ~one_bias =
+    Telemetry.Counter.incr c_samples;
     let p = Float.max 0. (Float.min 1. one_bias) in
     let x = Array.make s.s_cols false in
     List.iter (fun f -> x.(f) <- Random.State.float rng 1.0 < p) s.free;

@@ -1,6 +1,9 @@
 let key_bits_for_input n = n + 32
 
+let c_hashes = Telemetry.Counter.make "toeplitz.hashes" ~doc:"Toeplitz hashes computed"
+
 let hash ~key d =
+  Telemetry.Counter.incr c_hashes;
   let kn = Bitvec.length key and dn = Bitvec.length d in
   if kn < key_bits_for_input dn then invalid_arg "Toeplitz.hash: key too short for input";
   let acc = ref 0 in

@@ -2,6 +2,10 @@ type backend = [ `Gauss | `Sat ]
 
 type solution = { keys : Bitvec.t array; attempts : int; backend : backend; free_bits : int }
 
+let c_solves = Telemetry.Counter.make "rs3.solves" ~doc:"RS3 key searches"
+let c_attempts = Telemetry.Counter.make "rs3.attempts" ~doc:"key sampling rounds"
+let c_rejects = Telemetry.Counter.make "rs3.quality_rejects" ~doc:"candidate keys failing the quality test"
+
 (* --- GF(2) backend ------------------------------------------------------- *)
 
 let solve_gauss p ~rng ~max_attempts ~one_bias =
@@ -20,9 +24,13 @@ let solve_gauss p ~rng ~max_attempts ~one_bias =
         else
           let x = Gf2.System.sample solved ~rng ~one_bias in
           let keys = Window.keys_of_solution p x in
+          Telemetry.Counter.incr c_attempts;
           if Validate.quality_ok p ~keys ~rng then
             Ok { keys; attempts = n; backend = `Gauss; free_bits }
-          else attempt (n + 1)
+          else begin
+            Telemetry.Counter.incr c_rejects;
+            attempt (n + 1)
+          end
       in
       attempt 1
 
@@ -84,14 +92,20 @@ let solve_sat p ~rng ~max_attempts ~one_bias =
         | Some [||] | None -> Error "window clauses are inconsistent"
         | Some x ->
             let keys = Window.keys_of_solution p x in
+            Telemetry.Counter.incr c_attempts;
             if Validate.quality_ok p ~keys ~rng then
               Ok { keys; attempts = n; backend = `Sat; free_bits = -1 }
-            else attempt (n + 1)
+            else begin
+              Telemetry.Counter.incr c_rejects;
+              attempt (n + 1)
+            end
       end
     in
     attempt 1
 
 let solve ?(backend = `Gauss) ?(seed = 0x1234) ?(max_attempts = 16) ?(one_bias = 0.5) p =
+  Telemetry.Counter.incr c_solves;
+  Telemetry.Span.with_span "rs3/solve" @@ fun () ->
   let rng = Random.State.make [| seed |] in
   match backend with
   | `Gauss -> solve_gauss p ~rng ~max_attempts ~one_bias

@@ -34,6 +34,12 @@ let imbalance s =
 
 type result = { verdicts : Dsl.Interp.action array; stats : stats }
 
+let c_pkts = Telemetry.Counter.make "runtime.pkts" ~doc:"packets pushed through parallel plans"
+let c_restarts = Telemetry.Counter.make "runtime.spec_restarts" ~doc:"speculative lock restarts"
+let c_expired = Telemetry.Counter.make "runtime.expired_flows" ~doc:"flows aged out during execution"
+let c_rejuv = Telemetry.Counter.make "runtime.rejuvenations" ~doc:"rejuvenations absorbed per-core"
+let h_per_core = Telemetry.Histogram.make "runtime.per_core_pkts" ~doc:"packets per core per run"
+
 let run_sequential nf pkts =
   let info = Dsl.Check.check_exn nf in
   let inst = Dsl.Instance.create nf in
@@ -64,6 +70,7 @@ let observe ops (e : Dsl.Interp.op_event) =
   if counts_as_write then ops.w <- ops.w + 1 else ops.r <- ops.r + 1
 
 let run ?reta (plan : Maestro.Plan.t) pkts =
+  Telemetry.Span.with_span "runtime/run" @@ fun () ->
   let nf = plan.Maestro.Plan.nf in
   let info = Dsl.Check.check_exn nf in
   let cores = plan.Maestro.Plan.cores in
@@ -109,6 +116,13 @@ let run ?reta (plan : Maestro.Plan.t) pkts =
         verdict)
       pkts
   in
+  if Telemetry.enabled () then begin
+    Telemetry.Counter.add c_pkts (Array.length pkts);
+    Telemetry.Counter.add c_restarts !spec_restarts;
+    Telemetry.Counter.add c_expired !expired_flows;
+    Telemetry.Counter.add c_rejuv !rejuv_local;
+    Array.iter (fun n -> Telemetry.Histogram.observe h_per_core (float_of_int n)) per_core_pkts
+  end;
   {
     verdicts;
     stats =

@@ -6,6 +6,12 @@ type report = {
   migrated_flows : int;
 }
 
+let c_migrated_buckets =
+  Telemetry.Counter.make "rebalance.migrated_buckets" ~doc:"indirection-table buckets remapped"
+
+let c_migrated_flows =
+  Telemetry.Counter.make "rebalance.migrated_flows" ~doc:"flow states moved across cores"
+
 let imbalance_of counts =
   let total = Array.fold_left ( + ) 0 counts in
   if total = 0 then 1.0
@@ -81,6 +87,8 @@ let study (plan : Maestro.Plan.t) pkts ~epoch_pkts =
       dynamic_engines.(port) <- Nic.Rss.with_reta engine reta'
     done
   done;
+  Telemetry.Counter.add c_migrated_buckets !migrated_buckets;
+  Telemetry.Counter.add c_migrated_flows !migrated_flows;
   {
     epochs;
     static_imbalance;

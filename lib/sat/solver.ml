@@ -1,5 +1,9 @@
 type clause = { mutable lits : Lit.t array; mutable act : float; learnt : bool }
 
+let c_clauses = Telemetry.Counter.make "sat.clauses" ~doc:"problem clauses added"
+let c_solves = Telemetry.Counter.make "sat.solve_calls" ~doc:"calls to Sat.Solver.solve"
+let c_conflicts = Telemetry.Counter.make "sat.conflicts" ~doc:"CDCL conflicts across all solves"
+
 (* Assignment values: -1 undefined, 0 false, 1 true. *)
 let l_undef = -1
 
@@ -282,6 +286,7 @@ let add_clause_internal s lits learnt =
       else s.clauses <- c :: s.clauses
 
 let add_clause s lits =
+  Telemetry.Counter.incr c_clauses;
   if s.ok then begin
     (* Root-level simplification: drop false literals, detect tautologies and
        already-satisfied clauses.  Callers may add clauses between solves, so
@@ -426,7 +431,7 @@ let pick_branch s =
 
 type result = Sat | Unsat
 
-let solve ?(assumptions = []) s =
+let solve_cdcl ?(assumptions = []) s =
   if not s.ok then begin
     s.core <- [];
     Unsat
@@ -508,6 +513,13 @@ let solve ?(assumptions = []) s =
         Unsat
     | None -> assert false
   end
+
+let solve ?assumptions s =
+  Telemetry.Counter.incr c_solves;
+  let before = s.conflicts in
+  let r = Telemetry.Span.with_span "sat/solve" (fun () -> solve_cdcl ?assumptions s) in
+  Telemetry.Counter.add c_conflicts (s.conflicts - before);
+  r
 
 let value s v = if v < 0 || v >= s.nvars then invalid_arg "Sat.value" else s.assigns.(v) = 1
 

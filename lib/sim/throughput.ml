@@ -14,6 +14,9 @@ let bottleneck_name = function
   | Pcie -> "pcie"
   | Line_rate -> "line-rate"
 
+let c_evals = Telemetry.Counter.make "sim.evaluations" ~doc:"throughput-model evaluations"
+let h_share = Telemetry.Histogram.make "sim.core_share" ~doc:"per-core traffic share per evaluation"
+
 let shares_of ?(balanced = false) (plan : Maestro.Plan.t) pkts =
   let nf = plan.Maestro.Plan.nf in
   let cores = plan.Maestro.Plan.cores in
@@ -47,6 +50,8 @@ let shares_of ?(balanced = false) (plan : Maestro.Plan.t) pkts =
 
 let evaluate ?(machine = Machine.xeon_6226r) ?(params = Cost.default) ?(balanced_reta = false)
     (plan : Maestro.Plan.t) (profile : Profile.t) pkts =
+  Telemetry.Span.with_span "sim/evaluate" @@ fun () ->
+  Telemetry.Counter.incr c_evals;
   let cores = plan.Maestro.Plan.cores in
   let n = float_of_int cores in
   let freq = machine.Machine.freq_hz in
@@ -54,6 +59,7 @@ let evaluate ?(machine = Machine.xeon_6226r) ?(params = Cost.default) ?(balanced
   let ws = Cost.working_set_bytes profile ~shards in
   let c_pkt = Cost.packet_cycles ~params machine profile ~ws_bytes:ws in
   let shares = shares_of ~balanced:balanced_reta plan pkts in
+  if Telemetry.enabled () then Array.iter (Telemetry.Histogram.observe h_share) shares;
   let max_share = Array.fold_left Float.max 0.0 shares in
   let x_cpu =
     match plan.Maestro.Plan.strategy with

@@ -4,6 +4,10 @@ type model = { nf : Dsl.Ast.t; info : Dsl.Check.info; trees : Tree.t array }
 
 let path_budget = 100_000
 
+let c_paths = Telemetry.Counter.make "symbex.paths" ~doc:"execution paths explored"
+let c_calls = Telemetry.Counter.make "symbex.calls" ~doc:"stateful calls catalogued"
+let c_runs = Telemetry.Counter.make "symbex.runs" ~doc:"exhaustive symbolic executions"
+
 (* Constant folding keeps the tree free of decidable branches. *)
 let rec simplify (s : Sym.t) : Sym.t =
   match s with
@@ -204,7 +208,15 @@ let run nf =
   let tree_for port =
     go { vars = []; records = []; headers = []; rewrites = []; path = [] } port nf.process
   in
-  { nf; info; trees = Array.init nf.devices tree_for }
+  let model = { nf; info; trees = Array.init nf.devices tree_for } in
+  if Telemetry.enabled () then begin
+    Telemetry.Counter.incr c_runs;
+    Telemetry.Counter.add c_paths
+      (Array.fold_left (fun acc t -> acc + Tree.count_paths t) 0 model.trees);
+    Telemetry.Counter.add c_calls
+      (List.length (Array.to_list model.trees |> List.concat_map Tree.all_calls))
+  end;
+  model
 
 let calls model = Array.to_list model.trees |> List.concat_map Tree.all_calls
 

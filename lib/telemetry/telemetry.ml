@@ -1,0 +1,326 @@
+(* Global in-process registry.  The disabled fast path is a single load of
+   [on]; everything else only runs when a collection window is open. *)
+
+let on = ref false
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+let now () = Unix.gettimeofday ()
+
+(* --- counters ------------------------------------------------------------- *)
+
+module Counter = struct
+  type t = { name : string; doc : string; v : int Atomic.t }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make ?(doc = "") name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { name; doc; v = Atomic.make 0 } in
+        Hashtbl.replace registry name c;
+        c
+
+  let incr c = if !on then Atomic.incr c.v
+  let add c n = if !on then ignore (Atomic.fetch_and_add c.v n)
+  let value c = Atomic.get c.v
+  let reset () = Hashtbl.iter (fun _ c -> Atomic.set c.v 0) registry
+end
+
+(* --- histograms ------------------------------------------------------------ *)
+
+module Histogram = struct
+  type t = {
+    name : string;
+    doc : string;
+    mutable count : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+    buckets : (int, int) Hashtbl.t;  (* power-of-two exponent -> count *)
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make ?(doc = "") name =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            name;
+            doc;
+            count = 0;
+            sum = 0.0;
+            min_v = infinity;
+            max_v = neg_infinity;
+            buckets = Hashtbl.create 16;
+          }
+        in
+        Hashtbl.replace registry name h;
+        h
+
+  (* Observations land in the bucket [2^(e-1), 2^e] (all of [v <= 1] in
+     exponent 0): coarse, cheap, and stable across runs. *)
+  let exponent v =
+    if v <= 1.0 then 0
+    else
+      let _, e = Float.frexp v in
+      e
+
+  let observe h v =
+    if !on then begin
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      if v < h.min_v then h.min_v <- v;
+      if v > h.max_v then h.max_v <- v;
+      let e = exponent v in
+      Hashtbl.replace h.buckets e (1 + Option.value ~default:0 (Hashtbl.find_opt h.buckets e))
+    end
+
+  let reset () =
+    Hashtbl.iter
+      (fun _ h ->
+        h.count <- 0;
+        h.sum <- 0.0;
+        h.min_v <- infinity;
+        h.max_v <- neg_infinity;
+        Hashtbl.reset h.buckets)
+      registry
+end
+
+(* --- spans ----------------------------------------------------------------- *)
+
+type span_agg = { mutable s_count : int; mutable s_total : float; mutable s_max : float }
+
+type trace_event = { ev_path : string; ev_start : float; ev_dur : float }
+
+module Span = struct
+  let aggregates : (string, span_agg) Hashtbl.t = Hashtbl.create 32
+  let trace : trace_event list ref = ref []  (* newest first *)
+  let current_path = ref ""
+
+  let record path t0 dur =
+    let agg =
+      match Hashtbl.find_opt aggregates path with
+      | Some a -> a
+      | None ->
+          let a = { s_count = 0; s_total = 0.0; s_max = 0.0 } in
+          Hashtbl.replace aggregates path a;
+          a
+    in
+    agg.s_count <- agg.s_count + 1;
+    agg.s_total <- agg.s_total +. dur;
+    if dur > agg.s_max then agg.s_max <- dur;
+    trace := { ev_path = path; ev_start = t0; ev_dur = dur } :: !trace
+
+  let with_span name f =
+    if not !on then f ()
+    else begin
+      let parent = !current_path in
+      let path = if parent = "" then name else parent ^ "/" ^ name in
+      current_path := path;
+      let t0 = now () in
+      Fun.protect
+        ~finally:(fun () ->
+          record path t0 (now () -. t0);
+          current_path := parent)
+        f
+    end
+
+  let reset () =
+    Hashtbl.reset aggregates;
+    trace := [];
+    current_path := ""
+end
+
+let reset () =
+  Counter.reset ();
+  Histogram.reset ();
+  Span.reset ()
+
+(* --- snapshots -------------------------------------------------------------- *)
+
+type span_stat = { span_path : string; span_count : int; span_total_s : float; span_max_s : float }
+
+type counter_stat = { counter_name : string; counter_doc : string; counter_value : int }
+
+type bucket = { le : float; bucket_count : int }
+
+type histogram_stat = {
+  hist_name : string;
+  hist_doc : string;
+  hist_count : int;
+  hist_sum : float;
+  hist_min : float;
+  hist_max : float;
+  hist_buckets : bucket list;
+}
+
+type snapshot = {
+  spans : span_stat list;
+  counters : counter_stat list;
+  histograms : histogram_stat list;
+}
+
+let snapshot () =
+  let spans =
+    Hashtbl.fold
+      (fun path (a : span_agg) acc ->
+        { span_path = path; span_count = a.s_count; span_total_s = a.s_total; span_max_s = a.s_max }
+        :: acc)
+      Span.aggregates []
+    |> List.sort (fun a b -> String.compare a.span_path b.span_path)
+  in
+  let counters =
+    Hashtbl.fold
+      (fun _ (c : Counter.t) acc ->
+        let v = Counter.value c in
+        if v = 0 then acc
+        else { counter_name = c.Counter.name; counter_doc = c.Counter.doc; counter_value = v } :: acc)
+      Counter.registry []
+    |> List.sort (fun a b -> String.compare a.counter_name b.counter_name)
+  in
+  let histograms =
+    Hashtbl.fold
+      (fun _ (h : Histogram.t) acc ->
+        if h.Histogram.count = 0 then acc
+        else
+          let exps =
+            Hashtbl.fold (fun e n acc -> (e, n) :: acc) h.Histogram.buckets []
+            |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+          in
+          (* cumulative, Prometheus-style *)
+          let _, buckets =
+            List.fold_left
+              (fun (cum, out) (e, n) ->
+                let cum = cum + n in
+                (cum, { le = Float.pow 2.0 (float_of_int e); bucket_count = cum } :: out))
+              (0, []) exps
+          in
+          {
+            hist_name = h.Histogram.name;
+            hist_doc = h.Histogram.doc;
+            hist_count = h.Histogram.count;
+            hist_sum = h.Histogram.sum;
+            hist_min = h.Histogram.min_v;
+            hist_max = h.Histogram.max_v;
+            hist_buckets = List.rev buckets;
+          }
+          :: acc)
+      Histogram.registry []
+    |> List.sort (fun a b -> String.compare a.hist_name b.hist_name)
+  in
+  { spans; counters; histograms }
+
+(* --- human-readable summary -------------------------------------------------- *)
+
+let pp_summary fmt snap =
+  Format.fprintf fmt "@[<v>=== telemetry ===@,";
+  if snap.spans <> [] then begin
+    Format.fprintf fmt "spans (wall clock):@,";
+    List.iter
+      (fun s ->
+        Format.fprintf fmt "  %-36s %6dx %12.3f ms  (max %8.3f ms)@," s.span_path s.span_count
+          (1000.0 *. s.span_total_s) (1000.0 *. s.span_max_s))
+      snap.spans
+  end;
+  if snap.counters <> [] then begin
+    Format.fprintf fmt "counters:@,";
+    List.iter
+      (fun c -> Format.fprintf fmt "  %-36s %12d@," c.counter_name c.counter_value)
+      snap.counters
+  end;
+  if snap.histograms <> [] then begin
+    Format.fprintf fmt "histograms:@,";
+    List.iter
+      (fun h ->
+        Format.fprintf fmt "  %-36s n=%d avg=%.2f min=%.2f max=%.2f@," h.hist_name h.hist_count
+          (h.hist_sum /. float_of_int (max 1 h.hist_count))
+          h.hist_min h.hist_max)
+      snap.histograms
+  end;
+  if snap.spans = [] && snap.counters = [] && snap.histograms = [] then
+    Format.fprintf fmt "(no data collected — was telemetry enabled?)@,";
+  Format.fprintf fmt "@]"
+
+(* --- JSON -------------------------------------------------------------------- *)
+
+let schema_version = "maestro-telemetry/1"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6f" f
+
+let to_json ?(name = "maestro") ?(elide_times = false) snap =
+  let b = Buffer.create 4096 in
+  let t v = if elide_times then 0.0 else v in
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"schema\": \"%s\",\n  \"name\": \"%s\",\n" (json_escape schema_version)
+       (json_escape name));
+  let list field items render =
+    Buffer.add_string b (Printf.sprintf "  \"%s\": [" field);
+    List.iteri
+      (fun i x ->
+        Buffer.add_string b (if i = 0 then "\n" else ",\n");
+        Buffer.add_string b ("    " ^ render x))
+      items;
+    Buffer.add_string b (if items = [] then "]" else "\n  ]")
+  in
+  list "spans" snap.spans (fun s ->
+      Printf.sprintf "{\"path\": \"%s\", \"count\": %d, \"total_ms\": %s, \"max_ms\": %s}"
+        (json_escape s.span_path) s.span_count
+        (json_float (1000.0 *. t s.span_total_s))
+        (json_float (1000.0 *. t s.span_max_s)));
+  Buffer.add_string b ",\n";
+  list "counters" snap.counters (fun c ->
+      Printf.sprintf "{\"name\": \"%s\", \"value\": %d}" (json_escape c.counter_name)
+        c.counter_value);
+  Buffer.add_string b ",\n";
+  list "histograms" snap.histograms (fun h ->
+      Printf.sprintf
+        "{\"name\": \"%s\", \"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"buckets\": \
+         [%s]}"
+        (json_escape h.hist_name) h.hist_count (json_float h.hist_sum) (json_float h.hist_min)
+        (json_float h.hist_max)
+        (String.concat ", "
+           (List.map
+              (fun bk -> Printf.sprintf "{\"le\": %s, \"count\": %d}" (json_float bk.le) bk.bucket_count)
+              h.hist_buckets)));
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let trace_events_json () =
+  let events = List.rev !Span.trace in
+  let t0 = match events with [] -> 0.0 | e :: _ -> e.ev_start in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string b (if i = 0 then "\n" else ",\n");
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": 0, \"tid\": 0, \"ts\": %.1f, \"dur\": \
+            %.1f}"
+           (json_escape e.ev_path)
+           (1e6 *. (e.ev_start -. t0))
+           (1e6 *. e.ev_dur)))
+    events;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

@@ -1,0 +1,141 @@
+(** Dependency-light observability for the Maestro pipeline.
+
+    Every layer of the toolchain — symbolic execution, constraint
+    derivation, GF(2)/SAT solving, code generation, the parallel runtime
+    and the performance model — reports into one global, in-process
+    registry through three instrument kinds:
+
+    - {e spans} ({!Span.with_span}): wall-clock timing of named phases,
+      nested into slash-separated paths ([pipeline/symbex]);
+    - {e counters} ({!Counter}): monotonic event counts (symbex paths
+      explored, SAT clauses added, Toeplitz hashes computed, …);
+    - {e histograms} ({!Histogram}): value distributions (per-core packet
+      counts, per-core traffic shares, …).
+
+    Collection is {b off by default} and the disabled fast path is a
+    single mutable-bool load per call site, so instrumented hot paths
+    (e.g. {!Nic.Toeplitz.hash}) cost nothing measurable when telemetry
+    is off; [bench/micro.ml] measures this (< 2 % on the 12-byte
+    Toeplitz hash, the cheapest instrumented operation).
+
+    Snapshots are rendered either as a human-readable summary
+    ({!pp_summary}, the CLI's [--stats] output) or as a versioned JSON
+    document ({!to_json}, schema {!schema_version}) — the format of the
+    [BENCH_<nf>.json] files written by [bench/main.exe] that make
+    perf claims diffable across PRs.  {!trace_events_json} additionally
+    renders the chronological span log in the Chrome [about:tracing]
+    event format (the CLI's [--trace-json FILE]).
+
+    The registry is process-global and {b not} domain-safe: counters use
+    [Atomic] so stray increments from worker domains cannot corrupt
+    them, but spans assume a single instrumenting thread (true for the
+    pipeline, the deterministic runtime and the benchmark harness). *)
+
+val enabled : unit -> bool
+(** Whether collection is currently on. *)
+
+val enable : unit -> unit
+(** Turn collection on.  Existing data is kept; call {!reset} first for
+    a fresh measurement window. *)
+
+val disable : unit -> unit
+(** Turn collection off.  Collected data remains readable via
+    {!snapshot}. *)
+
+val reset : unit -> unit
+(** Zero every counter and histogram and drop all recorded spans (both
+    aggregates and the chronological trace log). *)
+
+(** Monotonic event counters. *)
+module Counter : sig
+  type t
+
+  val make : ?doc:string -> string -> t
+  (** [make name] registers (or retrieves — the registry is keyed by
+      name) a counter.  Create counters once at module initialization;
+      the returned handle makes the hot-path increment registry-free. *)
+
+  val incr : t -> unit
+  (** Add one.  A no-op unless {!Telemetry.enabled}. *)
+
+  val add : t -> int -> unit
+  (** Add [n].  A no-op unless {!Telemetry.enabled}. *)
+
+  val value : t -> int
+end
+
+(** Value-distribution histograms: count, sum, min, max and
+    power-of-two buckets. *)
+module Histogram : sig
+  type t
+
+  val make : ?doc:string -> string -> t
+  (** Same registry semantics as {!Counter.make}. *)
+
+  val observe : t -> float -> unit
+  (** Record one observation.  A no-op unless {!Telemetry.enabled}. *)
+end
+
+(** Wall-clock phase timing. *)
+module Span : sig
+  val with_span : string -> (unit -> 'a) -> 'a
+  (** [with_span name f] runs [f] and records its wall-clock duration
+      under the slash-joined path of all enclosing spans plus [name].
+      The result (or exception) of [f] is passed through unchanged, and
+      the span stack unwinds correctly on exceptions.  When telemetry
+      is disabled this is a single bool test before calling [f]. *)
+end
+
+(** {1 Snapshots} *)
+
+type span_stat = {
+  span_path : string;  (** slash-joined nesting path *)
+  span_count : int;  (** times the span was entered *)
+  span_total_s : float;  (** summed wall-clock seconds *)
+  span_max_s : float;  (** longest single occurrence *)
+}
+
+type counter_stat = { counter_name : string; counter_doc : string; counter_value : int }
+
+type bucket = { le : float; bucket_count : int }
+(** Observations [<= le] (cumulative, Prometheus-style). *)
+
+type histogram_stat = {
+  hist_name : string;
+  hist_doc : string;
+  hist_count : int;
+  hist_sum : float;
+  hist_min : float;
+  hist_max : float;
+  hist_buckets : bucket list;  (** non-empty power-of-two buckets *)
+}
+
+type snapshot = {
+  spans : span_stat list;  (** sorted by path *)
+  counters : counter_stat list;  (** non-zero only, sorted by name *)
+  histograms : histogram_stat list;  (** non-empty only, sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+(** The current aggregate state.  Deterministic ordering (sorted by
+    name/path) so equal measurements render identically. *)
+
+val pp_summary : Format.formatter -> snapshot -> unit
+(** The human-readable per-phase summary behind [maestro --stats]. *)
+
+val schema_version : string
+(** The versioned identifier embedded in every {!to_json} document,
+    currently ["maestro-telemetry/1"].  Bump on any structural change
+    so benchmark diffs across PRs stay honest. *)
+
+val to_json : ?name:string -> ?elide_times:bool -> snapshot -> string
+(** Render the snapshot as a self-describing JSON document:
+    [{ "schema": ..., "name": ..., "spans": [...], "counters": [...],
+    "histograms": [...] }].  [elide_times] (default [false]) writes all
+    wall-clock fields as [0.0], making the document a deterministic
+    function of the computation — what the golden tests compare. *)
+
+val trace_events_json : unit -> string
+(** The chronological span log in Chrome trace-event format (load in
+    [about:tracing] or [ui.perfetto.dev]); timestamps are microseconds
+    relative to the first recorded span. *)

@@ -19,4 +19,5 @@ let () =
       ("vpp", Test_vpp.suite);
       ("experiments", Test_experiments.suite);
       ("sat", Test_sat.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

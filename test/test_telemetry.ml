@@ -1,0 +1,139 @@
+(* The telemetry layer: golden schema stability of the BENCH JSON, counters
+   tied to ground truth the rest of the suite already asserts (symbex path
+   counts, trace lengths), and the disabled-by-default contract. *)
+
+let contains = Astring_contains.contains
+
+(* Run [f] inside a fresh collection window, hand its result back, and leave
+   the global registry clean for whichever test runs next. *)
+let with_collection f =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+    f
+
+let counter_value snap name =
+  List.find_map
+    (fun c ->
+      if String.equal c.Telemetry.counter_name name then Some c.Telemetry.counter_value
+      else None)
+    snap.Telemetry.counters
+
+let pipeline_snapshot name =
+  with_collection (fun () ->
+      ignore (Maestro.Pipeline.parallelize_exn (Nfs.Registry.find_exn name));
+      Telemetry.snapshot ())
+
+(* --- counters match known ground truth ------------------------------------ *)
+
+let test_symbex_path_counters () =
+  List.iter
+    (fun name ->
+      (* expected value computed with telemetry off: nothing is recorded *)
+      let expected = Symbex.Exec.paths (Symbex.Exec.run (Nfs.Registry.find_exn name)) in
+      let snap = pipeline_snapshot name in
+      Alcotest.(check (option int))
+        (name ^ ": symbex.paths matches Exec.paths")
+        (Some expected)
+        (counter_value snap "symbex.paths");
+      Alcotest.(check (option int)) (name ^ ": one symbex run") (Some 1)
+        (counter_value snap "symbex.runs"))
+    [ "nop"; "fw" ]
+
+let test_runtime_counters () =
+  let snap =
+    with_collection (fun () ->
+        let nf = Nfs.Registry.find_exn "fw" in
+        let plan = (Maestro.Pipeline.parallelize_exn nf).Maestro.Pipeline.plan in
+        let rng = Random.State.make [| 7 |] in
+        let flows = Traffic.Gen.flows rng 100 in
+        let spec = { Traffic.Gen.default_spec with Traffic.Gen.pkts = 1_000 } in
+        let trace = Traffic.Gen.uniform ~spec rng ~flows in
+        ignore (Runtime.Parallel.run plan trace);
+        (Telemetry.snapshot (), Array.length trace))
+  in
+  let snap, n = snap in
+  Alcotest.(check (option int)) "runtime.pkts = trace length" (Some n)
+    (counter_value snap "runtime.pkts");
+  let hist =
+    List.find (fun h -> h.Telemetry.hist_name = "runtime.per_core_pkts") snap.Telemetry.histograms
+  in
+  Alcotest.(check int) "one histogram observation per core" 16 hist.Telemetry.hist_count;
+  Alcotest.(check (float 0.001)) "per-core counts sum to the trace" (float_of_int n)
+    hist.Telemetry.hist_sum
+
+(* --- JSON schema stability -------------------------------------------------- *)
+
+let test_json_deterministic () =
+  List.iter
+    (fun name ->
+      let json () = Telemetry.to_json ~name ~elide_times:true (pipeline_snapshot name) in
+      let a = json () and b = json () in
+      Alcotest.(check string) (name ^ ": identical runs render identically") a b)
+    [ "nop"; "fw" ]
+
+let test_json_schema () =
+  let json = Telemetry.to_json ~name:"fw" ~elide_times:true (pipeline_snapshot "fw") in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "json contains %S" needle) true (contains json needle))
+    [
+      "\"schema\": \"maestro-telemetry/1\"";
+      "\"name\": \"fw\"";
+      "\"spans\": [";
+      "\"counters\": [";
+      "\"histograms\": [";
+      "{\"path\": \"pipeline/symbex\", \"count\": 1, \"total_ms\": 0.0, \"max_ms\": 0.0}";
+      "{\"path\": \"pipeline/solving/rs3/solve\"";
+      "{\"name\": \"rs3.attempts\", \"value\": 1}";
+      "{\"name\": \"sharding.constraints\", \"value\": 3}";
+    ];
+  (* elided times really are elided *)
+  Alcotest.(check bool) "no wall-clock leakage" false (contains json "\"total_ms\": 0.00000")
+
+(* --- disabled contract ------------------------------------------------------- *)
+
+let test_disabled_records_nothing () =
+  Telemetry.reset ();
+  Alcotest.(check bool) "telemetry starts disabled" false (Telemetry.enabled ());
+  ignore (Maestro.Pipeline.parallelize_exn (Nfs.Registry.find_exn "fw"));
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check int) "no spans" 0 (List.length snap.Telemetry.spans);
+  Alcotest.(check int) "no counters" 0 (List.length snap.Telemetry.counters);
+  Alcotest.(check int) "no histograms" 0 (List.length snap.Telemetry.histograms)
+
+(* --- span semantics ----------------------------------------------------------- *)
+
+let test_span_passthrough_and_unwind () =
+  with_collection (fun () ->
+      Alcotest.(check int) "with_span passes the result through" 42
+        (Telemetry.Span.with_span "v" (fun () -> 42));
+      (try Telemetry.Span.with_span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+      Telemetry.Span.with_span "after" (fun () -> ());
+      let snap = Telemetry.snapshot () in
+      let paths = List.map (fun s -> s.Telemetry.span_path) snap.Telemetry.spans in
+      (* "after" at the toplevel proves the stack unwound past the raise *)
+      Alcotest.(check (list string)) "paths recorded and unwound" [ "after"; "boom"; "v" ] paths)
+
+let test_summary_renders () =
+  let snap = pipeline_snapshot "fw" in
+  let text = Format.asprintf "%a" Telemetry.pp_summary snap in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "summary mentions %S" needle) true
+        (contains text needle))
+    [ "pipeline/symbex"; "symbex.paths"; "toeplitz.hashes"; "spans (wall clock)" ]
+
+let suite =
+  [
+    Alcotest.test_case "symbex path counters" `Quick test_symbex_path_counters;
+    Alcotest.test_case "runtime counters" `Quick test_runtime_counters;
+    Alcotest.test_case "json deterministic" `Quick test_json_deterministic;
+    Alcotest.test_case "json schema" `Quick test_json_schema;
+    Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+    Alcotest.test_case "span passthrough + unwind" `Quick test_span_passthrough_and_unwind;
+    Alcotest.test_case "summary renders" `Quick test_summary_renders;
+  ]
