@@ -27,6 +27,7 @@ let targets : (string * (unit -> unit)) list =
     ("ablation-shard", Figures.ablation_shard);
     ("ablation-spec", Figures.ablation_spec);
     ("micro", Micro.run);
+    ("fastpath", Fastpath.run);
   ]
 
 let () =

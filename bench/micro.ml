@@ -9,6 +9,13 @@ let toeplitz_bench =
   let input = Option.get (Nic.Field_set.hash_input Nic.Field_set.ipv4_tcp pkt) in
   Test.make ~name:"toeplitz-hash-12B" (Staged.stage (fun () -> Nic.Toeplitz.hash_int ~key input))
 
+let toeplitz_compiled_bench =
+  let ckey = Nic.Toeplitz.Key.compile Nic.Toeplitz.microsoft_test_key in
+  let pkt = Packet.Pkt.make ~ip_src:0x0a000001 ~ip_dst:0x60000002 ~src_port:1234 ~dst_port:80 () in
+  let input = Option.get (Nic.Field_set.hash_input Nic.Field_set.ipv4_tcp pkt) in
+  Test.make ~name:"toeplitz-hash-12B-tbl"
+    (Staged.stage (fun () -> Nic.Toeplitz.Key.hash_int ckey input))
+
 let map_bench =
   let m = State.Map_s.create ~capacity:65536 in
   let keys = Array.init 1024 (fun i -> Dsl.Ast.key_of_parts [ (32, i); (32, i * 7) ]) in
@@ -88,7 +95,15 @@ let telemetry_overhead () =
 let run () =
   telemetry_overhead ();
   let tests =
-    [ toeplitz_bench; map_bench; dchain_bench; sketch_bench; fw_pkt_bench; gauss_bench ]
+    [
+      toeplitz_bench;
+      toeplitz_compiled_bench;
+      map_bench;
+      dchain_bench;
+      sketch_bench;
+      fw_pkt_bench;
+      gauss_bench;
+    ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in

@@ -163,13 +163,16 @@ let parallelize_cmd =
 (* --- run --------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name cores seed strategy pkts flows stats trace_json =
+  let run name cores seed strategy pkts flows batch_size compiled stats trace_json =
     match find_nf name with
     | Error e ->
         Format.eprintf "%s@." e;
         exit 1
     | Ok nf ->
         with_telemetry stats trace_json @@ fun () ->
+        (* before plan generation: the pipeline configures its RSS engines
+           (and therefore picks the hash implementation) while planning *)
+        Nic.Rss.set_compile_default compiled;
         let request = { Maestro.Pipeline.default_request with cores; seed; strategy } in
         let plan = (Maestro.Pipeline.parallelize_exn ~request nf).Maestro.Pipeline.plan in
         let rng = Random.State.make [| seed |] in
@@ -198,18 +201,44 @@ let run_cmd =
           (Runtime.Parallel.imbalance s);
         Format.printf "state ops: %d reads, %d writes; %d read-pkts, %d write-pkts@."
           s.Runtime.Parallel.reads s.Runtime.Parallel.writes s.Runtime.Parallel.read_pkts
-          s.Runtime.Parallel.write_pkts
+          s.Runtime.Parallel.write_pkts;
+        Format.printf "rss hash: %s@." (if compiled then "table-driven (compiled)" else "bit-by-bit (reference)");
+        (* the same plan on real OCaml domains, fed through the persistent pool *)
+        Runtime.Pool.with_global ~batch_size ~cores:plan.Maestro.Plan.cores @@ fun pool ->
+        let dv = Runtime.Pool.run pool plan trace in
+        let ps = Runtime.Pool.stats pool in
+        let dagree = ref 0 in
+        Array.iteri (fun i v -> if v = seq.(i) then incr dagree) dv;
+        Format.printf "pool: %d domains, batch %d: %d batches, %d ring-full stalls@."
+          (Runtime.Pool.cores pool) (Runtime.Pool.batch_size pool) ps.Runtime.Pool.batches
+          ps.Runtime.Pool.ring_full_stalls;
+        Format.printf "pool sequential agreement: %d/%d@." !dagree (Array.length trace)
   in
   let pkts = Arg.(value & opt int 20_000 & info [ "pkts" ] ~doc:"Packets to replay.") in
   let flows = Arg.(value & opt int 1_000 & info [ "flows" ] ~doc:"Flows in the workload.") in
+  let batch_size =
+    Arg.(
+      value
+      & opt int Runtime.Pool.default_batch_size
+      & info [ "batch-size" ] ~docv:"N"
+          ~doc:"Packets per batch pushed to the worker-domain rings (DPDK burst style).")
+  in
+  let compiled_rss =
+    Arg.(
+      value & opt bool true
+      & info [ "compiled-rss" ] ~docv:"BOOL"
+          ~doc:
+            "Use the table-driven (compiled) Toeplitz hash in every RSS engine; pass \
+             $(b,false) for the bit-by-bit reference implementation.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Execute the generated parallel NF over a workload and compare it against the \
           sequential version.")
     Term.(
-      const run $ nf_arg $ cores_arg $ seed_arg $ strategy_arg $ pkts $ flows $ stats_arg
-      $ trace_json_arg)
+      const run $ nf_arg $ cores_arg $ seed_arg $ strategy_arg $ pkts $ flows $ batch_size
+      $ compiled_rss $ stats_arg $ trace_json_arg)
 
 let () =
   let doc = "Automatic parallelization of software network functions (NSDI'24 reproduction)" in

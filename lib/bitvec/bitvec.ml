@@ -29,6 +29,12 @@ let of_string ?bits s = of_bytes ?bits (Bytes.of_string s)
 
 let length v = v.bits
 
+let bytes_length v = nbytes v.bits
+
+let byte v i =
+  if i < 0 || i >= nbytes v.bits then invalid_arg "Bitvec.byte: byte index out of range";
+  Char.code (Bytes.unsafe_get v.data i)
+
 let check_index v i =
   if i < 0 || i >= v.bits then invalid_arg "Bitvec: bit index out of range"
 
@@ -162,10 +168,12 @@ let equal a b = a.bits = b.bits && Bytes.equal a.data b.data
 let compare a b =
   match Int.compare a.bits b.bits with 0 -> Bytes.compare a.data b.data | c -> c
 
+let hex_digit = "0123456789abcdef"
+
 let to_hex v =
-  let buf = Buffer.create (2 * Bytes.length v.data) in
-  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) v.data;
-  Buffer.contents buf
+  String.init (2 * bytes_length v) (fun i ->
+      let b = byte v (i lsr 1) in
+      hex_digit.[if i land 1 = 0 then b lsr 4 else b land 0xf])
 
 let to_bin v = String.init v.bits (fun i -> if get v i then '1' else '0')
 

@@ -55,6 +55,16 @@ val sub : t -> pos:int -> len:int -> t
 val length : t -> int
 (** Width in bits. *)
 
+val bytes_length : t -> int
+(** Number of bytes backing the vector, [(length + 7) / 8]. *)
+
+val byte : t -> int -> int
+(** [byte v i] is byte [i] of the underlying big-endian storage, without
+    copying ([0 <= i < bytes_length v]).  Bit [8*i] of the vector is the
+    most significant bit of the returned byte; for a width that is not a
+    multiple of 8 the unused low-order bits of the last byte are zero.
+    Raises [Invalid_argument] when out of range. *)
+
 val get : t -> int -> bool
 (** [get v i] is bit [i] (MSB-first).  Raises [Invalid_argument] when out of
     range. *)

@@ -10,16 +10,25 @@ module System = struct
 
   type row = int array
 
+  (* Rows live in a growable array in insertion order: [add_equation] is
+     amortized O(1) and [eliminate]/[check] walk them without the O(n)
+     [List.rev] copy the previous reversed-list representation paid on
+     every call. *)
   type t = {
     cols : int;
     words : int; (* words per row, covering cols + 1 bits *)
-    mutable equations : row list; (* reversed insertion order *)
+    mutable equations : row array; (* rows 0 .. count-1 are live *)
     mutable count : int;
   }
 
   let create ~cols =
     if cols < 0 then invalid_arg "Gf2.System.create";
-    { cols; words = ((cols + 1) + word_bits - 1) / word_bits; equations = []; count = 0 }
+    { cols; words = ((cols + 1) + word_bits - 1) / word_bits; equations = [||]; count = 0 }
+
+  let iter_rows t f =
+    for i = 0 to t.count - 1 do
+      f t.equations.(i)
+    done
 
   let cols t = t.cols
   let rows t = t.count
@@ -41,7 +50,13 @@ module System = struct
         row_flip r i)
       coeffs;
     if rhs then row_flip r t.cols;
-    t.equations <- r :: t.equations;
+    if t.count = Array.length t.equations then begin
+      let cap = max 8 (2 * Array.length t.equations) in
+      let grown = Array.make cap [||] in
+      Array.blit t.equations 0 grown 0 t.count;
+      t.equations <- grown
+    end;
+    t.equations.(t.count) <- r;
     t.count <- t.count + 1;
     Telemetry.Counter.incr c_equations
 
@@ -59,7 +74,7 @@ module System = struct
      a direct read-off given values for the free variables. *)
   let eliminate t =
     Telemetry.Counter.incr c_eliminations;
-    let rows = List.rev_map Array.copy t.equations in
+    let rows = List.init t.count (fun i -> Array.copy t.equations.(i)) in
     let pivots = ref [] in
     let remaining = ref rows in
     let inconsistent = ref false in
@@ -124,12 +139,12 @@ module System = struct
 
   let check t x =
     if Array.length x <> t.cols then invalid_arg "Gf2.System.check";
-    List.for_all
-      (fun r ->
+    let ok = ref true in
+    iter_rows t (fun r ->
         let v = ref false in
         for i = 0 to t.cols - 1 do
           if row_get r i && x.(i) then v := not !v
         done;
-        Bool.equal !v (row_get r t.cols))
-      t.equations
+        if not (Bool.equal !v (row_get r t.cols)) then ok := false);
+    !ok
 end

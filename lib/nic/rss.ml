@@ -1,11 +1,21 @@
+(* Whether freshly configured engines hash through compiled Toeplitz tables
+   (the fast path) or the bit-by-bit reference.  The CLI's --compiled-rss
+   flag flips this; tests flip it to compare the two paths end to end. *)
+let compile_default = ref true
+
+let set_compile_default b = compile_default := b
+let compile_default_enabled () = !compile_default
+
 type t = {
   nic : Model.t;
   key : Bitvec.t;
+  ckey : Toeplitz.Key.t Lazy.t;
+  compiled : bool;
   sets : Field_set.t list;
   reta : Reta.t;
 }
 
-let configure ?(nic = Model.E810) ?reta ~key ~sets ~queues () =
+let configure ?(nic = Model.E810) ?reta ?compiled ~key ~sets ~queues () =
   if Bitvec.length key <> 8 * Model.key_bytes nic then
     invalid_arg
       (Printf.sprintf "Rss.configure: key must be %d bytes for %s" (Model.key_bytes nic)
@@ -25,11 +35,14 @@ let configure ?(nic = Model.E810) ?reta ~key ~sets ~queues () =
         r
     | None -> Reta.create ~size:(Model.reta_size nic) ~queues ()
   in
-  { nic; key; sets; reta }
+  let compiled = Option.value ~default:!compile_default compiled in
+  { nic; key; ckey = lazy (Toeplitz.Key.compile key); compiled; sets; reta }
 
 let random_key rng nic = Bitvec.random rng (8 * Model.key_bytes nic)
 
 let key t = t.key
+let compiled_key t = Lazy.force t.ckey
+let uses_compiled t = t.compiled
 let nic t = t.nic
 let sets t = t.sets
 let reta t = t.reta
@@ -40,7 +53,10 @@ let hash_of t p =
     | [] -> None
     | s :: rest -> (
         match Field_set.hash_input s p with
-        | Some d -> Some (Toeplitz.hash_int ~key:t.key d)
+        | Some d ->
+            Some
+              (if t.compiled then Toeplitz.Key.hash_int (Lazy.force t.ckey) d
+               else Toeplitz.hash_int ~key:t.key d)
         | None -> go rest)
   in
   go t.sets

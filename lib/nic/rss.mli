@@ -5,11 +5,28 @@
 type t
 
 val configure :
-  ?nic:Model.t -> ?reta:Reta.t -> key:Bitvec.t -> sets:Field_set.t list -> queues:int -> unit -> t
+  ?nic:Model.t ->
+  ?reta:Reta.t ->
+  ?compiled:bool ->
+  key:Bitvec.t ->
+  sets:Field_set.t list ->
+  queues:int ->
+  unit ->
+  t
 (** Raises [Invalid_argument] when the key length differs from the NIC's,
     when a set is unsupported by the NIC, or when [queues] exceeds the NIC's
     maximum.  [nic] defaults to {!Model.E810}; [reta] defaults to a
-    round-robin table. *)
+    round-robin table.  [compiled] selects the table-driven Toeplitz fast
+    path ({!Toeplitz.Key}) over the bit-by-bit reference; it defaults to
+    the process-wide {!set_compile_default} setting (initially [true]).
+    Both paths are bit-exact, so dispatch decisions never depend on the
+    choice.  The lookup tables are compiled lazily on first hash. *)
+
+val set_compile_default : bool -> unit
+(** Set the process-wide default for [configure]'s [?compiled] — what the
+    CLI's [--compiled-rss] flag toggles. *)
+
+val compile_default_enabled : unit -> bool
 
 val random_key : Random.State.t -> Model.t -> Bitvec.t
 (** A uniformly random key of the NIC's key size — what Maestro installs
@@ -17,6 +34,13 @@ val random_key : Random.State.t -> Model.t -> Bitvec.t
     parallelization. *)
 
 val key : t -> Bitvec.t
+
+val compiled_key : t -> Toeplitz.Key.t
+(** The compiled lookup tables for this engine's key (forcing compilation
+    if it has not happened yet). *)
+
+val uses_compiled : t -> bool
+(** Whether {!hash_of} and {!dispatch} take the table-driven fast path. *)
 
 val nic : t -> Model.t
 

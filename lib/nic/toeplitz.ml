@@ -21,6 +21,70 @@ let hash ~key d =
 
 let hash_int ~key d = Int32.to_int (hash ~key d) land 0xffffffff
 
+(* Table-driven fast path (DPDK rte_thash style).  For every input *byte*
+   position we precompute a 256-entry table of 32-bit partial hashes: entry
+   [b] is the XOR of the key windows selected by the set bits of [b].  A
+   hash is then one table lookup and one XOR per input byte instead of up to
+   eight 32-bit window extractions — the bit-by-bit [hash] above stays as
+   the oracle the property tests compare against. *)
+module Key = struct
+  type t = {
+    key : Bitvec.t;
+    max_input_bits : int; (* largest input this key can hash *)
+    tables : int array array; (* tables.(i).(b): partial hash of byte value b at byte i *)
+  }
+
+  let compile key =
+    let kn = Bitvec.length key in
+    if kn < 32 then invalid_arg "Toeplitz.Key.compile: key shorter than 32 bits";
+    let max_input_bits = kn - 32 in
+    let nbytes = (max_input_bits + 7) / 8 in
+    (* window.(x) = key bits [x .. x+31], computed incrementally *)
+    let windows = Array.make (8 * nbytes) 0 in
+    let w = ref 0 in
+    for b = 0 to 31 do
+      w := (!w lsl 1) lor (if Bitvec.get key b then 1 else 0)
+    done;
+    for x = 0 to max_input_bits - 1 do
+      windows.(x) <- !w;
+      w := ((!w lsl 1) land 0xffffffff) lor (if Bitvec.get key (x + 32) then 1 else 0)
+    done;
+    (* positions past [max_input_bits] keep window 0: they are only ever
+       indexed by the zero padding bits of a ragged last byte, which never
+       select an entry *)
+    let tables =
+      Array.init nbytes (fun i ->
+          let t = Array.make 256 0 in
+          (* t.(v) = t.(v with lowest set bit cleared) xor window of that bit;
+             bit (1 lsl k) of the byte value is input bit 8i + (7-k) *)
+          for v = 1 to 255 do
+            let low = v land -v in
+            let k = ref 0 in
+            while low lsr !k <> 1 do
+              incr k
+            done;
+            t.(v) <- t.(v land (v - 1)) lxor windows.((8 * i) + (7 - !k))
+          done;
+          t)
+    in
+    { key; max_input_bits; tables }
+
+  let key t = t.key
+  let max_input_bits t = t.max_input_bits
+
+  let hash t d =
+    Telemetry.Counter.incr c_hashes;
+    let dn = Bitvec.length d in
+    if dn > t.max_input_bits then invalid_arg "Toeplitz.Key.hash: key too short for input";
+    let acc = ref 0 in
+    for i = 0 to Bitvec.bytes_length d - 1 do
+      acc := !acc lxor Array.unsafe_get t.tables.(i) (Bitvec.byte d i)
+    done;
+    Int32.of_int !acc
+
+  let hash_int t d = Int32.to_int (hash t d) land 0xffffffff
+end
+
 (* Key published in the Microsoft RSS hash verification suite and used as
    DPDK's default. *)
 let microsoft_test_key =

@@ -17,6 +17,37 @@ val hash_int : key:Bitvec.t -> Bitvec.t -> int
 val key_bits_for_input : int -> int
 (** Minimum key width for a given input width. *)
 
+(** Compiled keys: the table-driven fast path (DPDK [rte_thash] style).
+
+    [compile] precomputes, for every input byte position, a 256-entry table
+    of 32-bit partial hashes — entry [b] is the XOR of the key windows
+    selected by the set bits of [b] — so hashing costs one lookup and one
+    XOR per input byte instead of up to eight bit-window extractions.
+    Results are bit-exact against {!hash}, the retained oracle; ragged
+    (non-byte-multiple) input widths work because {!Bitvec} keeps the
+    unused low-order bits of the last byte at zero. *)
+module Key : sig
+  type t
+
+  val compile : Bitvec.t -> t
+  (** Requires a key of at least 32 bits; raises [Invalid_argument]
+      otherwise.  Cost is O(256 × key bytes) — compile once per configured
+      key, not per packet. *)
+
+  val key : t -> Bitvec.t
+  (** The original key the tables were compiled from. *)
+
+  val max_input_bits : t -> int
+  (** Largest input width this key can hash, [length key - 32]. *)
+
+  val hash : t -> Bitvec.t -> int32
+  (** Bit-exact equivalent of [hash ~key:(key t)]; raises
+      [Invalid_argument] when the input exceeds [max_input_bits]. *)
+
+  val hash_int : t -> Bitvec.t -> int
+  (** Same as {!hash} with the result as a non-negative int. *)
+end
+
 val microsoft_test_key : Bitvec.t
 (** The 40-byte reference key from the Microsoft RSS verification suite,
     usable for validating this implementation against published vectors. *)

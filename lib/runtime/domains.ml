@@ -1,3 +1,11 @@
+(* Real multicore execution.  The fast path is {!Pool}: the entry points
+   below are thin wrappers over the persistent process-global pool, so
+   existing callers keep their signatures while paying no domain spawn per
+   run.  The historical spawn-per-run implementations are retained as the
+   [*_spawning] variants — they are the baseline the pool-vs-spawn micro
+   benchmark (bench fastpath) measures against, and the oracle the pool
+   equivalence tests compare with. *)
+
 let dispatch_plan (plan : Maestro.Plan.t) pkts =
   let nf = plan.Maestro.Plan.nf in
   let engines =
@@ -5,7 +13,9 @@ let dispatch_plan (plan : Maestro.Plan.t) pkts =
   in
   Array.map (fun p -> Nic.Rss.dispatch engines.(p.Packet.Pkt.port) p) pkts
 
-let run_shared_nothing (plan : Maestro.Plan.t) pkts =
+(* --- spawn-per-run baselines ------------------------------------------------ *)
+
+let run_shared_nothing_spawning (plan : Maestro.Plan.t) pkts =
   if plan.Maestro.Plan.strategy <> Maestro.Plan.Shared_nothing then
     invalid_arg "Domains.run_shared_nothing: plan is not shared-nothing";
   let nf = plan.Maestro.Plan.nf in
@@ -26,7 +36,7 @@ let run_shared_nothing (plan : Maestro.Plan.t) pkts =
   Array.iter Domain.join domains;
   verdicts
 
-let run_lock_based (plan : Maestro.Plan.t) pkts =
+let run_lock_based_spawning (plan : Maestro.Plan.t) pkts =
   let nf = plan.Maestro.Plan.nf in
   let info = Dsl.Check.check_exn nf in
   let cores = plan.Maestro.Plan.cores in
@@ -36,27 +46,8 @@ let run_lock_based (plan : Maestro.Plan.t) pkts =
   let inst = Dsl.Instance.create nf in
   let lock = Rwlock.create ~cores in
   let verdicts = Array.make (Array.length pkts) Dsl.Interp.Dropped in
-  (* OCaml has no transactional rollback, so a packet that *may* write on
-     any path must take the write lock up front: classify statically.  The
-     speculative read→restart discipline (and the per-core aging that keeps
-     rejuvenation off the write lock) is modeled deterministically in
-     {!Parallel.run}; this runtime only demonstrates race-free real-domain
-     execution. *)
-  let rec stmt_writes (s : Dsl.Ast.stmt) =
-    match s with
-    | Dsl.Ast.Map_put _ | Dsl.Ast.Map_erase _ | Dsl.Ast.Vec_set _ | Dsl.Ast.Chain_alloc _
-    | Dsl.Ast.Chain_rejuv _ | Dsl.Ast.Chain_expire _ | Dsl.Ast.Sketch_touch _ ->
-        true
-    | Dsl.Ast.If (_, t, f) -> stmt_writes t || stmt_writes f
-    | Dsl.Ast.Let (_, _, k)
-    | Dsl.Ast.Map_get { k; _ }
-    | Dsl.Ast.Vec_get { k; _ }
-    | Dsl.Ast.Sketch_query { k; _ }
-    | Dsl.Ast.Set_field (_, _, k) ->
-        stmt_writes k
-    | Dsl.Ast.Forward _ | Dsl.Ast.Drop -> false
-  in
-  let nf_writes = stmt_writes nf.Dsl.Ast.process in
+  (* conservative static write classification — see {!Pool.nf_statically_writes} *)
+  let nf_writes = Pool.nf_statically_writes nf in
   let worker core () =
     List.iter
       (fun i ->
@@ -72,3 +63,20 @@ let run_lock_based (plan : Maestro.Plan.t) pkts =
   let domains = Array.init cores (fun core -> Domain.spawn (worker core)) in
   Array.iter Domain.join domains;
   verdicts
+
+(* --- pooled fast paths ------------------------------------------------------- *)
+
+let pooled plan pkts =
+  Pool.with_global ~cores:plan.Maestro.Plan.cores (fun pool -> Pool.run pool plan pkts)
+
+let run_shared_nothing (plan : Maestro.Plan.t) pkts =
+  if plan.Maestro.Plan.strategy <> Maestro.Plan.Shared_nothing then
+    invalid_arg "Domains.run_shared_nothing: plan is not shared-nothing";
+  pooled plan pkts
+
+let run_lock_based (plan : Maestro.Plan.t) pkts = pooled plan pkts
+
+let run_tm (plan : Maestro.Plan.t) pkts =
+  if plan.Maestro.Plan.strategy <> Maestro.Plan.Tm_based then
+    invalid_arg "Domains.run_tm: plan is not transactional-memory";
+  pooled plan pkts

@@ -8,6 +8,12 @@
     approximated by a pre-classification pass so the shared interpreter
     state is never mutated under a read lock).
 
+    All three entry points are thin wrappers over the persistent
+    process-global {!Pool}: worker domains are spawned once and fed batches
+    through SPSC rings, not respawned per call.  The historical
+    spawn-per-run implementations remain available as the [*_spawning]
+    variants for benchmarking and as an independent oracle.
+
     Verdicts are returned in the original packet order.  On a shared-nothing
     plan they are deterministic regardless of scheduling, because same-flow
     packets never cross cores — the property Maestro's RSS keys establish. *)
@@ -21,3 +27,22 @@ val run_lock_based : Maestro.Plan.t -> Packet.Pkt.t array -> Dsl.Interp.action a
     verdict streams are deterministic, but cross-core write interleaving can
     differ from arrival order (as on real hardware); use the deterministic
     {!Parallel.run} for exact equivalence checks. *)
+
+val run_tm : Maestro.Plan.t -> Packet.Pkt.t array -> Dsl.Interp.action array
+(** Runs a transactional-memory plan on real domains.  OCaml has no
+    transactional rollback, so the TM discipline executes under the same
+    conservative lock classification as {!run_lock_based} (abort/retry
+    behavior is modeled deterministically in {!Parallel.run}).  Raises
+    [Invalid_argument] if the plan is not TM. *)
+
+(** {1 Spawn-per-run baselines}
+
+    The pre-pool implementations: one [Domain.spawn] per core per call.
+    Kept as the baseline for the pool-vs-spawn micro benchmark and as an
+    independent oracle in the equivalence tests. *)
+
+val run_shared_nothing_spawning :
+  Maestro.Plan.t -> Packet.Pkt.t array -> Dsl.Interp.action array
+
+val run_lock_based_spawning :
+  Maestro.Plan.t -> Packet.Pkt.t array -> Dsl.Interp.action array

@@ -1,0 +1,330 @@
+(* Persistent worker-domain pool fed by bounded SPSC rings of packet
+   batches.  Spawning an OCaml domain costs tens of microseconds — paid on
+   every call by the old spawn-per-run [Domains] entry points, which
+   dominated short runs the way per-packet dispatch cost dominates the
+   stateful-NF studies this repo models.  The pool spawns [cores] domains
+   once and feeds them DPDK-burst-style batches (default 32 packets)
+   through single-producer single-consumer rings, so repeated runs pay
+   only the enqueue/dequeue cost. *)
+
+let default_batch_size = 32
+let default_ring_capacity = 1024
+
+let c_batches = Telemetry.Counter.make "pool.batches" ~doc:"packet batches pushed to pool rings"
+let c_pkts = Telemetry.Counter.make "pool.pkts" ~doc:"packets executed on the domain pool"
+let c_stalls =
+  Telemetry.Counter.make "pool.ring_full_stalls" ~doc:"producer stalls on a full pool ring"
+let c_spawns = Telemetry.Counter.make "pool.domain_spawns" ~doc:"worker domains spawned by pools"
+
+(* --- bounded SPSC ring ----------------------------------------------------- *)
+
+module Ring = struct
+  (* One producer (the dispatching domain), one consumer (the worker).
+     [head] and [tail] are monotonically increasing; publication of the
+     slot write is ordered by the subsequent [Atomic.set] of [tail]
+     (OCaml's memory model makes atomic writes release points). *)
+  type 'a t = {
+    slots : 'a option array;
+    mask : int;
+    head : int Atomic.t; (* consumer position *)
+    tail : int Atomic.t; (* producer position *)
+  }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Pool.Ring.create: capacity";
+    let cap = ref 1 in
+    while !cap < capacity do
+      cap := !cap * 2
+    done;
+    { slots = Array.make !cap None; mask = !cap - 1; head = Atomic.make 0; tail = Atomic.make 0 }
+
+  let capacity t = t.mask + 1
+  let length t = Atomic.get t.tail - Atomic.get t.head
+  let is_empty t = length t = 0
+
+  let try_push t x =
+    let tail = Atomic.get t.tail in
+    if tail - Atomic.get t.head > t.mask then false
+    else begin
+      t.slots.(tail land t.mask) <- Some x;
+      Atomic.set t.tail (tail + 1);
+      true
+    end
+
+  let pop t =
+    let head = Atomic.get t.head in
+    if Atomic.get t.tail = head then None
+    else begin
+      let i = head land t.mask in
+      let x = t.slots.(i) in
+      t.slots.(i) <- None;
+      Atomic.set t.head (head + 1);
+      x
+    end
+end
+
+(* --- workers ---------------------------------------------------------------- *)
+
+type worker = {
+  ring : (unit -> unit) Ring.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  stop : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+}
+
+type stats = {
+  runs : int;  (** plans executed since the pool was created *)
+  batches : int;  (** batches pushed over the pool's lifetime *)
+  pkts : int;  (** packets executed over the pool's lifetime *)
+  ring_full_stalls : int;  (** producer stalls on a full ring *)
+  last_per_core_pkts : int array;  (** dispatch counts of the most recent run *)
+}
+
+type t = {
+  cores : int;
+  batch_size : int;
+  workers : worker array;
+  mutable runs : int;
+  mutable batches : int;
+  mutable total_pkts : int;
+  mutable stalls : int;
+  mutable last_per_core : int array;
+}
+
+let worker_loop w () =
+  let rec go () =
+    match Ring.pop w.ring with
+    | Some task ->
+        task ();
+        go ()
+    | None ->
+        if not (Atomic.get w.stop) then begin
+          (* brief spin keeps latency low while a run is in flight... *)
+          let rec spin n = if n > 0 && Ring.is_empty w.ring then (Domain.cpu_relax (); spin (n - 1)) in
+          spin 64;
+          (* ...then block so an idle pool costs nothing between runs *)
+          if Ring.is_empty w.ring then begin
+            Mutex.lock w.mutex;
+            while Ring.is_empty w.ring && not (Atomic.get w.stop) do
+              Condition.wait w.cond w.mutex
+            done;
+            Mutex.unlock w.mutex
+          end;
+          go ()
+        end
+  in
+  go ()
+
+let create ?(batch_size = default_batch_size) ?(ring_capacity = default_ring_capacity) ~cores ()
+    =
+  if cores < 1 then invalid_arg "Pool.create: cores";
+  if batch_size < 1 then invalid_arg "Pool.create: batch_size";
+  let workers =
+    Array.init cores (fun _ ->
+        {
+          ring = Ring.create ~capacity:ring_capacity;
+          mutex = Mutex.create ();
+          cond = Condition.create ();
+          stop = Atomic.make false;
+          domain = None;
+        })
+  in
+  Array.iter
+    (fun w ->
+      Telemetry.Counter.incr c_spawns;
+      w.domain <- Some (Domain.spawn (worker_loop w)))
+    workers;
+  {
+    cores;
+    batch_size;
+    workers;
+    runs = 0;
+    batches = 0;
+    total_pkts = 0;
+    stalls = 0;
+    last_per_core = [||];
+  }
+
+let cores t = t.cores
+let batch_size t = t.batch_size
+
+let shutdown t =
+  Array.iter
+    (fun w ->
+      match w.domain with
+      | None -> ()
+      | Some d ->
+          Atomic.set w.stop true;
+          Mutex.lock w.mutex;
+          Condition.signal w.cond;
+          Mutex.unlock w.mutex;
+          Domain.join d;
+          w.domain <- None)
+    t.workers
+
+let stats t =
+  {
+    runs = t.runs;
+    batches = t.batches;
+    pkts = t.total_pkts;
+    ring_full_stalls = t.stalls;
+    last_per_core_pkts = Array.copy t.last_per_core;
+  }
+
+let submit t ~core task =
+  let w = t.workers.(core) in
+  let stalled = ref false in
+  while not (Ring.try_push w.ring task) do
+    if not !stalled then begin
+      stalled := true;
+      t.stalls <- t.stalls + 1;
+      Telemetry.Counter.incr c_stalls
+    end;
+    Domain.cpu_relax ()
+  done;
+  t.batches <- t.batches + 1;
+  Telemetry.Counter.incr c_batches;
+  Mutex.lock w.mutex;
+  Condition.signal w.cond;
+  Mutex.unlock w.mutex
+
+(* --- plan execution --------------------------------------------------------- *)
+
+(* Conservative static write classification, shared by the lock and TM
+   disciplines: OCaml has no transactional rollback, so a packet that *may*
+   write on any path takes the write lock up front.  The speculative
+   read→restart discipline is modeled deterministically in {!Parallel.run};
+   this runtime demonstrates race-free real-domain execution. *)
+let rec stmt_writes (s : Dsl.Ast.stmt) =
+  match s with
+  | Dsl.Ast.Map_put _ | Dsl.Ast.Map_erase _ | Dsl.Ast.Vec_set _ | Dsl.Ast.Chain_alloc _
+  | Dsl.Ast.Chain_rejuv _ | Dsl.Ast.Chain_expire _ | Dsl.Ast.Sketch_touch _ ->
+      true
+  | Dsl.Ast.If (_, t, f) -> stmt_writes t || stmt_writes f
+  | Dsl.Ast.Let (_, _, k)
+  | Dsl.Ast.Map_get { k; _ }
+  | Dsl.Ast.Vec_get { k; _ }
+  | Dsl.Ast.Sketch_query { k; _ }
+  | Dsl.Ast.Set_field (_, _, k) ->
+      stmt_writes k
+  | Dsl.Ast.Forward _ | Dsl.Ast.Drop -> false
+
+let nf_statically_writes (nf : Dsl.Ast.t) = stmt_writes nf.Dsl.Ast.process
+
+let run (t : t) (plan : Maestro.Plan.t) pkts =
+  Telemetry.Span.with_span "pool/run" @@ fun () ->
+  let cores = plan.Maestro.Plan.cores in
+  if cores > t.cores then
+    invalid_arg
+      (Printf.sprintf "Pool.run: plan wants %d cores but the pool has %d" cores t.cores);
+  let nf = plan.Maestro.Plan.nf in
+  let info = Dsl.Check.check_exn nf in
+  let engines =
+    Array.init nf.Dsl.Ast.devices (fun port -> Maestro.Plan.rss_engine plan port)
+  in
+  let npkts = Array.length pkts in
+  (* dispatch on the producer, exactly what the NIC does in hardware *)
+  let assignment = Array.map (fun p -> Nic.Rss.dispatch engines.(p.Packet.Pkt.port) p) pkts in
+  let per_core = Array.make cores 0 in
+  Array.iter (fun c -> per_core.(c) <- per_core.(c) + 1) assignment;
+  (* per-core index queues in arrival order *)
+  let queues = Array.init cores (fun c -> Array.make per_core.(c) 0) in
+  let fill = Array.make cores 0 in
+  Array.iteri
+    (fun i core ->
+      queues.(core).(fill.(core)) <- i;
+      fill.(core) <- fill.(core) + 1)
+    assignment;
+  let verdicts = Array.make npkts Dsl.Interp.Dropped in
+  let remaining = Atomic.make 0 in
+  let strategy = plan.Maestro.Plan.strategy in
+  (* per-core state for shared-nothing (capacity-split) and load-balance
+     (read-only replicas); one shared locked instance otherwise *)
+  let process_batch =
+    match strategy with
+    | Maestro.Plan.Shared_nothing | Maestro.Plan.Load_balance ->
+        let instances =
+          Array.init cores (fun _ ->
+              Dsl.Instance.create ~divide:(Maestro.Plan.state_divisor plan) nf)
+        in
+        fun core indices ->
+          let inst = instances.(core) in
+          fun () ->
+            Array.iter (fun i -> verdicts.(i) <- Dsl.Interp.process nf info inst pkts.(i)) indices;
+            Atomic.decr remaining
+    | Maestro.Plan.Lock_based | Maestro.Plan.Tm_based ->
+        let inst = Dsl.Instance.create nf in
+        let lock = Rwlock.create ~cores in
+        let writes = nf_statically_writes nf in
+        fun core indices ->
+          fun () ->
+            Array.iter
+              (fun i ->
+                if writes then
+                  Rwlock.with_write lock (fun () ->
+                      verdicts.(i) <- Dsl.Interp.process nf info inst pkts.(i))
+                else
+                  Rwlock.with_read lock ~core (fun () ->
+                      verdicts.(i) <- Dsl.Interp.process nf info inst pkts.(i)))
+              indices;
+            Atomic.decr remaining
+  in
+  (* chunk each core's queue into batches and feed the rings *)
+  for core = 0 to cores - 1 do
+    let q = queues.(core) in
+    let n = Array.length q in
+    let nbatches = (n + t.batch_size - 1) / t.batch_size in
+    Atomic.fetch_and_add remaining nbatches |> ignore;
+    for b = 0 to nbatches - 1 do
+      let lo = b * t.batch_size in
+      let len = min t.batch_size (n - lo) in
+      submit t ~core (process_batch core (Array.sub q lo len))
+    done
+  done;
+  (* producer waits for the last batch; workers signal by decrementing *)
+  while Atomic.get remaining > 0 do
+    Domain.cpu_relax ()
+  done;
+  t.runs <- t.runs + 1;
+  t.total_pkts <- t.total_pkts + npkts;
+  t.last_per_core <- per_core;
+  Telemetry.Counter.add c_pkts npkts;
+  verdicts
+
+(* --- the process-global pool ------------------------------------------------- *)
+
+let global : t option ref = ref None
+let global_mutex = Mutex.create ()
+
+let shutdown_global () =
+  Mutex.lock global_mutex;
+  (match !global with
+  | Some pool ->
+      shutdown pool;
+      global := None
+  | None -> ());
+  Mutex.unlock global_mutex
+
+let () = at_exit shutdown_global
+
+let with_global ?batch_size ~cores f =
+  Mutex.lock global_mutex;
+  let pool =
+    match !global with
+    | Some pool
+      when pool.cores >= cores
+           && (match batch_size with None -> true | Some b -> b = pool.batch_size) ->
+        pool
+    | Some pool ->
+        shutdown pool;
+        let pool = create ?batch_size ~cores:(max cores pool.cores) () in
+        global := Some pool;
+        pool
+    | None ->
+        let pool = create ?batch_size ~cores () in
+        global := Some pool;
+        pool
+  in
+  Mutex.unlock global_mutex;
+  f pool

@@ -1,0 +1,88 @@
+(** A persistent pool of worker domains fed by bounded SPSC rings of
+    packet batches.
+
+    The spawn-per-run entry points in {!Domains} paid a domain-spawn per
+    core per call; this pool spawns [cores] domains {e once} and feeds
+    them batches (default {!default_batch_size} packets, mirroring DPDK
+    burst mode) through single-producer single-consumer rings, so
+    repeated runs cost only enqueue/dequeue.  Idle workers block on a
+    condition variable — an idle pool burns no CPU.
+
+    {!run} executes any plan strategy without respawning: shared-nothing
+    and load-balance get per-core state instances (capacity-split and
+    read-only replicas respectively); lock-based and transactional-memory
+    plans share one instance guarded by the {!Rwlock} with conservative
+    static write classification (OCaml has no transactional rollback, so
+    the TM discipline degrades to the lock discipline on real domains —
+    the speculative/transactional behavior is modeled deterministically
+    in {!Parallel.run}).  Verdicts are bit-identical to the spawn-per-run
+    paths and, for shared-nothing plans, to sequential execution. *)
+
+val default_batch_size : int
+(** 32 — the DPDK burst size. *)
+
+(** Bounded single-producer single-consumer ring (lock-free; the
+    producer spins on a full ring, which {!stats} counts as a stall). *)
+module Ring : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** Capacity is rounded up to a power of two; [capacity >= 1]. *)
+
+  val capacity : 'a t -> int
+
+  val length : 'a t -> int
+
+  val is_empty : 'a t -> bool
+
+  val try_push : 'a t -> 'a -> bool
+  (** [false] when the ring is full.  Producer side only. *)
+
+  val pop : 'a t -> 'a option
+  (** [None] when empty.  Consumer side only. *)
+end
+
+type t
+
+type stats = {
+  runs : int;  (** plans executed since the pool was created *)
+  batches : int;  (** batches pushed over the pool's lifetime *)
+  pkts : int;  (** packets executed over the pool's lifetime *)
+  ring_full_stalls : int;  (** producer stalls on a full ring *)
+  last_per_core_pkts : int array;  (** dispatch counts of the most recent run *)
+}
+
+val create : ?batch_size:int -> ?ring_capacity:int -> cores:int -> unit -> t
+(** Spawns [cores] worker domains immediately.  [batch_size] defaults to
+    {!default_batch_size}, [ring_capacity] (per worker, in batches) to
+    1024.  Raises [Invalid_argument] when either is < 1. *)
+
+val cores : t -> int
+
+val batch_size : t -> int
+
+val run : t -> Maestro.Plan.t -> Packet.Pkt.t array -> Dsl.Interp.action array
+(** Execute a plan over a trace on the pool's persistent workers.
+    Verdicts are returned in the original packet order.  Raises
+    [Invalid_argument] when the plan wants more cores than the pool has
+    (plans with fewer cores use a prefix of the workers). *)
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Stop and join every worker.  Idempotent; the pool must not be used
+    afterwards. *)
+
+val with_global : ?batch_size:int -> cores:int -> (t -> 'a) -> 'a
+(** Run [f] against the shared process-wide pool, growing it (respawn
+    happens only when the requested core count exceeds the current pool,
+    or a different [batch_size] is requested) and creating it on first
+    use.  The global pool is shut down automatically [at_exit]. *)
+
+val shutdown_global : unit -> unit
+(** Tear down the process-wide pool now (it is recreated on the next
+    {!with_global}). *)
+
+val nf_statically_writes : Dsl.Ast.t -> bool
+(** Conservative static classification used by the lock/TM disciplines:
+    [true] when any path of the NF's packet handler writes state. *)

@@ -48,8 +48,15 @@ let shares_of ?(balanced = false) (plan : Maestro.Plan.t) pkts =
   let total = Float.max 1.0 (float_of_int (Array.fold_left ( + ) 0 counts)) in
   Array.map (fun c -> float_of_int c /. total) counts
 
+let shares_of_counts counts =
+  let total = Float.max 1.0 (float_of_int (Array.fold_left ( + ) 0 counts)) in
+  Array.map (fun c -> float_of_int c /. total) counts
+
+let shares_of_pool_stats (s : Runtime.Pool.stats) =
+  shares_of_counts s.Runtime.Pool.last_per_core_pkts
+
 let evaluate ?(machine = Machine.xeon_6226r) ?(params = Cost.default) ?(balanced_reta = false)
-    (plan : Maestro.Plan.t) (profile : Profile.t) pkts =
+    ?measured_shares (plan : Maestro.Plan.t) (profile : Profile.t) pkts =
   Telemetry.Span.with_span "sim/evaluate" @@ fun () ->
   Telemetry.Counter.incr c_evals;
   let cores = plan.Maestro.Plan.cores in
@@ -58,7 +65,13 @@ let evaluate ?(machine = Machine.xeon_6226r) ?(params = Cost.default) ?(balanced
   let shards = match plan.Maestro.Plan.strategy with Maestro.Plan.Shared_nothing -> cores | _ -> 1 in
   let ws = Cost.working_set_bytes profile ~shards in
   let c_pkt = Cost.packet_cycles ~params machine profile ~ws_bytes:ws in
-  let shares = shares_of ~balanced:balanced_reta plan pkts in
+  let shares =
+    match measured_shares with
+    | Some s ->
+        if Array.length s <> cores then invalid_arg "Throughput.evaluate: measured_shares length";
+        s
+    | None -> shares_of ~balanced:balanced_reta plan pkts
+  in
   if Telemetry.enabled () then Array.iter (Telemetry.Histogram.observe h_share) shares;
   let max_share = Array.fold_left Float.max 0.0 shares in
   let x_cpu =

@@ -35,11 +35,23 @@ val evaluate :
   ?machine:Machine.t ->
   ?params:Cost.params ->
   ?balanced_reta:bool ->
+  ?measured_shares:float array ->
   Maestro.Plan.t ->
   Profile.t ->
   Packet.Pkt.t array ->
   eval
 (** [balanced_reta] applies RSS++-style static table rebalancing using the
-    trace's observed bucket loads (Fig. 5's "balanced" series). *)
+    trace's observed bucket loads (Fig. 5's "balanced" series).
+    [measured_shares] bypasses the model's own RSS dispatch and feeds the
+    contention laws per-core load shares observed elsewhere — e.g.
+    {!shares_of_pool_stats} from a real {!Runtime.Pool} run — so model
+    throughput and real-domain execution agree on the load they describe.
+    Its length must equal the plan's core count. *)
+
+val shares_of_counts : int array -> float array
+(** Normalize per-core packet counts into traffic shares. *)
+
+val shares_of_pool_stats : Runtime.Pool.stats -> float array
+(** The most recent run's per-core shares from a persistent domain pool. *)
 
 val bottleneck_name : bottleneck -> string

@@ -20,4 +20,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("sat", Test_sat.suite);
       ("telemetry", Test_telemetry.suite);
+      ("benchdiff", Test_benchdiff.suite);
     ]

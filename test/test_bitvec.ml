@@ -71,6 +71,33 @@ let test_rotate () =
 let test_to_bin () =
   Alcotest.(check string) "bin" "10100101" (Bitvec.to_bin (Bitvec.of_hex "a5"))
 
+let test_byte_accessors_aligned () =
+  let v = Bitvec.of_hex "6d5a56da" in
+  Alcotest.(check int) "bytes_length" 4 (Bitvec.bytes_length v);
+  Alcotest.(check int) "byte 0" 0x6d (Bitvec.byte v 0);
+  Alcotest.(check int) "byte 3" 0xda (Bitvec.byte v 3);
+  (* byte i agrees with the bit-level view *)
+  for i = 0 to 3 do
+    let from_bits = ref 0 in
+    for j = 0 to 7 do
+      from_bits := (!from_bits lsl 1) lor (if Bitvec.get v ((8 * i) + j) then 1 else 0)
+    done;
+    Alcotest.(check int) (Printf.sprintf "byte %d == bits" i) !from_bits (Bitvec.byte v i)
+  done
+
+let test_byte_accessors_ragged () =
+  (* 12-bit vector: the second byte exists but its low 4 bits are zero *)
+  let v = Bitvec.of_bytes ~bits:12 (Bytes.of_string "\xab\xcf") in
+  Alcotest.(check int) "bytes_length" 2 (Bitvec.bytes_length v);
+  Alcotest.(check int) "byte 0" 0xab (Bitvec.byte v 0);
+  Alcotest.(check int) "last byte normalized" 0xc0 (Bitvec.byte v 1);
+  let empty = Bitvec.create 0 in
+  Alcotest.(check int) "empty has no bytes" 0 (Bitvec.bytes_length empty);
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitvec.byte: byte index out of range")
+    (fun () -> ignore (Bitvec.byte v 2));
+  Alcotest.check_raises "negative" (Invalid_argument "Bitvec.byte: byte index out of range")
+    (fun () -> ignore (Bitvec.byte v (-1)))
+
 let test_bool_list () =
   let l = [ true; false; true ] in
   Alcotest.(check (list bool)) "roundtrip" l (Bitvec.to_bool_list (Bitvec.of_bool_list l))
@@ -125,6 +152,8 @@ let suite =
     Alcotest.test_case "bitwise logic" `Quick test_logic;
     Alcotest.test_case "rotate" `Quick test_rotate;
     Alcotest.test_case "to_bin" `Quick test_to_bin;
+    Alcotest.test_case "byte accessors (aligned)" `Quick test_byte_accessors_aligned;
+    Alcotest.test_case "byte accessors (ragged)" `Quick test_byte_accessors_ragged;
     Alcotest.test_case "bool list" `Quick test_bool_list;
     QCheck_alcotest.to_alcotest prop_xor_involution;
     QCheck_alcotest.to_alcotest prop_hex_roundtrip;

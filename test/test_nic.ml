@@ -181,7 +181,94 @@ let test_rss_validates_nic_support () =
        false
      with Invalid_argument _ -> true)
 
+(* --- compiled (table-driven) Toeplitz ------------------------------------ *)
+
+(* The compiled fast path must be bit-exact against the bit-by-bit oracle on
+   the published Microsoft vectors... *)
+let test_compiled_matches_microsoft_vectors () =
+  let ck = Toeplitz.Key.compile Toeplitz.microsoft_test_key in
+  List.iter
+    (fun (src, sport, dst, dport, expected_tcp, expected_ip) ->
+      let p = Pkt.make ~ip_src:src ~ip_dst:dst ~src_port:sport ~dst_port:dport () in
+      let d = Option.get (Field_set.hash_input Field_set.ipv4_tcp p) in
+      Alcotest.(check int) "tcp hash (compiled)" expected_tcp (Toeplitz.Key.hash_int ck d);
+      let d_ip = Option.get (Field_set.hash_input Field_set.ipv4 p) in
+      Alcotest.(check int) "ip hash (compiled)" expected_ip (Toeplitz.Key.hash_int ck d_ip))
+    microsoft_vectors
+
+let test_compiled_key_metadata () =
+  let ck = Toeplitz.Key.compile Toeplitz.microsoft_test_key in
+  Alcotest.(check int) "max input bits" ((40 * 8) - 32) (Toeplitz.Key.max_input_bits ck);
+  Alcotest.(check bool) "original key kept" true
+    (Bitvec.equal Toeplitz.microsoft_test_key (Toeplitz.Key.key ck))
+
+let test_compiled_rejects_oversized_input () =
+  let ck = Toeplitz.Key.compile (Bitvec.create 64) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Toeplitz.Key.hash ck (Bitvec.create 96));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "short key rejected" true
+    (try
+       ignore (Toeplitz.Key.compile (Bitvec.create 16));
+       false
+     with Invalid_argument _ -> true)
+
+(* ... and on ≥1000 random (key, input) pairs across every supported
+   field-set width, byte-aligned and ragged (sliced prefix sets). *)
+let test_compiled_equals_oracle_randomized () =
+  let rng = Random.State.make [| 0x70e9 |] in
+  (* all supported field-set widths: full tuples plus ragged prefix slices *)
+  let widths =
+    [ 96; 64; 32; 40; 48; 8; 12; 20; 25; 33; 17; 96; 80; 72; 3; 1 ]
+  in
+  let checked = ref 0 in
+  for _ = 1 to 70 do
+    List.iter
+      (fun w ->
+        let key = Bitvec.random rng (Toeplitz.key_bits_for_input w + (8 * Random.State.int rng 3)) in
+        let ck = Toeplitz.Key.compile key in
+        let d = Bitvec.random rng w in
+        incr checked;
+        if Toeplitz.hash ~key d <> Toeplitz.Key.hash ck d then
+          Alcotest.failf "compiled hash diverges on key=%s input=%s" (Bitvec.to_hex key)
+            (Bitvec.to_hex d))
+      widths
+  done;
+  Alcotest.(check bool) ">= 1000 pairs" true (!checked >= 1000)
+
+let test_rss_compiled_and_reference_dispatch_agree () =
+  let rng = Random.State.make [| 0xd15 |] in
+  let key = Rss.random_key rng Model.E810 in
+  let fast = Rss.configure ~compiled:true ~key ~sets:[ Field_set.ipv4_tcp; Field_set.ipv4 ] ~queues:8 () in
+  let slow = Rss.configure ~compiled:false ~key ~sets:[ Field_set.ipv4_tcp; Field_set.ipv4 ] ~queues:8 () in
+  Alcotest.(check bool) "fast path on" true (Rss.uses_compiled fast);
+  Alcotest.(check bool) "reference path on" false (Rss.uses_compiled slow);
+  for _ = 1 to 500 do
+    let p =
+      Pkt.make
+        ~proto:(if Random.State.bool rng then Pkt.Tcp else Pkt.Other 1)
+        ~ip_src:(Random.State.int rng 0x3fffffff)
+        ~ip_dst:(Random.State.int rng 0x3fffffff)
+        ~src_port:(Random.State.int rng 0x10000)
+        ~dst_port:(Random.State.int rng 0x10000)
+        ()
+    in
+    Alcotest.(check (option int)) "hash agrees" (Rss.hash_of slow p) (Rss.hash_of fast p);
+    Alcotest.(check int) "dispatch agrees" (Rss.dispatch slow p) (Rss.dispatch fast p)
+  done
+
 (* --- properties --------------------------------------------------------- *)
+
+let prop_compiled_equals_oracle =
+  QCheck.Test.make ~name:"compiled toeplitz equals the bit-by-bit oracle" ~count:500
+    QCheck.(pair (int_range 0 1000000) (int_range 1 96))
+    (fun (seed, width) ->
+      let rng = Random.State.make [| seed; width |] in
+      let key = Bitvec.random rng (Toeplitz.key_bits_for_input width) in
+      let d = Bitvec.random rng width in
+      Toeplitz.hash ~key d = Toeplitz.Key.hash (Toeplitz.Key.compile key) d)
 
 let prop_same_flow_same_queue =
   QCheck.Test.make ~name:"packets of one flow always reach the same queue" ~count:100
@@ -221,6 +308,14 @@ let suite =
     Alcotest.test_case "toeplitz key too short" `Quick test_toeplitz_key_too_short;
     Alcotest.test_case "repeated-pattern key is symmetric" `Quick
       test_toeplitz_repeated_pattern_symmetry;
+    Alcotest.test_case "compiled toeplitz microsoft vectors" `Quick
+      test_compiled_matches_microsoft_vectors;
+    Alcotest.test_case "compiled key metadata" `Quick test_compiled_key_metadata;
+    Alcotest.test_case "compiled toeplitz bounds" `Quick test_compiled_rejects_oversized_input;
+    Alcotest.test_case "compiled == oracle on 1000+ random pairs" `Quick
+      test_compiled_equals_oracle_randomized;
+    Alcotest.test_case "rss compiled/reference dispatch agree" `Quick
+      test_rss_compiled_and_reference_dispatch_agree;
     Alcotest.test_case "field set canonical order" `Quick test_field_set_canonical_order;
     Alcotest.test_case "field set offsets" `Quick test_field_set_offsets;
     Alcotest.test_case "field set rejects mac" `Quick test_field_set_rejects_mac;
@@ -236,4 +331,5 @@ let suite =
     Alcotest.test_case "rss validates nic support" `Quick test_rss_validates_nic_support;
     QCheck_alcotest.to_alcotest prop_same_flow_same_queue;
     QCheck_alcotest.to_alcotest prop_toeplitz_linear_in_input;
+    QCheck_alcotest.to_alcotest prop_compiled_equals_oracle;
   ]

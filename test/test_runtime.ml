@@ -192,6 +192,167 @@ let test_domains_lock_based_equivalence () =
   let par = Runtime.Domains.run_lock_based plan pkts in
   Alcotest.(check bool) "domain locks == sequential" true (verdicts_equal seq par)
 
+(* --- persistent domain pool ------------------------------------------------ *)
+
+let test_pool_ring () =
+  let r = Runtime.Pool.Ring.create ~capacity:3 in
+  Alcotest.(check int) "capacity rounds to power of two" 4 (Runtime.Pool.Ring.capacity r);
+  Alcotest.(check bool) "fresh ring empty" true (Runtime.Pool.Ring.is_empty r);
+  Alcotest.(check (option int)) "pop empty" None (Runtime.Pool.Ring.pop r);
+  for i = 1 to 4 do
+    Alcotest.(check bool) (Printf.sprintf "push %d" i) true (Runtime.Pool.Ring.try_push r i)
+  done;
+  Alcotest.(check bool) "push on full fails" false (Runtime.Pool.Ring.try_push r 5);
+  Alcotest.(check int) "length full" 4 (Runtime.Pool.Ring.length r);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Runtime.Pool.Ring.pop r);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Runtime.Pool.Ring.pop r);
+  (* wrap-around: push more than capacity total *)
+  Alcotest.(check bool) "push after pop" true (Runtime.Pool.Ring.try_push r 5);
+  Alcotest.(check bool) "push after pop 2" true (Runtime.Pool.Ring.try_push r 6);
+  let rec drain acc = match Runtime.Pool.Ring.pop r with
+    | Some v -> drain (v :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "fifo across wrap" [ 3; 4; 5; 6 ] (drain []);
+  Alcotest.(check bool) "drained empty" true (Runtime.Pool.Ring.is_empty r)
+
+let test_pool_ring_spsc_stress () =
+  let r = Runtime.Pool.Ring.create ~capacity:8 in
+  let n = 20_000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let sum = ref 0 and seen = ref 0 and last = ref (-1) in
+        while !seen < n do
+          match Runtime.Pool.Ring.pop r with
+          | Some v ->
+              if v <= !last then failwith "out of order";
+              last := v;
+              sum := !sum + v;
+              incr seen
+          | None -> Domain.cpu_relax ()
+        done;
+        !sum)
+  in
+  for i = 0 to n - 1 do
+    while not (Runtime.Pool.Ring.try_push r i) do
+      Domain.cpu_relax ()
+    done
+  done;
+  Alcotest.(check int) "all values crossed in order" (n * (n - 1) / 2) (Domain.join consumer)
+
+(* The acceptance criterion: the pool produces identical verdicts to the
+   spawn-per-run path (and to sequential execution) for shared-nothing,
+   lock-based, and TM plans. *)
+let test_pool_matches_spawning_shared_nothing () =
+  let nf = Nfs.Registry.find_exn "fw" in
+  let trace = mixed_trace 41 1500 150 in
+  let plan = plan_of ~cores:4 "fw" in
+  let seq = Runtime.Parallel.run_sequential nf trace in
+  let spawning = Runtime.Domains.run_shared_nothing_spawning plan trace in
+  let pool = Runtime.Pool.create ~cores:4 () in
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+  let pooled = Runtime.Pool.run pool plan trace in
+  Alcotest.(check bool) "pool == spawning" true (verdicts_equal spawning pooled);
+  Alcotest.(check bool) "pool == sequential" true (verdicts_equal seq pooled)
+
+let test_pool_matches_spawning_lock_based () =
+  let nf = Nfs.Registry.find_exn "sbridge" in
+  let st = rng 42 in
+  let pkts =
+    Array.init 600 (fun i ->
+        Packet.Pkt.make ~port:(i mod 2)
+          ~eth_src:(0x02_00_00_00_10_00 + Random.State.int st 64)
+          ~eth_dst:(0x02_00_00_00_10_00 + Random.State.int st 64)
+          ~ip_src:1 ~ip_dst:2 ~src_port:3 ~dst_port:4 ())
+  in
+  let plan = plan_of ~cores:4 ~strategy:`Force_locks "sbridge" in
+  let seq = Runtime.Parallel.run_sequential nf pkts in
+  let spawning = Runtime.Domains.run_lock_based_spawning plan pkts in
+  let pool = Runtime.Pool.create ~cores:4 () in
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+  let pooled = Runtime.Pool.run pool plan pkts in
+  Alcotest.(check bool) "pool == spawning" true (verdicts_equal spawning pooled);
+  Alcotest.(check bool) "pool == sequential" true (verdicts_equal seq pooled)
+
+let test_pool_tm_equivalence () =
+  (* Real-domain lock/TM disciplines serialize writes in acquisition order,
+     which can differ from arrival order across cores (as on hardware), so
+     the comparison trace must be order-insensitive: LAN->WAN fw traffic is
+     always forwarded, whatever the flow table holds. *)
+  let nf = Nfs.Registry.find_exn "fw" in
+  let st = rng 43 in
+  let flows = Traffic.Gen.flows st 150 in
+  let trace =
+    Traffic.Gen.uniform
+      ~spec:{ Traffic.Gen.default_spec with pkts = 1200; reply_fraction = 0.0 }
+      st ~flows
+  in
+  let plan = plan_of ~cores:4 ~strategy:`Force_tm "fw" in
+  let seq = Runtime.Parallel.run_sequential nf trace in
+  let spawning = Runtime.Domains.run_lock_based_spawning plan trace in
+  let pooled = Runtime.Domains.run_tm plan trace in
+  Alcotest.(check bool) "tm on pool == sequential" true (verdicts_equal seq pooled);
+  Alcotest.(check bool) "tm on pool == spawn-per-run" true (verdicts_equal spawning pooled)
+
+let test_pool_batch_sizes () =
+  (* batch size must not change behavior: 1 (degenerate), 32 (default),
+     7 (odd, exercises the ragged final batch) *)
+  let nf = Nfs.Registry.find_exn "policer" in
+  let trace = mixed_trace 44 900 120 in
+  let plan = plan_of ~cores:3 "policer" in
+  let seq = Runtime.Parallel.run_sequential nf trace in
+  List.iter
+    (fun bs ->
+      let pool = Runtime.Pool.create ~batch_size:bs ~cores:3 () in
+      Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+      let v = Runtime.Pool.run pool plan trace in
+      Alcotest.(check bool) (Printf.sprintf "batch=%d == sequential" bs) true
+        (verdicts_equal seq v))
+    [ 1; 32; 7 ]
+
+let test_pool_reuse_and_stats () =
+  let nf = Nfs.Registry.find_exn "fw" in
+  let trace = mixed_trace 45 1000 100 in
+  let plan = plan_of ~cores:4 "fw" in
+  let seq = Runtime.Parallel.run_sequential nf trace in
+  let pool = Runtime.Pool.create ~batch_size:32 ~cores:4 () in
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check int) "cores" 4 (Runtime.Pool.cores pool);
+  Alcotest.(check int) "batch size" 32 (Runtime.Pool.batch_size pool);
+  (* same pool, many runs: domains are not respawned, results stay right *)
+  for _ = 1 to 3 do
+    let v = Runtime.Pool.run pool plan trace in
+    Alcotest.(check bool) "reused pool == sequential" true (verdicts_equal seq v)
+  done;
+  let s = Runtime.Pool.stats pool in
+  Alcotest.(check int) "runs counted" 3 s.Runtime.Pool.runs;
+  Alcotest.(check int) "pkts counted" (3 * Array.length trace) s.Runtime.Pool.pkts;
+  Alcotest.(check bool) "batches counted" true
+    (s.Runtime.Pool.batches >= 3 * (Array.length trace / Runtime.Pool.default_batch_size));
+  Alcotest.(check int) "per-core counts cover the trace" (Array.length trace)
+    (Array.fold_left ( + ) 0 s.Runtime.Pool.last_per_core_pkts);
+  (* measured shares feed the throughput model *)
+  let shares = Sim.Throughput.shares_of_pool_stats s in
+  Alcotest.(check int) "share per core" 4 (Array.length shares);
+  Alcotest.(check (float 1e-9)) "shares sum to 1" 1.0 (Array.fold_left ( +. ) 0.0 shares);
+  let profile = Sim.Profile.of_trace plan.Maestro.Plan.nf trace in
+  let ev = Sim.Throughput.evaluate ~measured_shares:shares plan profile trace in
+  Alcotest.(check bool) "model accepts measured shares" true (ev.Sim.Throughput.mpps > 0.0);
+  Alcotest.check_raises "share length validated"
+    (Invalid_argument "Throughput.evaluate: measured_shares length") (fun () ->
+      ignore (Sim.Throughput.evaluate ~measured_shares:[| 1.0 |] plan profile trace))
+
+let test_pool_rejects_oversized_plan () =
+  let pool = Runtime.Pool.create ~cores:2 () in
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+  let plan = plan_of ~cores:4 "fw" in
+  let trace = mixed_trace 46 100 10 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Runtime.Pool.run pool plan trace);
+       false
+     with Invalid_argument _ -> true)
+
 let test_rwlock_mutual_exclusion () =
   let lock = Runtime.Rwlock.create ~cores:4 in
   let counter = ref 0 in
@@ -249,6 +410,16 @@ let suite =
       test_domains_shared_nothing_equivalence;
     Alcotest.test_case "domains lock-based equivalence" `Quick
       test_domains_lock_based_equivalence;
+    Alcotest.test_case "pool ring fifo + wrap" `Quick test_pool_ring;
+    Alcotest.test_case "pool ring spsc stress" `Quick test_pool_ring_spsc_stress;
+    Alcotest.test_case "pool == spawning (shared-nothing)" `Quick
+      test_pool_matches_spawning_shared_nothing;
+    Alcotest.test_case "pool == spawning (lock-based)" `Quick
+      test_pool_matches_spawning_lock_based;
+    Alcotest.test_case "pool tm equivalence" `Quick test_pool_tm_equivalence;
+    Alcotest.test_case "pool batch sizes 1/32/7" `Quick test_pool_batch_sizes;
+    Alcotest.test_case "pool reuse, stats, measured shares" `Quick test_pool_reuse_and_stats;
+    Alcotest.test_case "pool rejects oversized plan" `Quick test_pool_rejects_oversized_plan;
     Alcotest.test_case "rwlock mutual exclusion" `Quick test_rwlock_mutual_exclusion;
     Alcotest.test_case "rwlock readers disjoint" `Quick test_rwlock_readers_disjoint;
     QCheck_alcotest.to_alcotest prop_shared_nothing_equivalence;
