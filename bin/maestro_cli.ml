@@ -51,6 +51,15 @@ let nic_arg =
 let emit_c_arg =
   Arg.(value & flag & info [ "emit-c" ] ~doc:"Print the generated DPDK-style C source.")
 
+let sat_budget_arg =
+  Arg.(
+    value
+    & opt (some (pair ~sep:':' int int)) None
+    & info [ "sat-budget" ] ~docv:"CONFLICTS:PROPS"
+        ~doc:
+          "Conflict/propagation budget for the SAT key search; on exhaustion the plan \
+           degrades down the ladder instead of failing (negative component = unlimited).")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -135,20 +144,24 @@ let analyze_cmd =
 (* --- parallelize ------------------------------------------------------------ *)
 
 let parallelize_cmd =
-  let run name cores seed strategy solver nic emit_c stats trace_json =
+  let run name cores seed strategy solver nic sat_budget emit_c stats trace_json =
     match find_nf name with
     | Error e ->
         Format.eprintf "%s@." e;
         exit 1
     | Ok nf -> (
         with_telemetry stats trace_json @@ fun () ->
-        let request = { Maestro.Pipeline.cores; nic; strategy; solver; seed } in
+        let request =
+          { Maestro.Pipeline.cores; nic; strategy; solver; seed; sat_budget }
+        in
         match Maestro.Pipeline.parallelize ~request nf with
         | Error e ->
             Format.eprintf "error: %s@." e;
             exit 1
         | Ok outcome ->
             Format.printf "%a@." Maestro.Plan.pp outcome.Maestro.Pipeline.plan;
+            Format.printf "--- degradation ladder ---@.%a@." Maestro.Ladder.pp
+              outcome.Maestro.Pipeline.ladder;
             Format.printf "generation took %.2f ms@."
               (1000.0 *. Maestro.Pipeline.total_s outcome.Maestro.Pipeline.timing);
             if emit_c then
@@ -158,17 +171,27 @@ let parallelize_cmd =
     (Cmd.info "parallelize" ~doc:"Generate a parallel implementation of an NF.")
     Term.(
       const run $ nf_arg $ cores_arg $ seed_arg $ strategy_arg $ solver_arg $ nic_arg
-      $ emit_c_arg $ stats_arg $ trace_json_arg)
+      $ sat_budget_arg $ emit_c_arg $ stats_arg $ trace_json_arg)
 
 (* --- run --------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name cores seed strategy pkts flows batch_size compiled stats trace_json =
+  let run name cores seed strategy pkts flows batch_size backpressure fault_plan compiled
+      stats trace_json =
     match find_nf name with
     | Error e ->
         Format.eprintf "%s@." e;
         exit 1
     | Ok nf ->
+        (match fault_plan with
+        | None -> Faults.clear ()
+        | Some spec -> (
+            match Faults.parse spec with
+            | Ok plan -> Faults.install plan
+            | Error e ->
+                Format.eprintf "%s@." e;
+                exit 1));
+        Fun.protect ~finally:Faults.clear @@ fun () ->
         with_telemetry stats trace_json @@ fun () ->
         (* before plan generation: the pipeline configures its RSS engines
            (and therefore picks the hash implementation) while planning *)
@@ -204,14 +227,31 @@ let run_cmd =
           s.Runtime.Parallel.write_pkts;
         Format.printf "rss hash: %s@." (if compiled then "table-driven (compiled)" else "bit-by-bit (reference)");
         (* the same plan on real OCaml domains, fed through the persistent pool *)
-        Runtime.Pool.with_global ~batch_size ~cores:plan.Maestro.Plan.cores @@ fun pool ->
+        Runtime.Pool.with_global ~batch_size ~backpressure ~cores:plan.Maestro.Plan.cores
+        @@ fun pool ->
         let dv = Runtime.Pool.run pool plan trace in
         let ps = Runtime.Pool.stats pool in
         let dagree = ref 0 in
         Array.iteri (fun i v -> if v = seq.(i) then incr dagree) dv;
-        Format.printf "pool: %d domains, batch %d: %d batches, %d ring-full stalls@."
-          (Runtime.Pool.cores pool) (Runtime.Pool.batch_size pool) ps.Runtime.Pool.batches
-          ps.Runtime.Pool.ring_full_stalls;
+        Format.printf "pool: %d domains, batch %d, backpressure %s: %d batches, %d ring-full stalls@."
+          (Runtime.Pool.cores pool) (Runtime.Pool.batch_size pool)
+          (Runtime.Pool.backpressure_name (Runtime.Pool.backpressure pool))
+          ps.Runtime.Pool.batches ps.Runtime.Pool.ring_full_stalls;
+        if ps.Runtime.Pool.dropped_batches > 0 then
+          Format.printf "pool drops: %d batches (%d packets); per-core %s@."
+            ps.Runtime.Pool.dropped_batches ps.Runtime.Pool.dropped_pkts
+            (String.concat ", "
+               (Array.to_list (Array.map string_of_int ps.Runtime.Pool.per_core_drops)));
+        if ps.Runtime.Pool.restarts > 0 || ps.Runtime.Pool.failed_cores <> [] then begin
+          Format.printf "pool recovery: %d restarts, %d inline batches; failed cores: %s@."
+            ps.Runtime.Pool.restarts ps.Runtime.Pool.inline_batches
+            (match ps.Runtime.Pool.failed_cores with
+            | [] -> "none"
+            | cs -> String.concat ", " (List.map string_of_int cs));
+          List.iter
+            (fun ev -> Format.printf "  supervisor: %a@." Runtime.Supervisor.pp_event ev)
+            (Runtime.Supervisor.events (Runtime.Pool.supervisor pool))
+        end;
         Format.printf "pool sequential agreement: %d/%d@." !dagree (Array.length trace)
   in
   let pkts = Arg.(value & opt int 20_000 & info [ "pkts" ] ~doc:"Packets to replay.") in
@@ -222,6 +262,33 @@ let run_cmd =
       & opt int Runtime.Pool.default_batch_size
       & info [ "batch-size" ] ~docv:"N"
           ~doc:"Packets per batch pushed to the worker-domain rings (DPDK burst style).")
+  in
+  let backpressure =
+    let policies =
+      [
+        ("block", Runtime.Pool.Block);
+        ("drop", Runtime.Pool.Drop { max_spins = Runtime.Pool.default_drop_spins });
+        ("shed", Runtime.Pool.Shed);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum policies) Runtime.Pool.Block
+      & info [ "backpressure" ] ~docv:"POLICY"
+          ~doc:
+            "What the producer does on a full worker ring: $(b,block) (lossless spin with \
+             liveness checks), $(b,drop) (bounded spin, then drop the batch) or $(b,shed) \
+             (drop immediately).")
+  in
+  let fault_plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-plan" ] ~docv:"SPEC"
+          ~doc:
+            "Install a deterministic fault plan before running, e.g. \
+             $(b,crash\\@1:3;stall\\@2:0:100000).  Events: crash\\@CORE:BATCH[xTIMES], \
+             slow\\@CORE:FROM:SPINS, stall\\@CORE:BATCH:SPINS, satbudget\\@CONFLICTS:PROPS.")
   in
   let compiled_rss =
     Arg.(
@@ -238,7 +305,7 @@ let run_cmd =
           sequential version.")
     Term.(
       const run $ nf_arg $ cores_arg $ seed_arg $ strategy_arg $ pkts $ flows $ batch_size
-      $ compiled_rss $ stats_arg $ trace_json_arg)
+      $ backpressure $ fault_plan $ compiled_rss $ stats_arg $ trace_json_arg)
 
 let () =
   let doc = "Automatic parallelization of software network functions (NSDI'24 reproduction)" in

@@ -32,7 +32,7 @@ let () =
       [ Rs3.Cstr.symmetric ~port_a:0 ~port_b:0 ]
   in
   (match Rs3.Solve.solve ~seed:1 single with
-  | Error e -> failwith e
+  | Error (_, e) -> failwith e
   | Ok sol ->
       let key = sol.Rs3.Solve.keys.(0) in
       Format.printf "single-port symmetric key (%d free bits):@.  %s@." sol.Rs3.Solve.free_bits
@@ -52,7 +52,7 @@ let () =
       [ Rs3.Cstr.symmetric ~port_a:0 ~port_b:1 ]
   in
   (match Rs3.Solve.solve ~seed:2 dual with
-  | Error e -> failwith e
+  | Error (_, e) -> failwith e
   | Ok sol ->
       let k0 = sol.Rs3.Solve.keys.(0) and k1 = sol.Rs3.Solve.keys.(1) in
       Format.printf "two-port symmetric keys:@.  LAN %s@.  WAN %s@." (Bitvec.to_hex k0)
@@ -78,4 +78,4 @@ let () =
   in
   match Rs3.Solve.solve ~seed:3 impossible with
   | Ok _ -> Format.printf "@.unexpected: disjoint requirements produced a key?!@."
-  | Error e -> Format.printf "@.disjoint requirements correctly rejected:@.  %s@." e
+  | Error (_, e) -> Format.printf "@.disjoint requirements correctly rejected:@.  %s@." e

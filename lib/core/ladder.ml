@@ -1,0 +1,47 @@
+type rung = Shared_nothing | Lock_based | Serial
+
+let rung_name = function
+  | Shared_nothing -> "shared-nothing"
+  | Lock_based -> "lock-based"
+  | Serial -> "serial"
+
+type step = { rung : rung; taken : bool; reason : string }
+type t = { chosen : rung; steps : step list }
+
+let c_shared_nothing =
+  Telemetry.Counter.make "ladder.shared_nothing" ~doc:"plans that kept the top rung"
+
+let c_lock_based =
+  Telemetry.Counter.make "ladder.lock_based" ~doc:"plans degraded to the lock-based rung"
+
+let c_serial = Telemetry.Counter.make "ladder.serial" ~doc:"plans degraded to the serial rung"
+
+let c_degradations =
+  Telemetry.Counter.make "ladder.degradations" ~doc:"rungs rejected on the way down the ladder"
+
+let top reason = { chosen = Shared_nothing; steps = [ { rung = Shared_nothing; taken = true; reason } ] }
+
+let make steps =
+  let chosen =
+    match List.find_opt (fun s -> s.taken) steps with
+    | Some s -> s.rung
+    | None -> Serial (* the ladder always terminates on its bottom rung *)
+  in
+  Telemetry.Counter.add c_degradations (List.length (List.filter (fun s -> not s.taken) steps));
+  (match chosen with
+  | Shared_nothing -> Telemetry.Counter.incr c_shared_nothing
+  | Lock_based -> Telemetry.Counter.incr c_lock_based
+  | Serial -> Telemetry.Counter.incr c_serial);
+  { chosen; steps }
+
+let degraded t = t.chosen <> Shared_nothing
+
+let pp_step fmt s =
+  Format.fprintf fmt "%s %s: %s"
+    (if s.taken then "->" else " x")
+    (rung_name s.rung) s.reason
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>rung: %s@ %a@]" (rung_name t.chosen)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_step)
+    t.steps

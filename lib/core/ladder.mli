@@ -1,0 +1,48 @@
+(** The degradation ladder: Maestro's maintain-semantics-at-lower-speed
+    contract (paper §4.4, §6) made explicit.
+
+    The pipeline always produces a plan whose behavior matches the
+    sequential NF; what degrades under adversity is {e speed}, one rung
+    at a time:
+
+    + {e shared-nothing} — full parallel speedup, per-core state shards
+      steered by a solved RSS key (also the rung recorded for stateless /
+      read-only NFs, which parallelize without a key);
+    + {e lock-based} — every core runs, shared state behind the
+      reader-writer lock; chosen when no RSS key exists, when the key
+      search exhausts its budget, or when sharding rules block;
+    + {e serial} — one core, zero contention; chosen when multi-queue
+      dispatch itself is unavailable (more cores requested than the NIC
+      has queues, or a single-core request).
+
+    Every {!Pipeline.outcome} carries the ladder walked for it: which
+    rungs were rejected, why, and which was chosen — so run reports can
+    show {e why} a plan is slower than hoped rather than silently
+    falling back. *)
+
+type rung = Shared_nothing | Lock_based | Serial
+
+val rung_name : rung -> string
+
+type step = {
+  rung : rung;
+  taken : bool;  (** [true] for the chosen rung, [false] for rejected ones *)
+  reason : string;  (** why this rung was rejected, or why it was chosen *)
+}
+
+type t = { chosen : rung; steps : step list }
+
+val top : string -> t
+(** A ladder that kept the top rung (no degradation), with the reason it
+    was available. *)
+
+val make : step list -> t
+(** Build a ladder from the walked steps (ordered top rung first); the
+    chosen rung is the first [taken] step.  Feeds the [ladder.*]
+    telemetry counters. *)
+
+val degraded : t -> bool
+(** [true] when anything below the top rung was chosen. *)
+
+val pp_step : Format.formatter -> step -> unit
+val pp : Format.formatter -> t -> unit

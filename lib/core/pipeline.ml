@@ -4,10 +4,18 @@ type request = {
   strategy : [ `Auto | `Force_locks | `Force_tm ];
   solver : Rs3.Solve.backend;
   seed : int;
+  sat_budget : (int * int) option;
 }
 
 let default_request =
-  { cores = 16; nic = Nic.Model.E810; strategy = `Auto; solver = `Gauss; seed = 0xbeef }
+  {
+    cores = 16;
+    nic = Nic.Model.E810;
+    strategy = `Auto;
+    solver = `Gauss;
+    seed = 0xbeef;
+    sat_budget = None;
+  }
 
 type timing = {
   symbex_s : float;
@@ -24,6 +32,7 @@ type outcome = {
   decision : Sharding.decision;
   report : Report.t;
   timing : timing;
+  ladder : Ladder.t;
 }
 
 let timed name f =
@@ -34,6 +43,54 @@ let timed name f =
 let random_rss rng nic nf =
   Array.init nf.Dsl.Ast.devices (fun _ ->
       { Plan.key = Nic.Rss.random_key rng nic; field_set = Nic.Field_set.ipv4_tcp })
+
+(* The degradation ladder below the shared-nothing rung (paper §4.4:
+   maintain semantics at lower speed).  The lock-based rung still needs
+   multi-queue RSS dispatch — one queue per core — so it is only feasible
+   when the NIC has that many queues and more than one core is requested;
+   otherwise the plan degrades to explicit serial execution on one core. *)
+let degraded_steps request ~top_reason =
+  let max_q = Nic.Model.max_queues request.nic in
+  let top = { Ladder.rung = Ladder.Shared_nothing; taken = false; reason = top_reason } in
+  if request.cores > max_q then
+    [
+      top;
+      {
+        Ladder.rung = Ladder.Lock_based;
+        taken = false;
+        reason =
+          Printf.sprintf "%d cores exceed the %s's %d RSS queues" request.cores
+            (Nic.Model.name request.nic) max_q;
+      };
+      {
+        Ladder.rung = Ladder.Serial;
+        taken = true;
+        reason = "single-core execution preserves semantics at sequential speed";
+      };
+    ]
+  else if request.cores <= 1 then
+    [
+      top;
+      {
+        Ladder.rung = Ladder.Lock_based;
+        taken = false;
+        reason = "a single-core request leaves nothing to lock against";
+      };
+      {
+        Ladder.rung = Ladder.Serial;
+        taken = true;
+        reason = "single-core execution preserves semantics at sequential speed";
+      };
+    ]
+  else
+    [
+      top;
+      {
+        Ladder.rung = Ladder.Lock_based;
+        taken = true;
+        reason = "shared state serialized behind the reader-writer lock";
+      };
+    ]
 
 let parallelize ?(request = default_request) nf =
   Telemetry.Span.with_span "pipeline" @@ fun () ->
@@ -47,12 +104,13 @@ let parallelize ?(request = default_request) nf =
       let warnings_of_blocked reasons =
         List.map (Format.asprintf "%a" Sharding.pp_reason) reasons
       in
-      let mk strategy rss constraints warnings solving_s =
+      let mk ?cores strategy rss constraints warnings ladder solving_s =
+        let cores = Option.value ~default:request.cores cores in
         let plan, codegen_s =
           timed "codegen" (fun () ->
               {
                 Plan.nf;
-                cores = request.cores;
+                cores;
                 nic = request.nic;
                 strategy;
                 rss;
@@ -66,24 +124,61 @@ let parallelize ?(request = default_request) nf =
             decision;
             report;
             timing = { symbex_s; report_s; sharding_s; solving_s; codegen_s };
+            ladder;
           }
       in
-      let lock_fallback warnings solving_s =
-        mk Plan.Lock_based (random_rss rng request.nic nf) [] warnings solving_s
+      (* Walk the ladder below shared-nothing: lock-based when multi-queue
+         dispatch works, serial (one core, no lock contention) otherwise. *)
+      let degrade ~top_reason warnings solving_s =
+        let ladder = Ladder.make (degraded_steps request ~top_reason) in
+        let warnings =
+          warnings
+          @ List.filter_map
+              (fun (s : Ladder.step) ->
+                if s.Ladder.taken then None
+                else Some (Printf.sprintf "%s unavailable: %s" (Ladder.rung_name s.Ladder.rung) s.Ladder.reason))
+              ladder.Ladder.steps
+        in
+        match ladder.Ladder.chosen with
+        | Ladder.Serial ->
+            mk ~cores:1 Plan.Lock_based (random_rss rng request.nic nf) [] warnings ladder
+              solving_s
+        | _ ->
+            mk Plan.Lock_based (random_rss rng request.nic nf) [] warnings ladder solving_s
       in
+      let max_q = Nic.Model.max_queues request.nic in
+      if request.cores > max_q then
+        (* no strategy can steer to more queues than the NIC has: even the
+           shared-nothing plan would be unrealizable at dispatch time *)
+        degrade
+          ~top_reason:
+            (Printf.sprintf "%d cores exceed the %s's %d RSS queues" request.cores
+               (Nic.Model.name request.nic) max_q)
+          [] 0.
+      else
       (match (request.strategy, decision) with
-      | `Force_locks, _ -> lock_fallback [ "lock-based parallelization forced" ] 0.
+      | `Force_locks, _ ->
+          degrade ~top_reason:"lock-based parallelization forced"
+            [ "lock-based parallelization forced" ] 0.
       | `Force_tm, _ ->
           mk Plan.Tm_based (random_rss rng request.nic nf) []
             [ "transactional-memory parallelization forced" ]
+            (Ladder.top "transactional-memory parallelization forced")
             0.
       | `Auto, Sharding.No_state ->
-          mk Plan.Load_balance (random_rss rng request.nic nf) [] [] 0.
+          mk Plan.Load_balance (random_rss rng request.nic nf) [] []
+            (Ladder.top "stateless NF: RSS load-balances without constraints")
+            0.
       | `Auto, Sharding.Read_only ->
           mk Plan.Load_balance (random_rss rng request.nic nf) []
             [ "state is read-only and will be replicated per core" ]
+            (Ladder.top "read-only state replicated per core")
             0.
-      | `Auto, Sharding.Blocked reasons -> lock_fallback (warnings_of_blocked reasons) 0.
+      | `Auto, Sharding.Blocked reasons ->
+          degrade
+            ~top_reason:
+              (String.concat "; " ("sharding blocked" :: warnings_of_blocked reasons))
+            (warnings_of_blocked reasons) 0.
       | `Auto, Sharding.Shard constraints -> (
           let solved, solving_s =
             timed "solving" (fun () ->
@@ -91,19 +186,24 @@ let parallelize ?(request = default_request) nf =
                   Rs3.Problem.for_constraints ~nic:request.nic ~nports:nf.Dsl.Ast.devices
                     constraints
                 with
-                | Error e -> Error e
+                | Error e -> Error (Rs3.Solve.Infeasible, e)
                 | Ok problem -> (
                     match
-                      Rs3.Solve.solve ~backend:request.solver ~seed:request.seed problem
+                      Rs3.Solve.solve ~backend:request.solver ~seed:request.seed
+                        ?budget:request.sat_budget problem
                     with
                     | Error e -> Error e
                     | Ok sol -> Ok (problem, sol)))
           in
           match solved with
-          | Error e ->
-              lock_fallback
-                [ Printf.sprintf "sharding solution found but unrealizable on the NIC: %s" e ]
-                solving_s
+          | Error (kind, e) ->
+              let top_reason =
+                match kind with
+                | Rs3.Solve.Budget_exhausted -> Printf.sprintf "key search gave up: %s" e
+                | Rs3.Solve.Infeasible ->
+                    Printf.sprintf "sharding solution found but unrealizable on the NIC: %s" e
+              in
+              degrade ~top_reason [ top_reason ] solving_s
           | Ok (problem, sol) ->
               let rss =
                 Array.mapi
@@ -111,7 +211,9 @@ let parallelize ?(request = default_request) nf =
                     { Plan.key; field_set = problem.Rs3.Problem.field_sets.(port) })
                   sol.Rs3.Solve.keys
               in
-              mk Plan.Shared_nothing rss constraints [] solving_s))
+              mk Plan.Shared_nothing rss constraints []
+                (Ladder.top "RSS key found: state shards across cores")
+                solving_s))
 
 let parallelize_exn ?request nf =
   match parallelize ?request nf with Ok o -> o | Error e -> invalid_arg e

@@ -6,15 +6,22 @@ type request = {
   cores : int;
   nic : Nic.Model.t;
   strategy : [ `Auto | `Force_locks | `Force_tm ];
-      (** [`Auto] picks shared-nothing when possible (falling back to locks
-          otherwise); the forced modes reproduce the paper's §6.4
+      (** [`Auto] picks shared-nothing when possible (degrading down the
+          {!Ladder} otherwise); the forced modes reproduce the paper's §6.4
           comparisons. *)
   solver : Rs3.Solve.backend;
   seed : int;
+  sat_budget : (int * int) option;
+      (** Optional [(conflicts, propagations)] budget handed to the SAT
+          backend of the RSS key search.  When the search exhausts it the
+          pipeline does not fail: it walks down the degradation ladder
+          (shared-nothing → lock-based → serial) and records the walk in
+          {!outcome.ladder}.  A negative component means unlimited. *)
 }
 
 val default_request : request
-(** 16 cores, the E810 NIC model, [`Auto] strategy, the Gaussian solver. *)
+(** 16 cores, the E810 NIC model, [`Auto] strategy, the Gaussian solver,
+    no SAT budget. *)
 
 (** Wall-clock seconds spent in each pipeline stage.  When telemetry is
     enabled the same figures appear as [pipeline/...] spans in
@@ -32,19 +39,22 @@ val total_s : timing -> float
 
 (** Everything the pipeline produced: the executable {!Plan.t}, the
     sharding decision with its diagnostics, the stateful report it was
-    derived from, and stage timings. *)
+    derived from, stage timings, and the degradation-ladder walk that
+    explains why this plan (and not a faster one) was chosen. *)
 type outcome = {
   plan : Plan.t;
   decision : Sharding.decision;
   report : Report.t;
   timing : timing;
+  ladder : Ladder.t;
 }
 
 val parallelize : ?request:request -> Dsl.Ast.t -> (outcome, string) result
-(** The push-button entry point.  [Error] only for NFs that fail validation
-    or whose sharding solution the solver cannot realize on the NIC (those
-    fall back to locks under [`Auto], so in practice errors mean malformed
-    input). *)
+(** The push-button entry point.  [Error] only for NFs that fail
+    validation: every other adversity (no RSS key, solver budget
+    exhausted, sharding blocked, more cores than NIC queues) degrades
+    down the ladder instead of failing, so the plan always exists and
+    always preserves the sequential NF's semantics. *)
 
 val parallelize_exn : ?request:request -> Dsl.Ast.t -> outcome
 (** Like {!parallelize} but raises [Failure] on error. *)

@@ -73,5 +73,30 @@ let rebalance t ~bucket_load =
   done;
   { t with table }
 
+(* Failover remap: reassign every bucket pointing at a dead queue to the
+   live queues, round-robin, keeping live assignments untouched.  Whole
+   buckets move (colliding flows stay together, exactly like [rebalance]),
+   so the sharding invariant — each flow on exactly one live core — is
+   preserved by construction. *)
+let remap t ~live =
+  if Array.length live <> t.queues then invalid_arg "Reta.remap: live length";
+  let live_qs =
+    Array.of_list (List.filter (fun q -> live.(q)) (List.init t.queues Fun.id))
+  in
+  if Array.length live_qs = 0 then invalid_arg "Reta.remap: no live queue";
+  let k = ref 0 in
+  let table =
+    Array.map
+      (fun q ->
+        if live.(q) then q
+        else begin
+          let q' = live_qs.(!k mod Array.length live_qs) in
+          incr k;
+          q'
+        end)
+      t.table
+  in
+  { t with table }
+
 let pp fmt t =
   Format.fprintf fmt "reta[%d entries -> %d queues]" (Array.length t.table) t.queues

@@ -29,6 +29,15 @@ val rebalance : t -> bucket_load:float array -> t
     length as the table), reassign buckets so that per-queue total loads are
     as even as a greedy pass can make them.  Queue count is preserved. *)
 
+val remap : t -> live:bool array -> t
+(** Failover remap: every bucket pointing at a queue whose [live] entry is
+    [false] is reassigned round-robin to the live queues; buckets already
+    on live queues are untouched.  Whole buckets move, so colliding flows
+    stay together and each flow still lands on exactly one (live) queue —
+    the supervisor uses this to migrate a dead core's traffic (RSS++-style
+    remap, paper §4.4).  Raises [Invalid_argument] when [live] does not
+    match the queue count or no queue is live. *)
+
 val queue_loads : t -> bucket_load:float array -> float array
 (** Per-queue load implied by a bucket-load vector. *)
 

@@ -2,25 +2,34 @@ type backend = [ `Gauss | `Sat ]
 
 type solution = { keys : Bitvec.t array; attempts : int; backend : backend; free_bits : int }
 
+type error_kind = Infeasible | Budget_exhausted
+
 let c_solves = Telemetry.Counter.make "rs3.solves" ~doc:"RS3 key searches"
 let c_attempts = Telemetry.Counter.make "rs3.attempts" ~doc:"key sampling rounds"
 let c_rejects = Telemetry.Counter.make "rs3.quality_rejects" ~doc:"candidate keys failing the quality test"
+
+let c_budget =
+  Telemetry.Counter.make "rs3.budget_exhausted"
+    ~doc:"key searches abandoned because the SAT budget ran out"
+
+let infeasible fmt = Printf.ksprintf (fun m -> Error (Infeasible, m)) fmt
+
+let no_quality_key max_attempts =
+  infeasible
+    "no quality key found in %d attempts: the constraints force a degenerate hash (disjoint \
+     sharding requirements)"
+    max_attempts
 
 (* --- GF(2) backend ------------------------------------------------------- *)
 
 let solve_gauss p ~rng ~max_attempts ~one_bias =
   let sys = Window.to_gf2 p in
   match Gf2.System.eliminate sys with
-  | None -> Error "window equations are inconsistent"
+  | None -> infeasible "window equations are inconsistent"
   | Some solved ->
       let free_bits = Gf2.System.n_free solved in
       let rec attempt n =
-        if n > max_attempts then
-          Error
-            (Printf.sprintf
-               "no quality key found in %d attempts: the constraints force a degenerate hash \
-                (disjoint sharding requirements)"
-               max_attempts)
+        if n > max_attempts then no_quality_key max_attempts
         else
           let x = Gf2.System.sample solved ~rng ~one_bias in
           let keys = Window.keys_of_solution p x in
@@ -36,7 +45,7 @@ let solve_gauss p ~rng ~max_attempts ~one_bias =
 
 (* --- SAT backend --------------------------------------------------------- *)
 
-let solve_sat p ~rng ~max_attempts ~one_bias =
+let solve_sat p ~rng ~max_attempts ~one_bias ~budget =
   let nvars = Window.total_vars p in
   let s = Sat.Solver.create ~seed:(Random.State.bits rng) () in
   let vars = Array.init nvars (fun _ -> Sat.Solver.new_var s) in
@@ -51,15 +60,10 @@ let solve_sat p ~rng ~max_attempts ~one_bias =
       | Window.Zero (pt, i) ->
           Sat.Solver.add_clause s [ Sat.Lit.neg vars.(Window.var_of p ~port:pt ~bit:i) ])
     (Window.equations p);
-  if not (Sat.Solver.okay s) then Error "window clauses are inconsistent"
+  if not (Sat.Solver.okay s) then infeasible "window clauses are inconsistent"
   else
     let rec attempt n =
-      if n > max_attempts then
-        Error
-          (Printf.sprintf
-             "no quality key found in %d attempts: the constraints force a degenerate hash \
-              (disjoint sharding requirements)"
-             max_attempts)
+      if n > max_attempts then no_quality_key max_attempts
       else begin
         (* Seed every key bit as a soft assumption (biased toward 1), then
            relax by UNSAT cores until satisfiable: Fu–Malik-style diagnosis
@@ -71,13 +75,25 @@ let solve_sat p ~rng ~max_attempts ~one_bias =
         in
         let result = ref None in
         while !result = None do
-          match Sat.Solver.solve ~assumptions:!soft s with
+          match Sat.Solver.solve ?budget ~assumptions:!soft s with
           | Sat.Solver.Sat ->
               let x = Array.map (fun v -> Sat.Solver.value s v) vars in
-              result := Some x
+              result := Some (Ok x)
+          | Sat.Solver.Unknown ->
+              Telemetry.Counter.incr c_budget;
+              result :=
+                Some
+                  (Error
+                     ( Budget_exhausted,
+                       Printf.sprintf
+                         "SAT budget exhausted after %d conflicts / %d propagations while \
+                          searching for an RSS key"
+                         (Sat.Solver.n_conflicts s) (Sat.Solver.n_propagations s) ))
           | Sat.Solver.Unsat -> (
               match Sat.Solver.unsat_core s with
-              | [] -> result := Some [||] (* hard clauses unsat; cannot happen *)
+              | [] ->
+                  (* hard clauses unsat; cannot happen for window equations *)
+                  result := Some (Error (Infeasible, "window clauses are inconsistent"))
               | core ->
                   let keep l =
                     (not (List.exists (Sat.Lit.equal l) core)) || Random.State.bool rng
@@ -89,8 +105,9 @@ let solve_sat p ~rng ~max_attempts ~one_bias =
                      else List.filter (fun l -> not (List.exists (Sat.Lit.equal l) core)) !soft))
         done;
         match !result with
-        | Some [||] | None -> Error "window clauses are inconsistent"
-        | Some x ->
+        | Some (Error e) -> Error e
+        | None -> assert false
+        | Some (Ok x) ->
             let keys = Window.keys_of_solution p x in
             Telemetry.Counter.incr c_attempts;
             if Validate.quality_ok p ~keys ~rng then
@@ -103,10 +120,10 @@ let solve_sat p ~rng ~max_attempts ~one_bias =
     in
     attempt 1
 
-let solve ?(backend = `Gauss) ?(seed = 0x1234) ?(max_attempts = 16) ?(one_bias = 0.5) p =
+let solve ?(backend = `Gauss) ?(seed = 0x1234) ?(max_attempts = 16) ?(one_bias = 0.5) ?budget p =
   Telemetry.Counter.incr c_solves;
   Telemetry.Span.with_span "rs3/solve" @@ fun () ->
   let rng = Random.State.make [| seed |] in
   match backend with
   | `Gauss -> solve_gauss p ~rng ~max_attempts ~one_bias
-  | `Sat -> solve_sat p ~rng ~max_attempts ~one_bias
+  | `Sat -> solve_sat p ~rng ~max_attempts ~one_bias ~budget

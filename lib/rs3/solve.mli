@@ -24,14 +24,26 @@ type solution = {
   free_bits : int;  (** dimension of the solution space *)
 }
 
+type error_kind =
+  | Infeasible
+      (** the window system is inconsistent, or no sampled solution passes
+          the quality test — the solver-level symptom of disjoint
+          requirements (rule R3) *)
+  | Budget_exhausted
+      (** the [`Sat] backend ran out of its conflict/propagation budget
+          before deciding — the trigger of the pipeline's degradation
+          ladder (maintain semantics at lower speed, paper §4.4) *)
+
 val solve :
   ?backend:backend ->
   ?seed:int ->
   ?max_attempts:int ->
   ?one_bias:float ->
+  ?budget:int * int ->
   Problem.t ->
-  (solution, string) result
-(** [Error] when the window system is inconsistent (cannot happen for
-    constraints built from field equalities — kept for safety) or when no
-    sampled solution passes the quality test, which is the solver-level
-    symptom of disjoint requirements (rule R3). *)
+  (solution, error_kind * string) result
+(** [Error] carries the failure class (so callers can distinguish "no key
+    exists" from "gave up searching") plus a human-readable explanation.
+    [budget] is the [(conflicts, propagations)] allowance handed to every
+    {!Sat.Solver.solve} call of the [`Sat] backend; the [`Gauss] backend
+    decides in closed form and ignores it. *)

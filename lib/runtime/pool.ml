@@ -5,7 +5,19 @@
    stateful-NF studies this repo models.  The pool spawns [cores] domains
    once and feeds them DPDK-burst-style batches (default 32 packets)
    through single-producer single-consumer rings, so repeated runs pay
-   only the enqueue/dequeue cost. *)
+   only the enqueue/dequeue cost.
+
+   The pool is supervised (paper §4.4's failure story made executable):
+   every worker loop runs behind an exception barrier; the producer — the
+   only thread that can safely join and respawn a domain — detects deaths,
+   consults {!Supervisor} for a restart-with-backoff or give-up decision,
+   replays the crashed batch inline (BEFORE respawning: re-queueing it
+   would run it after later batches of the same core and break per-core
+   arrival order, i.e. sequential equivalence), and on permanent failure
+   drains the dead core's ring inline and remaps the NIC indirection
+   table so its RSS buckets migrate to live cores ({!Nic.Reta.remap}).
+   Full rings apply a configurable backpressure policy instead of the
+   unbounded producer spin that livelocked on a dead consumer. *)
 
 let default_batch_size = 32
 let default_ring_capacity = 1024
@@ -15,6 +27,23 @@ let c_pkts = Telemetry.Counter.make "pool.pkts" ~doc:"packets executed on the do
 let c_stalls =
   Telemetry.Counter.make "pool.ring_full_stalls" ~doc:"producer stalls on a full pool ring"
 let c_spawns = Telemetry.Counter.make "pool.domain_spawns" ~doc:"worker domains spawned by pools"
+
+let c_crashes =
+  Telemetry.Counter.make "pool.worker_crashes" ~doc:"worker domains killed by an exception"
+
+let c_dropped_batches =
+  Telemetry.Counter.make "pool.dropped_batches" ~doc:"batches dropped by backpressure"
+
+let c_dropped_pkts =
+  Telemetry.Counter.make "pool.dropped_pkts" ~doc:"packets dropped by backpressure"
+
+let c_inline =
+  Telemetry.Counter.make "pool.inline_batches"
+    ~doc:"batches the producer ran inline (crash replay and failed-core drains)"
+
+let c_remaps =
+  Telemetry.Counter.make "pool.reta_remaps"
+    ~doc:"indirection-table remaps after permanent core failures"
 
 (* --- bounded SPSC ring ----------------------------------------------------- *)
 
@@ -63,13 +92,40 @@ module Ring = struct
     end
 end
 
+(* --- tasks and backpressure ------------------------------------------------- *)
+
+(* A ring entry: the closure plus its packet count, so drops and inline
+   replays can be accounted in packets as well as batches. *)
+type task = { run : unit -> unit; npkts : int }
+
+type backpressure =
+  | Block  (** spin until there is room (checking worker liveness while spinning) *)
+  | Drop of { max_spins : int }  (** bounded spin, then drop the batch *)
+  | Shed  (** drop immediately when the ring is full *)
+
+let backpressure_name = function
+  | Block -> "block"
+  | Drop { max_spins } -> Printf.sprintf "drop(%d)" max_spins
+  | Shed -> "shed"
+
+let default_drop_spins = 4096
+
 (* --- workers ---------------------------------------------------------------- *)
 
 type worker = {
-  ring : (unit -> unit) Ring.t;
+  core : int;
+  ring : task Ring.t;
   mutex : Mutex.t;
   cond : Condition.t;
   stop : bool Atomic.t;
+  alive : bool Atomic.t;  (* cleared by the exception barrier on crash *)
+  failed : bool Atomic.t;  (* permanent: restart budget exhausted *)
+  heartbeat : int Atomic.t;  (* batches completed; read by the producer *)
+  batches_started : int Atomic.t;  (* monotonic attempt index for fault hooks *)
+  mutable in_flight : task option;
+      (* the batch being executed; left set on crash and replayed inline
+         by the producer.  Published by the release store to [alive]. *)
+  mutable last_exn : string;
   mutable domain : unit Domain.t option;
 }
 
@@ -79,16 +135,28 @@ type stats = {
   pkts : int;  (** packets executed over the pool's lifetime *)
   ring_full_stalls : int;  (** producer stalls on a full ring *)
   last_per_core_pkts : int array;  (** dispatch counts of the most recent run *)
+  dropped_batches : int;  (** batches dropped by backpressure *)
+  dropped_pkts : int;  (** packets dropped by backpressure *)
+  per_core_drops : int array;  (** lifetime dropped batches per core *)
+  restarts : int;  (** supervisor restarts over the pool's lifetime *)
+  failed_cores : int list;  (** cores declared permanently failed *)
+  inline_batches : int;  (** batches the producer ran inline *)
 }
 
 type t = {
   cores : int;
   batch_size : int;
+  backpressure : backpressure;
+  supervisor : Supervisor.t;
   workers : worker array;
   mutable runs : int;
   mutable batches : int;
   mutable total_pkts : int;
   mutable stalls : int;
+  mutable dropped_batches : int;
+  mutable dropped_pkts : int;
+  per_core_drops : int array;
+  mutable inline_batches : int;
   mutable last_per_core : int array;
 }
 
@@ -96,7 +164,12 @@ let worker_loop w () =
   let rec go () =
     match Ring.pop w.ring with
     | Some task ->
-        task ();
+        w.in_flight <- Some task;
+        let b = Atomic.fetch_and_add w.batches_started 1 in
+        Faults.worker_batch ~core:w.core ~batch:b;
+        task.run ();
+        w.in_flight <- None;
+        Atomic.incr w.heartbeat;
         go ()
     | None ->
         if not (Atomic.get w.stop) then begin
@@ -114,40 +187,75 @@ let worker_loop w () =
           go ()
         end
   in
-  go ()
+  (* The exception barrier: any exception — injected or real — marks the
+     worker dead instead of silently killing the domain.  The [alive]
+     store is a release point publishing [in_flight] and [last_exn] to
+     the producer. *)
+  try go ()
+  with e ->
+    w.last_exn <- Printexc.to_string e;
+    Telemetry.Counter.incr c_crashes;
+    Atomic.set w.alive false
 
-let create ?(batch_size = default_batch_size) ?(ring_capacity = default_ring_capacity) ~cores ()
-    =
+let spawn_worker w =
+  Telemetry.Counter.incr c_spawns;
+  Atomic.set w.alive true;
+  w.domain <- Some (Domain.spawn (worker_loop w))
+
+let create ?(batch_size = default_batch_size) ?(ring_capacity = default_ring_capacity)
+    ?(backpressure = Block) ?supervisor ~cores () =
   if cores < 1 then invalid_arg "Pool.create: cores";
   if batch_size < 1 then invalid_arg "Pool.create: batch_size";
+  (match backpressure with
+  | Drop { max_spins } when max_spins < 0 -> invalid_arg "Pool.create: max_spins"
+  | _ -> ());
   let workers =
-    Array.init cores (fun _ ->
+    Array.init cores (fun core ->
         {
+          core;
           ring = Ring.create ~capacity:ring_capacity;
           mutex = Mutex.create ();
           cond = Condition.create ();
           stop = Atomic.make false;
+          alive = Atomic.make false;
+          failed = Atomic.make false;
+          heartbeat = Atomic.make 0;
+          batches_started = Atomic.make 0;
+          in_flight = None;
+          last_exn = "";
           domain = None;
         })
   in
-  Array.iter
-    (fun w ->
-      Telemetry.Counter.incr c_spawns;
-      w.domain <- Some (Domain.spawn (worker_loop w)))
-    workers;
+  Array.iter spawn_worker workers;
   {
     cores;
     batch_size;
+    backpressure;
+    supervisor = Supervisor.create ?config:supervisor ~cores ();
     workers;
     runs = 0;
     batches = 0;
     total_pkts = 0;
     stalls = 0;
+    dropped_batches = 0;
+    dropped_pkts = 0;
+    per_core_drops = Array.make cores 0;
+    inline_batches = 0;
     last_per_core = [||];
   }
 
 let cores t = t.cores
 let batch_size t = t.batch_size
+let backpressure t = t.backpressure
+let supervisor t = t.supervisor
+
+let live_cores t =
+  Array.to_list t.workers
+  |> List.filter_map (fun w -> if Atomic.get w.failed then None else Some w.core)
+
+let failed_cores t =
+  Array.to_list t.workers
+  |> List.filter_map (fun w -> if Atomic.get w.failed then Some w.core else None)
 
 let shutdown t =
   Array.iter
@@ -170,24 +278,147 @@ let stats t =
     pkts = t.total_pkts;
     ring_full_stalls = t.stalls;
     last_per_core_pkts = Array.copy t.last_per_core;
+    dropped_batches = t.dropped_batches;
+    dropped_pkts = t.dropped_pkts;
+    per_core_drops = Array.copy t.per_core_drops;
+    restarts = Supervisor.restarts t.supervisor;
+    failed_cores = failed_cores t;
+    inline_batches = t.inline_batches;
   }
 
-let submit t ~core task =
-  let w = t.workers.(core) in
-  let stalled = ref false in
-  while not (Ring.try_push w.ring task) do
-    if not !stalled then begin
-      stalled := true;
-      t.stalls <- t.stalls + 1;
-      Telemetry.Counter.incr c_stalls
-    end;
-    Domain.cpu_relax ()
-  done;
-  t.batches <- t.batches + 1;
-  Telemetry.Counter.incr c_batches;
+(* --- supervision (producer side) -------------------------------------------- *)
+
+let run_inline t task =
+  t.inline_batches <- t.inline_batches + 1;
+  Telemetry.Counter.incr c_inline;
+  task.run ()
+
+(* Drain a permanently failed worker's ring on the producer: the consumer
+   is gone, the batches are already accounted in [remaining], and FIFO
+   order preserves per-core arrival order. *)
+let drain_inline t w =
+  let rec go () =
+    match Ring.pop w.ring with
+    | Some task ->
+        run_inline t task;
+        go ()
+    | None -> ()
+  in
+  go ()
+
+(* Bring [w] back to a usable state if its domain died.  Returns [`Ok]
+   when the worker is (again) consuming its ring, [`Failed] when it is
+   permanently gone and the producer must run this core's work inline.
+   Only the producer calls this, so join/respawn are race-free. *)
+let ensure_live t w =
+  if Atomic.get w.failed then `Failed
+  else if Atomic.get w.alive then `Ok
+  else begin
+    (* the barrier ran: the domain is exiting — join it *)
+    (match w.domain with
+    | Some d ->
+        Domain.join d;
+        w.domain <- None
+    | None -> ());
+    let crashed = w.in_flight in
+    w.in_flight <- None;
+    match Supervisor.on_death t.supervisor ~core:w.core with
+    | `Restart backoff ->
+        (* replay the crashed batch inline BEFORE respawning: re-queueing
+           it would run it after later batches of this core and reorder
+           the per-core packet stream *)
+        Option.iter (run_inline t) crashed;
+        for _ = 1 to backoff do
+          Domain.cpu_relax ()
+        done;
+        spawn_worker w;
+        `Ok
+    | `Give_up ->
+        Atomic.set w.failed true;
+        Option.iter (run_inline t) crashed;
+        drain_inline t w;
+        `Failed
+  end
+
+let signal w =
   Mutex.lock w.mutex;
   Condition.signal w.cond;
   Mutex.unlock w.mutex
+
+(* Submit one task to [core], honoring the backpressure policy.  Returns
+   how the task was disposed of; [`Dropped] tasks never run. *)
+let submit t ~core task =
+  let w = t.workers.(core) in
+  match ensure_live t w with
+  | `Failed ->
+      run_inline t task;
+      `Inline
+  | `Ok -> (
+      let note_stall stalled =
+        if not !stalled then begin
+          stalled := true;
+          t.stalls <- t.stalls + 1;
+          Telemetry.Counter.incr c_stalls
+        end
+      in
+      let pushed =
+        if Ring.try_push w.ring task then true
+        else begin
+          let stalled = ref false in
+          match t.backpressure with
+          | Shed ->
+              note_stall stalled;
+              false
+          | Drop { max_spins } ->
+              note_stall stalled;
+              let spins = ref 0 in
+              let ok = ref false in
+              while (not !ok) && !spins < max_spins do
+                Domain.cpu_relax ();
+                incr spins;
+                ok := Ring.try_push w.ring task
+              done;
+              !ok
+          | Block ->
+              (* spin, but recheck liveness: a full ring with a dead
+                 consumer must fail over, not livelock the producer *)
+              note_stall stalled;
+              let ok = ref false in
+              let gone = ref false in
+              let spins = ref 0 in
+              while (not !ok) && not !gone do
+                Domain.cpu_relax ();
+                incr spins;
+                if !spins land 63 = 0 then begin
+                  match ensure_live t w with
+                  | `Failed -> gone := true
+                  | `Ok -> ok := Ring.try_push w.ring task
+                end
+                else ok := Ring.try_push w.ring task
+              done;
+              !ok
+        end
+      in
+      if pushed then begin
+        t.batches <- t.batches + 1;
+        Telemetry.Counter.incr c_batches;
+        signal w;
+        `Pushed
+      end
+      else if Atomic.get w.failed then begin
+        (* the blocking path failed over: the ring was drained inline,
+           so running this task inline keeps per-core order *)
+        run_inline t task;
+        `Inline
+      end
+      else begin
+        t.dropped_batches <- t.dropped_batches + 1;
+        t.dropped_pkts <- t.dropped_pkts + task.npkts;
+        t.per_core_drops.(core) <- t.per_core_drops.(core) + 1;
+        Telemetry.Counter.incr c_dropped_batches;
+        Telemetry.Counter.add c_dropped_pkts task.npkts;
+        `Dropped
+      end)
 
 (* --- plan execution --------------------------------------------------------- *)
 
@@ -220,8 +451,19 @@ let run (t : t) (plan : Maestro.Plan.t) pkts =
       (Printf.sprintf "Pool.run: plan wants %d cores but the pool has %d" cores t.cores);
   let nf = plan.Maestro.Plan.nf in
   let info = Dsl.Check.check_exn nf in
+  let live = Array.init cores (fun c -> not (Atomic.get t.workers.(c).failed)) in
+  if not (Array.exists Fun.id live) then
+    invalid_arg "Pool.run: every core of the plan has failed permanently";
   let engines =
-    Array.init nf.Dsl.Ast.devices (fun port -> Maestro.Plan.rss_engine plan port)
+    Array.init nf.Dsl.Ast.devices (fun port ->
+        let e = Maestro.Plan.rss_engine plan port in
+        if Array.for_all Fun.id live then e
+        else begin
+          (* failover: migrate dead cores' RSS buckets to live cores so no
+             flow is steered at a queue nobody serves (RSS++-style remap) *)
+          Telemetry.Counter.incr c_remaps;
+          Nic.Rss.with_reta e (Nic.Reta.remap (Nic.Rss.reta e) ~live)
+        end)
   in
   let npkts = Array.length pkts in
   (* dispatch on the producer, exactly what the NIC does in hardware *)
@@ -250,40 +492,71 @@ let run (t : t) (plan : Maestro.Plan.t) pkts =
         in
         fun core indices ->
           let inst = instances.(core) in
-          fun () ->
-            Array.iter (fun i -> verdicts.(i) <- Dsl.Interp.process nf info inst pkts.(i)) indices;
-            Atomic.decr remaining
+          {
+            npkts = Array.length indices;
+            run =
+              (fun () ->
+                Array.iter
+                  (fun i -> verdicts.(i) <- Dsl.Interp.process nf info inst pkts.(i))
+                  indices;
+                Atomic.decr remaining);
+          }
     | Maestro.Plan.Lock_based | Maestro.Plan.Tm_based ->
         let inst = Dsl.Instance.create nf in
         let lock = Rwlock.create ~cores in
         let writes = nf_statically_writes nf in
         fun core indices ->
-          fun () ->
-            Array.iter
-              (fun i ->
-                if writes then
-                  Rwlock.with_write lock (fun () ->
-                      verdicts.(i) <- Dsl.Interp.process nf info inst pkts.(i))
-                else
-                  Rwlock.with_read lock ~core (fun () ->
-                      verdicts.(i) <- Dsl.Interp.process nf info inst pkts.(i)))
-              indices;
-            Atomic.decr remaining
+          {
+            npkts = Array.length indices;
+            run =
+              (fun () ->
+                Array.iter
+                  (fun i ->
+                    if writes then
+                      Rwlock.with_write lock (fun () ->
+                          verdicts.(i) <- Dsl.Interp.process nf info inst pkts.(i))
+                    else
+                      Rwlock.with_read lock ~core (fun () ->
+                          verdicts.(i) <- Dsl.Interp.process nf info inst pkts.(i)))
+                  indices;
+                Atomic.decr remaining);
+          }
   in
-  (* chunk each core's queue into batches and feed the rings *)
+  (* chunk each core's queue into batches and feed the rings; [remaining]
+     is incremented before each handoff and compensated on a drop (a
+     dropped task never runs, so nothing else will decrement for it) *)
   for core = 0 to cores - 1 do
     let q = queues.(core) in
     let n = Array.length q in
     let nbatches = (n + t.batch_size - 1) / t.batch_size in
-    Atomic.fetch_and_add remaining nbatches |> ignore;
     for b = 0 to nbatches - 1 do
       let lo = b * t.batch_size in
       let len = min t.batch_size (n - lo) in
-      submit t ~core (process_batch core (Array.sub q lo len))
+      Atomic.incr remaining;
+      match submit t ~core (process_batch core (Array.sub q lo len)) with
+      | `Pushed | `Inline -> ()
+      | `Dropped -> Atomic.decr remaining
     done
   done;
-  (* producer waits for the last batch; workers signal by decrementing *)
+  (* producer waits for the last batch; workers signal by decrementing.
+     Every 256 spins it plays supervisor: joins/restarts dead workers
+     (running their crashed batch and, on permanent failure, their whole
+     ring inline) and checks heartbeats of workers with queued work. *)
+  let iters = ref 0 in
   while Atomic.get remaining > 0 do
+    incr iters;
+    if !iters land 255 = 0 then begin
+      Supervisor.tick t.supervisor;
+      for core = 0 to cores - 1 do
+        let w = t.workers.(core) in
+        match ensure_live t w with
+        | `Failed -> drain_inline t w
+        | `Ok ->
+            ignore
+              (Supervisor.note_heartbeat t.supervisor ~core
+                 ~heartbeat:(Atomic.get w.heartbeat) ~ring_len:(Ring.length w.ring))
+      done
+    end;
     Domain.cpu_relax ()
   done;
   t.runs <- t.runs + 1;
@@ -308,21 +581,23 @@ let shutdown_global () =
 
 let () = at_exit shutdown_global
 
-let with_global ?batch_size ~cores f =
+let with_global ?batch_size ?backpressure ~cores f =
   Mutex.lock global_mutex;
   let pool =
     match !global with
     | Some pool
       when pool.cores >= cores
-           && (match batch_size with None -> true | Some b -> b = pool.batch_size) ->
+           && (match batch_size with None -> true | Some b -> b = pool.batch_size)
+           && (match backpressure with None -> true | Some bp -> bp = pool.backpressure)
+           && failed_cores pool = [] ->
         pool
     | Some pool ->
         shutdown pool;
-        let pool = create ?batch_size ~cores:(max cores pool.cores) () in
+        let pool = create ?batch_size ?backpressure ~cores:(max cores pool.cores) () in
         global := Some pool;
         pool
     | None ->
-        let pool = create ?batch_size ~cores () in
+        let pool = create ?batch_size ?backpressure ~cores () in
         global := Some pool;
         pool
   in

@@ -1,5 +1,5 @@
-(** A persistent pool of worker domains fed by bounded SPSC rings of
-    packet batches.
+(** A persistent, {e supervised} pool of worker domains fed by bounded
+    SPSC rings of packet batches.
 
     The spawn-per-run entry points in {!Domains} paid a domain-spawn per
     core per call; this pool spawns [cores] domains {e once} and feeds
@@ -7,6 +7,25 @@
     burst mode) through single-producer single-consumer rings, so
     repeated runs cost only enqueue/dequeue.  Idle workers block on a
     condition variable — an idle pool burns no CPU.
+
+    {2 Fault tolerance}
+
+    Every worker loop runs behind an exception barrier; a crash (real or
+    injected via {!Faults}) marks the worker dead instead of silently
+    killing the domain.  The producer detects deaths, consults the
+    {!Supervisor} and either restarts the worker with exponential
+    backoff — replaying the crashed batch inline {e before} the respawn,
+    which preserves per-core arrival order and therefore sequential
+    equivalence — or, once the restart budget is exhausted, declares the
+    core permanently failed: its ring is drained inline and subsequent
+    {!run}s remap the NIC indirection table ({!Nic.Reta.remap}) so the
+    dead core's RSS buckets migrate to live cores (paper §4.4).
+
+    Full rings apply the pool's {!backpressure} policy; the old
+    unbounded producer spin livelocked when a consumer died with a full
+    ring.  [Block] keeps the lossless behavior but checks worker
+    liveness while spinning; [Drop]/[Shed] trade packets for bounded
+    producer latency and account every loss in {!stats} and telemetry.
 
     {!run} executes any plan strategy without respawning: shared-nothing
     and load-balance get per-core state instances (capacity-split and
@@ -22,7 +41,8 @@ val default_batch_size : int
 (** 32 — the DPDK burst size. *)
 
 (** Bounded single-producer single-consumer ring (lock-free; the
-    producer spins on a full ring, which {!stats} counts as a stall). *)
+    producer's behavior on a full ring is the pool's backpressure
+    policy, and {!stats} counts the stall). *)
 module Ring : sig
   type 'a t
 
@@ -42,6 +62,23 @@ module Ring : sig
   (** [None] when empty.  Consumer side only. *)
 end
 
+(** What the producer does when a worker's ring is full. *)
+type backpressure =
+  | Block
+      (** Spin until there is room, rechecking worker liveness while
+          spinning (a dead consumer triggers failover, not livelock).
+          Lossless; the default. *)
+  | Drop of { max_spins : int }
+      (** Spin at most [max_spins] times, then drop the batch.  Losses
+          are counted per core in {!stats} and in the
+          [pool.dropped_*] telemetry counters. *)
+  | Shed  (** Drop immediately — minimum producer latency. *)
+
+val backpressure_name : backpressure -> string
+
+val default_drop_spins : int
+(** 4096 — the bounded spin used by the CLI's [--backpressure drop]. *)
+
 type t
 
 type stats = {
@@ -50,22 +87,53 @@ type stats = {
   pkts : int;  (** packets executed over the pool's lifetime *)
   ring_full_stalls : int;  (** producer stalls on a full ring *)
   last_per_core_pkts : int array;  (** dispatch counts of the most recent run *)
+  dropped_batches : int;  (** batches dropped by backpressure *)
+  dropped_pkts : int;  (** packets dropped by backpressure *)
+  per_core_drops : int array;  (** lifetime dropped batches per core *)
+  restarts : int;  (** supervisor restarts over the pool's lifetime *)
+  failed_cores : int list;  (** cores declared permanently failed *)
+  inline_batches : int;
+      (** batches the producer ran inline: crashed-batch replays and
+          failed-core ring drains *)
 }
 
-val create : ?batch_size:int -> ?ring_capacity:int -> cores:int -> unit -> t
+val create :
+  ?batch_size:int ->
+  ?ring_capacity:int ->
+  ?backpressure:backpressure ->
+  ?supervisor:Supervisor.config ->
+  cores:int ->
+  unit ->
+  t
 (** Spawns [cores] worker domains immediately.  [batch_size] defaults to
     {!default_batch_size}, [ring_capacity] (per worker, in batches) to
-    1024.  Raises [Invalid_argument] when either is < 1. *)
+    1024, [backpressure] to [Block], [supervisor] to
+    {!Supervisor.default_config}.  Raises [Invalid_argument] on
+    non-positive sizes. *)
 
 val cores : t -> int
 
 val batch_size : t -> int
 
+val backpressure : t -> backpressure
+
+val supervisor : t -> Supervisor.t
+(** The pool's supervisor — its {!Supervisor.events} record every
+    restart, permanent failure and stuck detection. *)
+
+val live_cores : t -> int list
+
+val failed_cores : t -> int list
+
 val run : t -> Maestro.Plan.t -> Packet.Pkt.t array -> Dsl.Interp.action array
 (** Execute a plan over a trace on the pool's persistent workers.
-    Verdicts are returned in the original packet order.  Raises
+    Verdicts are returned in the original packet order; batches dropped
+    by backpressure leave their packets' verdicts as [Dropped].  When
+    cores have failed permanently, the RSS indirection tables are
+    remapped so every packet lands on a live core.  Raises
     [Invalid_argument] when the plan wants more cores than the pool has
-    (plans with fewer cores use a prefix of the workers). *)
+    (plans with fewer cores use a prefix of the workers) or when every
+    plan core has failed. *)
 
 val stats : t -> stats
 
@@ -73,10 +141,11 @@ val shutdown : t -> unit
 (** Stop and join every worker.  Idempotent; the pool must not be used
     afterwards. *)
 
-val with_global : ?batch_size:int -> cores:int -> (t -> 'a) -> 'a
+val with_global : ?batch_size:int -> ?backpressure:backpressure -> cores:int -> (t -> 'a) -> 'a
 (** Run [f] against the shared process-wide pool, growing it (respawn
     happens only when the requested core count exceeds the current pool,
-    or a different [batch_size] is requested) and creating it on first
+    a different [batch_size] or [backpressure] is requested, or a
+    previous run left permanently failed cores) and creating it on first
     use.  The global pool is shut down automatically [at_exit]. *)
 
 val shutdown_global : unit -> unit

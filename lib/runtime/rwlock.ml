@@ -1,8 +1,8 @@
-type t = { flags : bool Atomic.t array }
+type t = { flags : bool Atomic.t array; writers_waiting : int Atomic.t }
 
 let create ~cores =
   if cores < 1 then invalid_arg "Rwlock.create";
-  { flags = Array.init cores (fun _ -> Atomic.make false) }
+  { flags = Array.init cores (fun _ -> Atomic.make false); writers_waiting = Atomic.make 0 }
 
 let cores t = Array.length t.flags
 
@@ -11,11 +11,34 @@ let acquire flag =
     Domain.cpu_relax ()
   done
 
-let read_lock t ~core = acquire t.flags.(core)
+(* Writer preference: a reader holds off while any writer is registered.
+   Without the gate a stream of readers re-acquiring their own flag can
+   win the CAS race against the writer indefinitely — the writer needs
+   every flag, the readers each need only their own, and nothing stops a
+   reader from barging back in the instant it unlocks. *)
+let read_lock t ~core =
+  let flag = t.flags.(core) in
+  let rec go () =
+    if Atomic.get t.writers_waiting > 0 then begin
+      Domain.cpu_relax ();
+      go ()
+    end
+    else if not (Atomic.compare_and_set flag false true) then begin
+      Domain.cpu_relax ();
+      go ()
+    end
+  in
+  go ()
+
 let read_unlock t ~core = Atomic.set t.flags.(core) false
 
-let write_lock t = Array.iter acquire t.flags
-let write_unlock t = Array.iter (fun f -> Atomic.set f false) t.flags
+let write_lock t =
+  Atomic.incr t.writers_waiting;
+  Array.iter acquire t.flags
+
+let write_unlock t =
+  Array.iter (fun f -> Atomic.set f false) t.flags;
+  Atomic.decr t.writers_waiting
 
 let with_read t ~core f =
   read_lock t ~core;

@@ -5,7 +5,12 @@
     writer takes every flag in ascending order (deadlock-free).  Implemented
     over OCaml [Atomic] cells — each flag is a separate boxed atomic, which
     the runtime allocates independently, standing in for the cache-line
-    padding of the C original. *)
+    padding of the C original.
+
+    Writers take preference: a registered writer blocks {e new} readers
+    (current readers finish their critical sections first), so a stream
+    of readers re-acquiring their per-core flags cannot starve
+    {!write_lock} — the reader fast path pays one extra atomic load. *)
 
 type t
 

@@ -1,0 +1,130 @@
+(* Restart policy and failure bookkeeping for the pool's worker domains.
+
+   The supervisor never touches domains itself — OCaml domains cannot be
+   preempted or killed from outside — it only decides.  The pool's
+   producer (the only thread that can safely join a dead domain and
+   respawn it) reports deaths and heartbeat observations here and acts on
+   the returned decision.  Time is logical: the producer advances it by
+   calling [tick] on its wait-loop checks, so every decision is a
+   deterministic function of the observed event sequence, never of the
+   wall clock — fault-injection tests replay identically. *)
+
+type config = {
+  max_restarts : int;
+  window : int;
+  backoff_base : int;
+  backoff_factor : int;
+  stall_checks : int;
+}
+
+(* [stall_checks] must dwarf the checks that accumulate while one healthy
+   batch is in flight: the producer observes every 256 spins (~1 µs) and a
+   32-packet batch takes tens of µs, so a small threshold flags ordinary
+   processing as stuck.  512 checks (~0.5 ms of stagnation with work
+   queued) clears healthy batches by ~30x while still firing well inside
+   any stall worth reporting. *)
+let default_config =
+  { max_restarts = 4; window = 4096; backoff_base = 64; backoff_factor = 4; stall_checks = 512 }
+
+type event =
+  | Restarted of { core : int; attempt : int; backoff_spins : int }
+  | Gave_up of { core : int; restarts : int }
+  | Stuck of { core : int; checks : int }
+
+type decision = [ `Restart of int | `Give_up ]
+
+type core_state = {
+  mutable restart_ticks : int list;  (* logical times of restarts, newest first *)
+  mutable last_heartbeat : int;
+  mutable stagnant : int;  (* consecutive no-progress observations with work queued *)
+  mutable stuck_reported : bool;
+}
+
+type t = {
+  config : config;
+  cores : core_state array;
+  mutable now : int;
+  mutable events : event list; (* newest first *)
+}
+
+let c_restarts =
+  Telemetry.Counter.make "supervisor.restarts" ~doc:"worker domains restarted after a crash"
+
+let c_gave_up =
+  Telemetry.Counter.make "supervisor.gave_up"
+    ~doc:"workers declared permanently failed (restart budget exhausted)"
+
+let c_stuck =
+  Telemetry.Counter.make "supervisor.stuck_detected"
+    ~doc:"live workers flagged as stuck (heartbeat stopped with work queued)"
+
+let create ?(config = default_config) ~cores () =
+  if config.max_restarts < 0 then invalid_arg "Supervisor.create: max_restarts";
+  if config.stall_checks < 1 then invalid_arg "Supervisor.create: stall_checks";
+  {
+    config;
+    cores =
+      Array.init cores (fun _ ->
+          { restart_ticks = []; last_heartbeat = 0; stagnant = 0; stuck_reported = false });
+    now = 0;
+    events = [];
+  }
+
+let tick t = t.now <- t.now + 1
+
+let events t = List.rev t.events
+
+let restarts t =
+  List.length (List.filter (function Restarted _ -> true | _ -> false) t.events)
+
+let on_death t ~core =
+  let st = t.cores.(core) in
+  st.restart_ticks <- List.filter (fun tk -> t.now - tk < t.config.window) st.restart_ticks;
+  let prior = List.length st.restart_ticks in
+  if prior >= t.config.max_restarts then begin
+    Telemetry.Counter.incr c_gave_up;
+    t.events <- Gave_up { core; restarts = prior } :: t.events;
+    `Give_up
+  end
+  else begin
+    st.restart_ticks <- t.now :: st.restart_ticks;
+    let attempt = prior + 1 in
+    let backoff =
+      let b = ref t.config.backoff_base in
+      for _ = 2 to attempt do
+        b := !b * t.config.backoff_factor
+      done;
+      !b
+    in
+    Telemetry.Counter.incr c_restarts;
+    t.events <- Restarted { core; attempt; backoff_spins = backoff } :: t.events;
+    `Restart backoff
+  end
+
+let note_heartbeat t ~core ~heartbeat ~ring_len =
+  let st = t.cores.(core) in
+  if ring_len = 0 || heartbeat <> st.last_heartbeat then begin
+    st.last_heartbeat <- heartbeat;
+    st.stagnant <- 0;
+    st.stuck_reported <- false;
+    `Ok
+  end
+  else begin
+    st.stagnant <- st.stagnant + 1;
+    if st.stagnant >= t.config.stall_checks && not st.stuck_reported then begin
+      st.stuck_reported <- true;
+      Telemetry.Counter.incr c_stuck;
+      t.events <- Stuck { core; checks = st.stagnant } :: t.events;
+      `Stuck
+    end
+    else `Ok
+  end
+
+let pp_event fmt = function
+  | Restarted { core; attempt; backoff_spins } ->
+      Format.fprintf fmt "core %d restarted (attempt %d, backoff %d spins)" core attempt
+        backoff_spins
+  | Gave_up { core; restarts } ->
+      Format.fprintf fmt "core %d failed permanently after %d restarts" core restarts
+  | Stuck { core; checks } ->
+      Format.fprintf fmt "core %d stuck (%d checks without progress)" core checks

@@ -1,34 +1,48 @@
 type cnf = { nvars : int; clauses : Lit.t list list }
 
 let parse text =
-  let nvars = ref 0 in
-  let clauses = ref [] in
-  let current = ref [] in
-  let lines = String.split_on_char '\n' text in
-  List.iter
-    (fun line ->
-      let line = String.trim line in
-      if line = "" || line.[0] = 'c' then ()
-      else if line.[0] = 'p' then begin
-        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-        | [ "p"; "cnf"; nv; _nc ] -> nvars := int_of_string nv
-        | _ -> failwith "Dimacs.parse: bad problem line"
-      end
-      else
-        String.split_on_char ' ' line
-        |> List.filter (( <> ) "")
-        |> List.iter (fun tok ->
-               match int_of_string_opt tok with
-               | None -> failwith ("Dimacs.parse: bad token " ^ tok)
-               | Some 0 ->
-                   clauses := List.rev !current :: !clauses;
-                   current := []
-               | Some i ->
-                   nvars := max !nvars (abs i);
-                   current := Lit.of_dimacs i :: !current))
-    lines;
-  if !current <> [] then clauses := List.rev !current :: !clauses;
-  { nvars = !nvars; clauses = List.rev !clauses }
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad ("Dimacs.parse: " ^ m))) fmt in
+  try
+    let nvars = ref (-1) in
+    let clauses = ref [] in
+    let current = ref [] in
+    let lines = String.split_on_char '\n' text in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = 'c' then ()
+        else if line.[0] = 'p' then begin
+          if !nvars >= 0 then bad "duplicate problem line %S" line;
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ "p"; "cnf"; nv; _nc ] -> (
+              match int_of_string_opt nv with
+              | Some n when n >= 0 -> nvars := n
+              | _ -> bad "bad variable count %S" nv)
+          | _ -> bad "bad problem line %S" line
+        end
+        else begin
+          if !nvars < 0 then bad "clause before the problem line: %S" line;
+          String.split_on_char ' ' line
+          |> List.filter (( <> ) "")
+          |> List.iter (fun tok ->
+                 match int_of_string_opt tok with
+                 | None -> bad "bad token %S" tok
+                 | Some 0 ->
+                     clauses := List.rev !current :: !clauses;
+                     current := []
+                 | Some i ->
+                     if abs i > !nvars then
+                       bad "variable %d out of range (problem line declared %d)" (abs i) !nvars;
+                     current := Lit.of_dimacs i :: !current)
+        end)
+      lines;
+    if !current <> [] then clauses := List.rev !current :: !clauses;
+    if !nvars < 0 then bad "missing problem line";
+    Ok { nvars = !nvars; clauses = List.rev !clauses }
+  with Bad msg -> Error msg
+
+let parse_exn text = match parse text with Ok cnf -> cnf | Error msg -> failwith msg
 
 let print fmt { nvars; clauses } =
   Format.fprintf fmt "p cnf %d %d@." nvars (List.length clauses);

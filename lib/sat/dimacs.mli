@@ -2,8 +2,14 @@
 
 type cnf = { nvars : int; clauses : Lit.t list list }
 
-val parse : string -> cnf
-(** Parse DIMACS CNF text.  Raises [Failure] on malformed input. *)
+val parse : string -> (cnf, string) result
+(** Parse DIMACS CNF text.  [Error] (never an exception) on malformed
+    input: a bad problem line, a non-numeric token, or a negative
+    variable count. *)
+
+val parse_exn : string -> cnf
+(** Like {!parse} but raises [Failure] — for callers that already
+    validated their input. *)
 
 val print : Format.formatter -> cnf -> unit
 

@@ -4,6 +4,10 @@ let c_clauses = Telemetry.Counter.make "sat.clauses" ~doc:"problem clauses added
 let c_solves = Telemetry.Counter.make "sat.solve_calls" ~doc:"calls to Sat.Solver.solve"
 let c_conflicts = Telemetry.Counter.make "sat.conflicts" ~doc:"CDCL conflicts across all solves"
 
+let c_budget_exhausted =
+  Telemetry.Counter.make "sat.budget_exhausted"
+    ~doc:"solve calls that returned Unknown because a search budget ran out"
+
 (* Assignment values: -1 undefined, 0 false, 1 true. *)
 let l_undef = -1
 
@@ -29,6 +33,7 @@ type t = {
   mutable ok : bool;
   mutable core : Lit.t list;
   mutable conflicts : int;
+  mutable propagations : int;
   mutable heap : int array; (* binary max-heap of vars by activity *)
   mutable heap_size : int;
   mutable heap_pos : int array; (* var -> index in heap, -1 if absent *)
@@ -58,6 +63,7 @@ let create ?(seed = 0x5eed) () =
     ok = true;
     core = [];
     conflicts = 0;
+    propagations = 0;
     heap = Array.make 8 0;
     heap_size = 0;
     heap_pos = Array.make 8 (-1);
@@ -68,6 +74,7 @@ let nvars s = s.nvars
 let nclauses s = List.length s.clauses
 let okay s = s.ok
 let n_conflicts s = s.conflicts
+let n_propagations s = s.propagations
 
 let grow_array a n default =
   if Array.length a >= n then a
@@ -222,6 +229,7 @@ let propagate s =
   while !conflict = None && s.qhead < s.trail_size do
     let p = s.trail.(s.qhead) in
     s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
     let ws = s.watches.(Lit.to_int p) in
     s.watches.(Lit.to_int p) <- [];
     let rec go = function
@@ -429,9 +437,12 @@ let pick_branch s =
       in
       Some (Lit.make v sign)
 
-type result = Sat | Unsat
+type result = Sat | Unsat | Unknown
 
-let solve_cdcl ?(assumptions = []) s =
+(* [budget]: maximum (conflicts, propagations) this call may spend before
+   giving up with [Unknown].  A negative component is unlimited; 0 is
+   exhausted immediately (used by fault plans to force degradation). *)
+let solve_cdcl ?(assumptions = []) ?budget s =
   if not s.ok then begin
     s.core <- [];
     Unsat
@@ -439,6 +450,15 @@ let solve_cdcl ?(assumptions = []) s =
   else begin
     cancel_until s 0;
     s.core <- [];
+    let budget_exceeded =
+      match budget with
+      | None -> fun () -> false
+      | Some (max_conflicts, max_props) ->
+          let conflicts0 = s.conflicts and props0 = s.propagations in
+          fun () ->
+            (max_conflicts >= 0 && s.conflicts - conflicts0 >= max_conflicts)
+            || (max_props >= 0 && s.propagations - props0 >= max_props)
+    in
     let n_assumptions = List.length assumptions in
     let assumption_arr = Array.of_list assumptions in
     let restart_base = 100 in
@@ -446,8 +466,11 @@ let solve_cdcl ?(assumptions = []) s =
     let conflict_budget = ref (restart_base * luby !restart_num) in
     let max_learnts = ref (max 1000 (4 * List.length s.clauses)) in
     let result = ref None in
+    if budget_exceeded () then result := Some Unknown;
     (try
        while !result = None do
+         if budget_exceeded () then result := Some Unknown
+         else
          match propagate s with
          | Some confl ->
              s.conflicts <- s.conflicts + 1;
@@ -511,13 +534,23 @@ let solve_cdcl ?(assumptions = []) s =
         if not s.ok then s.core <- [];
         cancel_until s 0;
         Unsat
+    | Some Unknown ->
+        (* budget ran out mid-search: roll back to a clean root level; the
+           solver stays usable (learnt clauses are kept, so a retry with a
+           larger budget resumes stronger) *)
+        Telemetry.Counter.incr c_budget_exhausted;
+        cancel_until s 0;
+        Unknown
     | None -> assert false
   end
 
-let solve ?assumptions s =
+let solve ?assumptions ?budget s =
   Telemetry.Counter.incr c_solves;
+  (* an installed fault plan may force a budget, exercising the pipeline's
+     degradation ladder without a genuinely hard instance *)
+  let budget = match Faults.solver_budget () with Some b -> Some b | None -> budget in
   let before = s.conflicts in
-  let r = Telemetry.Span.with_span "sat/solve" (fun () -> solve_cdcl ?assumptions s) in
+  let r = Telemetry.Span.with_span "sat/solve" (fun () -> solve_cdcl ?assumptions ?budget s) in
   Telemetry.Counter.add c_conflicts (s.conflicts - before);
   r
 

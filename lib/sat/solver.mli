@@ -26,12 +26,21 @@ val add_clause : t -> Lit.t list -> unit
 (** Add a clause (a disjunction).  An empty clause, or one falsified at the
     root level, makes the solver permanently unsatisfiable. *)
 
-type result = Sat | Unsat
+type result = Sat | Unsat | Unknown
 
-val solve : ?assumptions:Lit.t list -> t -> result
+val solve : ?assumptions:Lit.t list -> ?budget:int * int -> t -> result
 (** Solve the current clause set under the given assumption literals.  The
     solver remains usable afterwards: more variables and clauses may be
-    added and [solve] called again. *)
+    added and [solve] called again.
+
+    [budget] bounds the search: [(max_conflicts, max_propagations)] this
+    call may spend before returning [Unknown] (never an exception).  A
+    negative component means unlimited; [0] is exhausted immediately.
+    After [Unknown] the solver is still usable — learnt clauses are kept,
+    so retrying with a larger budget resumes from a stronger state.  An
+    installed {!Faults} plan with a [Solver_budget] event overrides
+    [budget], which is how fault injection forces the degradation
+    ladder. *)
 
 val value : t -> Lit.var -> bool
 (** Model value of a variable after [solve] returned [Sat].  Unconstrained
@@ -49,3 +58,6 @@ val okay : t -> bool
 
 val n_conflicts : t -> int
 (** Total conflicts encountered, for diagnostics. *)
+
+val n_propagations : t -> int
+(** Total unit propagations performed, for diagnostics and budgets. *)

@@ -14,6 +14,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("codegen", Test_codegen.suite);
       ("runtime", Test_runtime.suite);
+      ("faults", Test_faults.suite);
       ("traffic", Test_traffic.suite);
       ("sim", Test_sim.suite);
       ("vpp", Test_vpp.suite);

@@ -147,6 +147,54 @@ let test_reta_rebalance () =
   Alcotest.(check bool) "balanced after" true (after <= 1.01);
   Alcotest.(check int) "queues preserved" 2 (Reta.queues r')
 
+let test_reta_remap_failover () =
+  let r = Reta.create ~size:16 ~queues:4 () in
+  let live = [| true; false; true; true |] in
+  let r' = Reta.remap r ~live in
+  let before = Reta.entries r and after = Reta.entries r' in
+  Array.iteri
+    (fun i q ->
+      Alcotest.(check bool) (Printf.sprintf "bucket %d live" i) true live.(q);
+      (* buckets already on live queues must not move *)
+      if live.(before.(i)) then
+        Alcotest.(check int) (Printf.sprintf "bucket %d untouched" i) before.(i) q)
+    after;
+  Alcotest.(check int) "queue count preserved" 4 (Reta.queues r');
+  (* the dead queue's buckets spread over every live queue, not one *)
+  let migrated = Array.to_list after |> List.filteri (fun i _ -> before.(i) = 1) in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) (Printf.sprintf "queue %d got a share" q) true (List.mem q migrated))
+    [ 0; 2; 3 ]
+
+let test_reta_remap_skewed_load_stays_balanced () =
+  (* rebalance under skew, then kill a queue: every flow still lands on
+     exactly one live queue and the survivors share the dead queue's load *)
+  let st = Random.State.make [| 97 |] in
+  let r = Reta.create ~size:32 ~queues:4 () in
+  let load = Array.init 32 (fun _ -> Random.State.float st 1.0 ** 4.0 *. 100.) in
+  let r = Reta.rebalance r ~bucket_load:load in
+  let live = [| true; true; false; true |] in
+  let r' = Reta.remap r ~live in
+  Array.iter (fun q -> Alcotest.(check bool) "live queue" true live.(q)) (Reta.entries r');
+  let loads = Reta.queue_loads r' ~bucket_load:load in
+  Alcotest.(check (float 1e-9)) "dead queue serves nothing" 0.0 loads.(2);
+  let total = Array.fold_left ( +. ) 0.0 load in
+  Alcotest.(check (float 1e-6)) "no load lost" total (Array.fold_left ( +. ) 0.0 loads)
+
+let test_reta_remap_errors () =
+  let r = Reta.create ~size:8 ~queues:2 () in
+  Alcotest.(check bool) "length mismatch rejected" true
+    (try
+       ignore (Reta.remap r ~live:[| true |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "all-dead rejected" true
+    (try
+       ignore (Reta.remap r ~live:[| false; false |]);
+       false
+     with Invalid_argument _ -> true)
+
 let test_rss_dispatch_deterministic () =
   let rng = Random.State.make [| 7 |] in
   let key = Rss.random_key rng Model.E810 in
@@ -325,6 +373,9 @@ let suite =
     Alcotest.test_case "reta round robin" `Quick test_reta_round_robin;
     Alcotest.test_case "reta bad size" `Quick test_reta_bad_size;
     Alcotest.test_case "reta rebalance" `Quick test_reta_rebalance;
+    Alcotest.test_case "reta remap failover" `Quick test_reta_remap_failover;
+    Alcotest.test_case "reta remap under skew" `Quick test_reta_remap_skewed_load_stays_balanced;
+    Alcotest.test_case "reta remap errors" `Quick test_reta_remap_errors;
     Alcotest.test_case "rss dispatch deterministic" `Quick test_rss_dispatch_deterministic;
     Alcotest.test_case "rss unmatched to queue 0" `Quick test_rss_unmatched_goes_to_zero;
     Alcotest.test_case "rss validates key size" `Quick test_rss_validates_key_size;

@@ -21,7 +21,7 @@ let hash_on problem keys port pkt =
 let solve_exn ?backend problem =
   match Solve.solve ?backend ~seed:99 problem with
   | Ok s -> s
-  | Error e -> Alcotest.fail e
+  | Error (_, e) -> Alcotest.fail e
 
 (* --- constraint constructors --------------------------------------------- *)
 

@@ -376,6 +376,81 @@ let test_rwlock_readers_disjoint () =
   Runtime.Rwlock.with_write lock (fun () -> ());
   Alcotest.(check pass) "no deadlock" () ()
 
+let test_supervisor_policy () =
+  (* pure-policy checks on logical time: backoff growth, the per-core
+     sliding restart window, and one-shot stuck reporting *)
+  let config =
+    {
+      Runtime.Supervisor.max_restarts = 2;
+      window = 10;
+      backoff_base = 3;
+      backoff_factor = 5;
+      stall_checks = 2;
+    }
+  in
+  let s = Runtime.Supervisor.create ~config ~cores:2 () in
+  (match Runtime.Supervisor.on_death s ~core:0 with
+  | `Restart b -> Alcotest.(check int) "first backoff" 3 b
+  | `Give_up -> Alcotest.fail "first death should restart");
+  (match Runtime.Supervisor.on_death s ~core:0 with
+  | `Restart b -> Alcotest.(check int) "backoff grows by the factor" 15 b
+  | `Give_up -> Alcotest.fail "second death should restart");
+  Alcotest.(check bool) "window budget exhausted" true
+    (Runtime.Supervisor.on_death s ~core:0 = `Give_up);
+  (match Runtime.Supervisor.on_death s ~core:1 with
+  | `Restart _ -> ()
+  | `Give_up -> Alcotest.fail "budgets are per core");
+  (* the window slides with logical time: old restarts age out *)
+  for _ = 1 to config.Runtime.Supervisor.window + 1 do
+    Runtime.Supervisor.tick s
+  done;
+  (match Runtime.Supervisor.on_death s ~core:0 with
+  | `Restart b -> Alcotest.(check int) "budget refilled, backoff reset" 3 b
+  | `Give_up -> Alcotest.fail "the window should refill");
+  (* stuck: fires once per stall, only with work queued, reset by progress *)
+  let hb h r = Runtime.Supervisor.note_heartbeat s ~core:1 ~heartbeat:h ~ring_len:r in
+  Alcotest.(check bool) "progress is ok" true (hb 5 3 = `Ok);
+  Alcotest.(check bool) "one stagnant check is ok" true (hb 5 3 = `Ok);
+  Alcotest.(check bool) "threshold reached -> stuck" true (hb 5 3 = `Stuck);
+  Alcotest.(check bool) "reported once per stall" true (hb 5 3 = `Ok);
+  Alcotest.(check bool) "progress rearms" true (hb 6 3 = `Ok);
+  Alcotest.(check bool) "empty ring never counts" true (hb 6 0 = `Ok && hb 6 0 = `Ok && hb 6 0 = `Ok);
+  let evs = Runtime.Supervisor.events s in
+  Alcotest.(check int) "events recorded" 6 (List.length evs);
+  Alcotest.(check int) "restarts counted" 4 (Runtime.Supervisor.restarts s)
+
+let test_rwlock_writer_not_starved () =
+  let lock = Runtime.Rwlock.create ~cores:3 in
+  let stop = Atomic.make false in
+  let reads = Array.init 3 (fun _ -> Atomic.make 0) in
+  let readers =
+    Array.init 3 (fun core ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Runtime.Rwlock.with_read lock ~core (fun () -> Atomic.incr reads.(core))
+            done))
+  in
+  (* Regression: before the [writers_waiting] gate, readers re-acquiring
+     their own per-core flag could win the CAS race against a writer (which
+     needs every flag) indefinitely — this loop stalled unboundedly under
+     continuous reader churn. *)
+  let v = ref 0 in
+  for _ = 1 to 200 do
+    Runtime.Rwlock.with_write lock (fun () -> incr v);
+    Domain.cpu_relax ()
+  done;
+  (* writers done: let every reader observe at least one read, then stop *)
+  while Array.exists (fun r -> Atomic.get r = 0) reads do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set stop true;
+  Array.iter Domain.join readers;
+  Alcotest.(check int) "all writes landed" 200 !v;
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool) (Printf.sprintf "reader %d progressed" i) true (Atomic.get r > 0))
+    reads
+
 (* --- properties ------------------------------------------------------------ *)
 
 let prop_shared_nothing_equivalence =
@@ -422,5 +497,7 @@ let suite =
     Alcotest.test_case "pool rejects oversized plan" `Quick test_pool_rejects_oversized_plan;
     Alcotest.test_case "rwlock mutual exclusion" `Quick test_rwlock_mutual_exclusion;
     Alcotest.test_case "rwlock readers disjoint" `Quick test_rwlock_readers_disjoint;
+    Alcotest.test_case "supervisor policy" `Quick test_supervisor_policy;
+    Alcotest.test_case "rwlock writer not starved" `Quick test_rwlock_writer_not_starved;
     QCheck_alcotest.to_alcotest prop_shared_nothing_equivalence;
   ]

@@ -136,17 +136,68 @@ let test_tseitin_iff_xor () =
   Tseitin.(assert_formula s (Xor (atom a, atom b)));
   Alcotest.(check bool) "iff & xor is unsat" true (Solver.solve s = Solver.Unsat)
 
+let parse_ok text =
+  match Dimacs.parse text with
+  | Ok cnf -> cnf
+  | Error e -> Alcotest.failf "dimacs parse: %s" e
+
 let test_dimacs_roundtrip () =
   let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
-  let cnf = Dimacs.parse text in
+  let cnf = parse_ok text in
   Alcotest.(check int) "nvars" 3 cnf.Dimacs.nvars;
   Alcotest.(check int) "nclauses" 2 (List.length cnf.Dimacs.clauses);
   let s = Solver.create () in
   Dimacs.load s cnf;
   Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
   let printed = Format.asprintf "%a" Dimacs.print cnf in
-  let reparsed = Dimacs.parse printed in
+  let reparsed = parse_ok printed in
   Alcotest.(check int) "reparse clauses" 2 (List.length reparsed.Dimacs.clauses)
+
+let test_dimacs_errors () =
+  let bad text =
+    match Dimacs.parse text with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+    | Error _ -> ()
+  in
+  bad "1 -2 0\n";
+  (* no problem line *)
+  bad "p cnf 2 1\n1 -3 0\n";
+  (* variable out of range *)
+  bad "p cnf nope 1\n1 0\n";
+  (* malformed problem line *)
+  bad "p cnf 2 1\n1 x 0\n" (* junk token *)
+
+let test_budget_unknown () =
+  (* A zero budget exhausts immediately; the solver must stay usable and
+     find the real answer once the budget is lifted. *)
+  let s = Solver.create () in
+  let p = Array.init 4 (fun _ -> Array.init 3 (fun _ -> Solver.new_var s)) in
+  for i = 0 to 3 do
+    Solver.add_clause s [ Lit.pos p.(i).(0); Lit.pos p.(i).(1); Lit.pos p.(i).(2) ]
+  done;
+  for h = 0 to 2 do
+    for i = 0 to 3 do
+      for j = i + 1 to 3 do
+        Solver.add_clause s [ Lit.neg p.(i).(h); Lit.neg p.(j).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "zero budget is unknown" true
+    (Solver.solve ~budget:(0, 0) s = Solver.Unknown);
+  Alcotest.(check bool) "still okay after unknown" true (Solver.okay s);
+  Alcotest.(check bool) "tiny conflict budget is unknown" true
+    (Solver.solve ~budget:(1, -1) s = Solver.Unknown);
+  Alcotest.(check bool) "unlimited budget solves" true
+    (Solver.solve ~budget:(-1, -1) s = Solver.Unsat)
+
+let test_budget_generous_solves () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a; Lit.pos b ];
+  Solver.add_clause s [ Lit.neg a; Lit.pos b ];
+  Alcotest.(check bool) "generous budget reaches sat" true
+    (Solver.solve ~budget:(1000, 100000) s = Solver.Sat);
+  Alcotest.(check bool) "propagation counter advanced" true (Solver.n_propagations s > 0)
 
 (* --- properties --------------------------------------------------------- *)
 
@@ -184,7 +235,8 @@ let prop_agrees_with_brute_force =
           && List.for_all
                (List.exists (fun l -> Solver.lit_value s l))
                clauses
-      | Solver.Unsat -> not expected)
+      | Solver.Unsat -> not expected
+      | Solver.Unknown -> false (* no budget was given: Unknown is a bug *))
 
 let prop_core_is_unsat =
   QCheck.Test.make ~name:"unsat cores are themselves unsat" ~count:100
@@ -197,7 +249,8 @@ let prop_core_is_unsat =
       | Solver.Sat -> true
       | Solver.Unsat ->
           let core = Solver.unsat_core s in
-          (not (Solver.okay s)) || Solver.solve ~assumptions:core s = Solver.Unsat)
+          (not (Solver.okay s)) || Solver.solve ~assumptions:core s = Solver.Unsat
+      | Solver.Unknown -> false)
 
 let suite =
   [
@@ -214,6 +267,9 @@ let suite =
     Alcotest.test_case "tseitin formula" `Quick test_tseitin_formula;
     Alcotest.test_case "tseitin iff+xor unsat" `Quick test_tseitin_iff_xor;
     Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+    Alcotest.test_case "dimacs parse errors" `Quick test_dimacs_errors;
+    Alcotest.test_case "budget exhaustion returns unknown" `Quick test_budget_unknown;
+    Alcotest.test_case "generous budget still solves" `Quick test_budget_generous_solves;
     QCheck_alcotest.to_alcotest prop_agrees_with_brute_force;
     QCheck_alcotest.to_alcotest prop_core_is_unsat;
   ]
