@@ -1,0 +1,117 @@
+(* NF-path benchmark: tree-walking interpreter vs staged closures.
+
+   For every NF in the corpus a steady-state workload is replayed through
+   (a) [Dsl.Interp.process] and (b) the closure from [Dsl.Compile.stage],
+   both warmed over the establishment prefix, and the per-packet cost and
+   the compiled path's minor-heap allocation rate are recorded to
+   BENCH_nfpath.json (same schema as the per-NF telemetry documents, so
+   `check_regression` can diff it against bench/baseline/).
+
+   Gated counters (machine-portable, compared by default):
+     nfpath.<nf>.compiled_rel_cost_x100   100 * t_compiled / t_interp —
+                                          a timing *ratio*, so machine
+                                          speed cancels; growth means the
+                                          compiled path lost ground
+     nfpath.<nf>.alloc_words_per_pkt_x100 100 * minor words per packet on
+                                          the compiled path
+   Timing counters (_ns/speedup, skipped by the default gate policy):
+     nfpath.<nf>.interp_ns_x100, nfpath.<nf>.compiled_ns_x100,
+     nfpath.<nf>.speedup_x100 *)
+
+let iters_scale () =
+  match Sys.getenv_opt "MAESTRO_BENCH_ITERS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> float_of_int n /. 100.0
+      | _ -> 1.0)
+  | None -> 1.0
+
+let scaled base = max 100 (int_of_float (float_of_int base *. iters_scale ()))
+let x100 v = int_of_float (Float.round (100.0 *. v))
+
+let counter nf suffix doc =
+  Telemetry.Counter.make (Printf.sprintf "nfpath.%s.%s" nf suffix) ~doc
+
+(* Best of [passes] timed runs of [f] — the minimum is the least
+   noise-contaminated estimate of the per-pass cost. *)
+let passes = 3
+
+let time_pass f =
+  let best = ref infinity in
+  for _ = 1 to passes do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let bench_nf name =
+  let w = Sim.Workload.read_heavy ~pkts:(scaled 20_000) name in
+  let nf = w.Sim.Workload.nf in
+  let info = Dsl.Check.check_exn nf in
+  let body = Sim.Workload.body w in
+  let warm = Array.sub w.Sim.Workload.trace 0 w.Sim.Workload.skip in
+  let npkts = float_of_int (Array.length body) in
+  let interp_pass inst arr =
+    for i = 0 to Array.length arr - 1 do
+      ignore (Dsl.Interp.process nf info inst arr.(i))
+    done
+  in
+  let compiled_pass b arr =
+    for i = 0 to Array.length arr - 1 do
+      ignore (Dsl.Compile.process b arr.(i))
+    done
+  in
+  (* interpreter: warm over the establishment prefix, then one extra body
+     pass so both sides time against fully-populated tables *)
+  let i_inst = Dsl.Instance.create nf in
+  interp_pass i_inst warm;
+  interp_pass i_inst body;
+  let t_interp = time_pass (fun () -> interp_pass i_inst body) /. npkts *. 1e9 in
+  (* compiled: stage once, bind, same warmup discipline *)
+  let staged = Dsl.Compile.stage nf info in
+  let b = Dsl.Compile.bind staged (Dsl.Instance.create nf) in
+  compiled_pass b warm;
+  compiled_pass b body;
+  let t_compiled = time_pass (fun () -> compiled_pass b body) /. npkts *. 1e9 in
+  (* allocation rate of the warmed compiled path *)
+  let w0 = Gc.minor_words () in
+  compiled_pass b body;
+  let words = (Gc.minor_words () -. w0) /. npkts in
+  let speedup = t_interp /. t_compiled in
+  Format.printf "%-8s interp %8.1f ns/pkt   compiled %8.1f ns/pkt   %4.1fx   %6.2f words/pkt@."
+    name t_interp t_compiled speedup words;
+  (name, t_interp, t_compiled, words)
+
+let record (name, t_interp, t_compiled, words) =
+  Telemetry.Counter.add (counter name "interp_ns_x100" "interp cost, 1/100 ns per packet")
+    (x100 t_interp);
+  Telemetry.Counter.add (counter name "compiled_ns_x100" "compiled cost, 1/100 ns per packet")
+    (x100 t_compiled);
+  Telemetry.Counter.add (counter name "speedup_x100" "interp-over-compiled speedup, x100")
+    (x100 (t_interp /. t_compiled));
+  Telemetry.Counter.add
+    (counter name "compiled_rel_cost_x100" "compiled/interp cost ratio, x100 (lower is better)")
+    (x100 (t_compiled /. t_interp));
+  Telemetry.Counter.add
+    (counter name "alloc_words_per_pkt_x100" "compiled-path minor words per packet, x100")
+    (x100 words)
+
+let () =
+  Format.printf "@.=== NF-path benchmarks (BENCH_nfpath.json) ===@.";
+  (* measure with telemetry off so the loops are uninstrumented, then
+     record the results against an enabled collector *)
+  Telemetry.reset ();
+  Telemetry.disable ();
+  let results = List.map bench_nf Nfs.Registry.extended_names in
+  Telemetry.enable ();
+  List.iter record results;
+  let snap = Telemetry.snapshot () in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  let file = "BENCH_nfpath.json" in
+  let oc = open_out file in
+  output_string oc (Telemetry.to_json ~name:"nfpath" snap);
+  close_out oc;
+  Format.printf "wrote %s@." file

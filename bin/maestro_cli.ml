@@ -177,7 +177,7 @@ let parallelize_cmd =
 
 let run_cmd =
   let run name cores seed strategy pkts flows batch_size backpressure fault_plan compiled
-      stats trace_json =
+      compiled_nf interp stats trace_json =
     match find_nf name with
     | Error e ->
         Format.eprintf "%s@." e;
@@ -196,6 +196,10 @@ let run_cmd =
         (* before plan generation: the pipeline configures its RSS engines
            (and therefore picks the hash implementation) while planning *)
         Nic.Rss.set_compile_default compiled;
+        (* staged NF compilation: on by default, --interp (or
+           --compiled-nf false) keeps every worker on the interpreter *)
+        let nf_compiled = compiled_nf && not interp in
+        Dsl.Compile.set_default nf_compiled;
         let request = { Maestro.Pipeline.default_request with cores; seed; strategy } in
         let plan = (Maestro.Pipeline.parallelize_exn ~request nf).Maestro.Pipeline.plan in
         let rng = Random.State.make [| seed |] in
@@ -226,6 +230,8 @@ let run_cmd =
           s.Runtime.Parallel.reads s.Runtime.Parallel.writes s.Runtime.Parallel.read_pkts
           s.Runtime.Parallel.write_pkts;
         Format.printf "rss hash: %s@." (if compiled then "table-driven (compiled)" else "bit-by-bit (reference)");
+        Format.printf "nf path: %s@."
+          (if nf_compiled then "staged closures (compiled)" else "tree-walking interpreter");
         (* the same plan on real OCaml domains, fed through the persistent pool *)
         Runtime.Pool.with_global ~batch_size ~backpressure ~cores:plan.Maestro.Plan.cores
         @@ fun pool ->
@@ -298,6 +304,22 @@ let run_cmd =
             "Use the table-driven (compiled) Toeplitz hash in every RSS engine; pass \
              $(b,false) for the bit-by-bit reference implementation.")
   in
+  let compiled_nf =
+    Arg.(
+      value & opt bool true
+      & info [ "compiled-nf" ] ~docv:"BOOL"
+          ~doc:
+            "Run workers on the staged NF compiler (closures, fixed frame slots, packed \
+             keys); pass $(b,false) for the tree-walking interpreter.")
+  in
+  let interp =
+    Arg.(
+      value & flag
+      & info [ "interp" ]
+          ~doc:
+            "Force the tree-walking interpreter — the reference semantics — regardless of \
+             $(b,--compiled-nf).")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
@@ -305,7 +327,8 @@ let run_cmd =
           sequential version.")
     Term.(
       const run $ nf_arg $ cores_arg $ seed_arg $ strategy_arg $ pkts $ flows $ batch_size
-      $ backpressure $ fault_plan $ compiled_rss $ stats_arg $ trace_json_arg)
+      $ backpressure $ fault_plan $ compiled_rss $ compiled_nf $ interp $ stats_arg
+      $ trace_json_arg)
 
 let () =
   let doc = "Automatic parallelization of software network functions (NSDI'24 reproduction)" in

@@ -49,6 +49,17 @@ let find_field layout r f =
   go 0 layout
 
 let process ?(on_op = fun _ -> ()) (nf : Ast.t) info instance (pkt0 : Packet.Pkt.t) =
+  (* layouts are immutable per program: derive each record's layout once
+     per call instead of once per field access *)
+  let layout_cache = Hashtbl.create 8 in
+  let layout_of r =
+    match Hashtbl.find_opt layout_cache r with
+    | Some l -> l
+    | None ->
+        let l = Check.record_layout info r in
+        Hashtbl.add layout_cache r l;
+        l
+  in
   let rec eval env (pkt : Packet.Pkt.t) e =
     match e with
     | Const (w, v) -> mask w v
@@ -62,9 +73,7 @@ let process ?(on_op = fun _ -> ()) (nf : Ast.t) info instance (pkt0 : Packet.Pkt
         | None -> fail "unbound variable %s" x)
     | Record_field (r, f) -> (
         match List.assoc_opt r env.records with
-        | Some record ->
-            let layout = Check.record_layout info r in
-            find_field layout record f
+        | Some record -> find_field (layout_of r) record f
         | None -> fail "unbound record %s" r)
     | Bin (op, a, b) -> (
         let va = eval env pkt a and vb = eval env pkt b in

@@ -38,3 +38,7 @@ val process :
 exception Runtime_error of string
 (** Raised on conditions {!Check.check} already rejects; reaching it means a
     malformed NF bypassed validation. *)
+
+val set_pkt_field : Packet.Pkt.t -> Packet.Field.t -> int -> Packet.Pkt.t
+(** Functional header-field update — shared with {!Compile} so both
+    execution paths rewrite packets identically. *)

@@ -40,6 +40,9 @@ let c_expired = Telemetry.Counter.make "runtime.expired_flows" ~doc:"flows aged 
 let c_rejuv = Telemetry.Counter.make "runtime.rejuvenations" ~doc:"rejuvenations absorbed per-core"
 let h_per_core = Telemetry.Histogram.make "runtime.per_core_pkts" ~doc:"packets per core per run"
 
+(* the sequential oracle stays on the interpreter deliberately: it is the
+   reference semantics every parallel execution (and the compiled path
+   itself) is differentially tested against *)
 let run_sequential nf pkts =
   let info = Dsl.Check.check_exn nf in
   let inst = Dsl.Instance.create nf in
@@ -85,6 +88,8 @@ let run ?reta (plan : Maestro.Plan.t) pkts =
       Array.init cores (fun _ -> Dsl.Instance.create ~divide:(Maestro.Plan.state_divisor plan) nf)
     else Array.make 1 (Dsl.Instance.create nf)
   in
+  let staged = Dsl.Compile.stage_runner nf info in
+  let runners = Array.map (Dsl.Compile.bind_runner staged) instances in
   let per_core_pkts = Array.make cores 0 in
   let reads = ref 0 and writes = ref 0 in
   let read_pkts = ref 0 and write_pkts = ref 0 in
@@ -97,9 +102,9 @@ let run ?reta (plan : Maestro.Plan.t) pkts =
       (fun pkt ->
         let core = Nic.Rss.dispatch engines.(pkt.Packet.Pkt.port) pkt in
         per_core_pkts.(core) <- per_core_pkts.(core) + 1;
-        let inst = if shared_nothing then instances.(core) else instances.(0) in
+        let runner = if shared_nothing then runners.(core) else runners.(0) in
         let ops = { r = 0; w = 0; rejuvs = 0; expired = 0 } in
-        let verdict = Dsl.Interp.process ~on_op:(observe ops) nf info inst pkt in
+        let verdict = Dsl.Compile.run ~on_op:(observe ops) runner pkt in
         reads := !reads + ops.r;
         writes := !writes + ops.w;
         expired_flows := !expired_flows + ops.expired;

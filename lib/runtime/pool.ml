@@ -451,6 +451,10 @@ let run (t : t) (plan : Maestro.Plan.t) pkts =
       (Printf.sprintf "Pool.run: plan wants %d cores but the pool has %d" cores t.cores);
   let nf = plan.Maestro.Plan.nf in
   let info = Dsl.Check.check_exn nf in
+  (* stage once per run, bind once per core: every worker gets its own
+     execution frame, over per-core state (shared-nothing) or the one
+     shared instance (lock/TM) *)
+  let staged = Dsl.Compile.stage_runner nf info in
   let live = Array.init cores (fun c -> not (Atomic.get t.workers.(c).failed)) in
   if not (Array.exists Fun.id live) then
     invalid_arg "Pool.run: every core of the plan has failed permanently";
@@ -486,26 +490,27 @@ let run (t : t) (plan : Maestro.Plan.t) pkts =
   let process_batch =
     match strategy with
     | Maestro.Plan.Shared_nothing | Maestro.Plan.Load_balance ->
-        let instances =
+        let runners =
           Array.init cores (fun _ ->
-              Dsl.Instance.create ~divide:(Maestro.Plan.state_divisor plan) nf)
+              Dsl.Compile.bind_runner staged
+                (Dsl.Instance.create ~divide:(Maestro.Plan.state_divisor plan) nf))
         in
         fun core indices ->
-          let inst = instances.(core) in
+          let r = runners.(core) in
           {
             npkts = Array.length indices;
             run =
               (fun () ->
-                Array.iter
-                  (fun i -> verdicts.(i) <- Dsl.Interp.process nf info inst pkts.(i))
-                  indices;
+                Array.iter (fun i -> verdicts.(i) <- Dsl.Compile.run r pkts.(i)) indices;
                 Atomic.decr remaining);
           }
     | Maestro.Plan.Lock_based | Maestro.Plan.Tm_based ->
         let inst = Dsl.Instance.create nf in
         let lock = Rwlock.create ~cores in
         let writes = nf_statically_writes nf in
+        let runners = Array.init cores (fun _ -> Dsl.Compile.bind_runner staged inst) in
         fun core indices ->
+          let r = runners.(core) in
           {
             npkts = Array.length indices;
             run =
@@ -514,10 +519,10 @@ let run (t : t) (plan : Maestro.Plan.t) pkts =
                   (fun i ->
                     if writes then
                       Rwlock.with_write lock (fun () ->
-                          verdicts.(i) <- Dsl.Interp.process nf info inst pkts.(i))
+                          verdicts.(i) <- Dsl.Compile.run r pkts.(i))
                     else
                       Rwlock.with_read lock ~core (fun () ->
-                          verdicts.(i) <- Dsl.Interp.process nf info inst pkts.(i)))
+                          verdicts.(i) <- Dsl.Compile.run r pkts.(i)))
                   indices;
                 Atomic.decr remaining);
           }

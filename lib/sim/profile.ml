@@ -35,7 +35,7 @@ let state_footprint (nf : Dsl.Ast.t) =
 
 let of_trace ?(skip = 0) nf pkts =
   let info = Dsl.Check.check_exn nf in
-  let inst = Dsl.Instance.create nf in
+  let runner = Dsl.Compile.make_runner nf info (Dsl.Instance.create nf) in
   let n = Array.length pkts - skip in
   if n < 1 then invalid_arg "Profile.of_trace: nothing left after skip";
   let reads = ref 0 and writes = ref 0 and tm_writes = ref 0 in
@@ -45,7 +45,7 @@ let of_trace ?(skip = 0) nf pkts =
   Array.iteri
     (fun pkt_index pkt ->
       if pkt_index < skip then
-        ignore (Dsl.Interp.process nf info inst pkt)
+        ignore (Dsl.Compile.run runner pkt)
       else begin
       bytes := !bytes + pkt.Packet.Pkt.size;
       let flow = Packet.Flow.normalize (Packet.Flow.of_pkt pkt) in
@@ -78,7 +78,7 @@ let of_trace ?(skip = 0) nf pkts =
         else incr reads;
         if tm_write then incr tm_writes
       in
-      (match Dsl.Interp.process ~on_op nf info inst pkt with
+      (match Dsl.Compile.run ~on_op runner pkt with
       | Dsl.Interp.Dropped -> incr drops
       | Dsl.Interp.Fwd _ -> ());
       if !wrote then incr write_pkts

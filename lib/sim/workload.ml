@@ -24,7 +24,7 @@ let nat_workload ?(fresh = 0.02) ~seed ~flows ~pkts ~size nf =
   let rng = Random.State.make [| seed |] in
   let fs = Traffic.Gen.flows rng flows in
   let info = Dsl.Check.check_exn nf in
-  let inst = Dsl.Instance.create nf in
+  let runner = Dsl.Compile.make_runner nf info (Dsl.Instance.create nf) in
   let establish =
     Array.of_list
       (List.mapi (fun i f -> Packet.Flow.to_pkt ~port:lan ~size ~ts_ns:(i * 100) f) fs)
@@ -32,7 +32,7 @@ let nat_workload ?(fresh = 0.02) ~seed ~flows ~pkts ~size nf =
   let translated =
     Array.map
       (fun pkt ->
-        match Dsl.Interp.process nf info inst pkt with
+        match Dsl.Compile.run runner pkt with
         | Dsl.Interp.Fwd (_, out) -> Some (pkt, out)
         | Dsl.Interp.Dropped -> None)
       establish

@@ -63,6 +63,19 @@ let allocate t ~now =
     Some i
   end
 
+let allocate_idx t ~now =
+  (* allocation-free [allocate] for the compiled path *)
+  if t.free_head = nil then -1
+  else begin
+    let i = t.free_head in
+    t.free_head <- t.next.(i);
+    t.state.(i) <- true;
+    t.last_touch.(i) <- now;
+    push_back t i;
+    t.n_alloc <- t.n_alloc + 1;
+    i
+  end
+
 let rejuvenate t i ~now =
   if not (is_allocated t i) then false
   else begin
@@ -90,13 +103,19 @@ let oldest t =
   if h = t.cap then None else Some h
 
 let expire_before t ~threshold =
-  let rec go acc =
-    match oldest t with
-    | Some i when t.last_touch.(i) < threshold ->
-        ignore (free t i);
-        go (i :: acc)
-    | Some _ | None -> List.rev acc
-  in
-  go []
+  (* allocation-free fast path: the common per-packet call finds nothing
+     due (the compiled NF path runs this on every packet) *)
+  let h = t.next.(t.cap) in
+  if h = t.cap || t.last_touch.(h) >= threshold then []
+  else
+    let rec go acc =
+      let h = t.next.(t.cap) in
+      if h <> t.cap && t.last_touch.(h) < threshold then begin
+        ignore (free t h);
+        go (h :: acc)
+      end
+      else List.rev acc
+    in
+    go []
 
 let pp fmt t = Format.fprintf fmt "dchain[%d/%d]" t.n_alloc t.cap

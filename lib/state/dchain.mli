@@ -18,6 +18,10 @@ val allocated : t -> int
 val allocate : t -> now:int -> int option
 (** A fresh index touched at [now], or [None] when the pool is exhausted. *)
 
+val allocate_idx : t -> now:int -> int
+(** Like {!allocate} but returns [-1] instead of [None] — the
+    allocation-free form the compiled datapath uses. *)
+
 val rejuvenate : t -> int -> now:int -> bool
 (** Refresh the last-touch time of an allocated index; [false] when the
     index is not allocated. *)

@@ -1,0 +1,136 @@
+(* Fixed-capacity int->int map: open addressing, linear probing, tombstone
+   deletion.  Keys are packed container keys (Key.t ints) and values are
+   DSL integers, both immediate, so every operation is allocation-free —
+   the property the compiled per-packet path relies on.  The logical
+   capacity is Vigor's: [put] on a full map with an absent key fails and
+   the NF observes it.  The physical table grows (it starts small so maps
+   that never see packed keys cost nothing) but the load factor stays at
+   or below 1/2, which bounds probe sequences and guarantees termination
+   without wraparound counters. *)
+
+type t = {
+  capacity : int; (* logical capacity; puts beyond it fail *)
+  mutable mask : int; (* physical table size - 1 (power of two) *)
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable status : Bytes.t; (* '\000' empty, '\001' occupied, '\002' tombstone *)
+  mutable size : int;
+  mutable tombs : int;
+}
+
+let empty = '\000'
+let occupied = '\001'
+let tombstone = '\002'
+
+let initial_table = 16
+
+let make_table n =
+  (Array.make n 0, Array.make n 0, Bytes.make n empty)
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Intmap.create: capacity must be >= 1";
+  let keys, vals, status = make_table initial_table in
+  { capacity; mask = initial_table - 1; keys; vals; status; size = 0; tombs = 0 }
+
+let capacity t = t.capacity
+let length t = t.size
+
+(* Fibonacci-style multiplicative mix; the constant fits a 63-bit int and
+   multiplication wraps, which is all a table hash needs. *)
+let slot t k =
+  let h = k * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land t.mask
+
+(* The probe loops are top-level functions taking every capture as an
+   argument: a local [let rec] would close over [t]/[k] and allocate a
+   closure per call, defeating the allocation-free contract. *)
+
+(* Index of [k]'s occupied slot, or -1.  Load <= 1/2 keeps an empty slot
+   on every probe path, so the loop terminates. *)
+let rec probe_find status keys mask k i =
+  let s = Bytes.unsafe_get status i in
+  if s = empty then -1
+  else if s = occupied && Array.unsafe_get keys i = k then i
+  else probe_find status keys mask k ((i + 1) land mask)
+
+let find_slot t k = probe_find t.status t.keys t.mask k (slot t k)
+
+let mem t k = find_slot t k >= 0
+
+let find t k ~absent =
+  let i = find_slot t k in
+  if i < 0 then absent else Array.unsafe_get t.vals i
+
+let rec probe_free status mask i =
+  if Bytes.unsafe_get status i = occupied then probe_free status mask ((i + 1) land mask)
+  else i
+
+let rec insert_fresh t k v =
+  (* precondition: k absent; keep load (occupied + tombstones) <= 1/2 *)
+  if 2 * (t.size + t.tombs + 1) > t.mask + 1 then grow t;
+  let i = probe_free t.status t.mask (slot t k) in
+  if Bytes.unsafe_get t.status i = tombstone then t.tombs <- t.tombs - 1;
+  Bytes.unsafe_set t.status i occupied;
+  Array.unsafe_set t.keys i k;
+  Array.unsafe_set t.vals i v;
+  t.size <- t.size + 1
+
+and grow t =
+  (* double until the live entries fit at load 1/2; rebuilding also drops
+     every tombstone *)
+  let needed = 2 * (t.size + 1) in
+  let n = ref (t.mask + 1) in
+  while !n < needed do
+    n := !n * 2
+  done;
+  let n = max (!n * 2) (2 * (t.mask + 1)) in
+  let old_keys = t.keys and old_vals = t.vals and old_status = t.status in
+  let old_n = t.mask + 1 in
+  let keys, vals, status = make_table n in
+  t.keys <- keys;
+  t.vals <- vals;
+  t.status <- status;
+  t.mask <- n - 1;
+  t.size <- 0;
+  t.tombs <- 0;
+  for i = 0 to old_n - 1 do
+    if Bytes.unsafe_get old_status i = occupied then
+      insert_fresh t (Array.unsafe_get old_keys i) (Array.unsafe_get old_vals i)
+  done
+
+let put t k v =
+  let i = find_slot t k in
+  if i >= 0 then begin
+    Array.unsafe_set t.vals i v;
+    true
+  end
+  else if t.size >= t.capacity then false
+  else begin
+    insert_fresh t k v;
+    true
+  end
+
+let erase t k =
+  let i = find_slot t k in
+  if i < 0 then false
+  else begin
+    Bytes.unsafe_set t.status i tombstone;
+    t.size <- t.size - 1;
+    t.tombs <- t.tombs + 1;
+    true
+  end
+
+let iter t f =
+  for i = 0 to t.mask do
+    if Bytes.unsafe_get t.status i = occupied then
+      f (Array.unsafe_get t.keys i) (Array.unsafe_get t.vals i)
+  done
+
+let clear t =
+  let keys, vals, status = make_table initial_table in
+  t.keys <- keys;
+  t.vals <- vals;
+  t.status <- status;
+  t.mask <- initial_table - 1;
+  t.size <- 0;
+  t.tombs <- 0

@@ -1,0 +1,32 @@
+(** Fixed-capacity int-keyed map with open addressing.
+
+    Backs the packed-key fast path of {!Map_s}: keys are {!Key}-packed
+    container keys, values are DSL integers, and every operation is
+    allocation-free.  The logical capacity is enforced the way the Vigor
+    containers do it — {!put} of an absent key on a full map returns
+    [false] — while the physical table grows on demand to keep probe
+    sequences short. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : t -> int
+val length : t -> int
+val mem : t -> int -> bool
+
+val find : t -> int -> absent:int -> int
+(** [find t k ~absent] is the value bound to [k], or [absent] when [k] is
+    unbound.  The caller picks a sentinel that cannot be a stored value
+    (DSL values are non-negative, so any negative int works). *)
+
+val put : t -> int -> int -> bool
+(** Insert or replace; [false] iff the map is logically full and [k] is
+    absent. *)
+
+val erase : t -> int -> bool
+(** [false] iff [k] was absent. *)
+
+val iter : t -> (int -> int -> unit) -> unit
+val clear : t -> unit

@@ -1,0 +1,37 @@
+(* Packed map/sketch keys.  The stateful containers are logically keyed by
+   byte strings (the Vigor encoding that Dsl.Ast.key_of_parts produces); a
+   key of at most [max_packed_bytes] bytes is represented instead as one
+   tagged OCaml int — the byte content in the low 56 bits plus the length
+   in the bits above — so the per-packet fast path never allocates a key.
+   The length tag keeps keys of different byte lengths distinct, exactly as
+   their string encodings are. *)
+
+let max_packed_bytes = 7
+let tag_shift = 8 * max_packed_bytes
+
+type t = Packed of int | Wide of string
+
+let fits s = String.length s <= max_packed_bytes
+
+let tag ~bytes v = (bytes lsl tag_shift) lor v
+
+let byte_length k = k lsr tag_shift
+
+let pack_string s =
+  let n = String.length s in
+  if n > max_packed_bytes then invalid_arg "Key.pack_string: key too wide";
+  let v = ref 0 in
+  for i = 0 to n - 1 do
+    v := (!v lsl 8) lor Char.code (String.unsafe_get s i)
+  done;
+  tag ~bytes:n !v
+
+let unpack_string k =
+  let n = byte_length k in
+  String.init n (fun i -> Char.chr ((k lsr (8 * (n - 1 - i))) land 0xff))
+
+let of_string s = if fits s then Packed (pack_string s) else Wide s
+
+let pp fmt = function
+  | Packed k -> Format.fprintf fmt "packed:%dB:%#x" (byte_length k) (k land ((1 lsl tag_shift) - 1))
+  | Wide s -> Format.fprintf fmt "wide:%dB" (String.length s)

@@ -1,0 +1,38 @@
+(** Packed representation of short container keys.
+
+    The stateful containers are logically keyed by byte strings (the
+    encoding [Dsl.Ast.key_of_parts] produces).  Keys of at most
+    {!max_packed_bytes} bytes pack losslessly into one tagged, immediate
+    OCaml int — byte content in the low bits, byte length above them — so
+    the compiled per-packet path performs map and sketch operations
+    without allocating.  [pack_string] and [unpack_string] are exact
+    inverses on strings that {!fits}, which is what keeps the packed and
+    string views of one container consistent. *)
+
+val max_packed_bytes : int
+(** 7: the widest key that packs into a 62-bit tagged int. *)
+
+val tag_shift : int
+(** Bit position of the length tag ([8 * max_packed_bytes]). *)
+
+type t = Packed of int | Wide of string
+
+val fits : string -> bool
+(** Whether a string key packs. *)
+
+val tag : bytes:int -> int -> int
+(** [tag ~bytes v] builds the packed form of a [bytes]-byte key whose
+    big-endian byte content, read as an integer, is [v]. *)
+
+val byte_length : int -> int
+(** Byte length of a packed key. *)
+
+val pack_string : string -> int
+(** Raises [Invalid_argument] when the key does not {!fits}. *)
+
+val unpack_string : int -> string
+(** Exact inverse of {!pack_string}. *)
+
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,33 +1,111 @@
-type t = { capacity : int; table : (string, int) Hashtbl.t }
+(* Hybrid storage: every key short enough to pack ({!Key.fits}) lives in
+   an allocation-free open-addressing {!Intmap}; wider keys fall back to
+   the string-keyed Hashtbl.  Both the string API and the packed API
+   route through the same tables, so a map populated through one view
+   (e.g. DSL [init] entries loaded as strings) is visible through the
+   other.  The logical capacity bounds the two tables together. *)
+
+type t = {
+  capacity : int;
+  packed : Intmap.t;
+  wide : (string, int) Hashtbl.t;
+}
+
+let c_packed =
+  Telemetry.Counter.make ~doc:"map ops served by the packed int-key path"
+    "state.key_packed"
+
+let c_fallback =
+  Telemetry.Counter.make ~doc:"map ops using the wide string-key fallback"
+    "state.key_string_fallback"
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Map_s.create: capacity must be >= 1";
-  { capacity; table = Hashtbl.create (min capacity 4096) }
+  {
+    capacity;
+    packed = Intmap.create ~capacity;
+    wide = Hashtbl.create (min capacity 4096);
+  }
 
 let capacity t = t.capacity
-let size t = Hashtbl.length t.table
-let get t k = Hashtbl.find_opt t.table k
-let mem t k = Hashtbl.mem t.table k
+let size t = Intmap.length t.packed + Hashtbl.length t.wide
 
-let put t k v =
-  if Hashtbl.mem t.table k then begin
-    Hashtbl.replace t.table k v;
-    true
-  end
-  else if Hashtbl.length t.table >= t.capacity then false
-  else begin
-    Hashtbl.replace t.table k v;
-    true
-  end
+(* Packed view — the compiled per-packet path. *)
 
-let erase t k =
-  if Hashtbl.mem t.table k then begin
-    Hashtbl.remove t.table k;
+let mem_packed t k =
+  Telemetry.Counter.incr c_packed;
+  Intmap.mem t.packed k
+
+let find_packed t k ~absent =
+  Telemetry.Counter.incr c_packed;
+  Intmap.find t.packed k ~absent
+
+let put_packed t k v =
+  Telemetry.Counter.incr c_packed;
+  if Hashtbl.length t.wide = 0 then Intmap.put t.packed k v
+  else if Intmap.mem t.packed k then Intmap.put t.packed k v
+  else if size t >= t.capacity then false
+  else Intmap.put t.packed k v
+
+let erase_packed t k =
+  Telemetry.Counter.incr c_packed;
+  Intmap.erase t.packed k
+
+(* Wide view — string keys that are known (or assumed) not to pack.  The
+   compiled path calls these with a [Bytes.unsafe_to_string] alias of its
+   per-site scratch buffer: that is sound for every operation here except
+   [put_wide], which stores the key and therefore must be given a string
+   the caller will not mutate. *)
+
+let mem_wide t k =
+  Telemetry.Counter.incr c_fallback;
+  Hashtbl.mem t.wide k
+
+let find_wide t k ~absent =
+  Telemetry.Counter.incr c_fallback;
+  match Hashtbl.find t.wide k with v -> v | exception Not_found -> absent
+
+let put_wide t k v =
+  Telemetry.Counter.incr c_fallback;
+  if size t < t.capacity || Hashtbl.mem t.wide k then begin
+    (* below capacity, or full but overwriting an existing binding *)
+    Hashtbl.replace t.wide k v;
     true
   end
   else false
 
-let iter t f = Hashtbl.iter f t.table
-let clear t = Hashtbl.reset t.table
+let erase_wide t k =
+  Telemetry.Counter.incr c_fallback;
+  let before = Hashtbl.length t.wide in
+  Hashtbl.remove t.wide k;
+  Hashtbl.length t.wide < before
+
+(* String view — init loading, the interpreter oracle and wide keys. *)
+
+let get t k =
+  if Key.fits k then begin
+    let v = find_packed t (Key.pack_string k) ~absent:min_int in
+    if v = min_int then None else Some v
+  end
+  else begin
+    let v = find_wide t k ~absent:min_int in
+    if v = min_int then None else Some v
+  end
+
+let mem t k = if Key.fits k then mem_packed t (Key.pack_string k) else mem_wide t k
+
+let put t k v =
+  if Key.fits k then put_packed t (Key.pack_string k) v else put_wide t k v
+
+let erase t k =
+  if Key.fits k then erase_packed t (Key.pack_string k) else erase_wide t k
+
+let iter t f =
+  Intmap.iter t.packed (fun k v -> f (Key.unpack_string k) v);
+  Hashtbl.iter f t.wide
+
+let clear t =
+  Intmap.clear t.packed;
+  Hashtbl.reset t.wide
 
 let pp fmt t = Format.fprintf fmt "map[%d/%d]" (size t) t.capacity

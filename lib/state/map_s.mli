@@ -5,7 +5,18 @@
     the property the Constraints Generator's rule R1 relies on.  The map
     never resizes: when full, [put] fails and the NF observes it (the
     sequential semantics that sharded per-core instances must reproduce
-    locally, §4 "State sharding"). *)
+    locally, §4 "State sharding").
+
+    Storage is hybrid: keys of at most {!Key.max_packed_bytes} bytes live
+    in an allocation-free int-keyed table ({!Intmap}) and the [_packed]
+    operations below access them by their {!Key.pack_string} form without
+    materializing the string — the compiled datapath's zero-allocation
+    path.  Wider keys fall back to a string-keyed table.  Both views are
+    consistent: [get t s] and [find_packed t (Key.pack_string s)] always
+    agree when [Key.fits s].
+
+    Values must be DSL integers (non-negative); [min_int] is reserved as
+    the internal absence sentinel. *)
 
 type t
 
@@ -26,7 +37,34 @@ val put : t -> string -> int -> bool
 val erase : t -> string -> bool
 (** [true] iff the key was present. *)
 
+val mem_packed : t -> int -> bool
+
+val find_packed : t -> int -> absent:int -> int
+(** Allocation-free lookup by packed key; [absent] must be a value the
+    map cannot hold (any negative int). *)
+
+val put_packed : t -> int -> int -> bool
+
+val erase_packed : t -> int -> bool
+
+val mem_wide : t -> string -> bool
+(** Wide-view operations address the string-keyed fallback table directly,
+    bypassing the [Key.fits] routing — the compiled datapath uses them for
+    keys it knows are too wide to pack.  [mem_wide], [find_wide] and
+    [erase_wide] do not retain the key, so a [Bytes.unsafe_to_string]
+    alias of a scratch buffer is a sound argument; [put_wide] stores the
+    key and must be given a string the caller never mutates. *)
+
+val find_wide : t -> string -> absent:int -> int
+(** Allocation-free wide lookup; [absent] as in {!find_packed}. *)
+
+val put_wide : t -> string -> int -> bool
+
+val erase_wide : t -> string -> bool
+
 val iter : t -> (string -> int -> unit) -> unit
+(** Iterates packed entries (keys reconstructed as strings) then wide
+    entries; order within each group is unspecified. *)
 
 val clear : t -> unit
 

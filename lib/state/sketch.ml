@@ -7,9 +7,17 @@ let create ?(depth = 5) ?(width = 4096) () =
 let depth t = t.depth
 let width t = t.width
 
-(* Per-row salted hashing; Hashtbl.hash on the salted string gives
-   independent-enough rows for a simulator. *)
-let index t row key = Hashtbl.hash (row, key) mod t.width
+(* Per-row salted hashing.  The canonical form of a short key is its
+   packed int (see {!Key}): hashing the packed form directly keeps the
+   string API and the allocation-free [_packed] API landing on the same
+   counters, which the interpreter/compiled differential equivalence
+   depends on — a count-min estimate is a function of the collisions. *)
+let index_packed t row k =
+  Hashtbl.hash (k + ((row + 1) * 0x2545F4914F6CDD1D)) mod t.width
+
+let index t row key =
+  if Key.fits key then index_packed t row (Key.pack_string key)
+  else Hashtbl.hash (row, key) mod t.width
 
 let add t key n =
   for row = 0 to t.depth - 1 do
@@ -27,6 +35,23 @@ let count t key =
   !m
 
 let over_limit t key ~limit = count t key > limit
+
+let add_packed t k n =
+  for row = 0 to t.depth - 1 do
+    let i = index_packed t row k in
+    t.rows.(row).(i) <- t.rows.(row).(i) + n
+  done
+
+let increment_packed t k = add_packed t k 1
+
+let count_packed t k =
+  let m = ref max_int in
+  for row = 0 to t.depth - 1 do
+    m := min !m t.rows.(row).(index_packed t row k)
+  done;
+  !m
+
+let over_limit_packed t k ~limit = count_packed t k > limit
 
 let clear t = Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.rows
 

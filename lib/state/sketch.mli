@@ -24,6 +24,19 @@ val count : t -> string -> int
 val over_limit : t -> string -> limit:int -> bool
 (** Whether all of the item's entries surpass [limit] — the CL's drop test. *)
 
+val increment_packed : t -> int -> unit
+(** Allocation-free variants keyed by a {!Key.pack_string}-packed key.
+    For any string [s] with [Key.fits s], [increment_packed t
+    (Key.pack_string s)] touches exactly the counters [increment t s]
+    touches — the packed form is the canonical hash input for short
+    keys. *)
+
+val add_packed : t -> int -> int -> unit
+
+val count_packed : t -> int -> int
+
+val over_limit_packed : t -> int -> limit:int -> bool
+
 val clear : t -> unit
 (** Reset all counters (the periodic refresh of a time-framed limiter). *)
 

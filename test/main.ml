@@ -6,6 +6,7 @@ let () =
       ("packet", Test_packet.suite);
       ("nic", Test_nic.suite);
       ("dsl", Test_dsl.suite);
+      ("compile", Test_compile.suite);
       ("state", Test_state.suite);
       ("symbex", Test_symbex.suite);
       ("nfs", Test_nfs.suite);

@@ -35,6 +35,123 @@ let test_map_binary_keys () =
   Alcotest.(check (option int)) "k1" (Some 1) (Map_s.get m k1);
   Alcotest.(check (option int)) "k2" (Some 2) (Map_s.get m k2)
 
+(* --- Key / Intmap / hybrid packed path ------------------------------------- *)
+
+let prop_key_roundtrip =
+  QCheck.Test.make ~name:"packed keys roundtrip to their strings" ~count:200
+    QCheck.(string_of_size (Gen.int_range 0 Key.max_packed_bytes))
+    (fun s ->
+      Key.fits s
+      && String.equal s (Key.unpack_string (Key.pack_string s)))
+
+let test_key_length_tag () =
+  (* same bytes, different lengths: distinct packed forms, like strings *)
+  let a = Key.pack_string "\x00\x01" and b = Key.pack_string "\x00\x00\x01" in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check int) "len a" 2 (Key.byte_length a);
+  Alcotest.(check int) "len b" 3 (Key.byte_length b);
+  Alcotest.(check bool) "too wide rejected" true
+    (try
+       ignore (Key.pack_string "12345678");
+       false
+     with Invalid_argument _ -> true)
+
+let test_intmap_basics () =
+  let m = Intmap.create ~capacity:3 in
+  Alcotest.(check int) "miss" (-1) (Intmap.find m 42 ~absent:(-1));
+  Alcotest.(check bool) "put" true (Intmap.put m 42 7);
+  Alcotest.(check int) "hit" 7 (Intmap.find m 42 ~absent:(-1));
+  Alcotest.(check bool) "overwrite" true (Intmap.put m 42 8);
+  Alcotest.(check int) "new value" 8 (Intmap.find m 42 ~absent:(-1));
+  Alcotest.(check int) "size" 1 (Intmap.length m);
+  Alcotest.(check bool) "erase" true (Intmap.erase m 42);
+  Alcotest.(check bool) "erase absent" false (Intmap.erase m 42)
+
+let test_intmap_capacity_and_growth () =
+  let m = Intmap.create ~capacity:100 in
+  (* push past the initial physical table so growth + rehash happen *)
+  for i = 0 to 99 do
+    Alcotest.(check bool) (Printf.sprintf "put %d" i) true (Intmap.put m (i * 17) i)
+  done;
+  Alcotest.(check bool) "logically full" false (Intmap.put m 9_999_999 0);
+  for i = 0 to 99 do
+    Alcotest.(check int) (Printf.sprintf "get %d" i) i (Intmap.find m (i * 17) ~absent:(-1))
+  done
+
+(* erase/insert churn exercises tombstone reuse without unbounded growth *)
+let prop_intmap_vs_hashtbl =
+  QCheck.Test.make ~name:"intmap agrees with Hashtbl under churn" ~count:50
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let m = Intmap.create ~capacity:32 in
+      let h = Hashtbl.create 32 in
+      let ok = ref true in
+      for _ = 1 to 1000 do
+        let k = Random.State.int rng 64 in
+        match Random.State.int rng 3 with
+        | 0 ->
+            let v = Random.State.int rng 1000 in
+            let fits = Hashtbl.mem h k || Hashtbl.length h < 32 in
+            if Intmap.put m k v <> fits then ok := false
+            else if fits then Hashtbl.replace h k v
+        | 1 ->
+            if Intmap.erase m k <> Hashtbl.mem h k then ok := false;
+            Hashtbl.remove h k
+        | _ ->
+            let expect = Option.value ~default:(-1) (Hashtbl.find_opt h k) in
+            if Intmap.find m k ~absent:(-1) <> expect then ok := false
+      done;
+      !ok && Intmap.length m = Hashtbl.length h)
+
+let test_map_hybrid_views_agree () =
+  (* entries written through the string API are visible packed and back *)
+  let m = Map_s.create ~capacity:8 in
+  let k = "\x01\x02\x03\x04" in
+  Alcotest.(check bool) "string put" true (Map_s.put m k 5);
+  Alcotest.(check int) "packed view" 5
+    (Map_s.find_packed m (Key.pack_string k) ~absent:(-1));
+  Alcotest.(check bool) "packed put" true (Map_s.put_packed m (Key.pack_string "\xff\xee") 9);
+  Alcotest.(check (option int)) "string view" (Some 9) (Map_s.get m "\xff\xee");
+  Alcotest.(check int) "size counts both" 2 (Map_s.size m);
+  (* iter reconstructs packed keys as strings *)
+  let seen = ref [] in
+  Map_s.iter m (fun key v -> seen := (key, v) :: !seen);
+  Alcotest.(check bool) "iter sees string form" true
+    (List.mem (k, 5) !seen && List.mem ("\xff\xee", 9) !seen);
+  Alcotest.(check bool) "packed erase" true (Map_s.erase_packed m (Key.pack_string k));
+  Alcotest.(check (option int)) "gone via string" None (Map_s.get m k)
+
+let test_map_capacity_spans_views () =
+  (* the logical capacity bounds packed + wide entries together *)
+  let m = Map_s.create ~capacity:2 in
+  let wide = String.make 12 'x' in
+  Alcotest.(check bool) "wide" true (Map_s.put m wide 1);
+  Alcotest.(check bool) "packed" true (Map_s.put m "ab" 2);
+  Alcotest.(check bool) "full (packed)" false (Map_s.put m "cd" 3);
+  Alcotest.(check bool) "full (wide)" false (Map_s.put m (String.make 13 'y') 3);
+  Alcotest.(check bool) "overwrite wide ok" true (Map_s.put m wide 4);
+  Alcotest.(check bool) "overwrite packed ok" true (Map_s.put m "ab" 5)
+
+let test_sketch_packed_consistency () =
+  let s = Sketch.create ~depth:3 ~width:64 () in
+  let k = "\x01\x02" in
+  Sketch.increment s k;
+  Sketch.add_packed s (Key.pack_string k) 2;
+  (* both APIs hit the same counters, so the estimate sums *)
+  Alcotest.(check bool) "mixed count >= 3" true (Sketch.count s k >= 3);
+  Alcotest.(check int) "packed = string estimate" (Sketch.count s k)
+    (Sketch.count_packed s (Key.pack_string k));
+  Alcotest.(check bool) "over limit agrees" true
+    (Sketch.over_limit s k ~limit:2
+    = Sketch.over_limit_packed s (Key.pack_string k) ~limit:2)
+
+let test_dchain_allocate_idx () =
+  let c = Dchain.create ~capacity:1 in
+  let i = Dchain.allocate_idx c ~now:1 in
+  Alcotest.(check bool) "allocated" true (i >= 0 && Dchain.is_allocated c i);
+  Alcotest.(check int) "exhausted" (-1) (Dchain.allocate_idx c ~now:2)
+
 (* --- Vector --------------------------------------------------------------- *)
 
 let test_vector () =
@@ -194,6 +311,15 @@ let suite =
     Alcotest.test_case "map capacity" `Quick test_map_capacity;
     Alcotest.test_case "map erase absent" `Quick test_map_erase_absent;
     Alcotest.test_case "map binary keys" `Quick test_map_binary_keys;
+    Alcotest.test_case "key length tag" `Quick test_key_length_tag;
+    Alcotest.test_case "intmap basics" `Quick test_intmap_basics;
+    Alcotest.test_case "intmap capacity and growth" `Quick test_intmap_capacity_and_growth;
+    Alcotest.test_case "map hybrid views agree" `Quick test_map_hybrid_views_agree;
+    Alcotest.test_case "map capacity spans views" `Quick test_map_capacity_spans_views;
+    Alcotest.test_case "sketch packed consistency" `Quick test_sketch_packed_consistency;
+    Alcotest.test_case "dchain allocate_idx" `Quick test_dchain_allocate_idx;
+    QCheck_alcotest.to_alcotest prop_key_roundtrip;
+    QCheck_alcotest.to_alcotest prop_intmap_vs_hashtbl;
     Alcotest.test_case "vector" `Quick test_vector;
     Alcotest.test_case "dchain allocate all" `Quick test_dchain_allocate_all;
     Alcotest.test_case "dchain expiry order" `Quick test_dchain_expiry_order;
