@@ -4,6 +4,10 @@
      check_regression [options] BASELINE.json CURRENT.json
        --threshold PCT     allowed growth, percent (default 15)
        --counters a,b,c    compare only the named counters
+       --min-counters a,b  floor-gated counters: fail when one shrinks
+                           below baseline * (1 - threshold) — for
+                           counters that measure work which must keep
+                           happening (rebalances, migrated flows)
        --include-timings   also compare machine-dependent counters
                            (_ns/_ms timings and speedup ratios)
 
@@ -14,13 +18,14 @@
 
 let usage () =
   prerr_endline
-    "usage: check_regression [--threshold PCT] [--counters a,b,c] [--include-timings]\n\
-    \       BASELINE.json CURRENT.json";
+    "usage: check_regression [--threshold PCT] [--counters a,b,c] [--min-counters a,b]\n\
+    \       [--include-timings] BASELINE.json CURRENT.json";
   exit 2
 
 let () =
   let threshold = ref 15.0 in
   let only = ref None in
+  let min_counters = ref [] in
   let include_timings = ref false in
   let files = ref [] in
   let rec parse = function
@@ -32,6 +37,9 @@ let () =
         parse rest
     | "--counters" :: v :: rest ->
         only := Some (String.split_on_char ',' v |> List.filter (fun s -> s <> ""));
+        parse rest
+    | "--min-counters" :: v :: rest ->
+        min_counters := String.split_on_char ',' v |> List.filter (fun s -> s <> "");
         parse rest
     | "--include-timings" :: rest ->
         include_timings := true;
@@ -53,7 +61,7 @@ let () =
       | Ok base, Ok cur ->
           let report =
             Benchdiff.diff ~threshold:(!threshold /. 100.0) ?only:!only
-              ~include_timings:!include_timings base cur
+              ~min_counters:!min_counters ~include_timings:!include_timings base cur
           in
           Format.printf "%s (%s) vs %s (%s)@." base_file base.Benchdiff.doc_name cur_file
             cur.Benchdiff.doc_name;

@@ -311,7 +311,7 @@ let ext_rsspp () =
   let second = Traffic.Zipf.trace ~spec rng z ~flows:(List.rev fs) in
   let trace = Array.append first second in
   let plan = plan_for (Nfs.Registry.find_exn "fw") 8 in
-  let r = Runtime.Rebalance.study plan trace ~epoch_pkts:6000 in
+  let r = Runtime.Rebalance.study_exn plan trace ~epoch_pkts:6000 in
   printf "epoch | static imbalance | dynamic imbalance@.";
   Array.iteri
     (fun e s ->

@@ -60,6 +60,24 @@ let sat_budget_arg =
           "Conflict/propagation budget for the SAT key search; on exhaustion the plan \
            degrades down the ladder instead of failing (negative component = unlimited).")
 
+let rebalance_conv =
+  let parse s =
+    match Runtime.Balancer.parse s with Ok m -> Ok m | Error e -> Error (`Msg e)
+  in
+  let print fmt m = Format.pp_print_string fmt (Runtime.Balancer.to_string m) in
+  Arg.conv ~docv:"SPEC" (parse, print)
+
+let rebalance_arg =
+  Arg.(
+    value
+    & opt rebalance_conv Runtime.Balancer.Off
+    & info [ "rebalance" ] ~docv:"SPEC"
+        ~doc:
+          "Online RSS++ rebalancing on the domain pool: $(b,off) (default), $(b,on), or a \
+           comma-separated $(b,epoch=N),$(b,threshold=F) — check max/mean core imbalance \
+           every N packets and move hot indirection buckets (with a quiesced state \
+           migration on shared-nothing plans) when it exceeds F.")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -177,7 +195,7 @@ let parallelize_cmd =
 
 let run_cmd =
   let run name cores seed strategy pkts flows batch_size backpressure fault_plan compiled
-      compiled_nf interp stats trace_json =
+      compiled_nf interp rebalance stats trace_json =
     match find_nf name with
     | Error e ->
         Format.eprintf "%s@." e;
@@ -235,7 +253,7 @@ let run_cmd =
         (* the same plan on real OCaml domains, fed through the persistent pool *)
         Runtime.Pool.with_global ~batch_size ~backpressure ~cores:plan.Maestro.Plan.cores
         @@ fun pool ->
-        let dv = Runtime.Pool.run pool plan trace in
+        let dv = Runtime.Pool.run ~rebalance pool plan trace in
         let ps = Runtime.Pool.stats pool in
         let dagree = ref 0 in
         Array.iteri (fun i v -> if v = seq.(i) then incr dagree) dv;
@@ -258,6 +276,22 @@ let run_cmd =
             (fun ev -> Format.printf "  supervisor: %a@." Runtime.Supervisor.pp_event ev)
             (Runtime.Supervisor.events (Runtime.Pool.supervisor pool))
         end;
+        (match rebalance with
+        | Runtime.Balancer.Off -> ()
+        | Runtime.Balancer.On _ ->
+            Format.printf
+              "pool rebalancing (%s): %d rebalances (%d forced), %d buckets, %d flow states \
+               moved, %d evicted@."
+              (Runtime.Balancer.to_string rebalance)
+              ps.Runtime.Pool.rebalances ps.Runtime.Pool.forced_rebalances
+              ps.Runtime.Pool.migrated_buckets ps.Runtime.Pool.migrated_flows
+              ps.Runtime.Pool.migration_drops;
+            Format.printf "pool core shares: %s@."
+              (String.concat ", "
+                 (Array.to_list
+                    (Array.map
+                       (fun s -> Printf.sprintf "%.3f" s)
+                       ps.Runtime.Pool.last_core_share))));
         Format.printf "pool sequential agreement: %d/%d@." !dagree (Array.length trace)
   in
   let pkts = Arg.(value & opt int 20_000 & info [ "pkts" ] ~doc:"Packets to replay.") in
@@ -327,10 +361,71 @@ let run_cmd =
           sequential version.")
     Term.(
       const run $ nf_arg $ cores_arg $ seed_arg $ strategy_arg $ pkts $ flows $ batch_size
-      $ backpressure $ fault_plan $ compiled_rss $ compiled_nf $ interp $ stats_arg
-      $ trace_json_arg)
+      $ backpressure $ fault_plan $ compiled_rss $ compiled_nf $ interp $ rebalance_arg
+      $ stats_arg $ trace_json_arg)
+
+(* --- rebalance (offline study) ---------------------------------------------- *)
+
+let rebalance_cmd =
+  let run name cores seed pkts flows epoch threshold exponent stats trace_json =
+    match find_nf name with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        exit 1
+    | Ok nf ->
+        with_telemetry stats trace_json @@ fun () ->
+        let request = { Maestro.Pipeline.default_request with cores; seed } in
+        let plan = (Maestro.Pipeline.parallelize_exn ~request nf).Maestro.Pipeline.plan in
+        let rng = Random.State.make [| seed |] in
+        let z = Traffic.Zipf.make ~exponent ~nflows:flows () in
+        let fs = Traffic.Gen.flows rng flows in
+        let spec = { Traffic.Gen.default_spec with Traffic.Gen.pkts } in
+        let trace = Traffic.Zipf.trace ~spec rng z ~flows:fs in
+        (match Runtime.Rebalance.study ~threshold plan trace ~epoch_pkts:epoch with
+        | Error e ->
+            Format.eprintf "error: %s@." e;
+            exit 1
+        | Ok r ->
+            Format.printf "strategy: %s on %d cores; Zipf(%.2f), %d flows, epoch %d@."
+              (Maestro.Plan.strategy_name plan.Maestro.Plan.strategy)
+              cores exponent flows epoch;
+            Format.printf "epoch | static imbalance | dynamic imbalance@.";
+            Array.iteri
+              (fun e s ->
+                Format.printf "%5d | %16.2f | %17.2f@." e s
+                  r.Runtime.Rebalance.dynamic_imbalance.(e))
+              r.Runtime.Rebalance.static_imbalance;
+            Format.printf "rebalances: %d (threshold %.2f); %d buckets, %d flow states moved@."
+              r.Runtime.Rebalance.rebalances threshold r.Runtime.Rebalance.migrated_buckets
+              r.Runtime.Rebalance.migrated_flows)
+  in
+  let pkts = Arg.(value & opt int 24_000 & info [ "pkts" ] ~doc:"Packets to study.") in
+  let flows = Arg.(value & opt int 1_000 & info [ "flows" ] ~doc:"Flows in the workload.") in
+  let epoch =
+    Arg.(value & opt int 4096 & info [ "epoch" ] ~docv:"N" ~doc:"Packets per rebalance epoch.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.0
+      & info [ "threshold" ] ~docv:"F"
+          ~doc:
+            "Max/mean imbalance above which an epoch boundary rebalances (0 = always; pass \
+             the live balancer's threshold to reproduce its decisions).")
+  in
+  let exponent =
+    Arg.(value & opt float 1.1 & info [ "zipf" ] ~docv:"S" ~doc:"Zipf exponent of the workload.")
+  in
+  Cmd.v
+    (Cmd.info "rebalance"
+       ~doc:
+         "Offline study of dynamic RSS++ rebalancing: replay a Zipfian trace through static \
+          and dynamically rebalanced indirection tables and report per-epoch imbalance and \
+          migration costs.")
+    Term.(
+      const run $ nf_arg $ cores_arg $ seed_arg $ pkts $ flows $ epoch $ threshold $ exponent
+      $ stats_arg $ trace_json_arg)
 
 let () =
   let doc = "Automatic parallelization of software network functions (NSDI'24 reproduction)" in
   let info = Cmd.info "maestro" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; analyze_cmd; parallelize_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; analyze_cmd; parallelize_cmd; run_cmd; rebalance_cmd ]))

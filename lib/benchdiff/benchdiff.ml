@@ -241,17 +241,21 @@ type report = {
   threshold : float;
   regressions : change list;
   improvements : change list;
+  shrunk : change list;
   unchanged : int;
   missing : string list;
   added : string list;
 }
 
-let diff ?(threshold = 0.15) ?only ?(include_timings = false) base_doc cur_doc =
+let diff ?(threshold = 0.15) ?only ?(include_timings = false) ?(min_counters = []) base_doc
+    cur_doc =
   let wanted name =
     (include_timings || not (is_timing_counter name))
-    && match only with None -> true | Some names -> List.mem name names
+    && (List.mem name min_counters
+       || match only with None -> true | Some names -> List.mem name names)
   in
-  let regressions = ref [] and improvements = ref [] and unchanged = ref 0 in
+  let regressions = ref [] and improvements = ref [] and shrunk = ref [] in
+  let unchanged = ref 0 in
   let missing = ref [] and added = ref [] in
   List.iter
     (fun (name, base) ->
@@ -265,30 +269,31 @@ let diff ?(threshold = 0.15) ?only ?(include_timings = false) base_doc cur_doc =
             in
             let ch = { counter_name = name; base; current; ratio } in
             if ratio > 1.0 +. threshold then regressions := ch :: !regressions
-            else if ratio < 1.0 -. threshold then improvements := ch :: !improvements
+            else if ratio < 1.0 -. threshold then
+              if List.mem name min_counters then shrunk := ch :: !shrunk
+              else improvements := ch :: !improvements
             else incr unchanged)
     base_doc.counters;
   List.iter
     (fun (name, _) ->
       if wanted name && counter base_doc name = None then added := name :: !added)
     cur_doc.counters;
-  (* [only] names absent from the baseline are misconfigurations, not noise *)
-  (match only with
-  | None -> ()
-  | Some names ->
-      List.iter
-        (fun name -> if counter base_doc name = None then missing := name :: !missing)
-        names);
+  (* [only] / [min_counters] names absent from the baseline are
+     misconfigurations, not noise *)
+  List.iter
+    (fun name -> if counter base_doc name = None then missing := name :: !missing)
+    (Option.value ~default:[] only @ min_counters);
   {
     threshold;
     regressions = List.rev !regressions;
     improvements = List.rev !improvements;
+    shrunk = List.rev !shrunk;
     unchanged = !unchanged;
     missing = List.sort_uniq compare !missing;
     added = List.rev !added;
   }
 
-let ok r = r.regressions = [] && r.missing = []
+let ok r = r.regressions = [] && r.shrunk = [] && r.missing = []
 
 let pp_change fmt c =
   Format.fprintf fmt "%-44s %12d -> %12d  (%+.1f%%)" c.counter_name c.base c.current
@@ -300,12 +305,18 @@ let pp_report fmt r =
     Format.fprintf fmt "REGRESSIONS (> +%.0f%%):@," (100.0 *. r.threshold);
     List.iter (fun c -> Format.fprintf fmt "  %a@," pp_change c) r.regressions
   end;
+  if r.shrunk <> [] then begin
+    Format.fprintf fmt "SHRUNK below floor (> -%.0f%%):@," (100.0 *. r.threshold);
+    List.iter (fun c -> Format.fprintf fmt "  %a@," pp_change c) r.shrunk
+  end;
   if r.improvements <> [] then begin
     Format.fprintf fmt "improvements (> -%.0f%%):@," (100.0 *. r.threshold);
     List.iter (fun c -> Format.fprintf fmt "  %a@," pp_change c) r.improvements
   end;
   List.iter (fun n -> Format.fprintf fmt "  missing in current run: %s@," n) r.missing;
   List.iter (fun n -> Format.fprintf fmt "  new counter (no baseline): %s@," n) r.added;
-  Format.fprintf fmt "%d compared within threshold, %d regressed, %d improved@]" r.unchanged
+  Format.fprintf fmt "%d compared within threshold, %d regressed, %d shrunk, %d improved@]"
+    r.unchanged
     (List.length r.regressions)
+    (List.length r.shrunk)
     (List.length r.improvements)

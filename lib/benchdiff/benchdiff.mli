@@ -69,21 +69,39 @@ type report = {
   threshold : float;
   regressions : change list;  (** grew beyond the threshold *)
   improvements : change list;  (** shrank beyond the threshold *)
+  shrunk : change list;
+      (** floor-gated counters ([min_counters]) that shrank beyond the
+          threshold — a {e failure}, unlike {!field-improvements}: these
+          counters measure work that must keep happening (rebalances
+          applied, flow states migrated), so a collapse towards zero
+          means the machinery silently stopped running *)
   unchanged : int;  (** compared counters within the threshold *)
   missing : string list;  (** in baseline but not in current *)
   added : string list;  (** in current but not in baseline *)
 }
 
-val diff : ?threshold:float -> ?only:string list -> ?include_timings:bool -> doc -> doc -> report
+val diff :
+  ?threshold:float ->
+  ?only:string list ->
+  ?include_timings:bool ->
+  ?min_counters:string list ->
+  doc ->
+  doc ->
+  report
 (** [diff baseline current] compares every counter present in both
     documents.  [threshold] defaults to [0.15] (a counter regresses when
     [current > base *. (1. +. threshold)]).  [only] restricts the
     comparison to the named counters ([missing] then lists requested
     names absent from either side).  [include_timings] (default
-    [false]) also compares {!is_timing_counter} counters. *)
+    [false]) also compares {!is_timing_counter} counters.
+    [min_counters] names counters with a {e floor}: they are always
+    compared (even under [only]), shrinking below
+    [base *. (1. -. threshold)] lands them in {!report.shrunk} instead
+    of [improvements], and a name absent from either document is
+    reported [missing]. *)
 
 val ok : report -> bool
-(** [true] when the report carries no regressions and no missing
-    counters. *)
+(** [true] when the report carries no regressions, no shrunk
+    floor-gated counters and no missing counters. *)
 
 val pp_report : Format.formatter -> report -> unit

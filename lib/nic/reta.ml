@@ -98,5 +98,16 @@ let remap t ~live =
   in
   { t with table }
 
+let diff a b =
+  if Array.length a.table <> Array.length b.table then
+    invalid_arg "Reta.diff: table sizes differ";
+  if a.queues <> b.queues then invalid_arg "Reta.diff: queue counts differ";
+  let moves = ref [] in
+  for i = Array.length a.table - 1 downto 0 do
+    if a.table.(i) <> b.table.(i) then
+      moves := (i, a.table.(i), b.table.(i)) :: !moves
+  done;
+  !moves
+
 let pp fmt t =
   Format.fprintf fmt "reta[%d entries -> %d queues]" (Array.length t.table) t.queues

@@ -38,6 +38,12 @@ val remap : t -> live:bool array -> t
     remap, paper §4.4).  Raises [Invalid_argument] when [live] does not
     match the queue count or no queue is live. *)
 
+val diff : t -> t -> (int * int * int) list
+(** [diff old new_] lists the buckets whose queue assignment changed, as
+    [(bucket, from_queue, to_queue)] triples in bucket order — the move set
+    a live rebalance must migrate state for.  Raises [Invalid_argument]
+    when the tables differ in size or queue count. *)
+
 val queue_loads : t -> bucket_load:float array -> float array
 (** Per-queue load implied by a bucket-load vector. *)
 

@@ -1,0 +1,97 @@
+(** Online RSS++ rebalancing: policy, migration planning, and the state
+    handoff that keeps shared-nothing sharding correct when buckets move.
+
+    The paper implements the *static* variant of RSS++ bucket balancing and
+    notes that "their dynamic versions could be used to handle changes in
+    skew over time" (§4, "Traffic skew").  This module is that dynamic
+    half: {!Runtime.Pool} counts per-RETA-bucket load at dispatch and, at
+    every epoch boundary, consults a {!config} to decide whether to move
+    hot buckets to underloaded queues.  Because shared-nothing plans keep
+    per-flow state on the owning core, a bucket move must also move the
+    state of every flow hashing into that bucket — the {!migrate} executor
+    below performs that handoff while the pool is quiesced.
+
+    Cross-port consistency: Maestro configures *symmetric* per-port RSS
+    keys (paper Fig. 3), so both directions of a flow produce the same hash
+    and therefore the same bucket index on every port.  The balancer
+    exploits this by maintaining ONE indirection table shared by all ports
+    (bucket loads are aggregated across ports and the rebalanced table is
+    applied to every port engine), which preserves the invariant that a
+    flow lands on exactly one core no matter which port its packets
+    arrive on. *)
+
+(** {1 Policy} *)
+
+type config = {
+  epoch_pkts : int;  (** packets between imbalance checks *)
+  threshold : float;
+      (** rebalance when max/mean per-core load exceeds this (1.0 is
+          perfectly balanced, so useful thresholds are > 1.0) *)
+}
+
+val default_config : config
+(** [epoch_pkts = 4096], [threshold = 1.1]. *)
+
+type mode = Off | On of config
+
+val parse : string -> (mode, string) result
+(** Parse a [--rebalance] specification: ["off"], ["on"], or a
+    comma-separated list of [epoch=N] and [threshold=F] (each implies
+    [On], missing fields take {!default_config} values).  [Error] (never
+    an exception) on malformed input. *)
+
+val to_string : mode -> string
+
+(** {1 Migration planning}
+
+    A static analysis of the NF's AST discovering how per-flow state is
+    laid out, mirroring the Vigor idiom: a {!State.Dchain} allocates flow
+    indices, key vectors remember each flow's key fields, maps go from key
+    bytes to index, and data vectors hold per-flow values — all tied
+    together by the [Chain_expire] purge pairs.  The plan records, for
+    every migratable object, how to rebuild a flow's key, decode it back
+    into packet header fields (possible exactly when the map keys are
+    plain header fields — the same restriction that makes the key
+    RSS-shardable in the first place), and which vectors travel with a
+    chain index. *)
+
+type migration_plan
+
+val migration_plan : Dsl.Ast.t -> migration_plan
+
+val exact : migration_plan -> bool
+(** [true] when every written map, chain and vector is migratable, so a
+    bucket move loses no state and parallel verdicts stay equal to
+    sequential.  Sketches are exempt: they are estimators, not exact
+    state, and are skipped (and listed) instead. *)
+
+val skipped_objects : migration_plan -> string list
+(** Written state objects the migration cannot carry (sketches always;
+    maps/vectors/chains whose keys or index flow defeat the analysis). *)
+
+(** {1 Migration execution} *)
+
+type outcome = {
+  moved_flows : int;  (** state entries handed to another core *)
+  dropped_flows : int;
+      (** entries evicted because the destination was full — the flow
+          restarts, exactly as if it had expired *)
+}
+
+val migrate :
+  migration_plan ->
+  hash:(Packet.Pkt.t -> int option) ->
+  mask:int ->
+  dest:(int -> int) ->
+  instances:Dsl.Instance.t array ->
+  outcome
+(** [migrate plan ~hash ~mask ~dest ~instances] walks every core's state,
+    rebuilds each flow's key, decodes it into a pseudo-packet, hashes it
+    with [hash] (the plan's RSS key — sharding constraints guarantee the
+    hash depends only on the key fields), and moves the flow's entries to
+    core [dest (h land mask)] when that differs from the current owner.
+    Chain indices are re-allocated on the target with their last-touch
+    time preserved in recency order ({!State.Dchain.allocate_at}), tied
+    vector slots are copied, and map entries are re-pointed — so aging,
+    expiry order and lookups all survive the move.  Must only be called
+    while the pool is quiesced (no worker touching [instances]). *)

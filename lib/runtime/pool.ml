@@ -45,6 +45,26 @@ let c_remaps =
   Telemetry.Counter.make "pool.reta_remaps"
     ~doc:"indirection-table remaps after permanent core failures"
 
+let c_rebalances =
+  Telemetry.Counter.make "pool.rebalances"
+    ~doc:"online RSS++ rebalances applied at epoch boundaries"
+
+let c_rebalances_forced =
+  Telemetry.Counter.make "pool.rebalances_forced"
+    ~doc:"rebalances forced by a permanent core failure"
+
+let c_moved_buckets =
+  Telemetry.Counter.make "pool.migrated_buckets"
+    ~doc:"indirection buckets moved by the online balancer"
+
+let c_moved_flows =
+  Telemetry.Counter.make "pool.migrated_flows"
+    ~doc:"flow states handed between cores by the online balancer"
+
+let c_migration_drops =
+  Telemetry.Counter.make "pool.migration_drops"
+    ~doc:"flow states evicted during migration because the destination was full"
+
 (* --- bounded SPSC ring ----------------------------------------------------- *)
 
 module Ring = struct
@@ -141,6 +161,15 @@ type stats = {
   restarts : int;  (** supervisor restarts over the pool's lifetime *)
   failed_cores : int list;  (** cores declared permanently failed *)
   inline_batches : int;  (** batches the producer ran inline *)
+  rebalances : int;  (** online rebalances applied over the pool's lifetime *)
+  forced_rebalances : int;  (** rebalances forced by a core write-off *)
+  migrated_buckets : int;  (** indirection buckets moved by the balancer *)
+  migrated_flows : int;  (** flow states handed between cores *)
+  migration_drops : int;  (** flow states evicted (destination full) *)
+  last_core_share : float array;  (** per-core load share of the last run *)
+  last_assignment : int array;  (** per-packet core of the last run *)
+  last_rebalance_points : int list;
+      (** packet offsets (ascending) where the last run changed the table *)
 }
 
 type t = {
@@ -158,6 +187,14 @@ type t = {
   per_core_drops : int array;
   mutable inline_batches : int;
   mutable last_per_core : int array;
+  mutable rebalances : int;
+  mutable forced_rebalances : int;
+  mutable migrated_buckets : int;
+  mutable migrated_flows : int;
+  mutable migration_drops : int;
+  mutable last_share : float array;
+  mutable last_assignment : int array;
+  mutable last_points : int list;
 }
 
 let worker_loop w () =
@@ -242,6 +279,14 @@ let create ?(batch_size = default_batch_size) ?(ring_capacity = default_ring_cap
     per_core_drops = Array.make cores 0;
     inline_batches = 0;
     last_per_core = [||];
+    rebalances = 0;
+    forced_rebalances = 0;
+    migrated_buckets = 0;
+    migrated_flows = 0;
+    migration_drops = 0;
+    last_share = [||];
+    last_assignment = [||];
+    last_points = [];
   }
 
 let cores t = t.cores
@@ -284,6 +329,14 @@ let stats t =
     restarts = Supervisor.restarts t.supervisor;
     failed_cores = failed_cores t;
     inline_batches = t.inline_batches;
+    rebalances = t.rebalances;
+    forced_rebalances = t.forced_rebalances;
+    migrated_buckets = t.migrated_buckets;
+    migrated_flows = t.migrated_flows;
+    migration_drops = t.migration_drops;
+    last_core_share = Array.copy t.last_share;
+    last_assignment = Array.copy t.last_assignment;
+    last_rebalance_points = t.last_points;
   }
 
 (* --- supervision (producer side) -------------------------------------------- *)
@@ -443,7 +496,64 @@ let rec stmt_writes (s : Dsl.Ast.stmt) =
 
 let nf_statically_writes (nf : Dsl.Ast.t) = stmt_writes nf.Dsl.Ast.process
 
-let run (t : t) (plan : Maestro.Plan.t) pkts =
+(* Chunk each core's index queue into batches and feed the rings;
+   [remaining] is incremented before each handoff and compensated on a
+   drop (a dropped task never runs, so nothing else will decrement for
+   it). *)
+let submit_queues t ~process_batch ~remaining queues =
+  Array.iteri
+    (fun core q ->
+      let n = Array.length q in
+      let nbatches = (n + t.batch_size - 1) / t.batch_size in
+      for b = 0 to nbatches - 1 do
+        let lo = b * t.batch_size in
+        let len = min t.batch_size (n - lo) in
+        Atomic.incr remaining;
+        match submit t ~core (process_batch core (Array.sub q lo len)) with
+        | `Pushed | `Inline -> ()
+        | `Dropped -> Atomic.decr remaining
+      done)
+    queues
+
+(* Per-core index queues, in arrival order, for [assignment.(lo..hi-1)]. *)
+let queues_of_assignment ~cores assignment ~lo ~hi =
+  let per = Array.make cores 0 in
+  for i = lo to hi - 1 do
+    per.(assignment.(i)) <- per.(assignment.(i)) + 1
+  done;
+  let queues = Array.init cores (fun c -> Array.make per.(c) 0) in
+  let fill = Array.make cores 0 in
+  for i = lo to hi - 1 do
+    let c = assignment.(i) in
+    queues.(c).(fill.(c)) <- i;
+    fill.(c) <- fill.(c) + 1
+  done;
+  queues
+
+(* Producer waits for the last batch; workers signal by decrementing.
+   Every 256 spins it plays supervisor: joins/restarts dead workers
+   (running their crashed batch and, on permanent failure, their whole
+   ring inline) and checks heartbeats of workers with queued work. *)
+let wait_quiesce t ~cores remaining =
+  let iters = ref 0 in
+  while Atomic.get remaining > 0 do
+    incr iters;
+    if !iters land 255 = 0 then begin
+      Supervisor.tick t.supervisor;
+      for core = 0 to cores - 1 do
+        let w = t.workers.(core) in
+        match ensure_live t w with
+        | `Failed -> drain_inline t w
+        | `Ok ->
+            ignore
+              (Supervisor.note_heartbeat t.supervisor ~core
+                 ~heartbeat:(Atomic.get w.heartbeat) ~ring_len:(Ring.length w.ring))
+      done
+    end;
+    Domain.cpu_relax ()
+  done
+
+let run ?(rebalance = Balancer.Off) (t : t) (plan : Maestro.Plan.t) pkts =
   Telemetry.Span.with_span "pool/run" @@ fun () ->
   let cores = plan.Maestro.Plan.cores in
   if cores > t.cores then
@@ -470,31 +580,25 @@ let run (t : t) (plan : Maestro.Plan.t) pkts =
         end)
   in
   let npkts = Array.length pkts in
-  (* dispatch on the producer, exactly what the NIC does in hardware *)
-  let assignment = Array.map (fun p -> Nic.Rss.dispatch engines.(p.Packet.Pkt.port) p) pkts in
-  let per_core = Array.make cores 0 in
-  Array.iter (fun c -> per_core.(c) <- per_core.(c) + 1) assignment;
-  (* per-core index queues in arrival order *)
-  let queues = Array.init cores (fun c -> Array.make per_core.(c) 0) in
-  let fill = Array.make cores 0 in
-  Array.iteri
-    (fun i core ->
-      queues.(core).(fill.(core)) <- i;
-      fill.(core) <- fill.(core) + 1)
-    assignment;
   let verdicts = Array.make npkts Dsl.Interp.Dropped in
   let remaining = Atomic.make 0 in
   let strategy = plan.Maestro.Plan.strategy in
   (* per-core state for shared-nothing (capacity-split) and load-balance
-     (read-only replicas); one shared locked instance otherwise *)
-  let process_batch =
+     (read-only replicas); one shared locked instance otherwise.  The
+     instance array is kept visible so the balancer can migrate state
+     between cores at a quiesced epoch boundary. *)
+  let instances =
     match strategy with
     | Maestro.Plan.Shared_nothing | Maestro.Plan.Load_balance ->
-        let runners =
-          Array.init cores (fun _ ->
-              Dsl.Compile.bind_runner staged
-                (Dsl.Instance.create ~divide:(Maestro.Plan.state_divisor plan) nf))
-        in
+        Some
+          (Array.init cores (fun _ ->
+               Dsl.Instance.create ~divide:(Maestro.Plan.state_divisor plan) nf))
+    | Maestro.Plan.Lock_based | Maestro.Plan.Tm_based -> None
+  in
+  let process_batch =
+    match instances with
+    | Some insts ->
+        let runners = Array.map (Dsl.Compile.bind_runner staged) insts in
         fun core indices ->
           let r = runners.(core) in
           {
@@ -504,7 +608,7 @@ let run (t : t) (plan : Maestro.Plan.t) pkts =
                 Array.iter (fun i -> verdicts.(i) <- Dsl.Compile.run r pkts.(i)) indices;
                 Atomic.decr remaining);
           }
-    | Maestro.Plan.Lock_based | Maestro.Plan.Tm_based ->
+    | None ->
         let inst = Dsl.Instance.create nf in
         let lock = Rwlock.create ~cores in
         let writes = nf_statically_writes nf in
@@ -527,48 +631,152 @@ let run (t : t) (plan : Maestro.Plan.t) pkts =
                 Atomic.decr remaining);
           }
   in
-  (* chunk each core's queue into batches and feed the rings; [remaining]
-     is incremented before each handoff and compensated on a drop (a
-     dropped task never runs, so nothing else will decrement for it) *)
-  for core = 0 to cores - 1 do
-    let q = queues.(core) in
-    let n = Array.length q in
-    let nbatches = (n + t.batch_size - 1) / t.batch_size in
-    for b = 0 to nbatches - 1 do
-      let lo = b * t.batch_size in
-      let len = min t.batch_size (n - lo) in
-      Atomic.incr remaining;
-      match submit t ~core (process_batch core (Array.sub q lo len)) with
-      | `Pushed | `Inline -> ()
-      | `Dropped -> Atomic.decr remaining
-    done
-  done;
-  (* producer waits for the last batch; workers signal by decrementing.
-     Every 256 spins it plays supervisor: joins/restarts dead workers
-     (running their crashed batch and, on permanent failure, their whole
-     ring inline) and checks heartbeats of workers with queued work. *)
-  let iters = ref 0 in
-  while Atomic.get remaining > 0 do
-    incr iters;
-    if !iters land 255 = 0 then begin
-      Supervisor.tick t.supervisor;
-      for core = 0 to cores - 1 do
-        let w = t.workers.(core) in
-        match ensure_live t w with
-        | `Failed -> drain_inline t w
-        | `Ok ->
-            ignore
-              (Supervisor.note_heartbeat t.supervisor ~core
-                 ~heartbeat:(Atomic.get w.heartbeat) ~ring_len:(Ring.length w.ring))
-      done
-    end;
-    Domain.cpu_relax ()
-  done;
-  t.runs <- t.runs + 1;
-  t.total_pkts <- t.total_pkts + npkts;
-  t.last_per_core <- per_core;
-  Telemetry.Counter.add c_pkts npkts;
-  verdicts
+  let finish assignment points per_core =
+    t.runs <- t.runs + 1;
+    t.total_pkts <- t.total_pkts + npkts;
+    t.last_per_core <- per_core;
+    t.last_assignment <- assignment;
+    t.last_points <- List.rev points;
+    let total = Array.fold_left ( + ) 0 per_core in
+    t.last_share <-
+      (if total = 0 then Array.make cores 0.
+       else Array.map (fun c -> float_of_int c /. float_of_int total) per_core);
+    Telemetry.Counter.add c_pkts npkts;
+    verdicts
+  in
+  match rebalance with
+  | Balancer.Off ->
+      (* dispatch on the producer, exactly what the NIC does in hardware *)
+      let assignment =
+        Array.map (fun p -> Nic.Rss.dispatch engines.(p.Packet.Pkt.port) p) pkts
+      in
+      let per_core = Array.make cores 0 in
+      Array.iter (fun c -> per_core.(c) <- per_core.(c) + 1) assignment;
+      submit_queues t ~process_batch ~remaining
+        (queues_of_assignment ~cores assignment ~lo:0 ~hi:npkts);
+      wait_quiesce t ~cores remaining;
+      finish assignment [] per_core
+  | Balancer.On cfg ->
+      let size = Nic.Reta.size (Nic.Rss.reta engines.(0)) in
+      if Array.exists (fun e -> Nic.Reta.size (Nic.Rss.reta e) <> size) engines then
+        invalid_arg "Pool.run: rebalancing requires equal-size port indirection tables";
+      (* ONE table shared by all ports: Maestro's symmetric per-port keys
+         give both directions of a flow the same hash, hence the same
+         bucket on every port, so a single rebalanced table keeps each
+         flow on exactly one core no matter the arrival port *)
+      let table = ref (Nic.Rss.reta engines.(0)) in
+      let set_table tab =
+        table := tab;
+        Array.iteri (fun p e -> engines.(p) <- Nic.Rss.with_reta e tab) engines
+      in
+      set_table !table;
+      let mask = size - 1 in
+      let mplan = Balancer.migration_plan nf in
+      (* voluntary bucket moves need either no per-core flow state
+         (lock/TM share one instance, load-balance replicates read-only
+         state) or an exact migration; a partially-migratable
+         shared-nothing NF only moves buckets when a core write-off
+         forces it (state is then stranded exactly as in a plain remap) *)
+      let migrate_ok = strategy = Maestro.Plan.Shared_nothing && Balancer.exact mplan in
+      let voluntary_ok =
+        match strategy with
+        | Maestro.Plan.Shared_nothing -> Balancer.exact mplan
+        | Maestro.Plan.Lock_based | Maestro.Plan.Tm_based | Maestro.Plan.Load_balance -> true
+      in
+      let nports = Array.length engines in
+      let hash_pkt (pk : Packet.Pkt.t) =
+        let port = if pk.Packet.Pkt.port < nports then pk.Packet.Pkt.port else 0 in
+        Nic.Rss.hash_of engines.(port) pk
+      in
+      let assignment = Array.make npkts 0 in
+      let per_core = Array.make cores 0 in
+      let bucket_loads = Array.make size 0.0 in
+      let epoch_counts = Array.make cores 0 in
+      let points = ref [] in
+      let pos = ref 0 in
+      while !pos < npkts do
+        let hi = min (!pos + cfg.Balancer.epoch_pkts) npkts in
+        (* per-bucket load accounting lives on the producer next to the
+           dispatch it already performs — zero worker-side cost, and
+           deterministic (a CI gate compares the resulting counters) *)
+        for i = !pos to hi - 1 do
+          let p = pkts.(i) in
+          let q =
+            match Nic.Rss.hash_of engines.(p.Packet.Pkt.port) p with
+            | Some h ->
+                let b = h land mask in
+                bucket_loads.(b) <- bucket_loads.(b) +. 1.0;
+                Nic.Reta.lookup !table h
+            | None -> 0
+          in
+          assignment.(i) <- q;
+          epoch_counts.(q) <- epoch_counts.(q) + 1;
+          per_core.(q) <- per_core.(q) + 1
+        done;
+        submit_queues t ~process_batch ~remaining
+          (queues_of_assignment ~cores assignment ~lo:!pos ~hi);
+        (* the epoch barrier IS the quiesce point: nothing is in flight
+           when the table changes or state moves, so per-flow order is
+           preserved by construction (FIFO per core within an epoch) *)
+        wait_quiesce t ~cores remaining;
+        pos := hi;
+        if !pos < npkts then begin
+          (* supervisor integration: join any dead domain NOW, so a
+             rebalance can never race a restart, and treat a fresh
+             write-off as a forced rebalance *)
+          let newly_dead = ref false in
+          for core = 0 to cores - 1 do
+            match ensure_live t t.workers.(core) with
+            | `Failed ->
+                if live.(core) then begin
+                  live.(core) <- false;
+                  newly_dead := true
+                end
+            | `Ok -> ()
+          done;
+          let wanted =
+            voluntary_ok && Rebalance.imbalance_of epoch_counts > cfg.Balancer.threshold
+          in
+          if !newly_dead || wanted then begin
+            let candidate =
+              if wanted then Nic.Reta.rebalance !table ~bucket_load:bucket_loads else !table
+            in
+            let candidate =
+              if Array.for_all Fun.id live then candidate
+              else Nic.Reta.remap candidate ~live
+            in
+            let moves = Nic.Reta.diff !table candidate in
+            if moves <> [] then
+              Telemetry.Span.with_span "pool/rebalance" (fun () ->
+                  (match (instances, migrate_ok) with
+                  | Some insts, true ->
+                      let dentries = Nic.Reta.entries candidate in
+                      let outcome =
+                        Balancer.migrate mplan ~hash:hash_pkt ~mask
+                          ~dest:(fun b -> dentries.(b))
+                          ~instances:insts
+                      in
+                      t.migrated_flows <- t.migrated_flows + outcome.Balancer.moved_flows;
+                      t.migration_drops <- t.migration_drops + outcome.Balancer.dropped_flows;
+                      Telemetry.Counter.add c_moved_flows outcome.Balancer.moved_flows;
+                      Telemetry.Counter.add c_migration_drops outcome.Balancer.dropped_flows
+                  | _ -> ());
+                  set_table candidate;
+                  t.rebalances <- t.rebalances + 1;
+                  Telemetry.Counter.incr c_rebalances;
+                  if !newly_dead then begin
+                    t.forced_rebalances <- t.forced_rebalances + 1;
+                    Telemetry.Counter.incr c_rebalances_forced
+                  end;
+                  t.migrated_buckets <- t.migrated_buckets + List.length moves;
+                  Telemetry.Counter.add c_moved_buckets (List.length moves);
+                  points := !pos :: !points)
+          end;
+          Array.fill bucket_loads 0 size 0.0;
+          Array.fill epoch_counts 0 cores 0
+        end
+      done;
+      finish assignment !points per_core
 
 (* --- the process-global pool ------------------------------------------------- *)
 

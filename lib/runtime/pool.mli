@@ -95,6 +95,30 @@ type stats = {
   inline_batches : int;
       (** batches the producer ran inline: crashed-batch replays and
           failed-core ring drains *)
+  rebalances : int;
+      (** online rebalances applied over the pool's lifetime (epoch
+          boundaries where the shared indirection table changed) *)
+  forced_rebalances : int;
+      (** the subset of {!field-rebalances} triggered by a permanent core
+          write-off rather than the imbalance threshold *)
+  migrated_buckets : int;  (** indirection buckets moved by the balancer *)
+  migrated_flows : int;
+      (** flow-state entries handed between cores by quiesced migrations *)
+  migration_drops : int;
+      (** flow-state entries evicted during migration because the
+          destination instance was full (the flow restarts, as on expiry) *)
+  last_core_share : float array;
+      (** measured per-core load share of the most recent run (sums to 1;
+          empty before the first run) — the post-rebalance shares
+          {!Sim.Throughput.shares_of_pool_stats} feeds back to the model *)
+  last_assignment : int array;
+      (** core each packet of the most recent run was dispatched to, in
+          trace order — with {!field-last_rebalance_points} this lets a
+          caller verify per-flow ordering across rebalances *)
+  last_rebalance_points : int list;
+      (** ascending packet offsets at which the most recent run changed
+          the indirection table; between two consecutive points every
+          flow's packets land on exactly one core *)
 }
 
 val create :
@@ -125,7 +149,8 @@ val live_cores : t -> int list
 
 val failed_cores : t -> int list
 
-val run : t -> Maestro.Plan.t -> Packet.Pkt.t array -> Dsl.Interp.action array
+val run :
+  ?rebalance:Balancer.mode -> t -> Maestro.Plan.t -> Packet.Pkt.t array -> Dsl.Interp.action array
 (** Execute a plan over a trace on the pool's persistent workers.
     Verdicts are returned in the original packet order; batches dropped
     by backpressure leave their packets' verdicts as [Dropped].  When
@@ -133,7 +158,21 @@ val run : t -> Maestro.Plan.t -> Packet.Pkt.t array -> Dsl.Interp.action array
     remapped so every packet lands on a live core.  Raises
     [Invalid_argument] when the plan wants more cores than the pool has
     (plans with fewer cores use a prefix of the workers) or when every
-    plan core has failed. *)
+    plan core has failed.
+
+    [rebalance] (default [Off], which is the zero-cost single-pass path)
+    turns on online RSS++ rebalancing: the trace is processed in epochs
+    of {!Balancer.config.epoch_pkts} packets with per-bucket load counted
+    at dispatch; at each epoch boundary the pool quiesces (every
+    submitted batch has retired) and, when max/mean core imbalance
+    exceeds the threshold — or a core was written off during the epoch,
+    which counts as a {e forced} rebalance — hot buckets move to
+    underloaded queues on the single table shared by all ports.  For
+    exactly-migratable shared-nothing plans the moved buckets' flow state
+    is handed to the destination cores ({!Balancer.migrate}) so verdicts
+    stay equal to sequential execution; lock/TM/load-balance plans only
+    retarget the table.  A rebalance never races a restart: dead domains
+    are joined at the boundary before any state moves. *)
 
 val stats : t -> stats
 

@@ -2,6 +2,7 @@ type report = {
   epochs : int;
   static_imbalance : float array;
   dynamic_imbalance : float array;
+  rebalances : int;
   migrated_buckets : int;
   migrated_flows : int;
 }
@@ -19,80 +20,98 @@ let imbalance_of counts =
     let mean = float_of_int total /. float_of_int (Array.length counts) in
     float_of_int (Array.fold_left max 0 counts) /. mean
 
-let study (plan : Maestro.Plan.t) pkts ~epoch_pkts =
-  if Array.length pkts < epoch_pkts || epoch_pkts < 1 then
-    invalid_arg "Rebalance.study: trace shorter than one epoch";
-  let nf = plan.Maestro.Plan.nf in
-  let cores = plan.Maestro.Plan.cores in
-  let nports = nf.Dsl.Ast.devices in
-  let static_engines = Array.init nports (fun port -> Maestro.Plan.rss_engine plan port) in
-  let dynamic_engines = Array.init nports (fun port -> Maestro.Plan.rss_engine plan port) in
-  let epochs = Array.length pkts / epoch_pkts in
-  let static_imbalance = Array.make epochs 1.0 in
-  let dynamic_imbalance = Array.make epochs 1.0 in
-  let migrated_buckets = ref 0 and migrated_flows = ref 0 in
-  for e = 0 to epochs - 1 do
-    let slice = Array.sub pkts (e * epoch_pkts) epoch_pkts in
-    let run engines =
-      let counts = Array.make cores 0 in
-      let bucket_loads =
-        Array.init nports (fun port ->
-            Array.make (Nic.Reta.size (Nic.Rss.reta engines.(port))) 0.0)
+let study ?(threshold = 0.0) (plan : Maestro.Plan.t) pkts ~epoch_pkts =
+  if epoch_pkts < 1 then Error "Rebalance.study: epoch_pkts must be >= 1"
+  else if Array.length pkts < epoch_pkts then
+    Error
+      (Printf.sprintf "Rebalance.study: trace shorter than one epoch (%d packets, epoch %d)"
+         (Array.length pkts) epoch_pkts)
+  else begin
+    let nf = plan.Maestro.Plan.nf in
+    let cores = plan.Maestro.Plan.cores in
+    let nports = nf.Dsl.Ast.devices in
+    let static_engines = Array.init nports (fun port -> Maestro.Plan.rss_engine plan port) in
+    let dynamic_engines = Array.init nports (fun port -> Maestro.Plan.rss_engine plan port) in
+    let size = Nic.Reta.size (Nic.Rss.reta dynamic_engines.(0)) in
+    if Array.exists (fun e -> Nic.Reta.size (Nic.Rss.reta e) <> size) dynamic_engines then
+      Error "Rebalance.study: port indirection tables differ in size"
+    else begin
+      (* one table for all ports: symmetric keys put both directions of a
+         flow in the same bucket index, so a single rebalanced table keeps
+         the flow on one core regardless of arrival port *)
+      let table = ref (Nic.Rss.reta dynamic_engines.(0)) in
+      let mask = size - 1 in
+      let epochs = Array.length pkts / epoch_pkts in
+      let static_imbalance = Array.make epochs 1.0 in
+      let dynamic_imbalance = Array.make epochs 1.0 in
+      let rebalances = ref 0 in
+      let migrated_buckets = ref 0 and migrated_flows = ref 0 in
+      (* distinct flows resident per bucket, cumulative since the start of
+         the trace — mirroring the state a shared-nothing core accumulates *)
+      let bucket_flows : (int * Packet.Flow.t, unit) Hashtbl.t = Hashtbl.create 4096 in
+      let flows_in b =
+        Hashtbl.fold (fun (b', _) () acc -> if b' = b then acc + 1 else acc) bucket_flows 0
       in
-      let bucket_flows = Hashtbl.create 1024 in
-      Array.iter
-        (fun (pkt : Packet.Pkt.t) ->
-          let port = pkt.Packet.Pkt.port in
-          let engine = engines.(port) in
-          (match Nic.Rss.hash_of engine pkt with
-          | Some h ->
-              let reta = Nic.Rss.reta engine in
-              let b = h land (Nic.Reta.size reta - 1) in
-              bucket_loads.(port).(b) <- bucket_loads.(port).(b) +. 1.0;
-              Hashtbl.replace bucket_flows
-                ((port, b), Packet.Flow.normalize (Packet.Flow.of_pkt pkt))
-                ()
-          | None -> ());
-          let q = Nic.Rss.dispatch engine pkt in
-          counts.(q) <- counts.(q) + 1)
-        slice;
-      (counts, bucket_loads, bucket_flows)
-    in
-    let s_counts, _, _ = run static_engines in
-    static_imbalance.(e) <- imbalance_of s_counts;
-    let d_counts, d_loads, d_flows = run dynamic_engines in
-    dynamic_imbalance.(e) <- imbalance_of d_counts;
-    (* distinct flows observed per (port, bucket) this epoch *)
-    let flows_in_bucket = Hashtbl.create 256 in
-    Hashtbl.iter
-      (fun (pb, _flow) () ->
-        Hashtbl.replace flows_in_bucket pb
-          (1 + Option.value ~default:0 (Hashtbl.find_opt flows_in_bucket pb)))
-      d_flows;
-    (* rebalance each port's table from this epoch's observations *)
-    for port = 0 to nports - 1 do
-      let engine = dynamic_engines.(port) in
-      let before = Nic.Reta.entries (Nic.Rss.reta engine) in
-      let reta' = Nic.Reta.rebalance (Nic.Rss.reta engine) ~bucket_load:d_loads.(port) in
-      let after = Nic.Reta.entries reta' in
-      Array.iteri
-        (fun b q ->
-          if q <> after.(b) then begin
-            incr migrated_buckets;
-            migrated_flows :=
-              !migrated_flows
-              + Option.value ~default:0 (Hashtbl.find_opt flows_in_bucket (port, b))
-          end)
-        before;
-      dynamic_engines.(port) <- Nic.Rss.with_reta engine reta'
-    done
-  done;
-  Telemetry.Counter.add c_migrated_buckets !migrated_buckets;
-  Telemetry.Counter.add c_migrated_flows !migrated_flows;
-  {
-    epochs;
-    static_imbalance;
-    dynamic_imbalance;
-    migrated_buckets = !migrated_buckets;
-    migrated_flows = !migrated_flows;
-  }
+      for e = 0 to epochs - 1 do
+        let slice = Array.sub pkts (e * epoch_pkts) epoch_pkts in
+        (* static reference: fixed per-port tables *)
+        let s_counts = Array.make cores 0 in
+        Array.iter
+          (fun (pkt : Packet.Pkt.t) ->
+            let q = Nic.Rss.dispatch static_engines.(pkt.Packet.Pkt.port) pkt in
+            s_counts.(q) <- s_counts.(q) + 1)
+          slice;
+        static_imbalance.(e) <- imbalance_of s_counts;
+        (* dynamic: per-port hashes, shared table *)
+        let d_counts = Array.make cores 0 in
+        let bucket_loads = Array.make size 0.0 in
+        Array.iter
+          (fun (pkt : Packet.Pkt.t) ->
+            let q =
+              match Nic.Rss.hash_of dynamic_engines.(pkt.Packet.Pkt.port) pkt with
+              | Some h ->
+                  let b = h land mask in
+                  bucket_loads.(b) <- bucket_loads.(b) +. 1.0;
+                  Hashtbl.replace bucket_flows
+                    (b, Packet.Flow.normalize (Packet.Flow.of_pkt pkt))
+                    ();
+                  Nic.Reta.lookup !table h
+              | None -> 0
+            in
+            d_counts.(q) <- d_counts.(q) + 1)
+          slice;
+        dynamic_imbalance.(e) <- imbalance_of d_counts;
+        (* rebalance between epochs only (there is nothing to gain after
+           the last), and only when the observed imbalance warrants it *)
+        if e < epochs - 1 && imbalance_of d_counts > threshold then begin
+          let candidate = Nic.Reta.rebalance !table ~bucket_load:bucket_loads in
+          let moves = Nic.Reta.diff !table candidate in
+          if moves <> [] then begin
+            incr rebalances;
+            List.iter
+              (fun (b, _, _) ->
+                incr migrated_buckets;
+                migrated_flows := !migrated_flows + flows_in b)
+              moves;
+            table := candidate
+          end
+        end
+      done;
+      Telemetry.Counter.add c_migrated_buckets !migrated_buckets;
+      Telemetry.Counter.add c_migrated_flows !migrated_flows;
+      Ok
+        {
+          epochs;
+          static_imbalance;
+          dynamic_imbalance;
+          rebalances = !rebalances;
+          migrated_buckets = !migrated_buckets;
+          migrated_flows = !migrated_flows;
+        }
+    end
+  end
+
+let study_exn ?threshold plan pkts ~epoch_pkts =
+  match study ?threshold plan pkts ~epoch_pkts with
+  | Ok r -> r
+  | Error msg -> invalid_arg msg

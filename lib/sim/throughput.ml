@@ -53,7 +53,12 @@ let shares_of_counts counts =
   Array.map (fun c -> float_of_int c /. total) counts
 
 let shares_of_pool_stats (s : Runtime.Pool.stats) =
-  shares_of_counts s.Runtime.Pool.last_per_core_pkts
+  (* prefer the pool's own post-rebalance share measurement (kept current
+     by the online balancer); fall back to raw dispatch counts for stats
+     from older runs *)
+  if Array.length s.Runtime.Pool.last_core_share > 0 then
+    Array.copy s.Runtime.Pool.last_core_share
+  else shares_of_counts s.Runtime.Pool.last_per_core_pkts
 
 let evaluate ?(machine = Machine.xeon_6226r) ?(params = Cost.default) ?(balanced_reta = false)
     ?measured_shares (plan : Maestro.Plan.t) (profile : Profile.t) pkts =

@@ -52,6 +52,10 @@ val shares_of_counts : int array -> float array
 (** Normalize per-core packet counts into traffic shares. *)
 
 val shares_of_pool_stats : Runtime.Pool.stats -> float array
-(** The most recent run's per-core shares from a persistent domain pool. *)
+(** The most recent run's per-core shares from a persistent domain pool.
+    When the run used online rebalancing ({!Runtime.Pool.run} with
+    [~rebalance]), these are the measured {e post-rebalance} shares
+    ([stats.last_core_share]), so the model sees the load the balancer
+    actually produced. *)
 
 val bottleneck_name : bottleneck -> string

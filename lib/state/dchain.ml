@@ -98,6 +98,41 @@ let free t i =
     true
   end
 
+let iter_allocated t f =
+  let j = ref t.next.(t.cap) in
+  while !j <> t.cap do
+    let i = !j in
+    (* read the successor first so [f] may not confuse the walk by
+       touching unrelated cells; freeing during iteration is still the
+       caller's responsibility to avoid *)
+    j := t.next.(i);
+    f i t.last_touch.(i)
+  done
+
+let allocate_at t ~touched =
+  if t.free_head = nil then None
+  else begin
+    let i = t.free_head in
+    t.free_head <- t.next.(i);
+    t.state.(i) <- true;
+    t.last_touch.(i) <- touched;
+    (* sorted insertion: place [i] before the first cell touched strictly
+       later, so the recency list stays non-decreasing in last_touch and
+       [expire_before]'s head scan remains correct after a migration hands
+       us entries with historical timestamps *)
+    let j = ref t.next.(t.cap) in
+    while !j <> t.cap && t.last_touch.(!j) <= touched do
+      j := t.next.(!j)
+    done;
+    let s = !j in
+    t.prev.(i) <- t.prev.(s);
+    t.next.(i) <- s;
+    t.next.(t.prev.(s)) <- i;
+    t.prev.(s) <- i;
+    t.n_alloc <- t.n_alloc + 1;
+    Some i
+  end
+
 let oldest t =
   let h = t.next.(t.cap) in
   if h = t.cap then None else Some h

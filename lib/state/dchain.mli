@@ -34,6 +34,19 @@ val last_touch : t -> int -> int option
 val free : t -> int -> bool
 (** Explicitly release an index; [false] when not allocated. *)
 
+val iter_allocated : t -> (int -> int -> unit) -> unit
+(** [iter_allocated t f] calls [f index last_touch] for every allocated
+    index, oldest-touched first.  [f] must not allocate or free indices of
+    [t] during the walk — collect first when migrating. *)
+
+val allocate_at : t -> touched:int -> int option
+(** Like {!allocate}, but inserts the fresh index at the recency-list
+    position implied by [touched] instead of at the back — the state
+    migration path uses it to hand an entry to another core's chain while
+    preserving both its last-touch time and the list's sorted order (so
+    {!expire_before} keeps expiring oldest-first).  [None] when the pool
+    is exhausted. *)
+
 val expire_before : t -> threshold:int -> int list
 (** Free every index whose last touch is strictly below [threshold]; the
     freed indices are returned oldest first, for the caller to purge the

@@ -104,6 +104,11 @@ let iter t f =
   Intmap.iter t.packed (fun k v -> f (Key.unpack_string k) v);
   Hashtbl.iter f t.wide
 
+let entries t =
+  let acc = ref [] in
+  iter t (fun k v -> acc := (k, v) :: !acc);
+  !acc
+
 let clear t =
   Intmap.clear t.packed;
   Hashtbl.reset t.wide

@@ -66,6 +66,10 @@ val iter : t -> (string -> int -> unit) -> unit
 (** Iterates packed entries (keys reconstructed as strings) then wide
     entries; order within each group is unspecified. *)
 
+val entries : t -> (string * int) list
+(** All [(key, value)] pairs, in unspecified order — a stable snapshot the
+    state-migration path can walk while erasing from the live map. *)
+
 val clear : t -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -15,6 +15,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("codegen", Test_codegen.suite);
       ("runtime", Test_runtime.suite);
+      ("rebalance", Test_rebalance.suite);
       ("faults", Test_faults.suite);
       ("traffic", Test_traffic.suite);
       ("sim", Test_sim.suite);

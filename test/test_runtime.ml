@@ -145,7 +145,7 @@ let test_dynamic_rebalance_reduces_imbalance () =
   let spec = { Traffic.Gen.default_spec with Traffic.Gen.pkts = 12_000; reply_fraction = 0.0 } in
   let trace = Traffic.Zipf.trace ~spec st z ~flows:fs in
   let plan = plan_of ~cores:8 "fw" in
-  let r = Runtime.Rebalance.study plan trace ~epoch_pkts:3000 in
+  let r = Runtime.Rebalance.study_exn plan trace ~epoch_pkts:3000 in
   Alcotest.(check int) "epochs" 4 r.Runtime.Rebalance.epochs;
   (* the first epoch has no observations yet: identical *)
   Alcotest.(check (float 0.0001)) "epoch 0 identical"
