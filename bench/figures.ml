@@ -170,9 +170,12 @@ let scalability ~title ~workload ?(balanced = false) () =
       List.iter
         (fun (label, strategy) ->
           let skip =
-            (* `Auto already produces the lock-based version for these *)
+            (* unshardable NFs: `Auto now lands on the SCR rung, so both
+               forced rows below it stay informative; only skip the scr
+               row when `Auto already produced it *)
             match (strategy, Nfs.Registry.expected_strategy name) with
-            | `Force_locks, `Locks -> true
+            | `Force_scr, `Locks ->
+                Result.is_ok (Maestro.Scrspec.admissible w.Sim.Workload.nf)
             | _ -> false
           in
           if not skip then begin
@@ -185,7 +188,7 @@ let scalability ~title ~workload ?(balanced = false) () =
               core_counts;
             printf "@."
           end)
-        [ ("auto", `Auto); ("locks", `Force_locks); ("tm", `Force_tm) ])
+        [ ("auto", `Auto); ("scr", `Force_scr); ("locks", `Force_locks); ("tm", `Force_tm) ])
     Nfs.Registry.names
 
 let fig10 () =

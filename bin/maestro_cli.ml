@@ -30,11 +30,24 @@ let cores_arg =
 let seed_arg = Arg.(value & opt int 0xbeef & info [ "seed" ] ~doc:"RNG seed for key search.")
 
 let strategy_arg =
-  let strategies = [ ("auto", `Auto); ("locks", `Force_locks); ("tm", `Force_tm) ] in
+  let strategies =
+    [
+      ("auto", `Auto);
+      ("shared-nothing", `Auto);
+      ("locks", `Force_locks);
+      ("lock", `Force_locks);
+      ("tm", `Force_tm);
+      ("scr", `Force_scr);
+    ]
+  in
   Arg.(
     value
     & opt (enum strategies) `Auto
-    & info [ "strategy" ] ~doc:"Parallelization strategy: $(b,auto), $(b,locks) or $(b,tm).")
+    & info [ "strategy"; "discipline" ]
+        ~doc:
+          "Parallelization discipline: $(b,auto) (shared-nothing when possible, degrading \
+           down the ladder), $(b,scr) (state-compute replication: full replica per core, \
+           digest replay), $(b,locks) or $(b,tm).")
 
 let solver_arg =
   Arg.(
@@ -219,7 +232,8 @@ let run_cmd =
         let nf_compiled = compiled_nf && not interp in
         Dsl.Compile.set_default nf_compiled;
         let request = { Maestro.Pipeline.default_request with cores; seed; strategy } in
-        let plan = (Maestro.Pipeline.parallelize_exn ~request nf).Maestro.Pipeline.plan in
+        let outcome = Maestro.Pipeline.parallelize_exn ~request nf in
+        let plan = outcome.Maestro.Pipeline.plan in
         let rng = Random.State.make [| seed |] in
         let fs = Traffic.Gen.flows rng flows in
         let spec = { Traffic.Gen.default_spec with pkts; reply_fraction = 0.4 } in
@@ -238,6 +252,8 @@ let run_cmd =
         Format.printf "strategy: %s on %d cores@."
           (Maestro.Plan.strategy_name plan.Maestro.Plan.strategy)
           cores;
+        Format.printf "ladder rung: %s@."
+          (Maestro.Ladder.rung_name outcome.Maestro.Pipeline.ladder.Maestro.Ladder.chosen);
         Format.printf "packets: %d forwarded, %d dropped@." !fwd !dropped;
         Format.printf "sequential agreement: %d/%d@." !agree (Array.length trace);
         Format.printf "per-core packets: %s (imbalance %.2f)@."
@@ -292,6 +308,11 @@ let run_cmd =
                     (Array.map
                        (fun s -> Printf.sprintf "%.3f" s)
                        ps.Runtime.Pool.last_core_share))));
+        if plan.Maestro.Plan.strategy = Maestro.Plan.Scr then
+          Format.printf
+            "pool scr: %d digest replays, %d replica rebuilds, %d digest bytes broadcast@."
+            ps.Runtime.Pool.scr_replays ps.Runtime.Pool.scr_rebuilds
+            ps.Runtime.Pool.scr_digest_bytes;
         Format.printf "pool sequential agreement: %d/%d@." !dagree (Array.length trace)
   in
   let pkts = Arg.(value & opt int 20_000 & info [ "pkts" ] ~doc:"Packets to replay.") in

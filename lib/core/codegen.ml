@@ -160,7 +160,11 @@ let state_decl buf per_core (d : state_decl) =
 let emit_c (plan : Plan.t) =
   let nf = plan.Plan.nf in
   let buf = Buffer.create 4096 in
-  let per_core = plan.Plan.strategy = Plan.Shared_nothing in
+  let per_core =
+    match plan.Plan.strategy with
+    | Plan.Shared_nothing | Plan.Scr -> true
+    | Plan.Lock_based | Plan.Tm_based | Plan.Load_balance -> false
+  in
   buf_add buf
     (Printf.sprintf
        "/* %s — parallel implementation generated by Maestro (%s, %d cores).\n"
@@ -197,13 +201,16 @@ let emit_c (plan : Plan.t) =
       match cap with
       | Some c when per_core ->
           buf_add buf
-            (Printf.sprintf "  %s_init(&%s[core_id], %d);   /* %d / %d cores */\n"
+            (Printf.sprintf "  %s_init(&%s[core_id], %d);   /* %s */\n"
                (match d with
                | Decl_map _ -> "map"
                | Decl_vector _ -> "vector"
                | Decl_chain _ -> "dchain"
                | Decl_sketch _ -> "sketch")
-               name (max 1 (c / divisor)) c divisor)
+               name
+               (max 1 (c / divisor))
+               (if divisor > 1 then Printf.sprintf "%d / %d cores" c divisor
+                else "full replica per core"))
       | Some c ->
           buf_add buf
             (Printf.sprintf "  %s_init(&%s, %d);\n"
@@ -226,6 +233,12 @@ let emit_c (plan : Plan.t) =
       buf_add buf
         "/* Each packet runs as a restricted transaction (RTM); after 3 aborts\n\
         \ * fall back to a global lock. */\n"
+  | Plan.Scr ->
+      buf_add buf
+        "/* State-compute replication: every core holds a FULL state replica.\n\
+        \ * The dispatcher broadcasts a per-packet update digest over the SPSC\n\
+        \ * rings; each core replays foreign packets' write-slices against its\n\
+        \ * replica and runs the full NF only for packets it owns. */\n"
   | Plan.Shared_nothing | Plan.Load_balance -> ());
   buf_add buf "/* Run per packet on its worker core. */\n";
   buf_add buf "int process(int port, pkt_t *pkt, uint64_t now) {\n";

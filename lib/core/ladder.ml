@@ -1,7 +1,8 @@
-type rung = Shared_nothing | Lock_based | Serial
+type rung = Shared_nothing | Scr | Lock_based | Serial
 
 let rung_name = function
   | Shared_nothing -> "shared-nothing"
+  | Scr -> "state-compute-replication"
   | Lock_based -> "lock-based"
   | Serial -> "serial"
 
@@ -10,6 +11,10 @@ type t = { chosen : rung; steps : step list }
 
 let c_shared_nothing =
   Telemetry.Counter.make "ladder.shared_nothing" ~doc:"plans that kept the top rung"
+
+let c_scr =
+  Telemetry.Counter.make "ladder.scr"
+    ~doc:"plans that took the state-compute-replication rung"
 
 let c_lock_based =
   Telemetry.Counter.make "ladder.lock_based" ~doc:"plans degraded to the lock-based rung"
@@ -30,6 +35,7 @@ let make steps =
   Telemetry.Counter.add c_degradations (List.length (List.filter (fun s -> not s.taken) steps));
   (match chosen with
   | Shared_nothing -> Telemetry.Counter.incr c_shared_nothing
+  | Scr -> Telemetry.Counter.incr c_scr
   | Lock_based -> Telemetry.Counter.incr c_lock_based
   | Serial -> Telemetry.Counter.incr c_serial);
   { chosen; steps }

@@ -1,26 +1,54 @@
 (** The degradation ladder: Maestro's maintain-semantics-at-lower-speed
-    contract (paper §4.4, §6) made explicit.
+    contract (paper §4.4, §6) made explicit, extended with the
+    state-compute-replication rung of Xu et al. (arXiv 2309.14647).
 
     The pipeline always produces a plan whose behavior matches the
     sequential NF; what degrades under adversity is {e speed}, one rung
     at a time:
 
-    + {e shared-nothing} — full parallel speedup, per-core state shards
-      steered by a solved RSS key (also the rung recorded for stateless /
-      read-only NFs, which parallelize without a key);
-    + {e lock-based} — every core runs, shared state behind the
-      reader-writer lock; chosen when no RSS key exists, when the key
-      search exhausts its budget, or when sharding rules block;
-    + {e serial} — one core, zero contention; chosen when multi-queue
-      dispatch itself is unavailable (more cores requested than the NIC
-      has queues, or a single-core request).
+    {v
+      shared-nothing        state shards: an RSS key steers each flow's
+        |                   packets to one core, which owns its state
+        | no key / sharding blocked / budget exhausted
+        v
+      state-compute-        full replica per core + per-packet update
+      replication (SCR)     digest broadcast: any core serves any flow
+        |
+        | NF never writes (replication is free anyway), or the
+        | digest would exceed the replication budget
+        v
+      lock-based            one shared state behind the reader-writer
+        |                   lock; write packets serialize
+        | multi-queue dispatch unavailable (cores > NIC queues,
+        | or a single-core request)
+        v
+      serial                one core, sequential speed, zero contention
+    v}
+
+    Selection conditions, top to bottom:
+
+    + {e shared-nothing} — the sharding analysis found partitionable
+      keys and RS3 solved an RSS key for them (also the rung recorded
+      for stateless / read-only NFs, which parallelize without a key);
+    + {e state-compute-replication} — the NF writes state that cannot
+      be sharded, but {!Scrspec.admissible} finds a per-packet digest
+      within the replication budget: every core keeps a full replica
+      and replays the other cores' updates — no shared writes, at the
+      cost of replicated memory and replay cycles;
+    + {e lock-based} — shared state behind the reader-writer lock;
+      chosen when SCR is inadmissible or explicitly forced;
+    + {e serial} — one core; chosen when multi-queue dispatch itself is
+      unavailable (more cores requested than the NIC has queues, or a
+      single-core request).
 
     Every {!Pipeline.outcome} carries the ladder walked for it: which
     rungs were rejected, why, and which was chosen — so run reports can
     show {e why} a plan is slower than hoped rather than silently
-    falling back. *)
+    falling back.  The walk feeds the [ladder.*] telemetry counters
+    ([ladder.shared_nothing], [ladder.scr], [ladder.lock_based],
+    [ladder.serial], [ladder.degradations]). *)
 
-type rung = Shared_nothing | Lock_based | Serial
+type rung = Shared_nothing | Scr | Lock_based | Serial
 
 val rung_name : rung -> string
 

@@ -1,7 +1,7 @@
 type request = {
   cores : int;
   nic : Nic.Model.t;
-  strategy : [ `Auto | `Force_locks | `Force_tm ];
+  strategy : [ `Auto | `Force_locks | `Force_tm | `Force_scr ];
   solver : Rs3.Solve.backend;
   seed : int;
   sat_budget : (int * int) option;
@@ -45,52 +45,80 @@ let random_rss rng nic nf =
       { Plan.key = Nic.Rss.random_key rng nic; field_set = Nic.Field_set.ipv4_tcp })
 
 (* The degradation ladder below the shared-nothing rung (paper §4.4:
-   maintain semantics at lower speed).  The lock-based rung still needs
-   multi-queue RSS dispatch — one queue per core — so it is only feasible
-   when the NIC has that many queues and more than one core is requested;
-   otherwise the plan degrades to explicit serial execution on one core. *)
-let degraded_steps request ~top_reason =
+   maintain semantics at lower speed), with the state-compute-replication
+   rung of Xu et al. (arXiv 2309.14647) between sharding and the lock.
+   Both the SCR and lock rungs still need multi-queue dispatch — one
+   queue per core — so they are only feasible when the NIC has that many
+   queues and more than one core is requested; otherwise the plan
+   degrades to explicit serial execution on one core.
+
+   [scr_reject] short-circuits the SCR rung for an external reason (a
+   forced lock plan); otherwise the rung is taken exactly when
+   {!Scrspec.admissible} finds a digest within the replication budget. *)
+let degraded_steps request nf ~top_reason ~scr_reject =
   let max_q = Nic.Model.max_queues request.nic in
   let top = { Ladder.rung = Ladder.Shared_nothing; taken = false; reason = top_reason } in
+  let serial =
+    {
+      Ladder.rung = Ladder.Serial;
+      taken = true;
+      reason = "single-core execution preserves semantics at sequential speed";
+    }
+  in
   if request.cores > max_q then
+    let queues =
+      Printf.sprintf "%d cores exceed the %s's %d RSS queues" request.cores
+        (Nic.Model.name request.nic) max_q
+    in
     [
       top;
-      {
-        Ladder.rung = Ladder.Lock_based;
-        taken = false;
-        reason =
-          Printf.sprintf "%d cores exceed the %s's %d RSS queues" request.cores
-            (Nic.Model.name request.nic) max_q;
-      };
-      {
-        Ladder.rung = Ladder.Serial;
-        taken = true;
-        reason = "single-core execution preserves semantics at sequential speed";
-      };
+      { Ladder.rung = Ladder.Scr; taken = false; reason = queues };
+      { Ladder.rung = Ladder.Lock_based; taken = false; reason = queues };
+      serial;
     ]
   else if request.cores <= 1 then
     [
       top;
       {
+        Ladder.rung = Ladder.Scr;
+        taken = false;
+        reason = "replicating state to a single core is just serial execution";
+      };
+      {
         Ladder.rung = Ladder.Lock_based;
         taken = false;
         reason = "a single-core request leaves nothing to lock against";
       };
-      {
-        Ladder.rung = Ladder.Serial;
-        taken = true;
-        reason = "single-core execution preserves semantics at sequential speed";
-      };
+      serial;
     ]
   else
-    [
-      top;
-      {
-        Ladder.rung = Ladder.Lock_based;
-        taken = true;
-        reason = "shared state serialized behind the reader-writer lock";
-      };
-    ]
+    let scr_step =
+      match scr_reject with
+      | Some reason -> { Ladder.rung = Ladder.Scr; taken = false; reason }
+      | None -> (
+          match Scrspec.admissible nf with
+          | Ok spec ->
+              {
+                Ladder.rung = Ladder.Scr;
+                taken = true;
+                reason =
+                  Printf.sprintf
+                    "full state replica per core, replaying a %d-byte/pkt update digest"
+                    spec.Scrspec.digest_bytes;
+              }
+          | Error e -> { Ladder.rung = Ladder.Scr; taken = false; reason = e })
+    in
+    if scr_step.Ladder.taken then [ top; scr_step ]
+    else
+      [
+        top;
+        scr_step;
+        {
+          Ladder.rung = Ladder.Lock_based;
+          taken = true;
+          reason = "shared state serialized behind the reader-writer lock";
+        };
+      ]
 
 let parallelize ?(request = default_request) nf =
   Telemetry.Span.with_span "pipeline" @@ fun () ->
@@ -127,10 +155,11 @@ let parallelize ?(request = default_request) nf =
             ladder;
           }
       in
-      (* Walk the ladder below shared-nothing: lock-based when multi-queue
-         dispatch works, serial (one core, no lock contention) otherwise. *)
-      let degrade ~top_reason warnings solving_s =
-        let ladder = Ladder.make (degraded_steps request ~top_reason) in
+      (* Walk the ladder below shared-nothing: SCR when the update digest
+         fits the replication budget, lock-based when multi-queue dispatch
+         works, serial (one core, no lock contention) otherwise. *)
+      let degrade ?scr_reject ~top_reason warnings solving_s =
+        let ladder = Ladder.make (degraded_steps request nf ~top_reason ~scr_reject) in
         let warnings =
           warnings
           @ List.filter_map
@@ -143,7 +172,9 @@ let parallelize ?(request = default_request) nf =
         | Ladder.Serial ->
             mk ~cores:1 Plan.Lock_based (random_rss rng request.nic nf) [] warnings ladder
               solving_s
-        | _ ->
+        | Ladder.Scr ->
+            mk Plan.Scr (random_rss rng request.nic nf) [] warnings ladder solving_s
+        | Ladder.Shared_nothing | Ladder.Lock_based ->
             mk Plan.Lock_based (random_rss rng request.nic nf) [] warnings ladder solving_s
       in
       let max_q = Nic.Model.max_queues request.nic in
@@ -158,8 +189,12 @@ let parallelize ?(request = default_request) nf =
       else
       (match (request.strategy, decision) with
       | `Force_locks, _ ->
-          degrade ~top_reason:"lock-based parallelization forced"
+          degrade ~scr_reject:"lock-based parallelization forced"
+            ~top_reason:"lock-based parallelization forced"
             [ "lock-based parallelization forced" ] 0.
+      | `Force_scr, _ ->
+          degrade ~top_reason:"state-compute replication forced"
+            [ "state-compute replication forced" ] 0.
       | `Force_tm, _ ->
           mk Plan.Tm_based (random_rss rng request.nic nf) []
             [ "transactional-memory parallelization forced" ]

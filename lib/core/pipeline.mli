@@ -5,10 +5,13 @@
 type request = {
   cores : int;
   nic : Nic.Model.t;
-  strategy : [ `Auto | `Force_locks | `Force_tm ];
+  strategy : [ `Auto | `Force_locks | `Force_tm | `Force_scr ];
       (** [`Auto] picks shared-nothing when possible (degrading down the
           {!Ladder} otherwise); the forced modes reproduce the paper's §6.4
-          comparisons. *)
+          comparisons.  [`Force_scr] starts the ladder walk at the
+          state-compute-replication rung: it is taken when
+          {!Scrspec.admissible} accepts the NF and degrades further (lock,
+          serial) when it does not. *)
   solver : Rs3.Solve.backend;
   seed : int;
   sat_budget : (int * int) option;

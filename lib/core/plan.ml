@@ -1,7 +1,8 @@
-type strategy = Shared_nothing | Lock_based | Tm_based | Load_balance
+type strategy = Shared_nothing | Scr | Lock_based | Tm_based | Load_balance
 
 let strategy_name = function
   | Shared_nothing -> "shared-nothing"
+  | Scr -> "state-compute-replication"
   | Lock_based -> "lock-based"
   | Tm_based -> "transactional-memory"
   | Load_balance -> "load-balance"
@@ -22,7 +23,13 @@ let rss_engine ?reta t port =
   let { key; field_set } = t.rss.(port) in
   Nic.Rss.configure ?reta ~nic:t.nic ~key ~sets:[ field_set ] ~queues:t.cores ()
 
-let state_divisor t = match t.strategy with Shared_nothing -> t.cores | _ -> 1
+let state_divisor t =
+  match t.strategy with
+  | Shared_nothing -> t.cores
+  (* SCR replicates the FULL state on every core (divisor 1 despite the
+     per-core instances); lock/TM share one instance; load-balance
+     replicates read-only state *)
+  | Scr | Lock_based | Tm_based | Load_balance -> 1
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>nf: %s@ strategy: %s@ cores: %d@ nic: %s@ " t.nf.Dsl.Ast.name

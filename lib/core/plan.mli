@@ -6,6 +6,11 @@
 type strategy =
   | Shared_nothing
       (** per-core state instances, capacities divided, no coordination *)
+  | Scr
+      (** state-compute replication: per-core {e full} replicas, every
+          core replays the other cores' state updates from a per-packet
+          digest broadcast by the dispatcher — no shared writes, no
+          locks ({!Scrspec}) *)
   | Lock_based
       (** one shared state, the custom per-core read/write lock, speculative
           read → restart-on-write, per-core aging for rejuvenation (§3.6) *)
@@ -39,7 +44,9 @@ val rss_engine : ?reta:Nic.Reta.t -> t -> int -> Nic.Rss.t
 
 val state_divisor : t -> int
 (** How much each per-core instance's capacity is divided by: [cores] for
-    shared-nothing (total memory constant, §4), 1 otherwise. *)
+    shared-nothing (total memory constant, §4), 1 otherwise — including
+    SCR, whose per-core instances are {e full} replicas (memory scales
+    with cores; that is the price of zero coordination). *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable plan summary: strategy, keys, warnings. *)

@@ -1,0 +1,243 @@
+(* State-compute replication (Xu et al., arXiv 2309.14647) — the static
+   half: derive, from an NF's AST, everything the runtime needs to let
+   every core keep a full state replica and replay other cores' updates
+   from a compact per-packet digest.
+
+   The digest is derived from the *packet*, at dispatch time, not from
+   the computed write effects: it is the set of header fields (plus
+   arrival port / frame length / timestamp when read) that feed any
+   write path of the NF.  Each replica then re-executes only the
+   {e write-slice} of the program — the original statement tree with
+   every subtree that cannot reach a state write pruned to [Drop] — on a
+   packet reconstructed from the digest.  Because the slice preserves
+   every binder and branch condition on the way to a write, and all
+   state operations are deterministic, replaying the global packet
+   stream in arrival order drives every replica through exactly the
+   sequential state trajectory. *)
+
+type t = {
+  nf : Dsl.Ast.t;
+  slice : Dsl.Ast.t;
+  fields : Packet.Field.t list;
+  needs_port : bool;
+  needs_len : bool;
+  needs_ts : bool;
+  written_objects : string list;
+  digest_bytes : int;
+}
+
+let default_max_bytes = 64
+
+(* --- write classification --------------------------------------------------- *)
+
+let rec stmt_writes (s : Dsl.Ast.stmt) =
+  match s with
+  | Dsl.Ast.Map_put _ | Dsl.Ast.Map_erase _ | Dsl.Ast.Vec_set _ | Dsl.Ast.Chain_alloc _
+  | Dsl.Ast.Chain_rejuv _ | Dsl.Ast.Chain_expire _ | Dsl.Ast.Sketch_touch _ ->
+      true
+  | Dsl.Ast.If (_, t, f) -> stmt_writes t || stmt_writes f
+  | Dsl.Ast.Let (_, _, k)
+  | Dsl.Ast.Map_get { k; _ }
+  | Dsl.Ast.Vec_get { k; _ }
+  | Dsl.Ast.Sketch_query { k; _ }
+  | Dsl.Ast.Set_field (_, _, k) ->
+      stmt_writes k
+  | Dsl.Ast.Forward _ | Dsl.Ast.Drop -> false
+
+let nf_writes (nf : Dsl.Ast.t) = stmt_writes nf.Dsl.Ast.process
+
+let written_objects (nf : Dsl.Ast.t) =
+  let objs = ref [] in
+  let add o = if not (List.mem o !objs) then objs := o :: !objs in
+  let rec go (s : Dsl.Ast.stmt) =
+    match s with
+    | Dsl.Ast.Map_put { obj; k; _ } | Dsl.Ast.Map_erase { obj; k; _ } ->
+        add obj;
+        go k
+    | Dsl.Ast.Vec_set { obj; k; _ } ->
+        add obj;
+        go k
+    | Dsl.Ast.Chain_alloc { obj; k_ok; k_fail; _ } ->
+        add obj;
+        go k_ok;
+        go k_fail
+    | Dsl.Ast.Chain_rejuv { obj; k; _ } ->
+        add obj;
+        go k
+    | Dsl.Ast.Chain_expire { obj; purges; k; _ } ->
+        add obj;
+        (* each purge pair erases from the map (the key vector is only read) *)
+        List.iter (fun (map, _keyvec) -> add map) purges;
+        go k
+    | Dsl.Ast.Sketch_touch { obj; k; _ } ->
+        add obj;
+        go k
+    | Dsl.Ast.If (_, t, f) ->
+        go t;
+        go f
+    | Dsl.Ast.Let (_, _, k)
+    | Dsl.Ast.Map_get { k; _ }
+    | Dsl.Ast.Vec_get { k; _ }
+    | Dsl.Ast.Sketch_query { k; _ }
+    | Dsl.Ast.Set_field (_, _, k) ->
+        go k
+    | Dsl.Ast.Forward _ | Dsl.Ast.Drop -> ()
+  in
+  go nf.Dsl.Ast.process;
+  List.rev !objs
+
+(* --- the write-slice --------------------------------------------------------- *)
+
+(* Prune every subtree that cannot reach a state write to [Drop].  Reads
+   ([Map_get], [Vec_get], [Sketch_query]), [Let] bindings, [Set_field]
+   rewrites and [If] conditions are kept whenever their continuation still
+   writes — they carry the data and control dependencies of the write —
+   and dropped otherwise.  [Forward] becomes [Drop]: a replica replays
+   state updates, it does not emit packets. *)
+let rec slice_stmt (s : Dsl.Ast.stmt) : Dsl.Ast.stmt =
+  if not (stmt_writes s) then Dsl.Ast.Drop
+  else
+    match s with
+    | Dsl.Ast.If (c, t, f) -> Dsl.Ast.If (c, slice_stmt t, slice_stmt f)
+    | Dsl.Ast.Let (x, e, k) -> Dsl.Ast.Let (x, e, slice_stmt k)
+    | Dsl.Ast.Map_get ({ k; _ } as r) -> Dsl.Ast.Map_get { r with k = slice_stmt k }
+    | Dsl.Ast.Map_put ({ k; _ } as r) -> Dsl.Ast.Map_put { r with k = slice_stmt k }
+    | Dsl.Ast.Map_erase ({ k; _ } as r) -> Dsl.Ast.Map_erase { r with k = slice_stmt k }
+    | Dsl.Ast.Vec_get ({ k; _ } as r) -> Dsl.Ast.Vec_get { r with k = slice_stmt k }
+    | Dsl.Ast.Vec_set ({ k; _ } as r) -> Dsl.Ast.Vec_set { r with k = slice_stmt k }
+    | Dsl.Ast.Chain_alloc ({ k_ok; k_fail; _ } as r) ->
+        Dsl.Ast.Chain_alloc { r with k_ok = slice_stmt k_ok; k_fail = slice_stmt k_fail }
+    | Dsl.Ast.Chain_rejuv ({ k; _ } as r) -> Dsl.Ast.Chain_rejuv { r with k = slice_stmt k }
+    | Dsl.Ast.Chain_expire ({ k; _ } as r) -> Dsl.Ast.Chain_expire { r with k = slice_stmt k }
+    | Dsl.Ast.Sketch_touch ({ k; _ } as r) -> Dsl.Ast.Sketch_touch { r with k = slice_stmt k }
+    | Dsl.Ast.Sketch_query ({ k; _ } as r) -> Dsl.Ast.Sketch_query { r with k = slice_stmt k }
+    | Dsl.Ast.Set_field (f, e, k) -> Dsl.Ast.Set_field (f, e, slice_stmt k)
+    | Dsl.Ast.Forward _ | Dsl.Ast.Drop -> Dsl.Ast.Drop
+
+let slice_nf (nf : Dsl.Ast.t) =
+  {
+    nf with
+    Dsl.Ast.name = nf.Dsl.Ast.name ^ "+scr-slice";
+    process = slice_stmt nf.Dsl.Ast.process;
+  }
+
+(* --- digest field analysis ---------------------------------------------------- *)
+
+type uses = {
+  mutable u_fields : Packet.Field.t list;
+  mutable u_port : bool;
+  mutable u_len : bool;
+  mutable u_ts : bool;
+}
+
+let rec expr_uses u (e : Dsl.Ast.expr) =
+  match e with
+  | Dsl.Ast.Field f -> if not (List.mem f u.u_fields) then u.u_fields <- f :: u.u_fields
+  | Dsl.Ast.In_port -> u.u_port <- true
+  | Dsl.Ast.Pkt_len -> u.u_len <- true
+  | Dsl.Ast.Now -> u.u_ts <- true
+  | Dsl.Ast.Bin (_, a, b) ->
+      expr_uses u a;
+      expr_uses u b
+  | Dsl.Ast.Not e | Dsl.Ast.Cast (_, e) -> expr_uses u e
+  | Dsl.Ast.Const _ | Dsl.Ast.Var _ | Dsl.Ast.Record_field _ -> ()
+
+let key_uses u = List.iter (expr_uses u)
+
+(* Walk the *slice*: fields read only on verdict-only paths never enter
+   the digest.  Chain operations read the packet timestamp implicitly
+   (allocate/rejuvenate touch at [now]; expiry thresholds against it). *)
+let rec stmt_uses u (s : Dsl.Ast.stmt) =
+  match s with
+  | Dsl.Ast.If (c, t, f) ->
+      expr_uses u c;
+      stmt_uses u t;
+      stmt_uses u f
+  | Dsl.Ast.Let (_, e, k) ->
+      expr_uses u e;
+      stmt_uses u k
+  | Dsl.Ast.Map_get { key; k; _ } ->
+      key_uses u key;
+      stmt_uses u k
+  | Dsl.Ast.Map_put { key; value; k; _ } ->
+      key_uses u key;
+      expr_uses u value;
+      stmt_uses u k
+  | Dsl.Ast.Map_erase { key; k; _ } ->
+      key_uses u key;
+      stmt_uses u k
+  | Dsl.Ast.Vec_get { index; k; _ } ->
+      expr_uses u index;
+      stmt_uses u k
+  | Dsl.Ast.Vec_set { index; fields; k; _ } ->
+      expr_uses u index;
+      List.iter (fun (_, e) -> expr_uses u e) fields;
+      stmt_uses u k
+  | Dsl.Ast.Chain_alloc { k_ok; k_fail; _ } ->
+      u.u_ts <- true;
+      stmt_uses u k_ok;
+      stmt_uses u k_fail
+  | Dsl.Ast.Chain_rejuv { index; k; _ } ->
+      u.u_ts <- true;
+      expr_uses u index;
+      stmt_uses u k
+  | Dsl.Ast.Chain_expire { k; _ } ->
+      u.u_ts <- true;
+      stmt_uses u k
+  | Dsl.Ast.Sketch_touch { key; k; _ } ->
+      key_uses u key;
+      stmt_uses u k
+  | Dsl.Ast.Sketch_query { key; k; _ } ->
+      key_uses u key;
+      stmt_uses u k
+  | Dsl.Ast.Set_field (_, e, k) ->
+      expr_uses u e;
+      stmt_uses u k
+  | Dsl.Ast.Forward e -> expr_uses u e
+  | Dsl.Ast.Drop -> ()
+
+let field_bytes f = (Packet.Field.width f + 7) / 8
+
+let derive (nf : Dsl.Ast.t) =
+  let slice = slice_nf nf in
+  let u = { u_fields = []; u_port = false; u_len = false; u_ts = false } in
+  stmt_uses u slice.Dsl.Ast.process;
+  let fields = List.sort Packet.Field.compare u.u_fields in
+  let digest_bytes =
+    List.fold_left (fun acc f -> acc + field_bytes f) 0 fields
+    + (if u.u_port then 2 else 0)
+    + (if u.u_len then 2 else 0)
+    + if u.u_ts then 6 else 0
+  in
+  {
+    nf;
+    slice;
+    fields;
+    needs_port = u.u_port;
+    needs_len = u.u_len;
+    needs_ts = u.u_ts;
+    written_objects = written_objects nf;
+    digest_bytes;
+  }
+
+let admissible ?(max_bytes = default_max_bytes) nf =
+  let t = derive nf in
+  if t.written_objects = [] then
+    Error
+      "the NF never writes state: read-only replication (load-balance) is free, a digest \
+       stream buys nothing"
+  else if t.digest_bytes > max_bytes then
+    Error
+      (Printf.sprintf
+         "the update digest needs %d bytes/pkt, above the %d-byte replication budget"
+         t.digest_bytes max_bytes)
+  else Ok t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>scr digest: %d bytes/pkt@ fields: %s%s%s%s@ writes: %s@]"
+    t.digest_bytes
+    (String.concat ", " (List.map Packet.Field.to_string t.fields))
+    (if t.needs_port then " +port" else "")
+    (if t.needs_len then " +len" else "")
+    (if t.needs_ts then " +ts" else "")
+    (String.concat ", " t.written_objects)

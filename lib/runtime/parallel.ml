@@ -83,13 +83,38 @@ let run ?reta (plan : Maestro.Plan.t) pkts =
         Maestro.Plan.rss_engine ?reta:r plan port)
   in
   let shared_nothing = plan.Maestro.Plan.strategy = Maestro.Plan.Shared_nothing in
+  let scr = plan.Maestro.Plan.strategy = Maestro.Plan.Scr in
+  let per_core_state = shared_nothing || scr in
   let instances =
-    if shared_nothing then
+    if per_core_state then
       Array.init cores (fun _ -> Dsl.Instance.create ~divide:(Maestro.Plan.state_divisor plan) nf)
     else Array.make 1 (Dsl.Instance.create nf)
   in
   let staged = Dsl.Compile.stage_runner nf info in
   let runners = Array.map (Dsl.Compile.bind_runner staged) instances in
+  (* SCR deterministic model: packets spray round-robin, the owner runs
+     the full NF (and is the only core whose op events are accounted —
+     replays are state maintenance, not packet service), every other core
+     replays the packet's update digest against its full replica. *)
+  let scr_replay =
+    if not scr then None
+    else
+      let spec =
+        match Maestro.Scrspec.admissible nf with
+        | Ok spec -> spec
+        | Error e ->
+            invalid_arg
+              (Printf.sprintf "Parallel.run: SCR plan for %s but %s" nf.Dsl.Ast.name e)
+      in
+      let prog = Scr.prepare spec in
+      let replayers = Array.map (Scr.bind prog) instances in
+      let buf = Array.make (max 1 (Scr.ints_per_pkt prog)) 0 in
+      Some
+        (fun owner pkt ->
+          Scr.encode prog pkt buf 0;
+          Array.iteri (fun c r -> if c <> owner then Scr.apply r buf 0) replayers)
+  in
+  let rr = ref 0 in
   let per_core_pkts = Array.make cores 0 in
   let reads = ref 0 and writes = ref 0 in
   let read_pkts = ref 0 and write_pkts = ref 0 in
@@ -100,11 +125,19 @@ let run ?reta (plan : Maestro.Plan.t) pkts =
   let verdicts =
     Array.map
       (fun pkt ->
-        let core = Nic.Rss.dispatch engines.(pkt.Packet.Pkt.port) pkt in
+        let core =
+          if scr then begin
+            let c = !rr mod cores in
+            incr rr;
+            c
+          end
+          else Nic.Rss.dispatch engines.(pkt.Packet.Pkt.port) pkt
+        in
         per_core_pkts.(core) <- per_core_pkts.(core) + 1;
-        let runner = if shared_nothing then runners.(core) else runners.(0) in
+        let runner = if per_core_state then runners.(core) else runners.(0) in
         let ops = { r = 0; w = 0; rejuvs = 0; expired = 0 } in
         let verdict = Dsl.Compile.run ~on_op:(observe ops) runner pkt in
+        (match scr_replay with Some replay -> replay core pkt | None -> ());
         reads := !reads + ops.r;
         writes := !writes + ops.w;
         expired_flows := !expired_flows + ops.expired;

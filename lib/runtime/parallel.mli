@@ -6,6 +6,11 @@
     load-balance workers share one instance and are serialized in arrival
     order — which is exactly the semantics their coordination guarantees, so
     verdicts are reproducible and comparable against the sequential NF.
+    SCR plans spray packets round-robin over per-core {e full} replicas:
+    the owner runs the complete NF, every other core replays the
+    packet's update digest through the write-slice ({!Scr}), and only
+    the owner's op events are accounted — replays are state maintenance,
+    not packet service.
 
     Besides the verdicts, execution gathers the coordination statistics the
     performance model consumes: read/write packet classification under the

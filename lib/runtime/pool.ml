@@ -65,6 +65,18 @@ let c_migration_drops =
   Telemetry.Counter.make "pool.migration_drops"
     ~doc:"flow states evicted during migration because the destination was full"
 
+let c_scr_replays =
+  Telemetry.Counter.make "pool.scr_replays"
+    ~doc:"foreign-batch digest replays scheduled by the SCR dispatcher"
+
+let c_scr_rebuilds =
+  Telemetry.Counter.make "pool.scr_rebuilds"
+    ~doc:"SCR replicas rebuilt from the digest stream after a worker death"
+
+let c_scr_digest_bytes =
+  Telemetry.Counter.make "pool.scr_digest_bytes"
+    ~doc:"update-digest bytes broadcast by the SCR dispatcher"
+
 (* --- bounded SPSC ring ----------------------------------------------------- *)
 
 module Ring = struct
@@ -170,6 +182,9 @@ type stats = {
   last_assignment : int array;  (** per-packet core of the last run *)
   last_rebalance_points : int list;
       (** packet offsets (ascending) where the last run changed the table *)
+  scr_replays : int;  (** foreign-batch digest replays scheduled (SCR runs) *)
+  scr_rebuilds : int;  (** replicas rebuilt from the digest stream after a death *)
+  scr_digest_bytes : int;  (** update-digest bytes broadcast (SCR runs) *)
 }
 
 type t = {
@@ -195,6 +210,15 @@ type t = {
   mutable last_share : float array;
   mutable last_assignment : int array;
   mutable last_points : int list;
+  mutable scr_replays : int;
+  mutable scr_rebuilds : int;
+  mutable scr_digest_bytes : int;
+  mutable scr_crash_hook : (int -> unit) option;
+      (* set for the duration of an SCR run: rebuild [core]'s replica from
+         the retained digest stream.  Called only by the producer, inside
+         {!ensure_live}, after joining the dead domain (the join is the
+         happens-before edge that publishes the worker's progress counter)
+         and before the crashed batch is replayed inline. *)
 }
 
 let worker_loop w () =
@@ -287,6 +311,10 @@ let create ?(batch_size = default_batch_size) ?(ring_capacity = default_ring_cap
     last_share = [||];
     last_assignment = [||];
     last_points = [];
+    scr_replays = 0;
+    scr_rebuilds = 0;
+    scr_digest_bytes = 0;
+    scr_crash_hook = None;
   }
 
 let cores t = t.cores
@@ -337,6 +365,9 @@ let stats t =
     last_core_share = Array.copy t.last_share;
     last_assignment = Array.copy t.last_assignment;
     last_rebalance_points = t.last_points;
+    scr_replays = t.scr_replays;
+    scr_rebuilds = t.scr_rebuilds;
+    scr_digest_bytes = t.scr_digest_bytes;
   }
 
 (* --- supervision (producer side) -------------------------------------------- *)
@@ -375,6 +406,10 @@ let ensure_live t w =
     | None -> ());
     let crashed = w.in_flight in
     w.in_flight <- None;
+    (* SCR: the dead core's replica may be stale (an injected crash fires
+       before the batch mutates it); rebuild it from the retained digest
+       stream BEFORE any inline replay touches it *)
+    (match t.scr_crash_hook with Some rebuild -> rebuild w.core | None -> ());
     match Supervisor.on_death t.supervisor ~core:w.core with
     | `Restart backoff ->
         (* replay the crashed batch inline BEFORE respawning: re-queueing
@@ -398,9 +433,12 @@ let signal w =
   Condition.signal w.cond;
   Mutex.unlock w.mutex
 
-(* Submit one task to [core], honoring the backpressure policy.  Returns
-   how the task was disposed of; [`Dropped] tasks never run. *)
-let submit t ~core task =
+(* Submit one task to [core], honoring the backpressure policy ([bp],
+   defaulting to the pool's own — SCR runs force [Block]: a dropped
+   digest batch would silently diverge a replica).  Returns how the task
+   was disposed of; [`Dropped] tasks never run. *)
+let submit ?bp t ~core task =
+  let bp = Option.value ~default:t.backpressure bp in
   let w = t.workers.(core) in
   match ensure_live t w with
   | `Failed ->
@@ -418,7 +456,7 @@ let submit t ~core task =
         if Ring.try_push w.ring task then true
         else begin
           let stalled = ref false in
-          match t.backpressure with
+          match bp with
           | Shed ->
               note_stall stalled;
               false
@@ -479,22 +517,10 @@ let submit t ~core task =
    disciplines: OCaml has no transactional rollback, so a packet that *may*
    write on any path takes the write lock up front.  The speculative
    read→restart discipline is modeled deterministically in {!Parallel.run};
-   this runtime demonstrates race-free real-domain execution. *)
-let rec stmt_writes (s : Dsl.Ast.stmt) =
-  match s with
-  | Dsl.Ast.Map_put _ | Dsl.Ast.Map_erase _ | Dsl.Ast.Vec_set _ | Dsl.Ast.Chain_alloc _
-  | Dsl.Ast.Chain_rejuv _ | Dsl.Ast.Chain_expire _ | Dsl.Ast.Sketch_touch _ ->
-      true
-  | Dsl.Ast.If (_, t, f) -> stmt_writes t || stmt_writes f
-  | Dsl.Ast.Let (_, _, k)
-  | Dsl.Ast.Map_get { k; _ }
-  | Dsl.Ast.Vec_get { k; _ }
-  | Dsl.Ast.Sketch_query { k; _ }
-  | Dsl.Ast.Set_field (_, _, k) ->
-      stmt_writes k
-  | Dsl.Ast.Forward _ | Dsl.Ast.Drop -> false
-
-let nf_statically_writes (nf : Dsl.Ast.t) = stmt_writes nf.Dsl.Ast.process
+   this runtime demonstrates race-free real-domain execution.  The
+   classification itself is {!Maestro.Scrspec}'s — the same walk that
+   derives the SCR write-slice. *)
+let nf_statically_writes = Maestro.Scrspec.nf_writes
 
 (* Chunk each core's index queue into batches and feed the rings;
    [remaining] is incremented before each handoff and compensated on a
@@ -583,13 +609,14 @@ let run ?(rebalance = Balancer.Off) (t : t) (plan : Maestro.Plan.t) pkts =
   let verdicts = Array.make npkts Dsl.Interp.Dropped in
   let remaining = Atomic.make 0 in
   let strategy = plan.Maestro.Plan.strategy in
-  (* per-core state for shared-nothing (capacity-split) and load-balance
-     (read-only replicas); one shared locked instance otherwise.  The
-     instance array is kept visible so the balancer can migrate state
-     between cores at a quiesced epoch boundary. *)
+  (* per-core state for shared-nothing (capacity-split), load-balance
+     (read-only replicas) and SCR (full replicas, state_divisor 1); one
+     shared locked instance otherwise.  The instance array is kept
+     visible so the balancer can migrate state between cores at a
+     quiesced epoch boundary. *)
   let instances =
     match strategy with
-    | Maestro.Plan.Shared_nothing | Maestro.Plan.Load_balance ->
+    | Maestro.Plan.Shared_nothing | Maestro.Plan.Load_balance | Maestro.Plan.Scr ->
         Some
           (Array.init cores (fun _ ->
                Dsl.Instance.create ~divide:(Maestro.Plan.state_divisor plan) nf))
@@ -644,6 +671,111 @@ let run ?(rebalance = Balancer.Off) (t : t) (plan : Maestro.Plan.t) pkts =
     Telemetry.Counter.add c_pkts npkts;
     verdicts
   in
+  match strategy with
+  | Maestro.Plan.Scr ->
+      (* State-compute replication: every live core consumes the FULL
+         global batch stream in arrival order over its own SPSC ring.
+         The owning core (round-robin over the batches) runs the complete
+         NF for the verdicts; every other core replays the batch's update
+         digest — derived from the packets at dispatch time — against its
+         own full replica by executing the NF's write-slice.  No core
+         ever waits for another: there is no shared state and no lock.
+         The digest stream is retained for the whole run so a respawned
+         worker can rebuild its replica from scratch before rejoining
+         (see [scr_crash_hook]). *)
+      let insts = match instances with Some i -> i | None -> assert false in
+      let spec =
+        match Maestro.Scrspec.admissible nf with
+        | Ok spec -> spec
+        | Error e ->
+            invalid_arg
+              (Printf.sprintf "Pool.run: SCR plan for %s but %s" nf.Dsl.Ast.name e)
+      in
+      let prog = Scr.prepare spec in
+      let runners = Array.map (Dsl.Compile.bind_runner staged) insts in
+      let replayers = Array.map (Scr.bind prog) insts in
+      let lives =
+        Array.of_list
+          (List.filteri (fun c _ -> live.(c)) (List.init cores Fun.id))
+      in
+      let nlive = Array.length lives in
+      let nbatches = (npkts + t.batch_size - 1) / t.batch_size in
+      let log = Array.make (max 1 nbatches) [||] in
+      let log_npkts = Array.make (max 1 nbatches) 0 in
+      (* batches of THIS run fully applied per core; written by whoever
+         executes the task (worker, or the producer inline), read by the
+         producer only after joining the dead domain *)
+      let applied = Array.make cores 0 in
+      let assignment = Array.make npkts 0 in
+      let per_core = Array.make cores 0 in
+      t.scr_crash_hook <-
+        Some
+          (fun core ->
+            t.scr_rebuilds <- t.scr_rebuilds + 1;
+            Telemetry.Counter.incr c_scr_rebuilds;
+            (* compiled runners capture the state containers eagerly, and
+               [reset] replaces them — rebind both the full runner and
+               the replayer to the fresh containers before replaying, or
+               the rebuild would write into the orphaned pre-crash state *)
+            Dsl.Instance.reset insts.(core) nf;
+            runners.(core) <- Dsl.Compile.bind_runner staged insts.(core);
+            replayers.(core) <- Scr.bind prog insts.(core);
+            for b = 0 to applied.(core) - 1 do
+              Scr.apply_batch replayers.(core) log.(b) ~npkts:log_npkts.(b)
+            done);
+      Fun.protect ~finally:(fun () -> t.scr_crash_hook <- None) @@ fun () ->
+      for b = 0 to nbatches - 1 do
+        let lo = b * t.batch_size in
+        let len = min t.batch_size (npkts - lo) in
+        let owner = lives.(b mod nlive) in
+        Array.fill assignment lo len owner;
+        per_core.(owner) <- per_core.(owner) + len;
+        let digest = Scr.encode_batch prog pkts ~lo ~len in
+        log.(b) <- digest;
+        log_npkts.(b) <- len;
+        let bytes = len * Scr.digest_wire_bytes prog in
+        t.scr_digest_bytes <- t.scr_digest_bytes + bytes;
+        Telemetry.Counter.add c_scr_digest_bytes bytes;
+        Array.iter
+          (fun core ->
+            let task =
+              if core = owner then
+                {
+                  npkts = len;
+                  run =
+                    (fun () ->
+                      let r = runners.(core) in
+                      for i = lo to lo + len - 1 do
+                        verdicts.(i) <- Dsl.Compile.run r pkts.(i)
+                      done;
+                      applied.(core) <- applied.(core) + 1;
+                      Atomic.decr remaining);
+                }
+              else begin
+                t.scr_replays <- t.scr_replays + 1;
+                Telemetry.Counter.incr c_scr_replays;
+                {
+                  npkts = len;
+                  run =
+                    (fun () ->
+                      Scr.apply_batch replayers.(core) digest ~npkts:len;
+                      applied.(core) <- applied.(core) + 1;
+                      Atomic.decr remaining);
+                }
+              end
+            in
+            Atomic.incr remaining;
+            (* a dropped digest batch would silently diverge a replica:
+               force lossless backpressure regardless of pool policy *)
+            match submit ~bp:Block t ~core task with
+            | `Pushed | `Inline -> ()
+            | `Dropped -> Atomic.decr remaining (* unreachable under Block *))
+          lives
+      done;
+      wait_quiesce t ~cores remaining;
+      finish assignment [] per_core
+  | Maestro.Plan.Shared_nothing | Maestro.Plan.Load_balance | Maestro.Plan.Lock_based
+  | Maestro.Plan.Tm_based -> (
   match rebalance with
   | Balancer.Off ->
       (* dispatch on the producer, exactly what the NIC does in hardware *)
@@ -682,6 +814,7 @@ let run ?(rebalance = Balancer.Off) (t : t) (plan : Maestro.Plan.t) pkts =
         match strategy with
         | Maestro.Plan.Shared_nothing -> Balancer.exact mplan
         | Maestro.Plan.Lock_based | Maestro.Plan.Tm_based | Maestro.Plan.Load_balance -> true
+        | Maestro.Plan.Scr -> false (* SCR never reaches here: round-robin spray *)
       in
       let nports = Array.length engines in
       let hash_pkt (pk : Packet.Pkt.t) =
@@ -776,7 +909,7 @@ let run ?(rebalance = Balancer.Off) (t : t) (plan : Maestro.Plan.t) pkts =
           Array.fill epoch_counts 0 cores 0
         end
       done;
-      finish assignment !points per_core
+      finish assignment !points per_core)
 
 (* --- the process-global pool ------------------------------------------------- *)
 

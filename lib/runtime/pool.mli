@@ -27,15 +27,37 @@
     liveness while spinning; [Drop]/[Shed] trade packets for bounded
     producer latency and account every loss in {!stats} and telemetry.
 
+    {2 State-compute replication}
+
+    SCR plans ({!Maestro.Plan.strategy} [Scr]) run a fourth discipline:
+    every live core keeps a {e full} state replica and consumes the
+    whole global batch stream in arrival order over its own SPSC ring.
+    The owning core of a batch (round-robin spray) runs the complete NF
+    and produces the verdicts; every other core replays the batch's
+    {e update digest} — header fields captured from the packets at
+    dispatch time ({!Maestro.Scrspec}) — by executing the NF's
+    write-slice against its replica ({!Scr}).  No core ever waits for
+    another and nothing is shared, so write-heavy NFs scale without a
+    lock at the price of replicated memory and replay cycles.  Digest
+    batches are never dropped (backpressure is forced to [Block] for
+    SCR runs: a lost digest would silently diverge a replica), the
+    digest stream is retained for the duration of the run, and a worker
+    that dies mid-run has its replica {e rebuilt from the digest
+    stream} — reset to initial state, then replayed up to exactly the
+    batches it had applied — before the crashed batch is replayed
+    inline and the core rejoins ({!stats.scr_rebuilds}).
+
     {!run} executes any plan strategy without respawning: shared-nothing
     and load-balance get per-core state instances (capacity-split and
-    read-only replicas respectively); lock-based and transactional-memory
+    read-only replicas respectively); SCR gets per-core {e full-capacity}
+    replicas; lock-based and transactional-memory
     plans share one instance guarded by the {!Rwlock} with conservative
     static write classification (OCaml has no transactional rollback, so
     the TM discipline degrades to the lock discipline on real domains —
     the speculative/transactional behavior is modeled deterministically
     in {!Parallel.run}).  Verdicts are bit-identical to the spawn-per-run
-    paths and, for shared-nothing plans, to sequential execution. *)
+    paths and, for shared-nothing and SCR plans, to sequential
+    execution. *)
 
 val default_batch_size : int
 (** 32 — the DPDK burst size. *)
@@ -119,6 +141,15 @@ type stats = {
       (** ascending packet offsets at which the most recent run changed
           the indirection table; between two consecutive points every
           flow's packets land on exactly one core *)
+  scr_replays : int;
+      (** foreign-batch digest replays scheduled by SCR dispatch (one per
+          batch per non-owning live core) *)
+  scr_rebuilds : int;
+      (** SCR replicas rebuilt from the retained digest stream after a
+          worker death, before the core rejoined *)
+  scr_digest_bytes : int;
+      (** update-digest bytes broadcast by SCR dispatch — what the digest
+          stream would cost on a real wire *)
 }
 
 val create :

@@ -13,6 +13,8 @@ type params = {
   tm_enter_cycles : float;
   tm_conflict_coeff : float;
   tm_max_retries : int;
+  scr_digest_byte_cycles : float;
+  scr_replay_factor : float;
 }
 
 let default =
@@ -31,6 +33,8 @@ let default =
     tm_enter_cycles = 60.0;
     tm_conflict_coeff = 0.06;
     tm_max_retries = 3;
+    scr_digest_byte_cycles = 2.0;
+    scr_replay_factor = 0.7;
   }
 
 let mem_access_cycles ?(params = default) (m : Machine.t) ~ws_bytes =

@@ -21,6 +21,12 @@ type params = {
   tm_enter_cycles : float;  (** xbegin/xend *)
   tm_conflict_coeff : float;  (** pairwise conflict probability per transactional write *)
   tm_max_retries : int;
+  scr_digest_byte_cycles : float;
+      (** SCR: cycles per update-digest byte, paid by the dispatcher to
+          encode and by each replica to decode *)
+  scr_replay_factor : float;
+      (** SCR: fraction of the NF's non-base packet cycles a replica
+          spends replaying the write-slice of a foreign packet *)
 }
 
 val default : params

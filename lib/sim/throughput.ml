@@ -96,6 +96,22 @@ let evaluate ?(machine = Machine.xeon_6226r) ?(params = Cost.default) ?(balanced
           if max_share <= 0.0 then x_serial else freq /. read_cost /. max_share
         in
         Float.min x_serial x_balance
+    | Maestro.Plan.Scr ->
+        (* every core serves its owned share at full-NF cost plus digest
+           encode/decode, and replays the other n-1 cores' write-slices;
+           round-robin spray keeps the shares balanced by construction,
+           so no max_share term — contention is the replay stream itself *)
+        let digest_bytes =
+          float_of_int
+            (Maestro.Scrspec.derive plan.Maestro.Plan.nf).Maestro.Scrspec.digest_bytes
+        in
+        let c_digest = digest_bytes *. params.Cost.scr_digest_byte_cycles in
+        let c_replay =
+          (params.Cost.scr_replay_factor *. Float.max 0.0 (c_pkt -. params.Cost.base_cycles))
+          +. c_digest
+        in
+        let c_own = c_pkt +. c_digest in
+        n *. freq /. (c_own +. ((n -. 1.0) *. c_replay))
     | Maestro.Plan.Tm_based ->
         let kappa =
           Float.min 0.85 (params.Cost.tm_conflict_coeff *. profile.Profile.tm_writes_per_pkt)

@@ -15,6 +15,14 @@
       flag and serializes the system for its write section; read packets
       only pay a local atomic.  With write fraction [fw]:
       [X = n·F / (fw·n·(hold + n·lk) + (1-fw)·(c + rd))].
+    - {e state-compute replication}: round-robin spray keeps shares
+      balanced by construction; each core pays the full NF plus digest
+      encode/decode for its [1/n] of the traffic and a cheaper
+      write-slice replay ([scr_replay_factor] of the non-base packet
+      cost, plus digest decode) for the other [n-1] shares:
+      [X = n·F / (c_own + (n-1)·c_replay)].  The working set is the
+      {e full} state (replicas are not shards), so SCR also pays in
+      cache locality.
     - {e transactional memory}: abort probability grows with concurrent
       writers, [p = 1-(1-κ)^(n-1)] with [κ] proportional to the
       transactional write rate; retries inflate cost and exhausted retries

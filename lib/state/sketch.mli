@@ -42,3 +42,8 @@ val clear : t -> unit
 
 val memory_bytes : t -> int
 (** Footprint in bytes (4 per counter), for the cache model. *)
+
+val equal : t -> t -> bool
+(** Structural equality of dimensions and every counter — two sketches
+    that answer every query identically.  Used by the SCR replica
+    checker. *)

@@ -17,6 +17,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("rebalance", Test_rebalance.suite);
       ("faults", Test_faults.suite);
+      ("scr", Test_scr.suite);
       ("traffic", Test_traffic.suite);
       ("sim", Test_sim.suite);
       ("vpp", Test_vpp.suite);

@@ -272,10 +272,12 @@ let test_sat_budget_degrades_to_locks () =
   in
   let o = Maestro.Pipeline.parallelize_exn ~request (Nfs.Registry.find_exn "fw") in
   Alcotest.(check bool) "degraded" true (Maestro.Ladder.degraded o.Maestro.Pipeline.ladder);
-  Alcotest.(check bool) "lock rung chosen" true
-    (o.Maestro.Pipeline.ladder.Maestro.Ladder.chosen = Maestro.Ladder.Lock_based);
-  Alcotest.(check bool) "plan is lock-based" true
-    (o.Maestro.Pipeline.plan.Maestro.Plan.strategy = Maestro.Plan.Lock_based);
+  (* fw writes state and its digest is small, so the first rung below
+     shared-nothing — state-compute replication — catches the fall *)
+  Alcotest.(check bool) "scr rung chosen" true
+    (o.Maestro.Pipeline.ladder.Maestro.Ladder.chosen = Maestro.Ladder.Scr);
+  Alcotest.(check bool) "plan is scr" true
+    (o.Maestro.Pipeline.plan.Maestro.Plan.strategy = Maestro.Plan.Scr);
   Alcotest.(check int) "all cores still run" 16 o.Maestro.Pipeline.plan.Maestro.Plan.cores;
   (* the walk records why the top rung was rejected *)
   (match o.Maestro.Pipeline.ladder.Maestro.Ladder.steps with
@@ -330,7 +332,7 @@ let suite =
     Alcotest.test_case "dead consumer terminates (3 policies)" `Quick
       test_dead_consumer_terminates;
     Alcotest.test_case "stuck worker detected" `Quick test_stuck_worker_detected;
-    Alcotest.test_case "sat budget degrades to locks" `Quick test_sat_budget_degrades_to_locks;
+    Alcotest.test_case "sat budget degrades to scr" `Quick test_sat_budget_degrades_to_locks;
     Alcotest.test_case "fault plan forces solver budget" `Quick
       test_fault_plan_forces_solver_budget;
     Alcotest.test_case "too many cores degrade to serial" `Quick

@@ -7,13 +7,20 @@ let outcome_of name =
 
 let strategy_of name = (outcome_of name).Maestro.Pipeline.plan.Maestro.Plan.strategy
 
+(* The registry records the paper's table (shared-nothing / locks /
+   read-only); with the SCR rung between sharding and the lock, every NF
+   the paper sent to locks now takes SCR instead whenever its update
+   digest fits the replication budget. *)
 let test_decisions_match_paper () =
   List.iter
     (fun name ->
       let expected =
         match Nfs.Registry.expected_strategy name with
         | `Shared_nothing -> Maestro.Plan.Shared_nothing
-        | `Locks -> Maestro.Plan.Lock_based
+        | `Locks -> (
+            match Maestro.Scrspec.admissible (Nfs.Registry.find_exn name) with
+            | Ok _ -> Maestro.Plan.Scr
+            | Error _ -> Maestro.Plan.Lock_based)
         | `Read_only_lb -> Maestro.Plan.Load_balance
       in
       let actual = strategy_of name in
@@ -41,6 +48,17 @@ let test_forced_strategies () =
   let request = { Maestro.Pipeline.default_request with strategy = `Force_tm } in
   let o = Maestro.Pipeline.parallelize_exn ~request (Nfs.Registry.find_exn "fw") in
   Alcotest.(check string) "forced tm" "transactional-memory"
+    (Maestro.Plan.strategy_name o.Maestro.Pipeline.plan.Maestro.Plan.strategy);
+  let request = { Maestro.Pipeline.default_request with strategy = `Force_scr } in
+  let o = Maestro.Pipeline.parallelize_exn ~request (Nfs.Registry.find_exn "fw") in
+  Alcotest.(check string) "forced scr" "state-compute-replication"
+    (Maestro.Plan.strategy_name o.Maestro.Pipeline.plan.Maestro.Plan.strategy);
+  Alcotest.(check string) "forced scr rung" "state-compute-replication"
+    (Maestro.Ladder.rung_name o.Maestro.Pipeline.ladder.Maestro.Ladder.chosen);
+  (* a read-only NF has nothing to replicate updates for: forcing SCR
+     walks past the rejected rung down to the lock *)
+  let o = Maestro.Pipeline.parallelize_exn ~request (Nfs.Registry.find_exn "sbridge") in
+  Alcotest.(check string) "scr inadmissible falls to lock" "lock-based"
     (Maestro.Plan.strategy_name o.Maestro.Pipeline.plan.Maestro.Plan.strategy)
 
 let test_fw_keys_realize_symmetry () =
@@ -158,10 +176,12 @@ let test_scenarios_decisions () =
           (Maestro.Plan.strategy_name s)
     | None -> Alcotest.fail ("missing scenario " ^ name)
   in
+  (* unshardable write-heavy scenarios land on the SCR rung now (their
+     digests are small); the lock is the fallback, not the default *)
   expect "fig2_key_equality" Maestro.Plan.Shared_nothing;
   expect "fig2_subsumption" Maestro.Plan.Shared_nothing;
-  expect "fig2_disjoint" Maestro.Plan.Lock_based;
-  expect "fig2_constant_key" Maestro.Plan.Lock_based;
+  expect "fig2_disjoint" Maestro.Plan.Scr;
+  expect "fig2_constant_key" Maestro.Plan.Scr;
   expect "fig2_interchangeable" Maestro.Plan.Shared_nothing
 
 let test_psd_shards_on_source_only () =
