@@ -1,0 +1,7 @@
+(* CI entry point for the chain smoke gate; the logic lives in
+   Gates.Chain_gate so the bench tour (`main.exe ext-chain`) can run the
+   same benchmark.  First argv overrides the telemetry output path. *)
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  if Gates.Chain_gate.run ?out () > 0 then exit 1

@@ -1,154 +1,7 @@
-(* Churn smoke benchmark — the CI [churn-smoke] job.
-
-   Replays a high-churn LAN trace (paper §6.3 workload family: a window
-   of active flows with the oldest slot retired at an even pace, so the
-   firewall's flow table sees constant allocation/expiry pressure)
-   through the persistent domain pool twice — once under the lock rung
-   and once under state-compute replication — and checks the SCR
-   contract end to end on real domains:
-
-   - SCR verdicts are identical to sequential execution (digest
-     broadcast + write-slice replay is observationally invisible);
-   - every batch is broadcast: scr_replays = batches * (cores - 1),
-     and the digest byte accounting is non-zero;
-   - SCR beats the lock rung on wall-clock: a churning write-heavy NF
-     serializes completely behind the write lock, while SCR cores never
-     wait for one another.
-
-   Exits non-zero on any violation and writes the run's telemetry as
-   BENCH_churn.json (first argv overrides the path) for the
-   check_regression gate.  Every churn.* counter without a timing
-   suffix is producer-side and deterministic for a fixed seed; the
-   wall-clock measurements are emitted under [_ms]/[speedup] names so
-   the benchdiff timing policy excludes them, and the two
-   timing-dependent pool counters are filtered out of the document so
-   the committed baseline diffs cleanly across machines. *)
-
-let cores = 4
-let npkts = 49_152
-let active_flows = 1_024
-let flows_per_gbit = 240_000.0
-let repeats = 3
-
-(* SCR must be at least as fast as the lock rung; the locally observed
-   margin is far larger, the gate only has to reject a regression to
-   lock-equivalent behaviour *)
-let speed_gate = 1.0
-
-let failures = ref 0
-
-let check name ok =
-  Printf.printf "%-58s %s\n%!" name (if ok then "ok" else "FAIL");
-  if not ok then incr failures
-
-let verdicts_equal a b =
-  Array.length a = Array.length b
-  && Array.for_all2
-       (fun x y ->
-         match (x, y) with
-         | Dsl.Interp.Dropped, Dsl.Interp.Dropped -> true
-         | Dsl.Interp.Fwd (pa, oa), Dsl.Interp.Fwd (pb, ob) -> pa = pb && Packet.Pkt.equal oa ob
-         | _ -> false)
-       a b
-
-(* warmed best-of-N wall clock for one pool run *)
-let best_of pool plan trace =
-  ignore (Runtime.Pool.run pool plan trace);
-  let best = ref infinity in
-  for _ = 1 to repeats do
-    let t0 = Unix.gettimeofday () in
-    ignore (Runtime.Pool.run pool plan trace);
-    best := Float.min !best (Unix.gettimeofday () -. t0)
-  done;
-  !best
-
-let c_counter name doc v =
-  let c = Telemetry.Counter.make name ~doc in
-  Telemetry.Counter.add c v
+(* CI entry point for the churn smoke gate; the logic lives in
+   Gates.Churn_gate so the bench tour (`main.exe ext-churn`) can run the
+   same benchmark.  First argv overrides the telemetry output path. *)
 
 let () =
-  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_churn.json" in
-  Telemetry.reset ();
-  Telemetry.enable ();
-  Nic.Rss.set_compile_default true;
-  Dsl.Compile.set_default true;
-  let nf = Nfs.Registry.find_exn "fw" in
-  let request = { Maestro.Pipeline.default_request with cores } in
-  let plan_of strategy =
-    (Maestro.Pipeline.parallelize_exn ~request:{ request with strategy } nf)
-      .Maestro.Pipeline.plan
-  in
-  let scr_plan = plan_of `Force_scr in
-  let lock_plan = plan_of `Force_locks in
-  check "scr plan lands on the scr rung"
-    (scr_plan.Maestro.Plan.strategy = Maestro.Plan.Scr);
-  check "lock plan lands on the lock rung"
-    (lock_plan.Maestro.Plan.strategy = Maestro.Plan.Lock_based);
-
-  let spec = { Traffic.Churn.default_spec with active_flows; flows_per_gbit; pkts = npkts } in
-  let rng = Random.State.make [| 0xc40a9 |] in
-  let trace = Traffic.Churn.trace rng spec in
-  let generations = Traffic.Churn.generations spec in
-  let seq = Runtime.Parallel.run_sequential nf trace in
-
-  (* correctness first: one SCR run, verdicts against the oracle *)
-  let pool = Runtime.Pool.create ~cores () in
-  let v_scr = Runtime.Pool.run pool scr_plan trace in
-  let s = Runtime.Pool.stats pool in
-  check "scr: verdicts identical to sequential" (verdicts_equal seq v_scr);
-  check "scr: every batch broadcast to every non-owner"
-    (s.Runtime.Pool.scr_replays > 0
-    && s.Runtime.Pool.scr_replays mod (cores - 1) = 0);
-  check "scr: digest bytes accounted" (s.Runtime.Pool.scr_digest_bytes > 0);
-  check "scr: no rebuilds without faults" (s.Runtime.Pool.scr_rebuilds = 0);
-  check "scr: nothing dropped" (s.Runtime.Pool.dropped_batches = 0);
-  let scr_replays = s.Runtime.Pool.scr_replays in
-  let scr_digest_bytes = s.Runtime.Pool.scr_digest_bytes in
-
-  (* wall clock: warmed best-of-N for each rung on the same pool shape *)
-  let t_scr = best_of pool scr_plan trace in
-  Runtime.Pool.shutdown pool;
-  let pool = Runtime.Pool.create ~cores () in
-  let t_lock = best_of pool lock_plan trace in
-  Runtime.Pool.shutdown pool;
-  let speedup = t_lock /. t_scr in
-  Printf.printf "wall clock: scr %.1f ms, lock %.1f ms (speedup %.2fx, gate %.2fx)\n%!"
-    (t_scr *. 1e3) (t_lock *. 1e3) speedup speed_gate;
-  check "scr beats the lock rung on churn" (speedup >= speed_gate);
-
-  c_counter "churn.pkts" "packets replayed per run" npkts;
-  c_counter "churn.active_flows" "concurrently live flows" active_flows;
-  c_counter "churn.generations" "flow creations in one pass of the trace" generations;
-  c_counter "churn.scr_replays" "digest batch replays scheduled (one run)" scr_replays;
-  c_counter "churn.scr_digest_bytes" "digest bytes broadcast (one run)" scr_digest_bytes;
-  c_counter "churn.scr_rebuilds" "replica rebuilds (must be 0 without faults)"
-    s.Runtime.Pool.scr_rebuilds;
-  (* timing-suffixed names: reported, never diffed *)
-  c_counter "churn.scr_best_ms" "best SCR wall clock, milliseconds"
-    (int_of_float (Float.round (t_scr *. 1e3)));
-  c_counter "churn.lock_best_ms" "best lock wall clock, milliseconds"
-    (int_of_float (Float.round (t_lock *. 1e3)));
-  c_counter "churn.speedup_x100" "lock/scr wall clock, percent"
-    (int_of_float (Float.round (speedup *. 100.0)));
-
-  Telemetry.disable ();
-  let snap = Telemetry.snapshot () in
-  let timing_dependent = [ "pool.ring_full_stalls"; "supervisor.stuck_detected" ] in
-  let snap =
-    {
-      snap with
-      Telemetry.counters =
-        List.filter
-          (fun c -> not (List.mem c.Telemetry.counter_name timing_dependent))
-          snap.Telemetry.counters;
-    }
-  in
-  let oc = open_out out in
-  output_string oc (Telemetry.to_json ~name:"churn" snap);
-  close_out oc;
-  Printf.printf "telemetry written to %s\n" out;
-  if !failures > 0 then begin
-    Printf.printf "%d violation(s)\n" !failures;
-    exit 1
-  end;
-  print_endline "churn smoke: scr beats the lock rung"
+  let out = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  if Gates.Churn_gate.run ?out () > 0 then exit 1

@@ -8,7 +8,12 @@
 
 open Cmdliner
 
-let nf_names = Nfs.Registry.names @ List.map (fun nf -> nf.Dsl.Ast.name) (Nfs.Scenarios.all ())
+let chain_scenarios = Nfs.Scenarios.chains ()
+
+let nf_names =
+  Nfs.Registry.names
+  @ List.map (fun nf -> nf.Dsl.Ast.name) (Nfs.Scenarios.all ())
+  @ List.map (fun c -> c.Dsl.Chain.name) chain_scenarios
 
 let find_nf name =
   match Nfs.Registry.find name with
@@ -16,13 +21,66 @@ let find_nf name =
   | None -> (
       match List.find_opt (fun nf -> nf.Dsl.Ast.name = name) (Nfs.Scenarios.all ()) with
       | Some nf -> Ok nf
-      | None ->
-          Error
-            (Printf.sprintf "unknown NF %s (known: %s)" name (String.concat ", " nf_names)))
+      | None -> (
+          match List.find_opt (fun c -> c.Dsl.Chain.name = name) chain_scenarios with
+          | Some c -> Ok (Dsl.Chain.nf c)
+          | None ->
+              Error
+                (Printf.sprintf "unknown NF %s (known: %s)" name (String.concat ", " nf_names))))
+
+(* --chain NF,NF,...: compose registry NFs into one fused service chain and
+   operate on the composed AST exactly as on a single NF. *)
+type target = Single of Dsl.Ast.t | Chain of Dsl.Chain.t
+
+let find_target name chain =
+  match (name, chain) with
+  | Some _, Some _ -> Error "give either a positional NF or --chain, not both"
+  | None, None -> Error "no NF given: name a positional NF or pass --chain NF,NF,..."
+  | Some n, None -> Result.map (fun nf -> Single nf) (find_nf n)
+  | None, Some spec ->
+      let names =
+        String.split_on_char ',' spec |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      Result.map (fun c -> Chain c) (Nfs.Registry.compose_chain names)
+
+let target_nf = function Single nf -> nf | Chain c -> Dsl.Chain.nf c
+
+(* Each stage analyzed on its own, so the report shows what every NF demands
+   before the chain's union is solved. *)
+let print_chain_stages (c : Dsl.Chain.t) =
+  Format.printf "chain %s: %d stages fused@." c.Dsl.Chain.name (List.length c.Dsl.Chain.stages);
+  List.iter
+    (fun (st : Dsl.Chain.stage) ->
+      let decision =
+        Maestro.Sharding.decide (Maestro.Report.build (Symbex.Exec.run st.Dsl.Chain.nf))
+      in
+      let summary =
+        match decision with
+        | Maestro.Sharding.No_state -> "stateless, 0 constraints"
+        | Maestro.Sharding.Read_only -> "read-only state, 0 constraints"
+        | Maestro.Sharding.Shard cs ->
+            Printf.sprintf "shardable alone, %d constraints" (List.length cs)
+        | Maestro.Sharding.Blocked rs ->
+            Printf.sprintf "blocked alone, %d reasons" (List.length rs)
+      in
+      Format.printf "stage %d (%s, prefix %s): %s@." st.Dsl.Chain.index st.Dsl.Chain.name
+        st.Dsl.Chain.prefix summary)
+    c.Dsl.Chain.stages
 
 let nf_arg =
-  let doc = "Network function to operate on." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
+  let doc = "Network function to operate on (omit when passing $(b,--chain))." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
+
+let chain_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chain" ] ~docv:"NF,NF,..."
+      ~doc:
+        "Compose a service chain of the named NFs (in order) and operate on the fused \
+         single-pass NF: one flattened AST, jointly sharded, one RSS key for the union of \
+         every stage's constraints.")
 
 let cores_arg =
   Arg.(value & opt int 16 & info [ "cores" ] ~docv:"N" ~doc:"Worker cores to generate for.")
@@ -153,13 +211,15 @@ let list_cmd =
 (* --- analyze ---------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run name verbose stats trace_json =
-    match find_nf name with
+  let run name chain verbose stats trace_json =
+    match find_target name chain with
     | Error e ->
         Format.eprintf "%s@." e;
         exit 1
-    | Ok nf ->
+    | Ok target ->
+        let nf = target_nf target in
         with_telemetry stats trace_json @@ fun () ->
+        (match target with Chain c -> print_chain_stages c | Single _ -> ());
         let model = Symbex.Exec.run nf in
         if verbose then Format.printf "%a@." Symbex.Exec.pp model;
         let report = Maestro.Report.build model in
@@ -170,18 +230,20 @@ let analyze_cmd =
   let verbose = Arg.(value & flag & info [ "tree" ] ~doc:"Also print the execution trees.") in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Symbolically execute an NF and show the sharding analysis.")
-    Term.(const run $ nf_arg $ verbose $ stats_arg $ trace_json_arg)
+    Term.(const run $ nf_arg $ chain_arg $ verbose $ stats_arg $ trace_json_arg)
 
 (* --- parallelize ------------------------------------------------------------ *)
 
 let parallelize_cmd =
-  let run name cores seed strategy solver nic sat_budget emit_c stats trace_json =
-    match find_nf name with
+  let run name chain cores seed strategy solver nic sat_budget emit_c stats trace_json =
+    match find_target name chain with
     | Error e ->
         Format.eprintf "%s@." e;
         exit 1
-    | Ok nf -> (
+    | Ok target -> (
+        let nf = target_nf target in
         with_telemetry stats trace_json @@ fun () ->
+        (match target with Chain c -> print_chain_stages c | Single _ -> ());
         let request =
           { Maestro.Pipeline.cores; nic; strategy; solver; seed; sat_budget }
         in
@@ -193,27 +255,34 @@ let parallelize_cmd =
             Format.printf "%a@." Maestro.Plan.pp outcome.Maestro.Pipeline.plan;
             Format.printf "--- degradation ladder ---@.%a@." Maestro.Ladder.pp
               outcome.Maestro.Pipeline.ladder;
+            (match target with
+            | Chain _ ->
+                Format.printf "unified ladder rung: %s@."
+                  (Maestro.Ladder.rung_name
+                     outcome.Maestro.Pipeline.ladder.Maestro.Ladder.chosen)
+            | Single _ -> ());
             Format.printf "generation took %.2f ms@."
               (1000.0 *. Maestro.Pipeline.total_s outcome.Maestro.Pipeline.timing);
             if emit_c then
               Format.printf "@.%s@." (Maestro.Codegen.emit_c outcome.Maestro.Pipeline.plan))
   in
   Cmd.v
-    (Cmd.info "parallelize" ~doc:"Generate a parallel implementation of an NF.")
+    (Cmd.info "parallelize" ~doc:"Generate a parallel implementation of an NF or service chain.")
     Term.(
-      const run $ nf_arg $ cores_arg $ seed_arg $ strategy_arg $ solver_arg $ nic_arg
-      $ sat_budget_arg $ emit_c_arg $ stats_arg $ trace_json_arg)
+      const run $ nf_arg $ chain_arg $ cores_arg $ seed_arg $ strategy_arg $ solver_arg
+      $ nic_arg $ sat_budget_arg $ emit_c_arg $ stats_arg $ trace_json_arg)
 
 (* --- run --------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name cores seed strategy pkts flows batch_size backpressure fault_plan compiled
+  let run name chain cores seed strategy pkts flows batch_size backpressure fault_plan compiled
       compiled_nf interp rebalance stats trace_json =
-    match find_nf name with
+    match find_target name chain with
     | Error e ->
         Format.eprintf "%s@." e;
         exit 1
-    | Ok nf ->
+    | Ok target ->
+        let nf = target_nf target in
         (match fault_plan with
         | None -> Faults.clear ()
         | Some spec -> (
@@ -249,6 +318,11 @@ let run_cmd =
             if v = seq.(i) then incr agree)
           par.Runtime.Parallel.verdicts;
         let s = par.Runtime.Parallel.stats in
+        (match target with
+        | Chain c ->
+            Format.printf "chain: %s (%d stages fused)@." c.Dsl.Chain.name
+              (List.length c.Dsl.Chain.stages)
+        | Single _ -> ());
         Format.printf "strategy: %s on %d cores@."
           (Maestro.Plan.strategy_name plan.Maestro.Plan.strategy)
           cores;
@@ -381,19 +455,20 @@ let run_cmd =
          "Execute the generated parallel NF over a workload and compare it against the \
           sequential version.")
     Term.(
-      const run $ nf_arg $ cores_arg $ seed_arg $ strategy_arg $ pkts $ flows $ batch_size
-      $ backpressure $ fault_plan $ compiled_rss $ compiled_nf $ interp $ rebalance_arg
-      $ stats_arg $ trace_json_arg)
+      const run $ nf_arg $ chain_arg $ cores_arg $ seed_arg $ strategy_arg $ pkts $ flows
+      $ batch_size $ backpressure $ fault_plan $ compiled_rss $ compiled_nf $ interp
+      $ rebalance_arg $ stats_arg $ trace_json_arg)
 
 (* --- rebalance (offline study) ---------------------------------------------- *)
 
 let rebalance_cmd =
-  let run name cores seed pkts flows epoch threshold exponent stats trace_json =
-    match find_nf name with
+  let run name chain cores seed pkts flows epoch threshold exponent stats trace_json =
+    match find_target name chain with
     | Error e ->
         Format.eprintf "%s@." e;
         exit 1
-    | Ok nf ->
+    | Ok target ->
+        let nf = target_nf target in
         with_telemetry stats trace_json @@ fun () ->
         let request = { Maestro.Pipeline.default_request with cores; seed } in
         let plan = (Maestro.Pipeline.parallelize_exn ~request nf).Maestro.Pipeline.plan in
@@ -443,8 +518,8 @@ let rebalance_cmd =
           and dynamically rebalanced indirection tables and report per-epoch imbalance and \
           migration costs.")
     Term.(
-      const run $ nf_arg $ cores_arg $ seed_arg $ pkts $ flows $ epoch $ threshold $ exponent
-      $ stats_arg $ trace_json_arg)
+      const run $ nf_arg $ chain_arg $ cores_arg $ seed_arg $ pkts $ flows $ epoch $ threshold
+      $ exponent $ stats_arg $ trace_json_arg)
 
 let () =
   let doc = "Automatic parallelization of software network functions (NSDI'24 reproduction)" in

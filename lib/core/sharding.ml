@@ -6,7 +6,13 @@ type blocked_reason =
   | Lossy_key of { obj : string; detail : string }
   | Non_rss_field of { obj : string; field : Packet.Field.t }
   | Mixed_key_pair of { obj : string }
-  | Disjoint of { port : int; fields_a : Packet.Field.t list; fields_b : Packet.Field.t list }
+  | Disjoint of {
+      port : int;
+      fields_a : Packet.Field.t list;
+      fields_b : Packet.Field.t list;
+      obj_a : string option;
+      obj_b : string option;
+    }
 
 let pp_fields fmt fs =
   Format.fprintf fmt "{%a}"
@@ -37,11 +43,15 @@ let pp_reason fmt = function
         "two accesses to %s align a packet field with a constant; RSS cannot steer on \
          specific field values (R4)"
         obj
-  | Disjoint { port; fields_a; fields_b } ->
+  | Disjoint { port; fields_a; fields_b; obj_a; obj_b } ->
+      let witness fmt = function
+        | Some obj -> Format.fprintf fmt " (%s)" obj
+        | None -> ()
+      in
       Format.fprintf fmt
-        "port %d must shard simultaneously on %a and on %a, which share no field: RSS can \
-         only hash one set per port (R3)"
-        port pp_fields fields_a pp_fields fields_b
+        "port %d must shard simultaneously on %a%a and on %a%a, which share no field: RSS \
+         can only hash one set per port (R3)"
+        port pp_fields fields_a witness obj_a pp_fields fields_b witness obj_b
 
 type decision =
   | No_state
@@ -285,7 +295,11 @@ let pair_constraints obj tuples =
    the coarser requirement wins; a /8 sketch level subsumes a /16 one).
    Then prune cross-port pairs to the surviving fields, iterating, since
    removing a field on one port removes its counterpart on the other. *)
-let prune_constraints nports constraints =
+(* [tagged] carries each constraint's owning state object so an R3
+   verdict can name the two witnesses — for a composed chain the
+   namespaced object names identify the offending stage pair. *)
+let prune_constraints nports tagged =
+  let constraints = List.map snd tagged in
   let module FS = Set.Make (Packet.Field) in
   let bits_at port (c : Rs3.Cstr.t) f =
     List.filter_map
@@ -333,21 +347,30 @@ let prune_constraints nports constraints =
     (fun port v ->
       match v with
       | Some (acc, last) when FS.is_empty acc && !r3 = None ->
-          (* recover two witness sets for the warning *)
+          (* recover two witness sets (and their owning objects) for the
+             warning *)
           let sets =
             List.filter_map
-              (fun (c : Rs3.Cstr.t) ->
+              (fun (obj, (c : Rs3.Cstr.t)) ->
                 let fs = Rs3.Cstr.fields_of_port c port in
-                if fs = [] then None else Some fs)
-              constraints
+                if fs = [] then None else Some (obj, fs))
+              tagged
           in
-          let a = match sets with x :: _ -> x | [] -> FS.elements last in
-          let b =
-            match List.find_opt (fun x -> FS.is_empty (FS.inter (FS.of_list x) (FS.of_list a))) sets with
-            | Some x -> x
-            | None -> FS.elements last
+          let obj_a, a =
+            match sets with
+            | (o, x) :: _ -> (Some o, x)
+            | [] -> (None, FS.elements last)
           in
-          r3 := Some (Disjoint { port; fields_a = a; fields_b = b })
+          let obj_b, b =
+            match
+              List.find_opt
+                (fun (_, x) -> FS.is_empty (FS.inter (FS.of_list x) (FS.of_list a)))
+                sets
+            with
+            | Some (o, x) -> (Some o, x)
+            | None -> (None, FS.elements last)
+          in
+          r3 := Some (Disjoint { port; fields_a = a; fields_b = b; obj_a; obj_b })
       | _ -> ())
     s;
   match !r3 with
@@ -387,6 +410,12 @@ let prune_constraints nports constraints =
                      port;
                      fields_a = (match v with Some (_, l) -> FS.elements l | None -> []);
                      fields_b = [];
+                     obj_a =
+                       Option.map fst
+                         (List.find_opt
+                            (fun (_, c) -> Rs3.Cstr.fields_of_port c port <> [])
+                            tagged);
+                     obj_b = None;
                    }))
         s;
       (match !dead with
@@ -471,7 +500,8 @@ let decide (report : Report.t) =
                 | Ok tuples -> (
                     match pair_constraints obj tuples with
                     | Error p -> reasons := p :: !reasons
-                    | Ok cs -> all_constraints := cs @ !all_constraints))
+                    | Ok cs ->
+                        all_constraints := List.map (fun c -> (obj, c)) cs @ !all_constraints))
               by_obj)
           clusters;
         if !reasons <> [] then begin

@@ -45,8 +45,17 @@ type blocked_reason =
       (** keyed by a field no RSS configuration can hash (bridges) *)
   | Mixed_key_pair of { obj : string }
       (** a field aligns with a constant across two accesses *)
-  | Disjoint of { port : int; fields_a : Packet.Field.t list; fields_b : Packet.Field.t list }
-      (** R3: requirements with no common field on one port *)
+  | Disjoint of {
+      port : int;
+      fields_a : Packet.Field.t list;
+      fields_b : Packet.Field.t list;
+      obj_a : string option;
+      obj_b : string option;
+    }
+      (** R3: requirements with no common field on one port.  [obj_a]/[obj_b]
+          name the state objects that contributed the two witness
+          requirements when they are known — for a composed service chain
+          the namespaced object names identify the offending stage pair. *)
 
 val pp_reason : Format.formatter -> blocked_reason -> unit
 (** The user-facing warning of Fig. 2. *)

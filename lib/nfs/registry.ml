@@ -28,6 +28,20 @@ let find_exn name =
 
 let all () = List.map (fun (_, b) -> b ()) builders
 
+let compose_chain names =
+  let rec lookup acc = function
+    | [] -> Ok (List.rev acc)
+    | n :: rest -> (
+        match find n with
+        | Some nf -> lookup (nf :: acc) rest
+        | None ->
+            Error
+              (Printf.sprintf "unknown NF %s (known: %s)" n (String.concat ", " extended_names)))
+  in
+  match names with
+  | [] -> Error "empty chain: need at least one NF name"
+  | _ -> Result.bind (lookup [] names) (fun nfs -> Dsl.Chain.compose nfs)
+
 let expected_strategy = function
   | "nop" | "sbridge" -> `Read_only_lb
   | "policer" | "fw" | "psd" | "nat" | "cl" | "hhh" -> `Shared_nothing

@@ -15,6 +15,11 @@ val find_exn : string -> Dsl.Ast.t
 
 val all : unit -> Dsl.Ast.t list
 
+val compose_chain : string list -> (Dsl.Chain.t, string) result
+(** Build a service chain from registry names, in order (the CLI's
+    [--chain fw,nat,lb]).  Errors on an unknown name, an empty list, or
+    any {!Dsl.Chain.compose} rejection. *)
+
 val expected_strategy : string -> [ `Shared_nothing | `Locks | `Read_only_lb ]
 (** What the paper reports Maestro decides for each NF — used by tests and
     by EXPERIMENTS.md assertions.  Raises [Not_found] for unknown names. *)

@@ -236,3 +236,31 @@ let interchangeable () =
 
 let all () =
   [ key_equality (); subsumption (); disjoint (); constant_key (); interchangeable () ]
+
+(* --- service chains (ROADMAP item 2) ---------------------------------------
+
+   Composed with [Dsl.Chain]: one flattened AST per chain, every stage's
+   state namespaced under [s<i>_<nf>_].  The three shipped chains cover
+   the three joint-sharding outcomes:
+
+   - fw→nat: the union of both stages' constraints is satisfiable — and
+     *coarser* than the firewall's own key: nat's R5-rescued port map
+     demands the server two-tuple (LAN (ip_dst, dst_port) / WAN (ip_src,
+     src_port)), R2 subsumption folds the firewall's full 4-tuple under
+     it, so the chain still shards shared-nothing, keyed by server.
+   - fw→lb: the lb's backend pool is allocator-keyed (R4, no R5 rescue),
+     so the union is unsatisfiable and the chain falls down the ladder;
+     the blocked reason names the lb stage via its [s1_lb_] prefix.
+   - policer→fw→nat: every per-object key is shardable, but the union is
+     not — the policer demands WAN sharding on {ip dst} while nat demands
+     {ip src, src port}; the R3 verdict names the offending stage pair. *)
+
+let chain_fw_nat () = Dsl.Chain.compose_exn ~name:"chain_fw_nat" [ Fw.make (); Nat.make () ]
+
+let chain_fw_lb () = Dsl.Chain.compose_exn ~name:"chain_fw_lb" [ Fw.make (); Lb.make () ]
+
+let chain_policer_fw_nat () =
+  Dsl.Chain.compose_exn ~name:"chain_policer_fw_nat"
+    [ Policer.make (); Fw.make (); Nat.make () ]
+
+let chains () = [ chain_fw_nat (); chain_fw_lb (); chain_policer_fw_nat () ]

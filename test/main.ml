@@ -11,6 +11,8 @@ let () =
       ("symbex", Test_symbex.suite);
       ("nfs", Test_nfs.suite);
       ("nfs-edge", Test_nfs_edge.suite);
+      ("registry", Test_registry.suite);
+      ("chain", Test_chain.suite);
       ("rs3", Test_rs3.suite);
       ("pipeline", Test_pipeline.suite);
       ("codegen", Test_codegen.suite);
