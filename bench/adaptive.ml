@@ -1,0 +1,8 @@
+(* CI entry point for the adaptive discipline-switching smoke gate; the
+   logic lives in Gates.Adaptive_gate so the bench tour
+   (`main.exe ext-adaptive`) can run the same benchmark.  First argv
+   overrides the telemetry output path. *)
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  if Gates.Adaptive_gate.run ?out () > 0 then exit 1

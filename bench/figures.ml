@@ -328,6 +328,13 @@ let ext_churn () =
   let failures = Gates.Churn_gate.run () in
   if failures > 0 then printf "churn gate: %d violation(s) (non-fatal in the bench tour)@." failures
 
+let ext_adaptive () =
+  header
+    "Extension: adaptive smoke — discipline switching vs both static rungs (BENCH_adaptive.json)";
+  let failures = Gates.Adaptive_gate.run () in
+  if failures > 0 then
+    printf "adaptive gate: %d violation(s) (non-fatal in the bench tour)@." failures
+
 let ext_chain () =
   header "Extension: service chain — fused single-pass vs back-to-back NFs (BENCH_chain.json)";
   List.iter

@@ -12,9 +12,15 @@
      broadcast + write-slice replay is observationally invisible);
    - every batch is broadcast: scr_replays = batches * (cores - 1),
      and the digest byte accounting is non-zero;
-   - SCR beats the lock rung on wall-clock: a churning write-heavy NF
-     serializes completely behind the write lock, while SCR cores never
-     wait for one another.
+   - SCR beats the lock rung: a churning write-heavy NF serializes
+     behind the write lock, while SCR cores never wait for one another.
+     The comparison is priced by the {!Sim.Throughput} contention laws
+     on the measured per-core dispatch shares of the two real runs, not
+     by wall clock: CI runners (and this container) timeshare every
+     domain on one CPU, where each rung's wall time is just its total
+     CPU work and lock *contention* is invisible — on one CPU the wall
+     comparison measures producer dispatch overhead, nothing else.
+     Wall clock is still reported, under [_ms]/[speedup] names.
 
    Returns the number of violations and writes the run's telemetry as
    BENCH_churn.json ([out] overrides the path) for the check_regression
@@ -31,8 +37,8 @@ let active_flows = 1_024
 let flows_per_gbit = 240_000.0
 let repeats = 3
 
-(* SCR must be at least as fast as the lock rung; the locally observed
-   margin is far larger, the gate only has to reject a regression to
+(* Model-priced SCR throughput must be at least lock's; the observed
+   margin is larger, the gate only has to reject a regression to
    lock-equivalent behaviour *)
 let speed_gate = 1.0
 
@@ -104,16 +110,29 @@ let run ?(out = "BENCH_churn.json") () =
   let scr_replays = s.Runtime.Pool.scr_replays in
   let scr_digest_bytes = s.Runtime.Pool.scr_digest_bytes in
 
-  (* wall clock: warmed best-of-N for each rung on the same pool shape *)
+  (* wall clock: warmed best-of-N for each rung on the same pool shape
+     (informational only — see the header comment) *)
   let t_scr = best_of pool scr_plan trace in
+  let scr_shares = Sim.Throughput.shares_of_pool_stats (Runtime.Pool.stats pool) in
   Runtime.Pool.shutdown pool;
   let pool = Runtime.Pool.create ~cores () in
   let t_lock = best_of pool lock_plan trace in
+  let lock_shares = Sim.Throughput.shares_of_pool_stats (Runtime.Pool.stats pool) in
   Runtime.Pool.shutdown pool;
   let speedup = t_lock /. t_scr in
-  Printf.printf "wall clock: scr %.1f ms, lock %.1f ms (speedup %.2fx, gate %.2fx)\n%!"
-    (t_scr *. 1e3) (t_lock *. 1e3) speedup speed_gate;
-  check "scr beats the lock rung on churn" (speedup >= speed_gate);
+
+  (* the gated comparison: the contention laws on the measured shares *)
+  let profile = Sim.Profile.of_trace nf trace in
+  let mpps plan shares =
+    (Sim.Throughput.evaluate ~measured_shares:shares plan profile trace).Sim.Throughput.mpps
+  in
+  let m_scr = mpps scr_plan scr_shares and m_lock = mpps lock_plan lock_shares in
+  let model_speedup = m_scr /. m_lock in
+  Printf.printf "model: scr %.2f mpps, lock %.2f mpps (x %.2f, gate %.2fx)\n%!" m_scr m_lock
+    model_speedup speed_gate;
+  Printf.printf "wall clock (informational): scr %.1f ms, lock %.1f ms (%.2fx)\n%!"
+    (t_scr *. 1e3) (t_lock *. 1e3) speedup;
+  check "scr beats the lock rung on churn" (model_speedup >= speed_gate);
 
   c_counter "churn.pkts" "packets replayed per run" npkts;
   c_counter "churn.active_flows" "concurrently live flows" active_flows;
@@ -122,12 +141,18 @@ let run ?(out = "BENCH_churn.json") () =
   c_counter "churn.scr_digest_bytes" "digest bytes broadcast (one run)" scr_digest_bytes;
   c_counter "churn.scr_rebuilds" "replica rebuilds (must be 0 without faults)"
     s.Runtime.Pool.scr_rebuilds;
+  c_counter "churn.model_scr_vs_lock_x100" "model scr/lock throughput, percent (gated)"
+    (int_of_float (Float.round (model_speedup *. 100.0)));
+  c_counter "churn.model_scr_mpps_x100" "model SCR throughput, mpps x100"
+    (int_of_float (Float.round (m_scr *. 100.0)));
+  c_counter "churn.model_lock_mpps_x100" "model lock throughput, mpps x100"
+    (int_of_float (Float.round (m_lock *. 100.0)));
   (* timing-suffixed names: reported, never diffed *)
   c_counter "churn.scr_best_ms" "best SCR wall clock, milliseconds"
     (int_of_float (Float.round (t_scr *. 1e3)));
   c_counter "churn.lock_best_ms" "best lock wall clock, milliseconds"
     (int_of_float (Float.round (t_lock *. 1e3)));
-  c_counter "churn.speedup_x100" "lock/scr wall clock, percent"
+  c_counter "churn.speedup_x100" "lock/scr wall clock, percent (informational)"
     (int_of_float (Float.round (speedup *. 100.0)));
 
   Telemetry.disable ();

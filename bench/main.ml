@@ -22,6 +22,7 @@ let targets : (string * (unit -> unit)) list =
     ("ext-attack", Figures.ext_attack);
     ("ext-rsspp", Figures.ext_rsspp);
     ("ext-churn", Figures.ext_churn);
+    ("ext-adaptive", Figures.ext_adaptive);
     ("ext-chain", Figures.ext_chain);
     ("ablation-nic", Figures.ablation_nic);
     ("ablation-rs3", Figures.ablation_rs3);

@@ -149,6 +149,26 @@ let rebalance_arg =
            every N packets and move hot indirection buckets (with a quiesced state \
            migration on shared-nothing plans) when it exceeds F.")
 
+let adaptive_conv =
+  let parse s =
+    match Runtime.Adaptive.parse s with Ok m -> Ok m | Error e -> Error (`Msg e)
+  in
+  let print fmt m = Format.pp_print_string fmt (Runtime.Adaptive.to_string m) in
+  Arg.conv ~docv:"SPEC" (parse, print)
+
+let adaptive_arg =
+  Arg.(
+    value
+    & opt adaptive_conv Runtime.Adaptive.Off
+    & info [ "adaptive" ] ~docv:"SPEC"
+        ~doc:
+          "Online discipline switching on the domain pool: $(b,off) (default), $(b,on), or a \
+           comma-separated $(b,epochs=N),$(b,up=F),$(b,down=F),$(b,cooldown=N) — every N \
+           packets the hysteresis controller may switch the live pool between admissible \
+           ladder rungs (shared-nothing, SCR, lock, serial) at the quiesce barrier: \
+           imbalance above F$(i,up) steps down, a cooldown+1-epoch calm streak below \
+           F$(i,down) steps back up.  Mutually exclusive with $(b,--rebalance).")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -276,12 +296,16 @@ let parallelize_cmd =
 
 let run_cmd =
   let run name chain cores seed strategy pkts flows batch_size backpressure fault_plan compiled
-      compiled_nf interp rebalance stats trace_json =
+      compiled_nf interp rebalance adaptive stats trace_json =
     match find_target name chain with
     | Error e ->
         Format.eprintf "%s@." e;
         exit 1
     | Ok target ->
+        if rebalance <> Runtime.Balancer.Off && adaptive <> Runtime.Adaptive.Off then begin
+          Format.eprintf "--adaptive and --rebalance are mutually exclusive@.";
+          exit 1
+        end;
         let nf = target_nf target in
         (match fault_plan with
         | None -> Faults.clear ()
@@ -343,7 +367,7 @@ let run_cmd =
         (* the same plan on real OCaml domains, fed through the persistent pool *)
         Runtime.Pool.with_global ~batch_size ~backpressure ~cores:plan.Maestro.Plan.cores
         @@ fun pool ->
-        let dv = Runtime.Pool.run ~rebalance pool plan trace in
+        let dv = Runtime.Pool.run ~rebalance ~adaptive pool plan trace in
         let ps = Runtime.Pool.stats pool in
         let dagree = ref 0 in
         Array.iteri (fun i v -> if v = seq.(i) then incr dagree) dv;
@@ -382,6 +406,25 @@ let run_cmd =
                     (Array.map
                        (fun s -> Printf.sprintf "%.3f" s)
                        ps.Runtime.Pool.last_core_share))));
+        (match adaptive with
+        | Runtime.Adaptive.Off -> ()
+        | Runtime.Adaptive.On _ ->
+            Format.printf "pool adaptive (%s): %d switches, %d flap-suppressed@."
+              (Runtime.Adaptive.to_string adaptive)
+              ps.Runtime.Pool.switches ps.Runtime.Pool.flap_suppressed;
+            Format.printf "  switch epochs: %s@."
+              (match ps.Runtime.Pool.switch_epochs with
+              | [] -> "none"
+              | es ->
+                  String.concat ", "
+                    (List.map
+                       (fun (e, r) -> Printf.sprintf "%d→%s" e (Maestro.Ladder.rung_name r))
+                       es));
+            Format.printf "  rung residency: %s@."
+              (String.concat ", "
+                 (List.map
+                    (fun (r, n) -> Printf.sprintf "%s=%d" (Maestro.Ladder.rung_name r) n)
+                    ps.Runtime.Pool.rung_residency)));
         if plan.Maestro.Plan.strategy = Maestro.Plan.Scr then
           Format.printf
             "pool scr: %d digest replays, %d replica rebuilds, %d digest bytes broadcast@."
@@ -457,7 +500,7 @@ let run_cmd =
     Term.(
       const run $ nf_arg $ chain_arg $ cores_arg $ seed_arg $ strategy_arg $ pkts $ flows
       $ batch_size $ backpressure $ fault_plan $ compiled_rss $ compiled_nf $ interp
-      $ rebalance_arg $ stats_arg $ trace_json_arg)
+      $ rebalance_arg $ adaptive_arg $ stats_arg $ trace_json_arg)
 
 (* --- rebalance (offline study) ---------------------------------------------- *)
 

@@ -6,6 +6,12 @@ let rung_name = function
   | Lock_based -> "lock-based"
   | Serial -> "serial"
 
+let descent = function
+  | Shared_nothing -> [ Shared_nothing; Scr; Lock_based; Serial ]
+  | Scr -> [ Scr; Lock_based; Serial ]
+  | Lock_based -> [ Lock_based; Serial ]
+  | Serial -> [ Serial ]
+
 type step = { rung : rung; taken : bool; reason : string }
 type t = { chosen : rung; steps : step list }
 

@@ -52,6 +52,11 @@ type rung = Shared_nothing | Scr | Lock_based | Serial
 
 val rung_name : rung -> string
 
+val descent : rung -> rung list
+(** The given rung followed by every rung below it, fastest first — the
+    order an online controller degrades (and, read bottom-up, recovers)
+    through when it may not climb above the compile-time choice. *)
+
 type step = {
   rung : rung;
   taken : bool;  (** [true] for the chosen rung, [false] for rejected ones *)

@@ -46,6 +46,21 @@ let memory_bytes t name =
 
 let total_memory_bytes t = Hashtbl.fold (fun name _ acc -> acc + memory_bytes t name) t.objs 0
 
+let copy t =
+  let objs = Hashtbl.create (Hashtbl.length t.objs) in
+  Hashtbl.iter
+    (fun name obj ->
+      let dup =
+        match obj with
+        | O_map m -> O_map (State.Map_s.copy m)
+        | O_vector (layout, slots) -> O_vector (layout, Array.map Array.copy slots)
+        | O_chain c -> O_chain (State.Dchain.copy c)
+        | O_sketch s -> O_sketch (State.Sketch.copy s)
+      in
+      Hashtbl.replace objs name dup)
+    t.objs;
+  { objs; divide = t.divide }
+
 let reset t (nf : Ast.t) =
   Hashtbl.reset t.objs;
   List.iter (build t.divide t.objs) nf.Ast.state

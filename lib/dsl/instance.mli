@@ -31,5 +31,13 @@ val memory_bytes : t -> string -> int
 
 val total_memory_bytes : t -> int
 
+val copy : t -> t
+(** Deep, structurally-exact duplicate of every object: dchain free-list
+    and recency order, map probe layouts and sketch counters are all
+    preserved, so two copies driven by the same operation sequence evolve
+    in lockstep ({!State.Dchain.copy}).  Discipline switching uses this to
+    seed SCR replicas from migrated state and to clone a lock-rung
+    instance into per-replica state. *)
+
 val reset : t -> Ast.t -> unit
 (** Restore start-up state (map init entries included). *)

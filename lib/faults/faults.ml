@@ -3,6 +3,7 @@ type event =
   | Slow_worker of { core : int; from_batch : int; spins : int }
   | Ring_stall of { core : int; batch : int; spins : int }
   | Solver_budget of { conflicts : int; propagations : int }
+  | Phase_shift of { epoch : int; profile : string }
 
 type plan = { label : string; events : event list }
 
@@ -36,24 +37,39 @@ type compiled = {
   slows : (int * int * int) list; (* core, from_batch, spins *)
   stalls : stall_state list;
   budget : (int * int) option;
+  phases : (int * string) list; (* ascending by epoch *)
 }
 
 let current : compiled option Atomic.t = Atomic.make None
 
 let compile plan =
-  let crashes, slows, stalls, budget =
+  let crashes, slows, stalls, budget, phases =
     List.fold_left
-      (fun (cs, sl, st, b) ev ->
+      (fun (cs, sl, st, b, ph) ev ->
         match ev with
         | Worker_crash { core; batch; times } ->
-            ({ c_core = core; c_batch = batch; c_remaining = times } :: cs, sl, st, b)
-        | Slow_worker { core; from_batch; spins } -> (cs, (core, from_batch, spins) :: sl, st, b)
+            ({ c_core = core; c_batch = batch; c_remaining = times } :: cs, sl, st, b, ph)
+        | Slow_worker { core; from_batch; spins } ->
+            (cs, (core, from_batch, spins) :: sl, st, b, ph)
         | Ring_stall { core; batch; spins } ->
-            (cs, sl, { st_core = core; st_batch = batch; st_spins = spins; st_fired = false } :: st, b)
-        | Solver_budget { conflicts; propagations } -> (cs, sl, st, Some (conflicts, propagations)))
-      ([], [], [], None) plan.events
+            ( cs,
+              sl,
+              { st_core = core; st_batch = batch; st_spins = spins; st_fired = false } :: st,
+              b,
+              ph )
+        | Solver_budget { conflicts; propagations } ->
+            (cs, sl, st, Some (conflicts, propagations), ph)
+        | Phase_shift { epoch; profile } -> (cs, sl, st, b, (epoch, profile) :: ph))
+      ([], [], [], None, []) plan.events
   in
-  { plan; crashes = List.rev crashes; slows = List.rev slows; stalls = List.rev stalls; budget }
+  {
+    plan;
+    crashes = List.rev crashes;
+    slows = List.rev slows;
+    stalls = List.rev stalls;
+    budget;
+    phases = List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev phases);
+  }
 
 let install plan = Atomic.set current (Some (compile plan))
 let clear () = Atomic.set current None
@@ -102,6 +118,9 @@ let solver_budget () =
       Some b
   | _ -> None
 
+let phases () =
+  match Atomic.get current with None -> [] | Some c -> c.phases
+
 (* --- parsing ---------------------------------------------------------------- *)
 
 let pp_event fmt = function
@@ -112,6 +131,7 @@ let pp_event fmt = function
   | Ring_stall { core; batch; spins } -> Format.fprintf fmt "stall@%d:%d:%d" core batch spins
   | Solver_budget { conflicts; propagations } ->
       Format.fprintf fmt "satbudget@%d:%d" conflicts propagations
+  | Phase_shift { epoch; profile } -> Format.fprintf fmt "phase@%d:%s" epoch profile
 
 let pp_plan fmt p =
   Format.fprintf fmt "%s: %a" p.label
@@ -160,11 +180,15 @@ let parse spec =
             let* conflicts = int_of conflicts "conflicts" in
             let* propagations = int_of propagations "propagations" in
             Ok (Solver_budget { conflicts; propagations })
+        | "phase", [ epoch; profile ] ->
+            let* epoch = int_of epoch "epoch" in
+            if profile = "" then Error (Printf.sprintf "fault plan: empty profile in %S" ev)
+            else Ok (Phase_shift { epoch; profile })
         | _ ->
             Error
               (Printf.sprintf
-                 "fault plan: unknown event %S (expected crash@C:B[xT], slow@C:F:S, stall@C:B:S \
-                  or satbudget@C:P)"
+                 "fault plan: unknown event %S (expected crash@C:B[xT], slow@C:F:S, stall@C:B:S, \
+                  satbudget@C:P or phase@E:PROFILE)"
                  ev))
   in
   let events =

@@ -31,6 +31,12 @@ type event =
   | Solver_budget of { conflicts : int; propagations : int }
       (** Override the budget of every {!Sat.Solver.solve} call,
           forcing [Unknown] and the pipeline's degradation ladder. *)
+  | Phase_shift of { epoch : int; profile : string }
+      (** Declare that the trace changes traffic profile (e.g. ["calm"],
+          ["skew"]) from epoch [epoch] on.  Purely descriptive: no hook
+          fires — trace builders ({!Traffic}, the adaptive bench) read the
+          schedule back via {!phases} so the same plan string drives both
+          the workload and the faults injected into it. *)
 
 type plan = { label : string; events : event list }
 
@@ -57,8 +63,10 @@ val parse : string -> (plan, string) result
     - [slow@CORE:FROM:SPINS]
     - [stall@CORE:BATCH:SPINS]
     - [satbudget@CONFLICTS:PROPS]
+    - [phase@EPOCH:PROFILE]
 
-    e.g. ["crash@1:3;slow@2:0:500;satbudget@0:0"]. *)
+    e.g. ["crash@1:3;slow@2:0:500;satbudget@0:0"] or
+    ["phase@0:calm;phase@4:skew;crash@2:60"]. *)
 
 val pp_event : Format.formatter -> event -> unit
 val pp_plan : Format.formatter -> plan -> unit
@@ -74,3 +82,7 @@ val worker_batch : core:int -> batch:int -> unit
 val solver_budget : unit -> (int * int) option
 (** The forced [(conflicts, propagations)] solver budget, if the
     installed plan carries a {!Solver_budget} event. *)
+
+val phases : unit -> (int * string) list
+(** The installed plan's {!Phase_shift} schedule, ascending by epoch;
+    empty when no plan (or no phase events) is installed. *)

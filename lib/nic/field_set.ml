@@ -70,6 +70,23 @@ let hash_input t p =
             (fun (f, bits) -> Bitvec.sub (Pkt.get_field p f) ~pos:0 ~len:bits)
             t.ordered))
 
+(* Byte-aligned extraction plan for the per-packet fast path: entry [i]
+   is [(f, shift)] such that byte [i] of the concatenated hash input is
+   [(field_int p f lsr (8 * shift)) land 0xff].  Only exists when every
+   slice is a full, byte-multiple field width — a sliced set's input is
+   not byte-aligned, so it keeps the Bitvec path. *)
+let byte_plan t =
+  if List.exists (fun (f, bits) -> bits <> Field.width f || bits mod 8 <> 0) t.ordered
+  then None
+  else
+    Some
+      (Array.of_list
+         (List.concat_map
+            (fun (f, bits) ->
+              let nb = bits / 8 in
+              List.init nb (fun i -> (f, nb - 1 - i)))
+            t.ordered))
+
 let applies_to_proto _t = function Pkt.Tcp | Pkt.Udp -> true | Pkt.Other _ -> false
 
 let equal a b = a.ordered = b.ordered

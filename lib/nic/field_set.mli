@@ -50,6 +50,13 @@ val matches : t -> Packet.Pkt.t -> bool
 (** Whether the packet has all the selected fields (e.g. port-bearing sets
     require TCP or UDP). *)
 
+val byte_plan : t -> (Packet.Field.t * int) array option
+(** Byte-aligned extraction plan for {!Rss}'s allocation-free hash path:
+    entry [i] is [(f, shift)] such that byte [i] of the concatenated hash
+    input equals [(Pkt.field_int p f lsr (8 * shift)) land 0xff].  [None]
+    when the set is sliced (or otherwise not byte-aligned), in which case
+    callers must serialize through {!hash_input}. *)
+
 val hash_input : t -> Packet.Pkt.t -> Bitvec.t option
 (** The hash input bits for this packet, or [None] when {!matches} is
     false. *)

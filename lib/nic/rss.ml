@@ -12,8 +12,39 @@ type t = {
   ckey : Toeplitz.Key.t Lazy.t;
   compiled : bool;
   sets : Field_set.t list;
+  hashers : (Packet.Pkt.t -> int option) list Lazy.t;
+      (* one per field set, in order; each returns the hash when the set
+         matches the packet.  Built lazily so engines configured but never
+         used for software dispatch pay nothing. *)
   reta : Reta.t;
 }
+
+(* Per-set hasher.  Compiled engines with a byte-aligned field set take the
+   allocation-free path: field bytes feed the Toeplitz tables directly,
+   skipping the per-packet Bitvec serialization of [Field_set.hash_input]
+   (which dominated software dispatch cost).  Sliced sets and reference
+   (uncompiled) engines keep the Bitvec path, which the property tests use
+   as the oracle. *)
+let hasher ~compiled ~key ~ckey s =
+  match if compiled then Field_set.byte_plan s else None with
+  | Some plan ->
+      let ck = Lazy.force ckey in
+      let nbytes = Array.length plan in
+      fun p ->
+        if Field_set.matches s p then
+          Some
+            (Toeplitz.Key.hash_bytes_int ck ~nbytes (fun i ->
+                 let f, shift = Array.unsafe_get plan i in
+                 Packet.Pkt.field_int p f lsr (8 * shift)))
+        else None
+  | None -> (
+      fun p ->
+        match Field_set.hash_input s p with
+        | Some d ->
+            Some
+              (if compiled then Toeplitz.Key.hash_int (Lazy.force ckey) d
+               else Toeplitz.hash_int ~key d)
+        | None -> None)
 
 let configure ?(nic = Model.E810) ?reta ?compiled ~key ~sets ~queues () =
   if Bitvec.length key <> 8 * Model.key_bytes nic then
@@ -36,7 +67,9 @@ let configure ?(nic = Model.E810) ?reta ?compiled ~key ~sets ~queues () =
     | None -> Reta.create ~size:(Model.reta_size nic) ~queues ()
   in
   let compiled = Option.value ~default:!compile_default compiled in
-  { nic; key; ckey = lazy (Toeplitz.Key.compile key); compiled; sets; reta }
+  let ckey = lazy (Toeplitz.Key.compile key) in
+  let hashers = lazy (List.map (hasher ~compiled ~key ~ckey) sets) in
+  { nic; key; ckey; compiled; sets; hashers; reta }
 
 let random_key rng nic = Bitvec.random rng (8 * Model.key_bytes nic)
 
@@ -51,15 +84,9 @@ let with_reta t reta = { t with reta }
 let hash_of t p =
   let rec go = function
     | [] -> None
-    | s :: rest -> (
-        match Field_set.hash_input s p with
-        | Some d ->
-            Some
-              (if t.compiled then Toeplitz.Key.hash_int (Lazy.force t.ckey) d
-               else Toeplitz.hash_int ~key:t.key d)
-        | None -> go rest)
+    | h :: rest -> ( match h p with Some _ as r -> r | None -> go rest)
   in
-  go t.sets
+  go (Lazy.force t.hashers)
 
 let dispatch t p = match hash_of t p with Some h -> Reta.lookup t.reta h | None -> 0
 

@@ -83,6 +83,20 @@ module Key = struct
     Int32.of_int !acc
 
   let hash_int t d = Int32.to_int (hash t d) land 0xffffffff
+
+  (* Allocation-free variant for the per-packet fast path: the caller
+     supplies the input bytes through [get] instead of materializing a
+     Bitvec.  Byte [i] must equal [Bitvec.byte input i] of the equivalent
+     big-endian serialization, so results stay bit-exact with {!hash}. *)
+  let hash_bytes_int t ~nbytes get =
+    Telemetry.Counter.incr c_hashes;
+    if nbytes * 8 > t.max_input_bits then
+      invalid_arg "Toeplitz.Key.hash_bytes_int: key too short for input";
+    let acc = ref 0 in
+    for i = 0 to nbytes - 1 do
+      acc := !acc lxor Array.unsafe_get t.tables.(i) (get i land 0xff)
+    done;
+    !acc land 0xffffffff
 end
 
 (* Key published in the Microsoft RSS hash verification suite and used as

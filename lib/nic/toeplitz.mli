@@ -46,6 +46,15 @@ module Key : sig
 
   val hash_int : t -> Bitvec.t -> int
   (** Same as {!hash} with the result as a non-negative int. *)
+
+  val hash_bytes_int : t -> nbytes:int -> (int -> int) -> int
+  (** [hash_bytes_int t ~nbytes get] hashes the [nbytes]-byte input whose
+      byte [i] is [get i] (masked to 8 bits) without building a {!Bitvec}
+      — the allocation-free inner loop of {!Rss.hash_of}'s fast path.
+      Byte [i] must match [Bitvec.byte input i] of the equivalent
+      big-endian serialization; the result is then bit-exact with {!hash}.
+      Raises [Invalid_argument] when the input exceeds
+      [max_input_bits]. *)
 end
 
 val microsoft_test_key : Bitvec.t

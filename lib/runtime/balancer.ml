@@ -7,36 +7,70 @@ let default_config = { epoch_pkts = 4096; threshold = 1.1 }
 
 type mode = Off | On of config
 
+(* The shared parser shape for mode flags: "off" | "on" | comma-separated
+   key=value tokens (implying "on"), every malformed input a typed Error.
+   [--rebalance] and [--adaptive] (see {!Adaptive.parse}) both build on
+   it, so the two flags reject garbage identically. *)
+module Kv = struct
+  let parse ~flag ~grammar ~default ~field spec =
+    let spec = String.trim spec in
+    if spec = "" then Error (Printf.sprintf "%s: empty specification" flag)
+    else if spec = "off" then Ok None
+    else if spec = "on" then Ok (Some default)
+    else
+      let tokens = String.split_on_char ',' spec in
+      let rec go cfg = function
+        | [] -> Ok (Some cfg)
+        | tok :: rest -> (
+            match String.index_opt tok '=' with
+            | None ->
+                Error
+                  (Printf.sprintf "%s: unknown token %S (expected %s)" flag tok grammar)
+            | Some i -> (
+                let k = String.trim (String.sub tok 0 i) in
+                let v = String.trim (String.sub tok (i + 1) (String.length tok - i - 1)) in
+                match field ~key:k ~value:v cfg with
+                | Ok cfg -> go cfg rest
+                | Error _ as e -> e))
+      in
+      go default tokens
+
+  let pos_int ~flag ~key v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> Ok n
+    | _ -> Error (Printf.sprintf "%s: %s must be a positive integer, got %S" flag key v)
+
+  let nonneg_int ~flag ~key v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "%s: %s must be a non-negative integer, got %S" flag key v)
+
+  let ratio ~flag ~key v =
+    match float_of_string_opt v with
+    | Some f when f >= 1.0 -> Ok f
+    | _ -> Error (Printf.sprintf "%s: %s must be >= 1.0, got %S" flag key v)
+end
+
 let parse spec =
-  let spec = String.trim spec in
-  if spec = "" then Error "--rebalance: empty specification"
-  else if spec = "off" then Ok Off
-  else if spec = "on" then Ok (On default_config)
-  else
-    let tokens = String.split_on_char ',' spec in
-    let rec go cfg = function
-      | [] -> Ok (On cfg)
-      | tok :: rest -> (
-          match String.index_opt tok '=' with
-          | None ->
-              Error
-                (Printf.sprintf
-                   "--rebalance: unknown token %S (expected off, on, epoch=N or threshold=F)" tok)
-          | Some i -> (
-              let k = String.trim (String.sub tok 0 i) in
-              let v = String.trim (String.sub tok (i + 1) (String.length tok - i - 1)) in
-              match k with
-              | "epoch" -> (
-                  match int_of_string_opt v with
-                  | Some n when n >= 1 -> go { cfg with epoch_pkts = n } rest
-                  | _ -> Error (Printf.sprintf "--rebalance: epoch must be a positive integer, got %S" v))
-              | "threshold" -> (
-                  match float_of_string_opt v with
-                  | Some f when f >= 1.0 -> go { cfg with threshold = f } rest
-                  | _ -> Error (Printf.sprintf "--rebalance: threshold must be >= 1.0, got %S" v))
-              | _ -> Error (Printf.sprintf "--rebalance: unknown key %S" k)))
-    in
-    go default_config tokens
+  let flag = "--rebalance" in
+  let ( let* ) = Result.bind in
+  let field ~key ~value cfg =
+    match key with
+    | "epoch" ->
+        let* n = Kv.pos_int ~flag ~key value in
+        Ok { cfg with epoch_pkts = n }
+    | "threshold" ->
+        let* f = Kv.ratio ~flag ~key value in
+        Ok { cfg with threshold = f }
+    | _ -> Error (Printf.sprintf "%s: unknown key %S" flag key)
+  in
+  match
+    Kv.parse ~flag ~grammar:"off, on, epoch=N or threshold=F" ~default:default_config ~field
+      spec
+  with
+  | Ok None -> Ok Off
+  | Ok (Some cfg) -> Ok (On cfg)
+  | Error _ as e -> e
 
 let to_string = function
   | Off -> "off"

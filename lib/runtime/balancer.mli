@@ -34,6 +34,29 @@ val default_config : config
 
 type mode = Off | On of config
 
+(** The parser shape shared by every mode flag ([--rebalance] here,
+    [--adaptive] in {!Adaptive}): ["off"], ["on"], or comma-separated
+    [key=value] tokens implying "on", with every malformed input a typed
+    [Error] — never an exception. *)
+module Kv : sig
+  val parse :
+    flag:string ->
+    grammar:string ->
+    default:'cfg ->
+    field:(key:string -> value:string -> 'cfg -> ('cfg, string) result) ->
+    string ->
+    ('cfg option, string) result
+  (** [Ok None] for ["off"], [Ok (Some default)] for ["on"], otherwise
+      [field] folds each [key=value] token over [default].  [flag] and
+      [grammar] only shape error messages. *)
+
+  val pos_int : flag:string -> key:string -> string -> (int, string) result
+  val nonneg_int : flag:string -> key:string -> string -> (int, string) result
+
+  val ratio : flag:string -> key:string -> string -> (float, string) result
+  (** A float [>= 1.0] — the shape of every imbalance threshold. *)
+end
+
 val parse : string -> (mode, string) result
 (** Parse a [--rebalance] specification: ["off"], ["on"], or a
     comma-separated list of [epoch=N] and [threshold=F] (each implies

@@ -185,6 +185,12 @@ type stats = {
   scr_replays : int;  (** foreign-batch digest replays scheduled (SCR runs) *)
   scr_rebuilds : int;  (** replicas rebuilt from the digest stream after a death *)
   scr_digest_bytes : int;  (** update-digest bytes broadcast (SCR runs) *)
+  switches : int;  (** adaptive discipline switches committed (lifetime) *)
+  flap_suppressed : int;  (** adaptive switches suppressed by the cooldown (lifetime) *)
+  switch_epochs : (int * Maestro.Ladder.rung) list;
+      (** committed switches of the last adaptive run: (epoch, rung adopted) *)
+  rung_residency : (Maestro.Ladder.rung * int) list;
+      (** epochs spent per rung in the last adaptive run *)
 }
 
 type t = {
@@ -213,6 +219,10 @@ type t = {
   mutable scr_replays : int;
   mutable scr_rebuilds : int;
   mutable scr_digest_bytes : int;
+  mutable adaptive_switches : int;
+  mutable adaptive_flaps : int;
+  mutable adaptive_switch_epochs : (int * Maestro.Ladder.rung) list;
+  mutable adaptive_residency : (Maestro.Ladder.rung * int) list;
   mutable scr_crash_hook : (int -> unit) option;
       (* set for the duration of an SCR run: rebuild [core]'s replica from
          the retained digest stream.  Called only by the producer, inside
@@ -314,6 +324,10 @@ let create ?(batch_size = default_batch_size) ?(ring_capacity = default_ring_cap
     scr_replays = 0;
     scr_rebuilds = 0;
     scr_digest_bytes = 0;
+    adaptive_switches = 0;
+    adaptive_flaps = 0;
+    adaptive_switch_epochs = [];
+    adaptive_residency = [];
     scr_crash_hook = None;
   }
 
@@ -368,6 +382,10 @@ let stats t =
     scr_replays = t.scr_replays;
     scr_rebuilds = t.scr_rebuilds;
     scr_digest_bytes = t.scr_digest_bytes;
+    switches = t.adaptive_switches;
+    flap_suppressed = t.adaptive_flaps;
+    switch_epochs = t.adaptive_switch_epochs;
+    rung_residency = t.adaptive_residency;
   }
 
 (* --- supervision (producer side) -------------------------------------------- *)
@@ -579,7 +597,8 @@ let wait_quiesce t ~cores remaining =
     Domain.cpu_relax ()
   done
 
-let run ?(rebalance = Balancer.Off) (t : t) (plan : Maestro.Plan.t) pkts =
+let run ?(rebalance = Balancer.Off) ?(adaptive = Adaptive.Off) (t : t) (plan : Maestro.Plan.t)
+    pkts =
   Telemetry.Span.with_span "pool/run" @@ fun () ->
   let cores = plan.Maestro.Plan.cores in
   if cores > t.cores then
@@ -609,6 +628,438 @@ let run ?(rebalance = Balancer.Off) (t : t) (plan : Maestro.Plan.t) pkts =
   let verdicts = Array.make npkts Dsl.Interp.Dropped in
   let remaining = Atomic.make 0 in
   let strategy = plan.Maestro.Plan.strategy in
+  let finish assignment points per_core =
+    t.runs <- t.runs + 1;
+    t.total_pkts <- t.total_pkts + npkts;
+    t.last_per_core <- per_core;
+    t.last_assignment <- assignment;
+    t.last_points <- List.rev points;
+    let total = Array.fold_left ( + ) 0 per_core in
+    t.last_share <-
+      (if total = 0 then Array.make cores 0.
+       else Array.map (fun c -> float_of_int c /. float_of_int total) per_core);
+    Telemetry.Counter.add c_pkts npkts;
+    verdicts
+  in
+  match adaptive with
+  | Adaptive.On acfg ->
+      if rebalance <> Balancer.Off then
+        invalid_arg "Pool.run: --adaptive and --rebalance are mutually exclusive";
+      (* ---- adaptive discipline switching ------------------------------
+         The run is driven in epochs; at every epoch barrier — the quiesce
+         point PR 5 introduced, where nothing is in flight — a hysteresis
+         controller ({!Adaptive}) looks at the epoch's statistics and may
+         switch the live pool to an adjacent admissible ladder rung.  All
+         rungs run over FULL-capacity instances (divide 1): a conversion
+         must never lose entries to a smaller target, so the adaptive pool
+         trades the static shards' memory savings for lossless switches.
+
+         Representation: [insts] always has [cores] slots, whose meaning
+         depends on the rung — per-core shards (shared-nothing), full
+         replicas (SCR), or one shared instance aliased into every slot
+         (lock-based and serial). *)
+      let size = Nic.Reta.size (Nic.Rss.reta engines.(0)) in
+      if Array.exists (fun e -> Nic.Reta.size (Nic.Rss.reta e) <> size) engines then
+        invalid_arg "Pool.run: adaptive switching requires equal-size port indirection tables";
+      let table = ref (Nic.Rss.reta engines.(0)) in
+      let set_table tab =
+        table := tab;
+        Array.iteri (fun p e -> engines.(p) <- Nic.Rss.with_reta e tab) engines
+      in
+      set_table !table;
+      let mask = size - 1 in
+      let nports = Array.length engines in
+      let hash_pkt (pk : Packet.Pkt.t) =
+        let port = if pk.Packet.Pkt.port < nports then pk.Packet.Pkt.port else 0 in
+        Nic.Rss.hash_of engines.(port) pk
+      in
+      let mplan = Balancer.migration_plan nf in
+      (* shared-nothing participates only when the migration is exact AND
+         skips nothing: shard merges/splits rebuild state in fresh
+         instances, so even a skipped sketch (harmless to RSS++ bucket
+         moves, which leave it in place) would be silently reset here *)
+      let exact_migration = Balancer.exact mplan && Balancer.skipped_objects mplan = [] in
+      let scr_spec =
+        match Maestro.Scrspec.admissible nf with Ok s -> Some s | Error _ -> None
+      in
+      let ladder =
+        match Adaptive.ladder ~strategy ~scr_ok:(scr_spec <> None) ~exact_migration with
+        | Ok l -> l
+        | Error e -> invalid_arg ("Pool.run: " ^ e)
+      in
+      let ctl = Adaptive.create acfg ~ladder in
+      let scr_prog = Option.map Scr.prepare scr_spec in
+      let writes = nf_statically_writes nf in
+      let lock = Rwlock.create ~cores in
+      let fresh () = Dsl.Instance.create nf in
+      let insts =
+        ref
+          (match Adaptive.rung ctl with
+          | Maestro.Ladder.Shared_nothing | Maestro.Ladder.Scr ->
+              (* independent [create]s are structurally identical, so SCR
+                 replicas start in lockstep *)
+              Array.init cores (fun _ -> fresh ())
+          | Maestro.Ladder.Lock_based | Maestro.Ladder.Serial ->
+              let sh = fresh () in
+              Array.make cores sh)
+      in
+      let runners = Array.map (Dsl.Compile.bind_runner staged) !insts in
+      let replayers : Scr.replayer option array = Array.make cores None in
+      (* SCR support state, reset at every SCR entry: the pristine seeded
+         replica and the digest log since entry, for crash rebuilds *)
+      let snapshot = ref None in
+      let log = ref (Array.make 64 [||]) in
+      let log_npkts = ref (Array.make 64 0) in
+      let log_len = ref 0 in
+      let applied = Array.make cores 0 in
+      let push_log digest len =
+        if !log_len = Array.length !log then begin
+          let ncap = 2 * !log_len in
+          let nl = Array.make ncap [||] and nn = Array.make ncap 0 in
+          Array.blit !log 0 nl 0 !log_len;
+          Array.blit !log_npkts 0 nn 0 !log_len;
+          log := nl;
+          log_npkts := nn
+        end;
+        !log.(!log_len) <- digest;
+        !log_npkts.(!log_len) <- len;
+        incr log_len
+      in
+      let first_live () =
+        let rec go c = if c >= cores then 0 else if live.(c) then c else go (c + 1) in
+        go 0
+      in
+      (* (re)bind the execution frames for rung [r] over the current
+         [insts]; must run at a quiesce point (or, for one core, from the
+         crash hook after the dead domain was joined) *)
+      let enter r =
+        Array.iteri (fun c inst -> runners.(c) <- Dsl.Compile.bind_runner staged inst) !insts;
+        match r with
+        | Maestro.Ladder.Scr ->
+            let prog = Option.get scr_prog in
+            Array.iteri (fun c inst -> replayers.(c) <- Some (Scr.bind prog inst)) !insts;
+            snapshot := Some (Dsl.Instance.copy !insts.(first_live ()));
+            log_len := 0;
+            Array.fill applied 0 cores 0
+        | Maestro.Ladder.Shared_nothing | Maestro.Ladder.Lock_based | Maestro.Ladder.Serial
+          ->
+            Array.fill replayers 0 cores None
+      in
+      let account (o : Balancer.outcome) =
+        t.migrated_flows <- t.migrated_flows + o.Balancer.moved_flows;
+        t.migration_drops <- t.migration_drops + o.Balancer.dropped_flows;
+        Telemetry.Counter.add c_moved_flows o.Balancer.moved_flows;
+        Telemetry.Counter.add c_migration_drops o.Balancer.dropped_flows
+      in
+      (* collapse the current rung's state into ONE full instance *)
+      let collapse from_r =
+        match from_r with
+        | Maestro.Ladder.Shared_nothing ->
+            (* merge every shard into a fresh full instance: the migration
+               executor already knows how to re-home a flow's entries, so
+               point every bucket at slot 0 (the merged instance) and let
+               the shards at slots 1..cores empty themselves into it *)
+            let merged = fresh () in
+            account
+              (Balancer.migrate mplan
+                 ~hash:(fun _ -> Some 0)
+                 ~mask:0
+                 ~dest:(fun _ -> 0)
+                 ~instances:(Array.append [| merged |] !insts));
+            merged
+        | Maestro.Ladder.Scr ->
+            (* collapse replicas to one: sound only if the live replicas
+               agree — which the SCR contract guarantees at a quiesce
+               point, and crash rebuilds restore before we get here *)
+            let spec = Option.get scr_spec in
+            let base = first_live () in
+            for c = 0 to cores - 1 do
+              if
+                live.(c) && c <> base
+                && not (Scr.replica_equal spec !insts.(base) !insts.(c))
+              then invalid_arg "Pool.run: SCR replicas diverged at a discipline switch"
+            done;
+            !insts.(base)
+        | Maestro.Ladder.Lock_based | Maestro.Ladder.Serial -> !insts.(0)
+      in
+      let convert from_r to_r =
+        match to_r with
+        | Maestro.Ladder.Shared_nothing ->
+            (* split one full instance into per-core shards along the
+               live indirection table; slot 0 reuses the merged instance
+               (its surplus entries migrate out, anything undecodable —
+               static init entries — is already in every fresh shard) *)
+            let merged = collapse from_r in
+            let shards = Array.init cores (fun c -> if c = 0 then merged else fresh ()) in
+            let dentries = Nic.Reta.entries !table in
+            account
+              (Balancer.migrate mplan ~hash:hash_pkt ~mask
+                 ~dest:(fun b -> dentries.(b))
+                 ~instances:shards);
+            insts := shards
+        | Maestro.Ladder.Scr ->
+            (* seed every replica from the collapsed state; exact copies
+               ({!Dsl.Instance.copy}) keep the replicas in lockstep *)
+            let base = collapse from_r in
+            insts :=
+              Array.init cores (fun c -> if c = 0 then base else Dsl.Instance.copy base)
+        | Maestro.Ladder.Lock_based | Maestro.Ladder.Serial ->
+            insts := Array.make cores (collapse from_r)
+      in
+      let task_direct core lo len =
+        {
+          npkts = len;
+          run =
+            (fun () ->
+              let r = runners.(core) in
+              for i = lo to lo + len - 1 do
+                verdicts.(i) <- Dsl.Compile.run r pkts.(i)
+              done;
+              Atomic.decr remaining);
+        }
+      in
+      let task_direct_ixs core indices =
+        {
+          npkts = Array.length indices;
+          run =
+            (fun () ->
+              let r = runners.(core) in
+              Array.iter (fun i -> verdicts.(i) <- Dsl.Compile.run r pkts.(i)) indices;
+              Atomic.decr remaining);
+        }
+      in
+      let task_locked core indices =
+        {
+          npkts = Array.length indices;
+          run =
+            (fun () ->
+              let r = runners.(core) in
+              Array.iter
+                (fun i ->
+                  if writes then
+                    Rwlock.with_write lock (fun () ->
+                        verdicts.(i) <- Dsl.Compile.run r pkts.(i))
+                  else
+                    Rwlock.with_read lock ~core (fun () ->
+                        verdicts.(i) <- Dsl.Compile.run r pkts.(i)))
+                indices;
+              Atomic.decr remaining);
+        }
+      in
+      enter (Adaptive.rung ctl);
+      t.scr_crash_hook <-
+        Some
+          (fun core ->
+            if Adaptive.rung ctl = Maestro.Ladder.Scr then begin
+              t.scr_rebuilds <- t.scr_rebuilds + 1;
+              Telemetry.Counter.incr c_scr_rebuilds;
+              (* rebuild from the seeded snapshot, not initial state: the
+                 replica was seeded by a conversion mid-run *)
+              let base = match !snapshot with Some s -> s | None -> assert false in
+              !insts.(core) <- Dsl.Instance.copy base;
+              runners.(core) <- Dsl.Compile.bind_runner staged !insts.(core);
+              let prog = Option.get scr_prog in
+              replayers.(core) <- Some (Scr.bind prog !insts.(core));
+              let rp = Option.get replayers.(core) in
+              for b = 0 to applied.(core) - 1 do
+                Scr.apply_batch rp !log.(b) ~npkts:(!log_npkts).(b)
+              done
+            end)
+      ;
+      Fun.protect ~finally:(fun () -> t.scr_crash_hook <- None) @@ fun () ->
+      let assignment = Array.make npkts 0 in
+      let per_core = Array.make cores 0 in
+      let rss_counts = Array.make cores 0 in
+      let points = ref [] in
+      let rr = ref 0 in
+      let pos = ref 0 in
+      let drops0 = ref t.dropped_batches in
+      let restarts0 = ref (Supervisor.restarts t.supervisor) in
+      let digest0 = ref t.scr_digest_bytes in
+      while !pos < npkts do
+        let lo = !pos in
+        let hi = min (lo + acfg.Adaptive.epoch_pkts) npkts in
+        (* would-be RSS dispatch counts, computed in EVERY rung: SCR's
+           round-robin spray and the serial funnel hide traffic skew from
+           the actual dispatch counts, but the controller must see the
+           imbalance the shared-nothing rung WOULD suffer *)
+        Array.fill rss_counts 0 cores 0;
+        for i = lo to hi - 1 do
+          let q =
+            match hash_pkt pkts.(i) with
+            | Some h -> Nic.Reta.lookup !table h
+            | None -> 0
+          in
+          rss_counts.(q) <- rss_counts.(q) + 1;
+          assignment.(i) <- q
+        done;
+        (match Adaptive.rung ctl with
+        | Maestro.Ladder.Shared_nothing ->
+            for i = lo to hi - 1 do
+              per_core.(assignment.(i)) <- per_core.(assignment.(i)) + 1
+            done;
+            submit_queues t
+              ~process_batch:task_direct_ixs ~remaining
+              (queues_of_assignment ~cores assignment ~lo ~hi)
+        | Maestro.Ladder.Lock_based ->
+            for i = lo to hi - 1 do
+              per_core.(assignment.(i)) <- per_core.(assignment.(i)) + 1
+            done;
+            submit_queues t ~process_batch:task_locked ~remaining
+              (queues_of_assignment ~cores assignment ~lo ~hi)
+        | Maestro.Ladder.Serial ->
+            let core = first_live () in
+            Array.fill assignment lo (hi - lo) core;
+            per_core.(core) <- per_core.(core) + (hi - lo);
+            let p = ref lo in
+            while !p < hi do
+              let len = min t.batch_size (hi - !p) in
+              Atomic.incr remaining;
+              (match submit t ~core (task_direct core !p len) with
+              | `Pushed | `Inline -> ()
+              | `Dropped -> Atomic.decr remaining);
+              p := !p + len
+            done
+        | Maestro.Ladder.Scr ->
+            let prog = Option.get scr_prog in
+            let lives =
+              Array.of_list
+                (List.filteri (fun c _ -> live.(c)) (List.init cores Fun.id))
+            in
+            let nlive = Array.length lives in
+            let p = ref lo in
+            while !p < hi do
+              let blo = !p in
+              let len = min t.batch_size (hi - blo) in
+              let owner = lives.(!rr mod nlive) in
+              incr rr;
+              Array.fill assignment blo len owner;
+              per_core.(owner) <- per_core.(owner) + len;
+              let digest = Scr.encode_batch prog pkts ~lo:blo ~len in
+              push_log digest len;
+              let bytes = len * Scr.digest_wire_bytes prog in
+              t.scr_digest_bytes <- t.scr_digest_bytes + bytes;
+              Telemetry.Counter.add c_scr_digest_bytes bytes;
+              Array.iter
+                (fun core ->
+                  let task =
+                    if core = owner then
+                      {
+                        npkts = len;
+                        run =
+                          (fun () ->
+                            let r = runners.(core) in
+                            for i = blo to blo + len - 1 do
+                              verdicts.(i) <- Dsl.Compile.run r pkts.(i)
+                            done;
+                            applied.(core) <- applied.(core) + 1;
+                            Atomic.decr remaining);
+                      }
+                    else begin
+                      t.scr_replays <- t.scr_replays + 1;
+                      Telemetry.Counter.incr c_scr_replays;
+                      {
+                        npkts = len;
+                        run =
+                          (fun () ->
+                            (match replayers.(core) with
+                            | Some rp -> Scr.apply_batch rp digest ~npkts:len
+                            | None -> ());
+                            applied.(core) <- applied.(core) + 1;
+                            Atomic.decr remaining);
+                      }
+                    end
+                  in
+                  Atomic.incr remaining;
+                  (* lossless backpressure: a dropped digest batch would
+                     silently diverge a replica *)
+                  match submit ~bp:Block t ~core task with
+                  | `Pushed | `Inline -> ()
+                  | `Dropped -> Atomic.decr remaining)
+                lives;
+              p := blo + len
+            done);
+        (* the epoch barrier IS the quiesce point *)
+        wait_quiesce t ~cores remaining;
+        pos := hi;
+        (* join any dead domain NOW: crash recovery (inline replay, SCR
+           replica rebuild) runs under the OLD rung before any switch is
+           considered, so a mid-switch crash lands in the old rung's
+           recovery path *)
+        let newly_dead = ref false in
+        for core = 0 to cores - 1 do
+          match ensure_live t t.workers.(core) with
+          | `Failed ->
+              if live.(core) then begin
+                live.(core) <- false;
+                newly_dead := true
+              end
+          | `Ok -> ()
+        done;
+        if !newly_dead then begin
+          (* failover: remap the dead cores' buckets; on the shared-nothing
+             rung their flow state follows the buckets to the new owners *)
+          let candidate = Nic.Reta.remap !table ~live in
+          if Nic.Reta.diff !table candidate <> [] then begin
+            (match Adaptive.rung ctl with
+            | Maestro.Ladder.Shared_nothing ->
+                let dentries = Nic.Reta.entries candidate in
+                account
+                  (Balancer.migrate mplan ~hash:hash_pkt ~mask
+                     ~dest:(fun b -> dentries.(b))
+                     ~instances:!insts)
+            | _ -> ());
+            set_table candidate;
+            Telemetry.Counter.incr c_remaps;
+            (* a write-off remap moves flows between cores exactly like a
+               switch does — record the boundary so the per-flow ordering
+               invariant over [last_rebalance_points] stays checkable *)
+            if hi < npkts then points := hi :: !points
+          end
+        end;
+        let drops_now = t.dropped_batches in
+        let restarts_now = Supervisor.restarts t.supervisor in
+        let digest_now = t.scr_digest_bytes in
+        let live_counts =
+          Array.of_list
+            (List.filteri (fun c _ -> live.(c)) (Array.to_list rss_counts))
+        in
+        let obs =
+          {
+            Adaptive.imbalance = Rebalance.imbalance_of live_counts;
+            drops = drops_now - !drops0;
+            restarts = restarts_now - !restarts0;
+            digest_bytes = digest_now - !digest0;
+          }
+        in
+        drops0 := drops_now;
+        restarts0 := restarts_now;
+        digest0 := digest_now;
+        let crash_recovery = obs.Adaptive.restarts > 0 || !newly_dead in
+        (match Adaptive.observe ctl obs with
+        | Adaptive.Stay | Adaptive.Suppressed _ -> ()
+        | Adaptive.Switch _ when hi >= npkts -> () (* run is over *)
+        | Adaptive.Switch target ->
+            if crash_recovery then
+              (* the old rung's recovery path just ran; switching on state
+                 it may still be settling risks a torn conversion — defer
+                 the switch and retry at the next barrier *)
+              Adaptive.defer ctl target
+            else begin
+              let from_r = Adaptive.rung ctl in
+              Telemetry.Span.with_span "pool/switch" (fun () ->
+                  convert from_r target;
+                  enter target);
+              Adaptive.commit ctl target;
+              points := hi :: !points
+            end)
+      done;
+      t.adaptive_switches <- t.adaptive_switches + Adaptive.switches ctl;
+      t.adaptive_flaps <- t.adaptive_flaps + Adaptive.flap_suppressed ctl;
+      t.adaptive_switch_epochs <- Adaptive.switch_epochs ctl;
+      t.adaptive_residency <- Adaptive.residency ctl;
+      finish assignment !points per_core
+  | Adaptive.Off ->
   (* per-core state for shared-nothing (capacity-split), load-balance
      (read-only replicas) and SCR (full replicas, state_divisor 1); one
      shared locked instance otherwise.  The instance array is kept
@@ -657,19 +1108,6 @@ let run ?(rebalance = Balancer.Off) (t : t) (plan : Maestro.Plan.t) pkts =
                   indices;
                 Atomic.decr remaining);
           }
-  in
-  let finish assignment points per_core =
-    t.runs <- t.runs + 1;
-    t.total_pkts <- t.total_pkts + npkts;
-    t.last_per_core <- per_core;
-    t.last_assignment <- assignment;
-    t.last_points <- List.rev points;
-    let total = Array.fold_left ( + ) 0 per_core in
-    t.last_share <-
-      (if total = 0 then Array.make cores 0.
-       else Array.map (fun c -> float_of_int c /. float_of_int total) per_core);
-    Telemetry.Counter.add c_pkts npkts;
-    verdicts
   in
   match strategy with
   | Maestro.Plan.Scr ->

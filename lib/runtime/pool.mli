@@ -150,6 +150,21 @@ type stats = {
   scr_digest_bytes : int;
       (** update-digest bytes broadcast by SCR dispatch — what the digest
           stream would cost on a real wire *)
+  switches : int;
+      (** adaptive discipline switches committed over the pool's lifetime
+          (the [pool.adaptive.switches] counter) *)
+  flap_suppressed : int;
+      (** adaptive switches suppressed by the cooldown window over the
+          pool's lifetime — evidence the hysteresis is doing work *)
+  switch_epochs : (int * Maestro.Ladder.rung) list;
+      (** committed switches of the most recent adaptive run, in order:
+          (1-based epoch index, rung adopted).  The packet offsets of the
+          same switches appear in {!field-last_rebalance_points}, so the
+          per-flow ordering check spans discipline switches exactly as it
+          spans rebalances *)
+  rung_residency : (Maestro.Ladder.rung * int) list;
+      (** epochs the most recent adaptive run spent on each rung, fastest
+          first *)
 }
 
 val create :
@@ -181,7 +196,12 @@ val live_cores : t -> int list
 val failed_cores : t -> int list
 
 val run :
-  ?rebalance:Balancer.mode -> t -> Maestro.Plan.t -> Packet.Pkt.t array -> Dsl.Interp.action array
+  ?rebalance:Balancer.mode ->
+  ?adaptive:Adaptive.mode ->
+  t ->
+  Maestro.Plan.t ->
+  Packet.Pkt.t array ->
+  Dsl.Interp.action array
 (** Execute a plan over a trace on the pool's persistent workers.
     Verdicts are returned in the original packet order; batches dropped
     by backpressure leave their packets' verdicts as [Dropped].  When
@@ -203,7 +223,24 @@ val run :
     is handed to the destination cores ({!Balancer.migrate}) so verdicts
     stay equal to sequential execution; lock/TM/load-balance plans only
     retarget the table.  A rebalance never races a restart: dead domains
-    are joined at the boundary before any state moves. *)
+    are joined at the boundary before any state moves.
+
+    [adaptive] (default [Off]; mutually exclusive with [rebalance]) turns
+    on online discipline switching: the trace is processed in epochs of
+    {!Adaptive.config.epoch_pkts} packets, and at each epoch barrier the
+    {!Adaptive} hysteresis controller may switch the pool to an adjacent
+    admissible ladder rung — shared-nothing ↔ SCR ↔ lock ↔ serial.  All
+    rungs run over full-capacity instances so the quiesced state
+    conversions are lossless: shard merges/splits reuse
+    {!Balancer.migrate}, SCR replicas are seeded with exact structural
+    copies ({!Dsl.Instance.copy}) so they evolve in lockstep, and an
+    SCR collapse first asserts {!Scr.replica_equal} agreement across the
+    live replicas.  Crash safety: dead domains are joined at the barrier
+    {e before} the switch decision, so a worker crash in a switch epoch
+    is recovered by the {e old} rung's replay/rebuild path and the switch
+    is deferred to the next barrier ({!Adaptive.defer}); SCR replica
+    rebuilds restore from the seeded snapshot plus the digest log since
+    rung entry, not from initial state. *)
 
 val stats : t -> stats
 

@@ -15,6 +15,8 @@ type params = {
   tm_max_retries : int;
   scr_digest_byte_cycles : float;
   scr_replay_factor : float;
+  switch_stall_cycles : float;
+  switch_flow_cycles : float;
 }
 
 let default =
@@ -35,6 +37,8 @@ let default =
     tm_max_retries = 3;
     scr_digest_byte_cycles = 2.0;
     scr_replay_factor = 0.7;
+    switch_stall_cycles = 20_000.0;
+    switch_flow_cycles = 150.0;
   }
 
 let mem_access_cycles ?(params = default) (m : Machine.t) ~ws_bytes =
@@ -61,3 +65,7 @@ let packet_cycles ?(params = default) m (p : Profile.t) ~ws_bytes =
     +. (params.accesses_per_op *. mem_access_cycles ~params m ~ws_bytes)
   in
   params.base_cycles +. (ops *. per_op)
+
+let discipline_switch_cycles ?(params = default) ~flows ~replicas () =
+  params.switch_stall_cycles
+  +. float_of_int (max 0 flows) *. params.switch_flow_cycles *. float_of_int (max 1 replicas)

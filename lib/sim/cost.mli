@@ -27,6 +27,14 @@ type params = {
   scr_replay_factor : float;
       (** SCR: fraction of the NF's non-base packet cycles a replica
           spends replaying the write-slice of a foreign packet *)
+  switch_stall_cycles : float;
+      (** adaptive: fixed cost of one discipline switch — the epoch
+          quiesce barrier, the indirection-table swap and the runner
+          rebinding, independent of how much state moves *)
+  switch_flow_cycles : float;
+      (** adaptive: cycles to move or copy one flow's state entries
+          during the quiesced conversion (shard merge/split, replica
+          seeding) *)
 }
 
 val default : params
@@ -42,3 +50,14 @@ val working_set_bytes : Profile.t -> shards:int -> float
 
 val packet_cycles : ?params:params -> Machine.t -> Profile.t -> ws_bytes:float -> float
 (** Core-local processing cycles per packet (no coordination). *)
+
+val discipline_switch_cycles : ?params:params -> flows:int -> replicas:int -> unit -> float
+(** Price of one adaptive discipline switch: the fixed quiesce stall plus
+    per-flow conversion work.  [flows] is the live flow-state population;
+    [replicas] is how many target instances each flow must land in — 1
+    for shard merges/splits and a lock collapse, the live core count when
+    seeding SCR replicas.  Dividing by {!Machine.t} frequency and the
+    epoch duration tells the controller (and the operator reading
+    EXPERIMENTS.md) how much calm time a switch must buy to pay for
+    itself — the reason {!Runtime.Adaptive} defaults to a multi-epoch
+    cooldown rather than reacting every epoch. *)

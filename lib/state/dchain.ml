@@ -36,6 +36,22 @@ let create ~capacity =
   t.prev.(capacity) <- capacity;
   t
 
+let copy t =
+  (* exact structural duplicate: the recency list, the free stack order
+     and every last-touch time are preserved, so a copy allocates the
+     same indices in the same order as the original under an identical
+     operation sequence — required when discipline switching seeds SCR
+     replicas that must then evolve in lockstep *)
+  {
+    cap = t.cap;
+    next = Array.copy t.next;
+    prev = Array.copy t.prev;
+    last_touch = Array.copy t.last_touch;
+    state = Array.copy t.state;
+    free_head = t.free_head;
+    n_alloc = t.n_alloc;
+  }
+
 let capacity t = t.cap
 let allocated t = t.n_alloc
 let is_allocated t i = i >= 0 && i < t.cap && t.state.(i)

@@ -12,6 +12,12 @@ val create : capacity:int -> t
 
 val capacity : t -> int
 
+val copy : t -> t
+(** Exact structural duplicate — recency list, free-stack order and
+    last-touch times all preserved — so a copy hands out the same indices
+    in the same order as the original under an identical operation
+    sequence. *)
+
 val allocated : t -> int
 (** Number of indices currently allocated. *)
 

@@ -120,6 +120,21 @@ let erase t k =
     true
   end
 
+let copy t =
+  (* field-exact duplicate: same physical table size, same probe layout,
+     same tombstones — two copies that see the same operation sequence
+     stay structurally identical, which the SCR replica seeding relies
+     on (replicas must evolve in lockstep after a discipline switch) *)
+  {
+    capacity = t.capacity;
+    mask = t.mask;
+    keys = Array.copy t.keys;
+    vals = Array.copy t.vals;
+    status = Bytes.copy t.status;
+    size = t.size;
+    tombs = t.tombs;
+  }
+
 let iter t f =
   for i = 0 to t.mask do
     if Bytes.unsafe_get t.status i = occupied then

@@ -28,5 +28,10 @@ val put : t -> int -> int -> bool
 val erase : t -> int -> bool
 (** [false] iff [k] was absent. *)
 
+val copy : t -> t
+(** Field-exact duplicate: same physical table size, probe layout and
+    tombstones, so a copy that sees the same operation sequence as the
+    original stays structurally identical to it. *)
+
 val iter : t -> (int -> int -> unit) -> unit
 val clear : t -> unit

@@ -113,4 +113,7 @@ let clear t =
   Intmap.clear t.packed;
   Hashtbl.reset t.wide
 
+let copy t =
+  { capacity = t.capacity; packed = Intmap.copy t.packed; wide = Hashtbl.copy t.wide }
+
 let pp fmt t = Format.fprintf fmt "map[%d/%d]" (size t) t.capacity

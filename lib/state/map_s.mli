@@ -72,4 +72,10 @@ val entries : t -> (string * int) list
 
 val clear : t -> unit
 
+val copy : t -> t
+(** Independent duplicate holding the same bindings.  The packed table is
+    copied field-exactly (see {!Intmap.copy}), so two copies driven by the
+    same operation sequence stay structurally identical — the property
+    SCR replica seeding needs when a discipline switch clones state. *)
+
 val pp : Format.formatter -> t -> unit

@@ -55,6 +55,8 @@ let over_limit_packed t k ~limit = count_packed t k > limit
 
 let clear t = Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.rows
 
+let copy t = { depth = t.depth; width = t.width; rows = Array.map Array.copy t.rows }
+
 let memory_bytes t = 4 * t.depth * t.width
 
 let equal a b = a.depth = b.depth && a.width = b.width && a.rows = b.rows

@@ -40,6 +40,10 @@ val over_limit_packed : t -> int -> limit:int -> bool
 val clear : t -> unit
 (** Reset all counters (the periodic refresh of a time-framed limiter). *)
 
+val copy : t -> t
+(** Independent duplicate with identical dimensions and counters —
+    [equal t (copy t)] always holds. *)
+
 val memory_bytes : t -> int
 (** Footprint in bytes (4 per counter), for the cache model. *)
 

@@ -18,6 +18,7 @@ let () =
       ("codegen", Test_codegen.suite);
       ("runtime", Test_runtime.suite);
       ("rebalance", Test_rebalance.suite);
+      ("adaptive", Test_adaptive.suite);
       ("faults", Test_faults.suite);
       ("scr", Test_scr.suite);
       ("traffic", Test_traffic.suite);

@@ -1,0 +1,426 @@
+(* Adaptive discipline switching: the hysteresis controller must never
+   flap, admissibility must stay pinned to what compile time derived, and
+   a live pool that switches rungs mid-trace — even with workers crashing
+   in the switch epoch, in either order — must keep its verdicts equal to
+   the sequential interpreter. *)
+
+open Runtime.Adaptive
+
+let rng seed = Random.State.make [| seed |]
+
+let plan_of ?(cores = 4) ?(strategy = `Auto) name =
+  let request = { Maestro.Pipeline.default_request with cores; strategy } in
+  (Maestro.Pipeline.parallelize_exn ~request (Nfs.Registry.find_exn name)).Maestro.Pipeline.plan
+
+let verdicts_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Dsl.Interp.Dropped, Dsl.Interp.Dropped -> true
+         | Dsl.Interp.Fwd (pa, oa), Dsl.Interp.Fwd (pb, ob) -> pa = pb && Packet.Pkt.equal oa ob
+         | _ -> false)
+       a b
+
+(* deterministic phase traces over ONE flow population: calm spreads the
+   packets uniformly, skew concentrates them Zipf(2.5) on the heaviest
+   flows — the imbalance signal flips while the state stays shared *)
+let spec pkts = { Traffic.Gen.default_spec with pkts; reply_fraction = 0.0; fresh_fraction = 0.0 }
+
+let calm_trace st ~flows ~pkts = Traffic.Gen.uniform ~spec:(spec pkts) st ~flows
+
+let skew_trace st ~flows ~pkts =
+  let z = Traffic.Zipf.make ~exponent:2.5 ~nflows:(List.length flows) () in
+  Traffic.Zipf.trace ~spec:(spec pkts) st z ~flows
+
+(* --- mode parsing ---------------------------------------------------------- *)
+
+let mode_t =
+  Alcotest.testable (fun fmt m -> Format.pp_print_string fmt (to_string m)) ( = )
+
+let test_parse () =
+  Alcotest.(check (result mode_t string)) "off" (Ok Off) (parse "off");
+  Alcotest.(check (result mode_t string)) "on" (Ok (On default_config)) (parse "on");
+  Alcotest.(check (result mode_t string)) "full spec"
+    (Ok (On { epoch_pkts = 512; up = 2.0; down = 1.2; cooldown = 3 }))
+    (parse "epochs=512,up=2,down=1.2,cooldown=3");
+  Alcotest.(check (result mode_t string)) "partial spec keeps defaults"
+    (Ok (On { default_config with up = 1.6 }))
+    (parse "up=1.6");
+  List.iter
+    (fun bad ->
+      match parse bad with
+      | Error _ -> ()
+      | Ok m -> Alcotest.failf "parse %S should fail, got %s" bad (to_string m))
+    [ ""; "bogus"; "epochs=0"; "epochs=abc"; "up=0.5"; "cooldown=-1"; "up=1.2,down=1.3"; "foo=1" ];
+  (* to_string round-trips through parse *)
+  List.iter
+    (fun m ->
+      Alcotest.(check (result mode_t string))
+        (Printf.sprintf "round-trip %s" (to_string m))
+        (Ok m)
+        (parse (to_string m)))
+    [ Off; On default_config; On { epoch_pkts = 64; up = 3.0; down = 1.05; cooldown = 0 } ]
+
+(* --- admissibility --------------------------------------------------------- *)
+
+let rungs_t =
+  Alcotest.(result (list (testable (Fmt.of_to_string Maestro.Ladder.rung_name) ( = ))) string)
+
+let test_ladder () =
+  let open Maestro.Ladder in
+  let l = ladder in
+  Alcotest.check rungs_t "full descent"
+    (Ok [ Shared_nothing; Scr; Lock_based; Serial ])
+    (l ~strategy:Maestro.Plan.Shared_nothing ~scr_ok:true ~exact_migration:true);
+  Alcotest.check rungs_t "no digest: SCR absent, step-down skips to lock"
+    (Ok [ Shared_nothing; Lock_based; Serial ])
+    (l ~strategy:Maestro.Plan.Shared_nothing ~scr_ok:false ~exact_migration:true);
+  Alcotest.check rungs_t "lossy migration: shared-nothing absent even as the plan's rung"
+    (Ok [ Scr; Lock_based; Serial ])
+    (l ~strategy:Maestro.Plan.Shared_nothing ~scr_ok:true ~exact_migration:false);
+  Alcotest.check rungs_t "SCR plan never climbs to shared-nothing"
+    (Ok [ Scr; Lock_based; Serial ])
+    (l ~strategy:Maestro.Plan.Scr ~scr_ok:true ~exact_migration:true);
+  Alcotest.check rungs_t "lock plan"
+    (Ok [ Lock_based; Serial ])
+    (l ~strategy:Maestro.Plan.Lock_based ~scr_ok:true ~exact_migration:true);
+  (match l ~strategy:Maestro.Plan.Load_balance ~scr_ok:true ~exact_migration:true with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "load-balance plans must be rejected")
+
+(* --- controller hysteresis ------------------------------------------------- *)
+
+let decision_t =
+  let pp fmt = function
+    | Stay -> Format.pp_print_string fmt "stay"
+    | Switch r -> Format.fprintf fmt "switch %s" (Maestro.Ladder.rung_name r)
+    | Suppressed r -> Format.fprintf fmt "suppressed %s" (Maestro.Ladder.rung_name r)
+  in
+  Alcotest.testable pp ( = )
+
+let cfg = { epoch_pkts = 1024; up = 1.5; down = 1.15; cooldown = 2 }
+let full_ladder = Maestro.Ladder.[ Shared_nothing; Scr; Lock_based; Serial ]
+let calm_obs = { imbalance = 1.0; drops = 0; restarts = 0; digest_bytes = 0 }
+let skew_obs = { calm_obs with imbalance = 3.0 }
+let droppy_obs = { calm_obs with drops = 1 }
+
+let check_obs ctl name expected o =
+  Alcotest.check decision_t name expected (observe ctl o)
+
+let test_skew_steps_down_then_streak_up () =
+  let ctl = create cfg ~ladder:full_ladder in
+  Alcotest.(check string) "starts on the fastest admissible rung" "shared-nothing"
+    (Maestro.Ladder.rung_name (rung ctl));
+  check_obs ctl "calm holds the top rung" Stay calm_obs;
+  check_obs ctl "calm again" Stay calm_obs;
+  check_obs ctl "skew steps down one rung" (Switch Maestro.Ladder.Scr) skew_obs;
+  commit ctl Maestro.Ladder.Scr;
+  (* imbalance only pressures shared-nothing: SCR is skew-immune, so
+     sustained skew settles here instead of ratcheting down to serial *)
+  check_obs ctl "skew on SCR: cooldown tick, stay" Stay skew_obs;
+  check_obs ctl "skew on SCR: stay" Stay skew_obs;
+  check_obs ctl "skew on SCR past cooldown: still stay" Stay skew_obs;
+  (* ...but it also blocks the climb back up until the trace calms *)
+  check_obs ctl "calm streak 1 of 3" Stay calm_obs;
+  check_obs ctl "calm streak 2 of 3" Stay calm_obs;
+  check_obs ctl "cooldown+1 calm epochs step back up" (Switch Maestro.Ladder.Shared_nothing)
+    calm_obs;
+  commit ctl Maestro.Ladder.Shared_nothing;
+  Alcotest.(check int) "two switches" 2 (switches ctl);
+  Alcotest.(check int) "nothing suppressed" 0 (flap_suppressed ctl);
+  Alcotest.(check (list (pair int (testable (Fmt.of_to_string Maestro.Ladder.rung_name) ( = )))))
+    "switch epochs in order"
+    [ (3, Maestro.Ladder.Scr); (9, Maestro.Ladder.Shared_nothing) ]
+    (switch_epochs ctl);
+  (* residency counts the rung each epoch ran on: 1-3 shared-nothing,
+     4-9 SCR (the epoch-9 observation still ran on SCR) *)
+  List.iter
+    (fun (r, expect) ->
+      Alcotest.(check (option int))
+        (Maestro.Ladder.rung_name r) (Some expect)
+        (List.assoc_opt r (residency ctl)))
+    Maestro.Ladder.[ (Shared_nothing, 3); (Scr, 6); (Lock_based, 0); (Serial, 0) ]
+
+let test_cooldown_suppresses_flap () =
+  let ctl = create cfg ~ladder:full_ladder in
+  (* drops pressure every rung; oscillate pressure/calm and count what the
+     cooldown window swallows *)
+  check_obs ctl "drops step down" (Switch Maestro.Ladder.Scr) droppy_obs;
+  commit ctl Maestro.Ladder.Scr;
+  check_obs ctl "calm inside cooldown" Stay calm_obs;
+  check_obs ctl "pressure inside cooldown is suppressed"
+    (Suppressed Maestro.Ladder.Lock_based) droppy_obs;
+  Alcotest.(check int) "suppression counted" 1 (flap_suppressed ctl);
+  check_obs ctl "cooldown over: pressure switches" (Switch Maestro.Ladder.Lock_based) droppy_obs;
+  commit ctl Maestro.Ladder.Lock_based;
+  Alcotest.(check int) "two switches despite four pressured epochs" 2 (switches ctl);
+  (* a long oscillation never commits more than one switch per cooldown
+     window *)
+  for i = 0 to 19 do
+    match observe ctl (if i mod 2 = 0 then droppy_obs else calm_obs) with
+    | Switch r -> commit ctl r
+    | Stay | Suppressed _ -> ()
+  done;
+  Alcotest.(check bool) "oscillation is rate-limited" true
+    (switches ctl <= 2 + (20 / (cfg.cooldown + 1)));
+  Alcotest.(check bool) "and the window did suppress" true (flap_suppressed ctl >= 2)
+
+let test_deferred_switch_retries () =
+  let ctl = create cfg ~ladder:full_ladder in
+  check_obs ctl "pressure asks for SCR" (Switch Maestro.Ladder.Scr) droppy_obs;
+  (* the pool declined (crash recovery ran this barrier) *)
+  defer ctl Maestro.Ladder.Scr;
+  check_obs ctl "deferred switch retries before fresh analysis"
+    (Switch Maestro.Ladder.Scr) calm_obs;
+  commit ctl Maestro.Ladder.Scr;
+  Alcotest.(check string) "committed after retry" "state-compute-replication"
+    (Maestro.Ladder.rung_name (rung ctl));
+  Alcotest.(check int) "one switch" 1 (switches ctl)
+
+let test_commit_rejects_inadmissible () =
+  let ctl = create cfg ~ladder:Maestro.Ladder.[ Shared_nothing; Lock_based; Serial ] in
+  Alcotest.check_raises "SCR is not on this ladder"
+    (Invalid_argument "Adaptive.commit: rung not admissible") (fun () ->
+      commit ctl Maestro.Ladder.Scr)
+
+(* --- live pool: calm → skew → calm ----------------------------------------- *)
+
+(* rung of each epoch, from the initial rung and the committed switches:
+   a switch at epoch E takes effect from epoch E+1 *)
+let rung_of_epoch switch_epochs ~initial epoch =
+  List.fold_left
+    (fun acc (e, r) -> if epoch > e then r else acc)
+    initial switch_epochs
+
+(* per-flow ordering across switches: between two consecutive rebalance
+   points every flow lands on one core — except on SCR epochs, where the
+   round-robin spray moves OWNERSHIP per batch by design while each
+   replica still applies the global stream in order *)
+let ordering_violations trace (s : Runtime.Pool.stats) ~epoch_pkts ~initial =
+  let points = Array.of_list s.Runtime.Pool.last_rebalance_points in
+  let flow_core = Hashtbl.create 1024 in
+  let seg = ref 0 and viol = ref 0 in
+  Array.iteri
+    (fun i pkt ->
+      while !seg < Array.length points && i >= points.(!seg) do
+        incr seg;
+        Hashtbl.reset flow_core
+      done;
+      let epoch = 1 + (i / epoch_pkts) in
+      if rung_of_epoch s.Runtime.Pool.switch_epochs ~initial epoch <> Maestro.Ladder.Scr
+      then begin
+        let flow = Packet.Flow.normalize (Packet.Flow.of_pkt pkt) in
+        let core = s.Runtime.Pool.last_assignment.(i) in
+        match Hashtbl.find_opt flow_core flow with
+        | None -> Hashtbl.add flow_core flow core
+        | Some c -> if c <> core then incr viol
+      end)
+    trace;
+  !viol
+
+let pool_mode = On { epoch_pkts = 1024; up = 2.0; down = 1.3; cooldown = 1 }
+
+let test_pool_switches_with_traffic () =
+  let plan = plan_of ~cores:4 "fw" in
+  let flows = Traffic.Gen.flows (rng 7) 1024 in
+  let trace =
+    Array.concat
+      [
+        calm_trace (rng 11) ~flows ~pkts:4096;
+        skew_trace (rng 12) ~flows ~pkts:4096;
+        calm_trace (rng 13) ~flows ~pkts:6144;
+      ]
+  in
+  let seq = Runtime.Parallel.run_sequential (Nfs.Registry.find_exn "fw") trace in
+  let pool = Runtime.Pool.create ~cores:4 () in
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+  let v = Runtime.Pool.run ~adaptive:pool_mode pool plan trace in
+  let s = Runtime.Pool.stats pool in
+  Alcotest.(check bool) "switched down and back" true (s.Runtime.Pool.switches >= 2);
+  (match s.Runtime.Pool.switch_epochs with
+  | (_, Maestro.Ladder.Scr) :: _ -> ()
+  | other ->
+      Alcotest.failf "first switch should adopt SCR, got [%s]"
+        (String.concat "; "
+           (List.map
+              (fun (e, r) -> Printf.sprintf "%d:%s" e (Maestro.Ladder.rung_name r))
+              other)));
+  let res r = Option.value ~default:0 (List.assoc_opt r s.Runtime.Pool.rung_residency) in
+  Alcotest.(check bool) "skew phase ran on SCR" true (res Maestro.Ladder.Scr >= 3);
+  Alcotest.(check bool) "calm phases ran sharded" true (res Maestro.Ladder.Shared_nothing >= 6);
+  Alcotest.(check bool) "switch epochs strictly ascending" true
+    (let rec asc = function
+       | (a, _) :: ((b, _) :: _ as rest) -> a < b && asc rest
+       | _ -> true
+     in
+     asc s.Runtime.Pool.switch_epochs);
+  Alcotest.(check int) "one rebalance point per switch" s.Runtime.Pool.switches
+    (List.length s.Runtime.Pool.last_rebalance_points);
+  Alcotest.(check int) "zero flow-ordering violations" 0
+    (ordering_violations trace s ~epoch_pkts:1024 ~initial:Maestro.Ladder.Shared_nothing);
+  Alcotest.(check bool) "verdicts == sequential across switches" true (verdicts_equal seq v)
+
+let test_pool_calm_never_switches () =
+  let plan = plan_of ~cores:4 "fw" in
+  let flows = Traffic.Gen.flows (rng 8) 1024 in
+  let trace = calm_trace (rng 21) ~flows ~pkts:4096 in
+  let seq = Runtime.Parallel.run_sequential (Nfs.Registry.find_exn "fw") trace in
+  let pool = Runtime.Pool.create ~cores:4 () in
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+  let v = Runtime.Pool.run ~adaptive:pool_mode pool plan trace in
+  let s = Runtime.Pool.stats pool in
+  Alcotest.(check int) "no switches" 0 s.Runtime.Pool.switches;
+  Alcotest.(check (list (pair (testable (Fmt.of_to_string Maestro.Ladder.rung_name) ( = )) int)))
+    "whole run on the plan's rung"
+    Maestro.Ladder.[ (Shared_nothing, 4); (Scr, 0); (Lock_based, 0); (Serial, 0) ]
+    s.Runtime.Pool.rung_residency;
+  Alcotest.(check bool) "verdicts == sequential" true (verdicts_equal seq v)
+
+(* --- crashes in the switch epoch, both orders ------------------------------ *)
+
+(* order 1: the crash is recovered FIRST (old rung's replay path), the
+   switch is deferred to the next barrier.  Skew from packet zero makes
+   the very first barrier decide a switch, and every core's first batch
+   crashes, so the switch epoch is guaranteed to also be a crash epoch. *)
+let test_pool_crash_defers_switch () =
+  let plan = plan_of ~cores:4 "fw" in
+  let flows = Traffic.Gen.flows (rng 9) 1024 in
+  let trace = skew_trace (rng 31) ~flows ~pkts:8192 in
+  let seq = Runtime.Parallel.run_sequential (Nfs.Registry.find_exn "fw") trace in
+  (match Faults.parse "crash@0:0;crash@1:0;crash@2:0;crash@3:0" with
+  | Error e -> Alcotest.fail e
+  | Ok p -> Faults.install p);
+  Fun.protect ~finally:Faults.clear @@ fun () ->
+  let pool = Runtime.Pool.create ~cores:4 () in
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+  let v = Runtime.Pool.run ~adaptive:pool_mode pool plan trace in
+  let s = Runtime.Pool.stats pool in
+  Alcotest.(check bool) "workers crashed and restarted" true (s.Runtime.Pool.restarts >= 1);
+  Alcotest.(check bool) "the switch still happened" true (s.Runtime.Pool.switches >= 1);
+  (match s.Runtime.Pool.switch_epochs with
+  | (e, _) :: _ ->
+      Alcotest.(check bool) "switch deferred past the crash epoch" true (e >= 2)
+  | [] -> Alcotest.fail "no switch committed");
+  Alcotest.(check bool) "verdicts == sequential despite crash + deferred switch" true
+    (verdicts_equal seq v)
+
+(* order 2: the switch commits FIRST, the crash lands on the NEW rung —
+   the SCR replica is rebuilt from the seeded snapshot plus the digest
+   log since rung entry.  The batch threshold (60) is unreachable before
+   the switch (calm epochs give ~8 batches/core, the skew epoch at most
+   ~26 more) and certain after it (SCR feeds every core every batch). *)
+let test_pool_crash_after_switch_rebuilds_replica () =
+  let plan = plan_of ~cores:4 "fw" in
+  let flows = Traffic.Gen.flows (rng 10) 1024 in
+  let trace =
+    Array.concat
+      [ calm_trace (rng 41) ~flows ~pkts:2048; skew_trace (rng 42) ~flows ~pkts:8192 ]
+  in
+  let seq = Runtime.Parallel.run_sequential (Nfs.Registry.find_exn "fw") trace in
+  (match Faults.parse "crash@2:60" with
+  | Error e -> Alcotest.fail e
+  | Ok p -> Faults.install p);
+  Fun.protect ~finally:Faults.clear @@ fun () ->
+  let pool = Runtime.Pool.create ~cores:4 () in
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+  let v = Runtime.Pool.run ~adaptive:pool_mode pool plan trace in
+  let s = Runtime.Pool.stats pool in
+  Alcotest.(check bool) "switched to SCR" true
+    (List.exists (fun (_, r) -> r = Maestro.Ladder.Scr) s.Runtime.Pool.switch_epochs);
+  Alcotest.(check bool) "crash recovered on the new rung" true (s.Runtime.Pool.restarts >= 1);
+  Alcotest.(check bool) "replica rebuilt from snapshot + digest log" true
+    (s.Runtime.Pool.scr_rebuilds >= 1);
+  Alcotest.(check bool) "verdicts == sequential despite mid-rung rebuild" true
+    (verdicts_equal seq v)
+
+(* --- switching on a written-off core set ----------------------------------- *)
+
+let test_pool_switch_on_written_off_cores () =
+  let plan = plan_of ~cores:4 "fw" in
+  let flows = Traffic.Gen.flows (rng 14) 1024 in
+  let trace =
+    Array.concat
+      [
+        calm_trace (rng 51) ~flows ~pkts:3072;
+        skew_trace (rng 52) ~flows ~pkts:4096;
+        calm_trace (rng 53) ~flows ~pkts:3072;
+      ]
+  in
+  let seq = Runtime.Parallel.run_sequential (Nfs.Registry.find_exn "fw") trace in
+  (* zero restart budget: the first death writes core 1 off permanently,
+     so every later conversion runs over a 3-core live set *)
+  (match Faults.parse "crash@1:8" with
+  | Error e -> Alcotest.fail e
+  | Ok p -> Faults.install p);
+  Fun.protect ~finally:Faults.clear @@ fun () ->
+  let pool =
+    Runtime.Pool.create
+      ~supervisor:{ Runtime.Supervisor.default_config with max_restarts = 0 }
+      ~cores:4 ()
+  in
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+  let v = Runtime.Pool.run ~adaptive:pool_mode pool plan trace in
+  let s = Runtime.Pool.stats pool in
+  Alcotest.(check (list int)) "core 1 written off" [ 1 ] s.Runtime.Pool.failed_cores;
+  Alcotest.(check bool) "still switched under skew" true (s.Runtime.Pool.switches >= 1);
+  (* after the write-off boundary no packet may land on the dead core *)
+  let dead_after =
+    match List.sort compare s.Runtime.Pool.last_rebalance_points with
+    | [] -> 0
+    | p :: _ ->
+        let n = ref 0 in
+        Array.iteri
+          (fun i c -> if i >= p && c = 1 then incr n)
+          s.Runtime.Pool.last_assignment;
+        !n
+  in
+  Alcotest.(check int) "no packets on the dead core after remap" 0 dead_after;
+  Alcotest.(check bool) "verdicts == sequential over the shrunken pool" true
+    (verdicts_equal seq v)
+
+(* --- lock plans: restart pressure reaches serial and climbs back ----------- *)
+
+let test_pool_lock_plan_descends_to_serial () =
+  let plan = plan_of ~cores:4 ~strategy:`Force_locks "fw" in
+  let flows = Traffic.Gen.flows (rng 15) 1024 in
+  let trace = calm_trace (rng 61) ~flows ~pkts:6144 in
+  let seq = Runtime.Parallel.run_sequential (Nfs.Registry.find_exn "fw") trace in
+  (match Faults.parse "crash@0:4" with
+  | Error e -> Alcotest.fail e
+  | Ok p -> Faults.install p);
+  Fun.protect ~finally:Faults.clear @@ fun () ->
+  let pool = Runtime.Pool.create ~cores:4 () in
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) @@ fun () ->
+  let v = Runtime.Pool.run ~adaptive:pool_mode pool plan trace in
+  let s = Runtime.Pool.stats pool in
+  let res r = Option.value ~default:0 (List.assoc_opt r s.Runtime.Pool.rung_residency) in
+  Alcotest.(check bool) "restart pressure reached serial" true
+    (res Maestro.Ladder.Serial >= 1);
+  Alcotest.(check bool) "calm epochs climbed back to the lock rung" true
+    (List.exists (fun (_, r) -> r = Maestro.Ladder.Lock_based) s.Runtime.Pool.switch_epochs);
+  Alcotest.(check int) "never above the plan's rung" 0 (res Maestro.Ladder.Shared_nothing);
+  Alcotest.(check bool) "verdicts == sequential" true (verdicts_equal seq v)
+
+let suite =
+  [
+    Alcotest.test_case "parse/to_string --adaptive" `Quick test_parse;
+    Alcotest.test_case "admissible ladder pinned to compile time" `Quick test_ladder;
+    Alcotest.test_case "skew steps down, calm streak steps up" `Quick
+      test_skew_steps_down_then_streak_up;
+    Alcotest.test_case "cooldown suppresses flapping" `Quick test_cooldown_suppresses_flap;
+    Alcotest.test_case "deferred switch retries at the next barrier" `Quick
+      test_deferred_switch_retries;
+    Alcotest.test_case "commit rejects inadmissible rungs" `Quick test_commit_rejects_inadmissible;
+    Alcotest.test_case "pool: calm→skew→calm switches and stays sequential" `Slow
+      test_pool_switches_with_traffic;
+    Alcotest.test_case "pool: calm traffic never switches" `Slow test_pool_calm_never_switches;
+    Alcotest.test_case "pool: crash in the switch epoch defers the switch" `Slow
+      test_pool_crash_defers_switch;
+    Alcotest.test_case "pool: crash after the switch rebuilds the SCR replica" `Slow
+      test_pool_crash_after_switch_rebuilds_replica;
+    Alcotest.test_case "pool: switching over a written-off core set" `Slow
+      test_pool_switch_on_written_off_cores;
+    Alcotest.test_case "pool: lock plan descends to serial and climbs back" `Slow
+      test_pool_lock_plan_descends_to_serial;
+  ]

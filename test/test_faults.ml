@@ -77,7 +77,23 @@ let test_parse_plans () =
         (Printf.sprintf "%S rejected" bad)
         true
         (Result.is_error (Faults.parse bad)))
-    [ ""; "boom@1:2"; "crash@x:1"; "crash@1"; "slow@1:2"; "satbudget@1:2:3"; "crash" ]
+    [ ""; "boom@1:2"; "crash@x:1"; "crash@1"; "slow@1:2"; "satbudget@1:2:3"; "crash"; "phase@1:"; "phase@x:calm" ]
+
+let test_phase_schedule () =
+  (* phase events are descriptive: parsed, sorted, read back — no hook *)
+  (match Faults.parse "phase@4:skew;crash@2:60;phase@0:calm;phase@8:calm" with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Faults.install p;
+      Fun.protect ~finally:Faults.clear @@ fun () ->
+      Alcotest.(check (list (pair int string)))
+        "schedule ascending by epoch"
+        [ (0, "calm"); (4, "skew"); (8, "calm") ]
+        (Faults.phases ()));
+  Alcotest.(check (list (pair int string))) "no plan, no phases" [] (Faults.phases ());
+  (* round-trips through the printer *)
+  let ev = Faults.Phase_shift { epoch = 4; profile = "skew" } in
+  Alcotest.(check string) "printer" "phase@4:skew" (Format.asprintf "%a" Faults.pp_event ev)
 
 let test_disabled_hooks_are_noops () =
   Faults.clear ();
@@ -321,6 +337,7 @@ let test_undegraded_ladder_keeps_top_rung () =
 let suite =
   [
     Alcotest.test_case "fault plan parsing" `Quick test_parse_plans;
+    Alcotest.test_case "phase schedule parses and sorts" `Quick test_phase_schedule;
     Alcotest.test_case "disabled hooks are no-ops" `Quick test_disabled_hooks_are_noops;
     Alcotest.test_case "crash -> restart keeps equivalence" `Quick
       test_crash_restart_preserves_equivalence;

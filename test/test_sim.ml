@@ -108,6 +108,22 @@ let test_latency_parallel_matches_sequential () =
   Alcotest.(check bool) "parallelization latency-neutral" true
     (Float.abs (l16.Sim.Latency.avg_us -. l1.Sim.Latency.avg_us) < 0.5)
 
+let test_switch_pricing () =
+  let price ~flows ~replicas = Sim.Cost.discipline_switch_cycles ~flows ~replicas () in
+  (* a state-free switch still pays the quiesce stall *)
+  Alcotest.(check bool) "stall floor" true (price ~flows:0 ~replicas:1 > 0.0);
+  (* monotone in both the flow population and the replica fan-out *)
+  Alcotest.(check bool) "more flows cost more" true
+    (price ~flows:10_000 ~replicas:1 > price ~flows:1_000 ~replicas:1);
+  Alcotest.(check bool) "seeding replicas costs more than a merge" true
+    (price ~flows:1_000 ~replicas:4 > price ~flows:1_000 ~replicas:1);
+  (* the default switch price is amortizable: a few calm epochs of 4096
+     packets at ~line-rate per-packet cost dwarf one 1k-flow switch —
+     the premise behind Adaptive.default_config's multi-epoch cooldown *)
+  let epoch_cycles = 4096.0 *. Sim.Cost.default.Sim.Cost.base_cycles in
+  Alcotest.(check bool) "switch pays for itself within a cooldown" true
+    (price ~flows:1_000 ~replicas:4 < 2.0 *. epoch_cycles)
+
 let test_workloads_exist_for_all_nfs () =
   List.iter
     (fun name ->
@@ -130,5 +146,6 @@ let suite =
     Alcotest.test_case "tm rises then falls" `Quick test_tm_rises_then_falls;
     Alcotest.test_case "balanced reta helps zipf" `Quick test_balanced_reta_helps_zipf;
     Alcotest.test_case "latency neutral" `Quick test_latency_parallel_matches_sequential;
+    Alcotest.test_case "discipline switch pricing" `Quick test_switch_pricing;
     Alcotest.test_case "workloads for all NFs" `Quick test_workloads_exist_for_all_nfs;
   ]
