@@ -16,6 +16,20 @@ let toeplitz_compiled_bench =
   Test.make ~name:"toeplitz-hash-12B-tbl"
     (Staged.stage (fun () -> Nic.Toeplitz.Key.hash_int ckey input))
 
+(* The RFC 1071 checksum primitive shared by the derived encoders' fixups
+   and Wire.internet_checksum.  The 63-byte buffer exercises the odd-tail
+   path, which folds in place instead of allocating a padded copy. *)
+let checksum_bench =
+  let b = Bytes.init 63 (fun i -> Char.chr ((i * 37) land 0xff)) in
+  Test.make ~name:"internet-checksum-63B"
+    (Staged.stage (fun () -> Packet.Wire.internet_checksum b))
+
+let checksum_region_bench =
+  let b = Bytes.init 1514 (fun i -> Char.chr ((i * 41) land 0xff)) in
+  Test.make ~name:"checksum-sum-region-1514B"
+    (Staged.stage (fun () ->
+         Packet.Codec.Checksum.(finish (sum_region b ~off:0 ~len:1514 0))))
+
 let map_bench =
   let m = State.Map_s.create ~capacity:65536 in
   let keys = Array.init 1024 (fun i -> Dsl.Ast.key_of_parts [ (32, i); (32, i * 7) ]) in
@@ -98,6 +112,8 @@ let run () =
     [
       toeplitz_bench;
       toeplitz_compiled_bench;
+      checksum_bench;
+      checksum_region_bench;
       map_bench;
       dchain_bench;
       sketch_bench;

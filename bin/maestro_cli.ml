@@ -331,6 +331,14 @@ let run_cmd =
         let fs = Traffic.Gen.flows rng flows in
         let spec = { Traffic.Gen.default_spec with pkts; reply_fraction = 0.4 } in
         let trace = Traffic.Gen.uniform ~spec rng ~flows:fs in
+        (* tunnel-terminating NFs key on inner headers: give them the same
+           flows, wrapped in the matching underlay *)
+        let trace =
+          match name with
+          | Some "vxlan_fw" -> Traffic.Gen.encapsulate Packet.Pkt.Vxlan trace
+          | Some "gre_peer" -> Traffic.Gen.encapsulate Packet.Pkt.Gre trace
+          | _ -> trace
+        in
         let seq = Runtime.Parallel.run_sequential nf trace in
         let par = Runtime.Parallel.run plan trace in
         let agree = ref 0 and fwd = ref 0 and dropped = ref 0 in

@@ -11,6 +11,12 @@ let c_field = function
   | Packet.Field.Ip_proto -> "pkt->ip.proto"
   | Packet.Field.Src_port -> "pkt->l4.sport"
   | Packet.Field.Dst_port -> "pkt->l4.dport"
+  | Packet.Field.Tunnel_id -> "pkt->tun.id"
+  | Packet.Field.Inner_ip_src -> "pkt->inner.ip.src"
+  | Packet.Field.Inner_ip_dst -> "pkt->inner.ip.dst"
+  | Packet.Field.Inner_ip_proto -> "pkt->inner.ip.proto"
+  | Packet.Field.Inner_src_port -> "pkt->inner.l4.sport"
+  | Packet.Field.Inner_dst_port -> "pkt->inner.l4.dport"
 
 let binop_c = function
   | Add -> "+"

@@ -30,16 +30,7 @@ type env = { vars : (string * int) list; records : (string * Instance.record) li
 
 let mask width v = if width >= 62 then v else v land ((1 lsl width) - 1)
 
-let set_pkt_field (p : Packet.Pkt.t) f v : Packet.Pkt.t =
-  match f with
-  | Packet.Field.Eth_src -> { p with Packet.Pkt.eth_src = v }
-  | Packet.Field.Eth_dst -> { p with Packet.Pkt.eth_dst = v }
-  | Packet.Field.Eth_type -> { p with Packet.Pkt.eth_type = v }
-  | Packet.Field.Ip_src -> { p with Packet.Pkt.ip_src = v }
-  | Packet.Field.Ip_dst -> { p with Packet.Pkt.ip_dst = v }
-  | Packet.Field.Ip_proto -> { p with Packet.Pkt.proto = Packet.Pkt.proto_of_number v }
-  | Packet.Field.Src_port -> { p with Packet.Pkt.src_port = v }
-  | Packet.Field.Dst_port -> { p with Packet.Pkt.dst_port = v }
+let set_pkt_field (p : Packet.Pkt.t) f v : Packet.Pkt.t = Packet.Pkt.set_field p f v
 
 let find_field layout r f =
   let rec go i = function

@@ -13,7 +13,11 @@ let builders : (string * (unit -> Dsl.Ast.t)) list =
 
 (* extension NFs beyond the paper's corpus *)
 let extended_builders : (string * (unit -> Dsl.Ast.t)) list =
-  [ ("hhh", fun () -> Hhh.make ()) ]
+  [
+    ("hhh", fun () -> Hhh.make ());
+    ("vxlan_fw", fun () -> Scenarios.vxlan_fw ());
+    ("gre_peer", fun () -> Scenarios.gre_peer ());
+  ]
 
 let names = List.map fst builders
 let extended_names = names @ List.map fst extended_builders
@@ -44,6 +48,6 @@ let compose_chain names =
 
 let expected_strategy = function
   | "nop" | "sbridge" -> `Read_only_lb
-  | "policer" | "fw" | "psd" | "nat" | "cl" | "hhh" -> `Shared_nothing
-  | "dbridge" | "lb" -> `Locks
+  | "policer" | "fw" | "psd" | "nat" | "cl" | "hhh" | "vxlan_fw" -> `Shared_nothing
+  | "dbridge" | "lb" | "gre_peer" -> `Locks
   | _ -> raise Not_found

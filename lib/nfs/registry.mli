@@ -5,8 +5,9 @@ val names : string list
     ["nop"; "policer"; "sbridge"; "dbridge"; "fw"; "psd"; "nat"; "lb"; "cl"] *)
 
 val extended_names : string list
-(** [names] plus this reproduction's extension NFs (the prefix-sharded
-    ["hhh"]). *)
+(** [names] plus this reproduction's extension NFs: the prefix-sharded
+    ["hhh"] and the tunnel-terminating ["vxlan_fw"] (inner-5-tuple keys,
+    inner-header RSS) and ["gre_peer"] (tunnel-id keys, not hashable). *)
 
 val find : string -> Dsl.Ast.t option
 (** Build a fresh NF with default parameters. *)

@@ -264,3 +264,152 @@ let chain_policer_fw_nat () =
     [ Policer.make (); Fw.make (); Nat.make () ]
 
 let chains () = [ chain_fw_nat (); chain_fw_lb (); chain_policer_fw_nat () ]
+
+(* --- tunnel-terminating NFs ------------------------------------------------
+
+   Both shard on fields the zero-copy codec surfaces from *inside* a
+   terminated VXLAN/GRE encapsulation (lib/packet/stacks.ml), making the
+   inner-header field vocabulary load-bearing end to end:
+
+   - vxlan_fw keys its flow table on the inner 5-tuple.  The inner fields
+     are RSS-capable (tunnel-aware NICs hash the innermost headers, DPDK
+     RSS_LEVEL_INNERMOST), so the R1 constraint is satisfiable and the NF
+     shards shared-nothing — with a symmetric key, like the plain fw.
+   - gre_peer counts traffic per tunnel, keyed by the GRE key field.  RSS
+     cannot hash a tunnel id (it is not part of any hashable tuple), so
+     R4 fires and the NF falls down the ladder to locked sharing. *)
+
+let inner_key_lan =
+  [
+    Field Field.Inner_ip_src;
+    Field Field.Inner_ip_dst;
+    Field Field.Inner_src_port;
+    Field Field.Inner_dst_port;
+  ]
+
+let inner_key_wan =
+  [
+    Field Field.Inner_ip_dst;
+    Field Field.Inner_ip_src;
+    Field Field.Inner_dst_port;
+    Field Field.Inner_src_port;
+  ]
+
+let vxlan_fw ?(capacity = 65536) ?(expiry_ns = 1_000_000_000) () =
+  let lan_side =
+    Map_get
+      {
+        obj = "vxfw_flows";
+        key = inner_key_lan;
+        found = "vxfw_f_lan";
+        value = "vxfw_idx_lan";
+        k =
+          If
+            ( Var "vxfw_f_lan",
+              Chain_rejuv
+                { obj = "vxfw_chain"; index = Var "vxfw_idx_lan"; k = Topo.fwd Topo.wan },
+              Chain_alloc
+                {
+                  obj = "vxfw_chain";
+                  index = "vxfw_new";
+                  k_ok =
+                    Vec_set
+                      {
+                        obj = "vxfw_keys";
+                        index = Var "vxfw_new";
+                        fields =
+                          [
+                            ("sip", Field Field.Inner_ip_src);
+                            ("dip", Field Field.Inner_ip_dst);
+                            ("sp", Field Field.Inner_src_port);
+                            ("dp", Field Field.Inner_dst_port);
+                          ];
+                        k =
+                          Map_put
+                            {
+                              obj = "vxfw_flows";
+                              key = inner_key_lan;
+                              value = Var "vxfw_new";
+                              ok = "vxfw_put_ok";
+                              k = Topo.fwd Topo.wan;
+                            };
+                      };
+                  k_fail = Topo.fwd Topo.wan;
+                } );
+      }
+  in
+  let wan_side =
+    Map_get
+      {
+        obj = "vxfw_flows";
+        key = inner_key_wan;
+        found = "vxfw_f_wan";
+        value = "vxfw_idx_wan";
+        k =
+          If
+            ( Var "vxfw_f_wan",
+              Chain_rejuv
+                { obj = "vxfw_chain"; index = Var "vxfw_idx_wan"; k = Topo.fwd Topo.lan },
+              Drop );
+      }
+  in
+  {
+    name = "vxlan_fw";
+    devices = 2;
+    state =
+      [
+        Decl_map { name = "vxfw_flows"; capacity; init = [] };
+        Decl_chain { name = "vxfw_chain"; capacity };
+        Decl_vector
+          {
+            name = "vxfw_keys";
+            capacity;
+            layout = [ ("sip", 32); ("dip", 32); ("sp", 16); ("dp", 16) ];
+          };
+      ];
+    process =
+      Chain_expire
+        {
+          obj = "vxfw_chain";
+          purges = [ ("vxfw_flows", "vxfw_keys") ];
+          age_ns = expiry_ns;
+          k = If (Topo.from_lan, lan_side, wan_side);
+        };
+  }
+
+let gre_peer ?(capacity = 4096) () =
+  let key = [ Field Field.Tunnel_id ] in
+  {
+    name = "gre_peer";
+    devices = 2;
+    state = [ Decl_map { name = "grp_pkts"; capacity; init = [] } ];
+    process =
+      Map_get
+        {
+          obj = "grp_pkts";
+          key;
+          found = "grp_f";
+          value = "grp_v";
+          k =
+            If
+              ( Var "grp_f",
+                Map_put
+                  {
+                    obj = "grp_pkts";
+                    key;
+                    value = Var "grp_v" +. const 1;
+                    ok = "grp_ok1";
+                    k = Topo.fwd Topo.wan;
+                  },
+                Map_put
+                  {
+                    obj = "grp_pkts";
+                    key;
+                    value = const 1;
+                    ok = "grp_ok2";
+                    k = Topo.fwd Topo.wan;
+                  } );
+        };
+  }
+
+let tunnels () = [ vxlan_fw (); gre_peer () ]

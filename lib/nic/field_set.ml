@@ -8,8 +8,22 @@ open Packet
    which the low-bit-indexed indirection table never sees. *)
 type t = { ordered : (Field.t * int) list }
 
-(* Canonical Microsoft concatenation order. *)
-let canonical_order = [ Field.Ip_src; Field.Ip_dst; Field.Src_port; Field.Dst_port; Field.Ip_proto ]
+(* Canonical Microsoft concatenation order; inner (encapsulated) headers
+   follow the outer ones in the same address/port/proto order — the
+   "inner header RSS" extraction of tunnel-aware NICs. *)
+let canonical_order =
+  [
+    Field.Ip_src;
+    Field.Ip_dst;
+    Field.Src_port;
+    Field.Dst_port;
+    Field.Ip_proto;
+    Field.Inner_ip_src;
+    Field.Inner_ip_dst;
+    Field.Inner_src_port;
+    Field.Inner_dst_port;
+    Field.Inner_ip_proto;
+  ]
 
 let make_sliced slices =
   List.iter
@@ -36,6 +50,12 @@ let ipv4 = make [ Field.Ip_src; Field.Ip_dst ]
 let ipv4_tcp = make [ Field.Ip_src; Field.Ip_dst; Field.Src_port; Field.Dst_port ]
 let ipv4_udp = ipv4_tcp
 
+let inner_ipv4_tcp =
+  make
+    [
+      Field.Inner_ip_src; Field.Inner_ip_dst; Field.Inner_src_port; Field.Inner_dst_port;
+    ]
+
 let fields t = List.map fst t.ordered
 let slices t = t.ordered
 
@@ -57,9 +77,29 @@ let needs_ports t =
     (fun (f, _) -> Field.equal f Field.Src_port || Field.equal f Field.Dst_port)
     t.ordered
 
+let is_inner_field = function
+  | Field.Inner_ip_src | Field.Inner_ip_dst | Field.Inner_ip_proto | Field.Inner_src_port
+  | Field.Inner_dst_port ->
+      true
+  | _ -> false
+
+let needs_inner t = List.exists (fun (f, _) -> is_inner_field f) t.ordered
+
+let needs_inner_ports t =
+  List.exists
+    (fun (f, _) -> Field.equal f Field.Inner_src_port || Field.equal f Field.Inner_dst_port)
+    t.ordered
+
 let matches t (p : Pkt.t) =
   p.Pkt.eth_type = Pkt.ipv4_ethertype
-  && ((not (needs_ports t)) || match p.Pkt.proto with Pkt.Tcp | Pkt.Udp -> true | Pkt.Other _ -> false)
+  && ((not (needs_ports t))
+     || match p.Pkt.proto with Pkt.Tcp | Pkt.Udp -> true | Pkt.Other _ -> false)
+  && ((not (needs_inner t)) || p.Pkt.encap <> None)
+  && ((not (needs_inner_ports t))
+     ||
+     match p.Pkt.encap with
+     | Some { Pkt.in_proto = Pkt.Tcp | Pkt.Udp; _ } -> true
+     | _ -> false)
 
 let hash_input t p =
   if not (matches t p) then None

@@ -29,6 +29,12 @@ val ipv4_tcp : t
 
 val ipv4_udp : t
 
+val inner_ipv4_tcp : t
+(** Inner (encapsulated) addresses and ports of a terminated VXLAN/GRE
+    tunnel — the inner-header extraction of tunnel-aware NICs (DPDK
+    [RSS_LEVEL_INNERMOST]).  Only matches packets carrying an
+    {!Packet.Pkt.encap} view. *)
+
 val fields : t -> Packet.Field.t list
 
 val slices : t -> (Packet.Field.t * int) list
@@ -46,9 +52,13 @@ val input_bits : t -> int
 val offset : t -> Packet.Field.t -> int option
 (** Bit offset of a field inside the hash input, when selected. *)
 
+val is_inner_field : Packet.Field.t -> bool
+(** Whether the field addresses an encapsulated (inner) header. *)
+
 val matches : t -> Packet.Pkt.t -> bool
 (** Whether the packet has all the selected fields (e.g. port-bearing sets
-    require TCP or UDP). *)
+    require TCP or UDP; inner-header sets require an encapsulated packet,
+    inner-port-bearing ones an inner TCP/UDP). *)
 
 val byte_plan : t -> (Packet.Field.t * int) array option
 (** Byte-aligned extraction plan for {!Rss}'s allocation-free hash path:

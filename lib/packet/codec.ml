@@ -1,0 +1,596 @@
+(* Stage a Spec.t into zero-copy accessors over raw frames.
+
+   [stage] walks the spec once and produces:
+   - a decision [tree] closure classifying a frame into a *shape* — one
+     root-to-leaf path through the tagged unions — with all offsets,
+     tag locations and bounds baked in (dynamic offsets, e.g. past an
+     IPv4 IHL, are themselves staged closures);
+   - per-field get/set closure arrays indexed by shape id, so a hot
+     loop does [shape_of] once and then raw offset/width reads with no
+     intermediate record and no allocation;
+   - a derived encoder per shape: plain values come from the caller,
+     constants / forced switch tags / header lengths / computed lengths
+     / checksums are fixed up by the encoder, which is what makes
+     encode ∘ decode = id hold by construction.
+
+   Hot-path discipline: [shape_of] returns an int (>= 0 shape id,
+   [err_truncated] or [err_unsupported]) rather than a result, so the
+   classify-then-access path allocates nothing.  The typed [error] is
+   recovered by a slow safe re-walk ([error_of]) only when the caller
+   asks. *)
+
+type error =
+  | Truncated of { record : string; need : int; have : int }
+  | Unsupported of { record : string; tag_field : string; tag : int }
+
+let err_truncated = -1
+let err_unsupported = -2
+
+let error_to_string = function
+  | Truncated { record; need; have } ->
+      Printf.sprintf "truncated inside %s header: need %d bytes, have %d" record need have
+  | Unsupported { record; tag_field; tag } ->
+      Printf.sprintf "unsupported %s.%s value 0x%x" record tag_field tag
+
+(* RFC 1071 ones-complement checksum, allocation-free including the
+   odd-length tail (the last byte is folded as the high half of a final
+   16-bit word — no padded copy). *)
+module Checksum = struct
+  let sum_region b ~off ~len init =
+    if off < 0 || len < 0 || off + len > Bytes.length b then
+      invalid_arg "Codec.Checksum.sum_region: region out of bounds";
+    let sum = ref init in
+    let i = ref off in
+    let stop = off + len in
+    while !i + 1 < stop do
+      sum :=
+        !sum
+        + (Char.code (Bytes.unsafe_get b !i) lsl 8)
+        + Char.code (Bytes.unsafe_get b (!i + 1));
+      i := !i + 2
+    done;
+    if len land 1 = 1 then sum := !sum + (Char.code (Bytes.unsafe_get b (stop - 1)) lsl 8);
+    !sum
+
+  (* fold an int into the running sum as big-endian 16-bit words *)
+  let fold_value v sum =
+    let s = ref sum in
+    let v = ref v in
+    while !v <> 0 do
+      s := !s + (!v land 0xffff);
+      v := !v lsr 16
+    done;
+    !s
+
+  let finish sum =
+    let s = ref sum in
+    while !s > 0xffff do
+      s := (!s land 0xffff) + (!s lsr 16)
+    done;
+    lnot !s land 0xffff
+end
+
+(* ---- staged field locations ---------------------------------------- *)
+
+(* A field within its record: first covered byte, covered byte count,
+   right shift and mask extracting the value from those bytes read
+   big-endian.  Spec.validate caps nbytes at 7, so the read fits an
+   OCaml int. *)
+type loc = { byte0 : int; nbytes : int; shift : int; mask : int }
+
+let loc_of ~bitoff ~bits =
+  let byte0 = bitoff / 8 in
+  let bit_in = bitoff mod 8 in
+  let nbytes = (bit_in + bits + 7) / 8 in
+  { byte0; nbytes; shift = (nbytes * 8) - bit_in - bits; mask = (1 lsl bits) - 1 }
+
+(* Record offsets are known ints when every preceding header is fixed
+   size, staged closures once a variable-length header (IHL) intervenes. *)
+type ofs = Kn of int | Dyn of (bytes -> int)
+
+let ofs_fn = function Kn k -> fun _ -> k | Dyn f -> f
+let ofs_add o n = match o with Kn k -> Kn (k + n) | Dyn f -> Dyn (fun b -> f b + n)
+
+(* Generic extract; only safe after the enclosing record's bounds check. *)
+let read_at b o l =
+  let v = ref 0 in
+  for i = 0 to l.nbytes - 1 do
+    v := (!v lsl 8) lor Char.code (Bytes.unsafe_get b (o + l.byte0 + i))
+  done;
+  (!v lsr l.shift) land l.mask
+
+let read_at_safe b o l =
+  let v = ref 0 in
+  for i = 0 to l.nbytes - 1 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (o + l.byte0 + i))
+  done;
+  (!v lsr l.shift) land l.mask
+
+let write_at b o l v =
+  let cur = ref 0 in
+  for i = 0 to l.nbytes - 1 do
+    cur := (!cur lsl 8) lor Char.code (Bytes.get b (o + l.byte0 + i))
+  done;
+  let nv = !cur land lnot (l.mask lsl l.shift) lor ((v land l.mask) lsl l.shift) in
+  for i = 0 to l.nbytes - 1 do
+    Bytes.set b (o + l.byte0 + i) (Char.chr ((nv lsr (8 * (l.nbytes - 1 - i))) land 0xff))
+  done
+
+(* Specialized getters for byte-aligned full-mask widths — the common
+   case (ports, addresses, MACs) compiles to straight-line reads. *)
+let getter_at off l =
+  let aligned = l.shift = 0 && l.mask = (1 lsl (l.nbytes * 8)) - 1 in
+  match off with
+  | Kn k -> (
+      let o = k + l.byte0 in
+      match l.nbytes with
+      | 1 when aligned -> fun b -> Char.code (Bytes.unsafe_get b o)
+      | 2 when aligned ->
+          fun b ->
+            (Char.code (Bytes.unsafe_get b o) lsl 8) lor Char.code (Bytes.unsafe_get b (o + 1))
+      | 4 when aligned ->
+          fun b ->
+            (Char.code (Bytes.unsafe_get b o) lsl 24)
+            lor (Char.code (Bytes.unsafe_get b (o + 1)) lsl 16)
+            lor (Char.code (Bytes.unsafe_get b (o + 2)) lsl 8)
+            lor Char.code (Bytes.unsafe_get b (o + 3))
+      | _ ->
+          let l = { l with byte0 = 0 } in
+          fun b -> read_at b o l)
+  | Dyn f -> (
+      match l.nbytes with
+      | 1 when aligned ->
+          let d = l.byte0 in
+          fun b -> Char.code (Bytes.unsafe_get b (f b + d))
+      | 2 when aligned ->
+          let d = l.byte0 in
+          fun b ->
+            let o = f b + d in
+            (Char.code (Bytes.unsafe_get b o) lsl 8) lor Char.code (Bytes.unsafe_get b (o + 1))
+      | 4 when aligned ->
+          let d = l.byte0 in
+          fun b ->
+            let o = f b + d in
+            (Char.code (Bytes.unsafe_get b o) lsl 24)
+            lor (Char.code (Bytes.unsafe_get b (o + 1)) lsl 16)
+            lor (Char.code (Bytes.unsafe_get b (o + 2)) lsl 8)
+            lor Char.code (Bytes.unsafe_get b (o + 3))
+      | _ -> fun b -> read_at b (f b) l)
+
+let setter_at off l =
+  match off with
+  | Kn k -> fun b v -> write_at b k l v
+  | Dyn f -> fun b v -> write_at b (f b) l v
+
+(* ---- shapes --------------------------------------------------------- *)
+
+type srec = {
+  rname : string;
+  roff : ofs;
+  rfixed : int;  (* fixed part, bytes *)
+  flocs : (string * loc * Spec.kind * int) list;  (* name, loc, kind, bits *)
+  rhdr : (loc * int) option;  (* header-length field loc, unit bytes *)
+  rend : ofs;  (* just past this record (its actual length) *)
+}
+
+type shape = {
+  sid : int;
+  sname : string;
+  srecs : srec list;
+  smin : int;  (* minimum frame bytes (sum of fixed parts) *)
+  send : ofs;  (* past the last record: payload start *)
+  sforced : (string * int) list;  (* switch tags forced along this path *)
+}
+
+type accessor = { get : (bytes -> int) array; set : (bytes -> int -> unit) array }
+
+type fixup =
+  | Fx_const of loc * int
+  | Fx_len of loc * [ `From of int | `After of int ]
+  | Fx_ck_hdr of { region : int; rlen : int; at : loc }
+  | Fx_ck_pseudo of {
+      l4 : int;
+      addrs : loc list;
+      proto : loc;
+      at : loc;
+      zero_is_ffff : bool;
+    }
+
+type eplan = {
+  e_fixed : int;  (* total header bytes, all offsets static *)
+  e_values : (string * loc) list;  (* caller-supplied fields *)
+  e_fixups : fixup list;  (* consts+tags+hdr_len, then lengths, then checksums *)
+}
+
+type t = {
+  spec : Spec.t;
+  shapes : shape array;
+  tree : bytes -> int;
+  acc : (string, accessor) Hashtbl.t;
+  eplans : eplan array;
+}
+
+let mk_srec roff (r : Spec.t) =
+  let bit = ref 0 in
+  let hdr = ref None in
+  let flocs =
+    List.map
+      (fun (f : Spec.field) ->
+        let l = loc_of ~bitoff:!bit ~bits:f.bits in
+        (match f.fkind with
+        | Spec.Hdr_len { unit_bytes } -> hdr := Some (l, unit_bytes)
+        | _ -> ());
+        bit := !bit + f.bits;
+        (f.fname, l, f.fkind, f.bits))
+      r.fields
+  in
+  let rfixed = !bit / 8 in
+  let rend =
+    match !hdr with
+    | None -> ofs_add roff rfixed
+    | Some (hl, u) when hl.nbytes = 1 ->
+        (* IPv4 IHL / TCP data offset: a single-byte nibble read *)
+        let b0 = hl.byte0 and sh = hl.shift and m = hl.mask in
+        (match roff with
+        | Kn k ->
+            let at = k + b0 in
+            Dyn (fun b -> k + ((Char.code (Bytes.unsafe_get b at) lsr sh) land m * u))
+        | Dyn base ->
+            Dyn
+              (fun b ->
+                let o = base b in
+                o + ((Char.code (Bytes.unsafe_get b (o + b0)) lsr sh) land m * u)))
+    | Some (hl, u) ->
+        let base = ofs_fn roff in
+        Dyn
+          (fun b ->
+            let o = base b in
+            o + (read_at b o hl * u))
+  in
+  { rname = r.name; roff; rfixed; flocs; rhdr = !hdr; rend }
+
+let stage spec =
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Codec.stage: invalid spec: " ^ e));
+  let shapes = ref [] in
+  let next_sid = ref 0 in
+  let rec go (racc : srec list) (forced : (string * int) list) roff (r : Spec.t) :
+      bytes -> int =
+    let sr = mk_srec roff r in
+    let racc = sr :: racc in
+    let finish_shape () =
+      let sid = !next_sid in
+      incr next_sid;
+      let srecs = List.rev racc in
+      shapes :=
+        {
+          sid;
+          sname = String.concat "/" (List.map (fun s -> s.rname) srecs);
+          srecs;
+          smin = List.fold_left (fun a s -> a + s.rfixed) 0 srecs;
+          send = sr.rend;
+          sforced = List.rev forced;
+        }
+        :: !shapes;
+      sid
+    in
+    let k =
+      match r.next with
+      | Spec.Stop ->
+          let sid = finish_shape () in
+          fun _ -> sid
+      | Spec.Then t -> go racc forced sr.rend t
+      | Spec.Switch { on; arms; default } ->
+          let tl =
+            match List.find_opt (fun (n, _, _, _) -> n = on) sr.flocs with
+            | Some (_, l, _, _) -> l
+            | None -> invalid_arg "Codec.stage: switch field missing"  (* validated *)
+          in
+          let tag_get = getter_at roff tl in
+          let kdef =
+            match default with
+            | Spec.Accept ->
+                let sid = finish_shape () in
+                fun _ -> sid
+            | Spec.Reject -> fun _ -> err_unsupported
+          in
+          let rec chain = function
+            | [] -> kdef
+            | (v, t) :: rest ->
+                let karm = go racc ((r.name ^ "." ^ on, v) :: forced) sr.rend t in
+                let krest = chain rest in
+                fun b -> if tag_get b = v then karm b else krest b
+          in
+          chain arms
+    in
+    (* wrap with this record's bounds check; header-length nibbles get a
+       specialized single-byte read *)
+    let hdr_read (hl : loc) u =
+      if hl.nbytes = 1 then (
+        let b0 = hl.byte0 and sh = hl.shift and m = hl.mask in
+        fun b o -> (Char.code (Bytes.unsafe_get b (o + b0)) lsr sh) land m * u)
+      else fun b o -> read_at b o hl * u
+    in
+    match (sr.roff, sr.rhdr) with
+    | Kn o, None ->
+        let need = o + sr.rfixed in
+        fun b -> if Bytes.length b >= need then k b else err_truncated
+    | Dyn base, None ->
+        let fixed = sr.rfixed in
+        fun b -> if Bytes.length b >= base b + fixed then k b else err_truncated
+    | Kn o, Some (hl, u) ->
+        let fixed = sr.rfixed in
+        let need = o + fixed in
+        let rd = hdr_read hl u in
+        fun b ->
+          let blen = Bytes.length b in
+          if blen < need then err_truncated
+          else
+            let actual = rd b o in
+            if actual < fixed || blen < o + actual then err_truncated else k b
+    | Dyn base, Some (hl, u) ->
+        let fixed = sr.rfixed in
+        let rd = hdr_read hl u in
+        fun b ->
+          let o = base b in
+          let blen = Bytes.length b in
+          if blen < o + fixed then err_truncated
+          else
+            let actual = rd b o in
+            if actual < fixed || blen < o + actual then err_truncated else k b
+  in
+  let tree = go [] [] (Kn 0) spec in
+  let nshapes = !next_sid in
+  let shapes =
+    let a = Array.make nshapes (List.hd !shapes) in
+    List.iter (fun sh -> a.(sh.sid) <- sh) !shapes;
+    a
+  in
+  (* accessor table: one entry per qualified path, arrays indexed by sid *)
+  let acc : (string, accessor) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun sh ->
+      List.iter
+        (fun sr ->
+          List.iter
+            (fun (fn, l, _, _) ->
+              let path = sr.rname ^ "." ^ fn in
+              let a =
+                match Hashtbl.find_opt acc path with
+                | Some a -> a
+                | None ->
+                    let missing _ =
+                      invalid_arg ("Codec: field " ^ path ^ " is absent from this shape")
+                    in
+                    let a =
+                      {
+                        get = Array.make nshapes missing;
+                        set = Array.make nshapes (fun _ _ -> missing ());
+                      }
+                    in
+                    Hashtbl.add acc path a;
+                    a
+              in
+              a.get.(sh.sid) <- getter_at sr.roff l;
+              a.set.(sh.sid) <- setter_at sr.roff l)
+            sr.flocs)
+        sh.srecs)
+    shapes;
+  (* derived encoder plans: offsets are static because the encoder always
+     emits minimal (option-free) headers *)
+  let eplans =
+    Array.map
+      (fun sh ->
+        let offs =
+          let o = ref 0 in
+          List.map
+            (fun sr ->
+              let here = !o in
+              o := here + sr.rfixed;
+              (sr, here))
+            sh.srecs
+        in
+        let e_fixed = sh.smin in
+        let values = ref [] in
+        let consts = ref [] in
+        let lens = ref [] in
+        let cks = ref [] in
+        let abs o l = { l with byte0 = o + l.byte0 } in
+        List.iter
+          (fun (sr, o) ->
+            List.iter
+              (fun (fn, l, kind, _) ->
+                let al = abs o l in
+                let path = sr.rname ^ "." ^ fn in
+                match (kind : Spec.kind) with
+                | Spec.Value -> (
+                    match List.assoc_opt path sh.sforced with
+                    | Some v -> consts := Fx_const (al, v) :: !consts
+                    | None -> values := (path, al) :: !values)
+                | Spec.Const v -> consts := Fx_const (al, v) :: !consts
+                | Spec.Hdr_len { unit_bytes } ->
+                    consts := Fx_const (al, sr.rfixed / unit_bytes) :: !consts
+                | Spec.Length Spec.From_this_header -> lens := Fx_len (al, `From o) :: !lens
+                | Spec.Length Spec.After_this_header ->
+                    lens := Fx_len (al, `After (o + sr.rfixed)) :: !lens
+                | Spec.Checksum Spec.Ipv4_header ->
+                    cks := Fx_ck_hdr { region = o; rlen = sr.rfixed; at = al } :: !cks
+                | Spec.Checksum (Spec.L4_pseudo { ip; addrs; proto_field; zero_is_ffff }) ->
+                    let ipr, ipo =
+                      match List.find_opt (fun (s, _) -> s.rname = ip) offs with
+                      | Some x -> x
+                      | None ->
+                          invalid_arg
+                            ("Codec.stage: pseudo-header record " ^ ip ^ " not in shape "
+                           ^ sh.sname)
+                    in
+                    let fl name =
+                      match List.find_opt (fun (n, _, _, _) -> n = name) ipr.flocs with
+                      | Some (_, l, _, _) -> abs ipo l
+                      | None ->
+                          invalid_arg
+                            ("Codec.stage: pseudo-header field " ^ ip ^ "." ^ name
+                           ^ " not declared")
+                    in
+                    cks :=
+                      Fx_ck_pseudo
+                        {
+                          l4 = o;
+                          addrs = List.map fl addrs;
+                          proto = fl proto_field;
+                          at = al;
+                          zero_is_ffff;
+                        }
+                      :: !cks)
+              sr.flocs)
+          offs;
+        (* fixup order: consts/tags first, then lengths, then checksums in
+           reverse record order — an outer pseudo-checksum covers the inner
+           headers, so the innermost checksum must settle first *)
+        {
+          e_fixed;
+          e_values = List.rev !values;
+          e_fixups = List.rev !consts @ List.rev !lens @ !cks;
+        })
+      shapes
+  in
+  { spec; shapes; tree; acc; eplans }
+
+(* ---- classification ------------------------------------------------- *)
+
+let shape_of t b = t.tree b
+let shape_count t = Array.length t.shapes
+let shape_name t sid = t.shapes.(sid).sname
+
+let shape_named t name =
+  let found = ref (-1) in
+  Array.iter (fun sh -> if sh.sname = name then found := sh.sid) t.shapes;
+  if !found < 0 then invalid_arg ("Codec.shape_named: no shape " ^ name);
+  !found
+
+let shape_min_len t sid = t.shapes.(sid).smin
+let shape_fields t sid =
+  List.concat_map
+    (fun sr -> List.map (fun (fn, _, _, _) -> sr.rname ^ "." ^ fn) sr.flocs)
+    t.shapes.(sid).srecs
+
+let shape_records t sid = List.map (fun sr -> sr.rname) t.shapes.(sid).srecs
+let payload_start t sid b = ofs_fn t.shapes.(sid).send b
+
+let paths t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.acc [] |> List.sort compare
+
+(* ---- field access --------------------------------------------------- *)
+
+let accessor t path =
+  match Hashtbl.find_opt t.acc path with
+  | Some a -> a
+  | None -> invalid_arg ("Codec.accessor: unknown field path " ^ path)
+
+let getter t path = (accessor t path).get
+let setter t path = (accessor t path).set
+
+(* ---- typed errors (slow path) --------------------------------------- *)
+
+let error_of t b =
+  let n = Bytes.length b in
+  let get o (r : Spec.t) name =
+    let bit = ref 0 in
+    let found = ref None in
+    List.iter
+      (fun (f : Spec.field) ->
+        if f.fname = name then found := Some (loc_of ~bitoff:!bit ~bits:f.bits);
+        bit := !bit + f.bits)
+      r.fields;
+    match !found with
+    | Some l -> read_at_safe b o l
+    | None -> invalid_arg "Codec.error_of: missing field"
+  in
+  let rec walk o (r : Spec.t) =
+    let fixed = Spec.fixed_bytes r in
+    if n < o + fixed then Truncated { record = r.name; need = o + fixed; have = n }
+    else
+      let actual =
+        match Spec.hdr_len_field r with
+        | Some f -> (
+            match f.fkind with
+            | Spec.Hdr_len { unit_bytes } -> get o r f.fname * unit_bytes
+            | _ -> fixed)
+        | None -> fixed
+      in
+      if actual < fixed || n < o + actual then
+        Truncated { record = r.name; need = o + max fixed actual; have = n }
+      else
+        match r.next with
+        | Spec.Stop -> invalid_arg "Codec.error_of: frame parses cleanly"
+        | Spec.Then t -> walk (o + actual) t
+        | Spec.Switch { on; arms; default } -> (
+            let tag = get o r on in
+            match List.assoc_opt tag arms with
+            | Some t -> walk (o + actual) t
+            | None -> (
+                match default with
+                | Spec.Reject -> Unsupported { record = r.name; tag_field = on; tag }
+                | Spec.Accept -> invalid_arg "Codec.error_of: frame parses cleanly"))
+  in
+  walk 0 t.spec
+
+(* ---- decode / encode ------------------------------------------------ *)
+
+let decode t b =
+  let sid = shape_of t b in
+  if sid < 0 then Error (error_of t b)
+  else
+    let sh = t.shapes.(sid) in
+    let fields =
+      List.concat_map
+        (fun sr ->
+          let o = ofs_fn sr.roff b in
+          List.map (fun (fn, l, _, _) -> (sr.rname ^ "." ^ fn, read_at b o l)) sr.flocs)
+        sh.srecs
+    in
+    let payload = Bytes.length b - ofs_fn sh.send b in
+    Ok (sid, fields, payload)
+
+let write_abs b l v = write_at b 0 l v
+let read_abs b l = read_at_safe b 0 l
+
+let encode t ~shape ?(payload_len = 0) fields =
+  if shape < 0 || shape >= Array.length t.shapes then
+    invalid_arg "Codec.encode: bad shape id";
+  if payload_len < 0 then invalid_arg "Codec.encode: negative payload length";
+  let ep = t.eplans.(shape) in
+  let n = ep.e_fixed + payload_len in
+  let b = Bytes.make n '\000' in
+  List.iter
+    (fun (path, al) ->
+      match List.assoc_opt path fields with
+      | Some v -> write_abs b al v
+      | None -> ())
+    ep.e_values;
+  List.iter
+    (fun fx ->
+      match fx with
+      | Fx_const (al, v) -> write_abs b al v
+      | Fx_len (al, `From o) -> write_abs b al (n - o)
+      | Fx_len (al, `After o) -> write_abs b al (n - o)
+      | Fx_ck_hdr { region; rlen; at } ->
+          write_abs b at (Checksum.finish (Checksum.sum_region b ~off:region ~len:rlen 0))
+      | Fx_ck_pseudo { l4; addrs; proto; at; zero_is_ffff } ->
+          let l4len = n - l4 in
+          let sum = Checksum.sum_region b ~off:l4 ~len:l4len 0 in
+          let sum =
+            List.fold_left (fun s al -> Checksum.fold_value (read_abs b al) s) sum addrs
+          in
+          let sum = Checksum.fold_value (read_abs b proto) sum in
+          let sum = Checksum.fold_value l4len sum in
+          let c = Checksum.finish sum in
+          write_abs b at (if c = 0 && zero_is_ffff then 0xffff else c))
+    ep.e_fixups;
+  b
+
+let encode_fixed_len t ~shape =
+  if shape < 0 || shape >= Array.length t.eplans then
+    invalid_arg "Codec.encode_fixed_len: bad shape id";
+  t.eplans.(shape).e_fixed

@@ -1,0 +1,119 @@
+(** Staged zero-copy codecs compiled from {!Spec} formats.
+
+    {!stage} walks a spec once and bakes every offset, width, tag
+    location and bounds check into closures — the same staging
+    discipline [Dsl.Compile] applies to NF logic.  At run time a frame
+    is classified into a {e shape} (one root-to-leaf path through the
+    spec's tagged unions) by {!shape_of}, after which per-field getters
+    read straight off the raw bytes: no intermediate record, no
+    allocation on the hot path.
+
+    The derived encoder emits minimal (option-free) headers, writes
+    caller-supplied values, then fixes up constants, forced switch tags,
+    header lengths, computed lengths and finally checksums
+    innermost-first — which is what makes [encode ∘ decode = id] hold by
+    construction, and [decode ∘ encode = id] hold modulo checksum
+    recomputation. *)
+
+type error =
+  | Truncated of { record : string; need : int; have : int }
+  | Unsupported of { record : string; tag_field : string; tag : int }
+
+val err_truncated : int
+(** [-1]: {!shape_of}'s truncation code. *)
+
+val err_unsupported : int
+(** [-2]: {!shape_of}'s rejected-tag code. *)
+
+val error_to_string : error -> string
+
+(** The RFC 1071 ones-complement checksum, as an allocation-free region
+    primitive.  This is both the encoder's fixup engine and what
+    [Wire.internet_checksum] delegates to; the odd-length tail is folded
+    in place rather than via a padded copy. *)
+module Checksum : sig
+  val sum_region : bytes -> off:int -> len:int -> int -> int
+  (** [sum_region b ~off ~len acc] adds the region's big-endian 16-bit
+      words (odd tail high-padded) onto [acc].  Bounds-checked once at
+      entry.  Raises [Invalid_argument] if the region escapes [b]. *)
+
+  val fold_value : int -> int -> int
+  (** [fold_value v acc] adds [v]'s 16-bit limbs onto [acc] (for
+      pseudo-header members already held as ints). *)
+
+  val finish : int -> int
+  (** Fold carries and complement: the wire checksum of an accumulated
+      sum. *)
+end
+
+type t
+(** A staged codec. *)
+
+(** Per-field staged accessors, indexed by shape id.  Entries for shapes
+    that do not contain the field raise [Invalid_argument]. *)
+type accessor = { get : (bytes -> int) array; set : (bytes -> int -> unit) array }
+
+val stage : Spec.t -> t
+(** Compile a spec.  Raises [Invalid_argument] when {!Spec.validate}
+    rejects it. *)
+
+(** {1 Classification} *)
+
+val shape_of : t -> bytes -> int
+(** Classify a frame: a shape id [>= 0], or {!err_truncated} /
+    {!err_unsupported}.  Int-only by design — the hot path pays no
+    [result] allocation; recover the typed error with {!error_of}. *)
+
+val error_of : t -> bytes -> error
+(** The typed error for a frame {!shape_of} rejected (a slow, safe
+    re-walk of the spec).  Raises [Invalid_argument] on a frame that
+    parses cleanly. *)
+
+val shape_count : t -> int
+
+val shape_name : t -> int -> string
+(** ["eth/ipv4/tcp"]-style path name of a shape. *)
+
+val shape_named : t -> string -> int
+(** Inverse of {!shape_name}; raises [Invalid_argument] on unknown
+    names. *)
+
+val shape_min_len : t -> int -> int
+(** Minimum frame bytes for this shape (sum of fixed header parts). *)
+
+val shape_fields : t -> int -> string list
+(** Qualified field paths (["ipv4.src"]) of a shape, in wire order. *)
+
+val shape_records : t -> int -> string list
+
+val payload_start : t -> int -> bytes -> int
+(** Offset of the first payload byte (past all headers, honouring
+    header-length fields) of a frame already classified into the shape. *)
+
+val paths : t -> string list
+(** All qualified field paths across all shapes, sorted. *)
+
+(** {1 Field access} *)
+
+val accessor : t -> string -> accessor
+(** The staged accessors of a qualified path.  Raises
+    [Invalid_argument] on unknown paths.  Getter entries use unchecked
+    reads — only apply them to frames {!shape_of} accepted into a shape
+    that contains the field. *)
+
+val getter : t -> string -> (bytes -> int) array
+val setter : t -> string -> (bytes -> int -> unit) array
+
+(** {1 Decode / encode} *)
+
+val decode : t -> bytes -> (int * (string * int) list * int, error) result
+(** [(shape id, all fields as path/value pairs, payload byte count)].
+    The slow convenience form; hot paths use {!shape_of} + getters. *)
+
+val encode : t -> shape:int -> ?payload_len:int -> (string * int) list -> bytes
+(** Build a frame of the given shape: caller-supplied plain values from
+    the assoc list (missing fields encode as zero, extra entries are
+    ignored), derived fields fixed up.  The payload is zero-filled. *)
+
+val encode_fixed_len : t -> shape:int -> int
+(** Header bytes {!encode} emits for this shape. *)

@@ -3,7 +3,14 @@
     This is the shared vocabulary between the symbolic-execution engine
     (which reports which fields an NF's state keys are built from), the
     constraints generator, and RS3 (which maps fields onto Toeplitz hash
-    input bits).  Widths are wire widths in bits. *)
+    input bits).  Widths are wire widths in bits.
+
+    The [Inner_*] fields address the headers *inside* a terminated
+    VXLAN/GRE tunnel (the {!Pkt.encap} view); [Tunnel_id] is the VXLAN
+    VNI or GRE key.  Tunnel-terminating NFs key state on inner 5-tuples,
+    so the sharding constraints of the paper (§3.4) apply two headers
+    deep — these variants are what lets symbex report that and lets
+    [Nic.Field_set] build inner-header hash plans. *)
 
 type t =
   | Eth_src
@@ -14,6 +21,12 @@ type t =
   | Ip_proto
   | Src_port
   | Dst_port
+  | Tunnel_id  (** VXLAN VNI / GRE key of an encapsulated packet *)
+  | Inner_ip_src
+  | Inner_ip_dst
+  | Inner_ip_proto
+  | Inner_src_port
+  | Inner_dst_port
 
 val all : t list
 
@@ -23,11 +36,14 @@ val width : t -> int
 val rss_capable : t -> bool
 (** Whether any RSS field set can hash over this field at all.  Link-layer
     fields are not hashable by RSS on the NICs we model (paper §3.4, rule
-    R4: the bridge's MAC-keyed state defeats shared-nothing). *)
+    R4: the bridge's MAC-keyed state defeats shared-nothing), and neither
+    is the tunnel id, which lives in the VXLAN/GRE shim.  Inner headers of
+    terminated tunnels {e are} hashable. *)
 
 val symmetric_counterpart : t -> t option
 (** The field this one swaps with under flow symmetry:
-    [Ip_src <-> Ip_dst], [Src_port <-> Dst_port], [Eth_src <-> Eth_dst]. *)
+    [Ip_src <-> Ip_dst], [Src_port <-> Dst_port], [Eth_src <-> Eth_dst],
+    and likewise for the inner header. *)
 
 val to_string : t -> string
 

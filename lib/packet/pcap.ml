@@ -10,7 +10,7 @@ let add_u32le buf v =
   add_u16le buf (v land 0xffff);
   add_u16le buf ((v lsr 16) land 0xffff)
 
-let to_buffer pkts =
+let to_buffer_frames frames =
   let buf = Buffer.create 4096 in
   add_u32le buf magic;
   add_u16le buf 2;
@@ -25,16 +25,17 @@ let to_buffer pkts =
   (* snaplen *)
   add_u32le buf linktype_ethernet;
   List.iter
-    (fun p ->
-      let frame = Wire.serialize p in
-      let ts = p.Pkt.ts_ns in
+    (fun (ts, frame) ->
       add_u32le buf (ts / 1_000_000_000);
       add_u32le buf (ts mod 1_000_000_000 / 1_000);
       add_u32le buf (Bytes.length frame);
       add_u32le buf (Bytes.length frame);
       Buffer.add_bytes buf frame)
-    pkts;
+    frames;
   buf
+
+let to_buffer pkts =
+  to_buffer_frames (List.map (fun p -> (p.Pkt.ts_ns, Wire.serialize p)) pkts)
 
 let write_file path pkts =
   let oc = open_out_bin path in
@@ -48,12 +49,12 @@ let get_u32le s off =
   lor (Char.code s.[off + 2] lsl 16)
   lor (Char.code s.[off + 3] lsl 24)
 
-let of_string s =
+let frames_of_string s =
   let n = String.length s in
   if n < 24 then Error "pcap: truncated global header"
   else if get_u32le s 0 <> magic then Error "pcap: bad magic (only microsecond LE supported)"
   else begin
-    let pkts = ref [] in
+    let frames = ref [] in
     let off = ref 24 in
     let error = ref None in
     while !error = None && !off + 16 <= n do
@@ -64,12 +65,22 @@ let of_string s =
       else begin
         let frame = Bytes.of_string (String.sub s (!off + 16) caplen) in
         let ts_ns = (sec * 1_000_000_000) + (usec * 1000) in
-        (match Wire.parse ~ts_ns frame with Ok p -> pkts := p :: !pkts | Error _ -> ());
+        frames := (ts_ns, frame) :: !frames;
         off := !off + 16 + caplen
       end
     done;
-    match !error with Some e -> Error e | None -> Ok (List.rev !pkts)
+    match !error with Some e -> Error e | None -> Ok (List.rev !frames)
   end
+
+let of_string s =
+  match frames_of_string s with
+  | Error _ as e -> e
+  | Ok frames ->
+      Ok
+        (List.filter_map
+           (fun (ts_ns, frame) ->
+             match Wire.parse ~ts_ns frame with Ok p -> Some p | Error _ -> None)
+           frames)
 
 let read_file path =
   let ic = open_in_bin path in

@@ -11,8 +11,16 @@ val write_file : string -> Pkt.t list -> unit
 
 val read_file : string -> (Pkt.t list, string) result
 (** Parse a pcap file back into packets; the receive [port] of every packet
-    is 0.  Frames that fail to parse are skipped. *)
+    is 0.  Frames {!Wire.parse} rejects — truncated, or carrying headers
+    the [Pkt.t] view does not model (non-IPv4 ethertypes) — are skipped;
+    use {!frames_of_string} to see every captured frame. *)
 
 val to_buffer : Pkt.t list -> Buffer.t
 
 val of_string : string -> (Pkt.t list, string) result
+
+val to_buffer_frames : (int * bytes) list -> Buffer.t
+(** Raw capture records as [(ts_ns, frame)] — for fixtures of protocols
+    the [Pkt.t] view does not model (VLAN, IPv6, …). *)
+
+val frames_of_string : string -> ((int * bytes) list, string) result

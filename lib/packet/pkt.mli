@@ -3,9 +3,28 @@
     A packet is a parsed Ethernet/IPv4/L4 header set plus wire metadata.
     Header values are plain non-negative integers (a 48-bit MAC fits in an
     OCaml int); [size] is the full frame length in bytes, used by the
-    performance model and by throughput accounting. *)
+    performance model and by throughput accounting.
+
+    A packet may additionally carry an {!encap} view: the inner headers of
+    a VXLAN or GRE tunnel as seen by a tunnel-terminating NF.  The outer
+    fields then describe the underlay (VTEP addresses, outer UDP port) and
+    the [Inner_*] members of {!Field.t} address the encapsulated frame. *)
 
 type proto = Tcp | Udp | Other of int
+
+type encap_kind = Vxlan | Gre
+
+type encap = {
+  kind : encap_kind;
+  tunnel_id : int;  (** VXLAN VNI (24-bit) or GRE key (32-bit) *)
+  in_eth_src : int;  (** inner MACs; zero for GRE (no inner Ethernet) *)
+  in_eth_dst : int;
+  in_ip_src : int;
+  in_ip_dst : int;
+  in_proto : proto;
+  in_src_port : int;
+  in_dst_port : int;
+}
 
 type t = {
   port : int;  (** device the packet arrived on *)
@@ -17,6 +36,7 @@ type t = {
   proto : proto;
   src_port : int;  (** 16-bit; 0 when [proto] is [Other] *)
   dst_port : int;
+  encap : encap option;  (** inner headers when the frame is a tunnel *)
   size : int;  (** frame bytes, header included *)
   ts_ns : int;  (** arrival timestamp, nanoseconds *)
 }
@@ -27,6 +47,10 @@ val proto_number : proto -> int
 
 val proto_of_number : int -> proto
 
+val default_encap : encap
+(** A zeroed VXLAN view; what {!set_field} materializes when asked to set
+    an inner field on a packet with no encapsulation. *)
+
 val make :
   ?port:int ->
   ?eth_src:int ->
@@ -34,22 +58,30 @@ val make :
   ?proto:proto ->
   ?size:int ->
   ?ts_ns:int ->
+  ?encap:encap ->
   ip_src:int ->
   ip_dst:int ->
   src_port:int ->
   dst_port:int ->
   unit ->
   t
-(** A TCP/IPv4 packet by default, 64 bytes, port 0, timestamp 0. *)
+(** A TCP/IPv4 packet by default, 64 bytes, port 0, timestamp 0, no
+    encapsulation. *)
 
 val get_field : t -> Field.t -> Bitvec.t
 (** The wire bits of one header field, MSB first. *)
 
 val field_int : t -> Field.t -> int
+(** Inner fields and the tunnel id of a packet without an [encap] view
+    read as zero (same convention as absent L4 ports). *)
+
+val set_field : t -> Field.t -> int -> t
+(** Functional update of one header field.  Setting an inner field on a
+    packet with no encapsulation materializes {!default_encap} first. *)
 
 val flip : t -> t
 (** Swap source and destination addresses and ports (the WAN reply direction
-    of a LAN flow). *)
+    of a LAN flow), inner headers included. *)
 
 val with_port : t -> int -> t
 

@@ -1,0 +1,242 @@
+(* The shipped format specs, written in the Spec combinators, and their
+   staged codecs.
+
+   [pkt] is the production stack Wire routes through: Ethernet → IPv4 →
+   {TCP, UDP, UDP/VXLAN/inner-Ethernet/inner-IPv4/{TCP,UDP}, GRE/
+   inner-IPv4/{TCP,UDP}}.  [full] adds VLAN, QinQ and IPv6 on the
+   Ethernet switch — codec-level protocol diversity that Wire's Pkt.t
+   view does not (yet) model; it exists so round-trip properties and
+   pcap fixtures cover those headers too.
+
+   Classification is first-match on switch tags with no backtracking: a
+   plain UDP frame whose destination port happens to be 4789 is taken
+   into the VXLAN arm and, if too short for the inner headers, reported
+   truncated.  The traffic generators keep ordinary flows away from the
+   tunnel port. *)
+
+open Spec
+
+let tcp_rec ~name ~ip ~addrs ~zero_is_ffff =
+  record name
+    [
+      field "sport" 16;
+      field "dport" 16;
+      field "seq" 32;
+      field "ack" 32;
+      field ~kind:(Hdr_len { unit_bytes = 4 }) "doff" 4;
+      field "flags" 12;
+      field "win" 16;
+      field
+        ~kind:(Checksum (L4_pseudo { ip; addrs; proto_field = "proto"; zero_is_ffff }))
+        "cksum" 16;
+      field "urg" 16;
+    ]
+    Stop
+
+let udp_rec ~name ~ip ~addrs next =
+  record name
+    [
+      field "sport" 16;
+      field "dport" 16;
+      field ~kind:(Length From_this_header) "len" 16;
+      field
+        ~kind:
+          (Checksum (L4_pseudo { ip; addrs; proto_field = "proto"; zero_is_ffff = true }))
+        "cksum" 16;
+    ]
+    next
+
+let ipv4_rec ~name next =
+  record name
+    [
+      const "ver" 4 4;
+      field ~kind:(Hdr_len { unit_bytes = 4 }) "ihl" 4;
+      field "tos" 8;
+      field ~kind:(Length From_this_header) "total_len" 16;
+      field "ident" 16;
+      field "flags_frag" 16;
+      field "ttl" 8;
+      field "proto" 8;
+      field ~kind:(Checksum Ipv4_header) "cksum" 16;
+      field "src" 32;
+      field "dst" 32;
+    ]
+    next
+
+let eth_fields = [ field "dst" 48; field "src" 48; field "type" 16 ]
+
+(* Inner IPv4 subtree shared by the VXLAN and GRE branches, so accessor
+   paths ("iipv4.src", "itcp.sport", …) are tunnel-agnostic. *)
+let inner_ipv4 =
+  let addrs = [ "src"; "dst" ] in
+  ipv4_rec ~name:"iipv4"
+    (Switch
+       {
+         on = "proto";
+         arms =
+           [
+             (6, tcp_rec ~name:"itcp" ~ip:"iipv4" ~addrs ~zero_is_ffff:true);
+             (17, udp_rec ~name:"iudp" ~ip:"iipv4" ~addrs Stop);
+           ];
+         default = Accept;
+       })
+
+let vxlan_port = 4789
+
+let vxlan =
+  record "vxlan"
+    [ const "flags" 8 0x08; field "rsvd1" 24; field "vni" 24; field "rsvd2" 8 ]
+    (Then
+       (record "ieth" eth_fields
+          (Switch { on = "type"; arms = [ (0x0800, inner_ipv4) ]; default = Reject })))
+
+(* GRE with the Key bit set (RFC 2890): the 32-bit key is the tunnel id. *)
+let gre =
+  record "gre"
+    [ const "flags_ver" 16 0x2000; field "proto" 16; field "key" 32 ]
+    (Switch { on = "proto"; arms = [ (0x0800, inner_ipv4) ]; default = Reject })
+
+let gre_proto = 47
+
+let outer_ipv4 =
+  let addrs = [ "src"; "dst" ] in
+  ipv4_rec ~name:"ipv4"
+    (Switch
+       {
+         on = "proto";
+         arms =
+           [
+             (6, tcp_rec ~name:"tcp" ~ip:"ipv4" ~addrs ~zero_is_ffff:true);
+             ( 17,
+               udp_rec ~name:"udp" ~ip:"ipv4" ~addrs
+                 (Switch { on = "dport"; arms = [ (vxlan_port, vxlan) ]; default = Accept })
+             );
+             (gre_proto, gre);
+           ];
+         default = Accept;
+       })
+
+let pkt_spec =
+  record "eth" eth_fields
+    (Switch { on = "type"; arms = [ (0x0800, outer_ipv4) ]; default = Reject })
+
+(* --- extended stack: VLAN / QinQ / IPv6 ------------------------------ *)
+
+let vlan_fields = [ field "pcp" 3; field "dei" 1; field "vid" 12; field "type" 16 ]
+
+let ipv6 =
+  let addrs =
+    [ "src0"; "src1"; "src2"; "src3"; "dst0"; "dst1"; "dst2"; "dst3" ]
+  in
+  record "ipv6"
+    ([
+       const "ver" 4 6;
+       field "tclass" 8;
+       field "flow" 20;
+       field ~kind:(Length After_this_header) "plen" 16;
+       field "nexthdr" 8;
+       field "hoplim" 8;
+     ]
+    @ List.map (fun n -> field n 32) addrs)
+    (Switch
+       {
+         on = "nexthdr";
+         arms =
+           [
+             ( 6,
+               record "tcp6"
+                 [
+                   field "sport" 16;
+                   field "dport" 16;
+                   field "seq" 32;
+                   field "ack" 32;
+                   field ~kind:(Hdr_len { unit_bytes = 4 }) "doff" 4;
+                   field "flags" 12;
+                   field "win" 16;
+                   field
+                     ~kind:
+                       (Checksum
+                          (L4_pseudo
+                             {
+                               ip = "ipv6";
+                               addrs;
+                               proto_field = "nexthdr";
+                               zero_is_ffff = false;
+                             }))
+                     "cksum" 16;
+                   field "urg" 16;
+                 ]
+                 Stop );
+             ( 17,
+               record "udp6"
+                 [
+                   field "sport" 16;
+                   field "dport" 16;
+                   field ~kind:(Length From_this_header) "len" 16;
+                   field
+                     ~kind:
+                       (Checksum
+                          (L4_pseudo
+                             {
+                               ip = "ipv6";
+                               addrs;
+                               proto_field = "nexthdr";
+                               zero_is_ffff = true;
+                             }))
+                     "cksum" 16;
+                 ]
+                 Stop );
+           ];
+         default = Accept;
+       })
+
+let full_spec =
+  record "eth" eth_fields
+    (Switch
+       {
+         on = "type";
+         arms =
+           [
+             (0x0800, outer_ipv4);
+             ( 0x8100,
+               record "vlan" vlan_fields
+                 (Switch { on = "type"; arms = [ (0x0800, outer_ipv4) ]; default = Reject })
+             );
+             ( 0x88a8,
+               record "svlan" vlan_fields
+                 (Switch
+                    {
+                      on = "type";
+                      arms =
+                        [
+                          ( 0x8100,
+                            record "cvlan" vlan_fields
+                              (Switch
+                                 {
+                                   on = "type";
+                                   arms = [ (0x0800, outer_ipv4) ];
+                                   default = Reject;
+                                 }) );
+                        ];
+                      default = Reject;
+                    }) );
+             (0x86dd, ipv6);
+           ];
+         default = Reject;
+       })
+
+let pkt = Codec.stage pkt_spec
+let full = Codec.stage full_spec
+
+(* Shape ids of the production stack, by name. *)
+module Sid = struct
+  let ipv4 = Codec.shape_named pkt "eth/ipv4"
+  let tcp = Codec.shape_named pkt "eth/ipv4/tcp"
+  let udp = Codec.shape_named pkt "eth/ipv4/udp"
+  let vxlan_ip = Codec.shape_named pkt "eth/ipv4/udp/vxlan/ieth/iipv4"
+  let vxlan_tcp = Codec.shape_named pkt "eth/ipv4/udp/vxlan/ieth/iipv4/itcp"
+  let vxlan_udp = Codec.shape_named pkt "eth/ipv4/udp/vxlan/ieth/iipv4/iudp"
+  let gre_ip = Codec.shape_named pkt "eth/ipv4/gre/iipv4"
+  let gre_tcp = Codec.shape_named pkt "eth/ipv4/gre/iipv4/itcp"
+  let gre_udp = Codec.shape_named pkt "eth/ipv4/gre/iipv4/iudp"
+end

@@ -1,0 +1,42 @@
+(** The shipped format specs and their staged codecs.
+
+    {!pkt} is the production stack [Wire] routes through: Ethernet →
+    IPv4 → TCP/UDP, with VXLAN (UDP port 4789, inner Ethernet) and GRE
+    (IP protocol 47, keyed) tunnels carrying an inner IPv4/TCP/UDP
+    stack.  {!full} adds VLAN (0x8100), QinQ (0x88a8 + 0x8100) and IPv6
+    (0x86dd) — codec-level protocol diversity exercised by the
+    round-trip properties and pcap fixtures.
+
+    Classification is first-match on switch tags with no backtracking:
+    a plain UDP frame to port 4789 is committed to the VXLAN arm.  The
+    traffic generators keep ordinary flows away from the tunnel port. *)
+
+val vxlan_port : int
+(** 4789. *)
+
+val gre_proto : int
+(** 47. *)
+
+val pkt_spec : Spec.t
+val full_spec : Spec.t
+
+val pkt : Codec.t
+(** Staged production stack (9 shapes). *)
+
+val full : Codec.t
+(** Staged extended stack (VLAN/QinQ/IPv6 included). *)
+
+(** Shape ids of {!pkt}, by path name. *)
+module Sid : sig
+  val ipv4 : int
+  (** ["eth/ipv4"] — IPv4 of an unmodeled protocol. *)
+
+  val tcp : int
+  val udp : int
+  val vxlan_ip : int
+  val vxlan_tcp : int
+  val vxlan_udp : int
+  val gre_ip : int
+  val gre_tcp : int
+  val gre_udp : int
+end

@@ -1,20 +1,47 @@
-(** Wire encoding of packets: Ethernet + IPv4 + TCP/UDP serialization and
-    parsing, and the internet checksum.  Used by the pcap reader/writer and
-    by tests that want bit-exact frames. *)
+(** Wire encoding of packets, derived from the staged codecs.
+
+    [serialize] and [parse] route through {!Stacks.pkt} (the production
+    Ethernet/IPv4 stack with VXLAN and GRE tunnels): one staged
+    classification per frame, field reads straight off the bytes.  The
+    original hand-written code survives as {!Legacy}, the differential
+    oracle for the derived path. *)
 
 val internet_checksum : bytes -> int
-(** RFC 1071 ones-complement checksum over the buffer (padded with a zero
-    byte when of odd length). *)
+(** RFC 1071 ones-complement checksum over the buffer.  Allocation-free,
+    including the odd-length tail (folded in place — no padded copy);
+    delegates to {!Codec.Checksum}, the same primitive the derived
+    encoders use for checksum fixups. *)
 
 val serialize : Pkt.t -> bytes
-(** Encode the packet into a frame of exactly [p.size] bytes (the L4 payload
-    is zero-filled).  IPv4 header and TCP/UDP checksums are computed.
-    Raises [Invalid_argument] when [p.size] is too small to hold the
-    headers (54 bytes for TCP, 42 for UDP). *)
+(** Encode the packet into a frame of exactly [p.size] bytes (the payload
+    is zero-filled) via the derived encoder for the packet's shape —
+    including VXLAN/GRE encapsulation when [p.encap] is set.  Header
+    checksums and lengths are fixed up by construction.  Raises
+    [Invalid_argument] when [p.size] cannot hold the headers
+    ({!header_size}). *)
+
+val parse_typed : ?port:int -> ?ts_ns:int -> bytes -> (Pkt.t, Codec.error) result
+(** Decode a frame through the staged classifier.  Tunnel frames (UDP
+    port 4789 VXLAN, IP protocol 47 GRE) come back with [encap] set.
+    Truncation and unsupported ethertypes/protocols are distinguished in
+    the typed error. *)
 
 val parse : ?port:int -> ?ts_ns:int -> bytes -> (Pkt.t, string) result
-(** Decode a frame.  Non-IPv4 ethertypes and unknown IP protocols are
-    accepted (ports read as zero); truncated frames are an [Error]. *)
+(** String-error shim over {!parse_typed}.  Note the historical
+    silent-zero behaviour is gone: a non-IPv4 ethertype is an [Error
+    "unsupported …"], not an [Ok] packet with zeroed addresses. *)
+
+val header_size : Pkt.t -> int
+(** Exact header bytes [serialize] will emit for this packet's shape. *)
 
 val min_size : Pkt.proto -> int
-(** Smallest frame that [serialize] accepts for this protocol. *)
+(** Smallest unencapsulated frame that [serialize] accepts for this
+    protocol. *)
+
+(** The pre-codec hand-written serializer/parser, kept as the
+    differential-test oracle (IPv4-only, no tunnels). *)
+module Legacy : sig
+  val serialize : Pkt.t -> bytes
+
+  val parse : ?port:int -> ?ts_ns:int -> bytes -> (Pkt.t, string) result
+end

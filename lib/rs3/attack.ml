@@ -1,16 +1,8 @@
-let set_field (p : Packet.Pkt.t) f v =
-  match f with
-  | Packet.Field.Ip_src -> { p with Packet.Pkt.ip_src = v }
-  | Packet.Field.Ip_dst -> { p with Packet.Pkt.ip_dst = v }
-  | Packet.Field.Src_port -> { p with Packet.Pkt.src_port = v }
-  | Packet.Field.Dst_port -> { p with Packet.Pkt.dst_port = v }
-  | Packet.Field.Ip_proto -> { p with Packet.Pkt.proto = Packet.Pkt.proto_of_number v }
-  | Packet.Field.Eth_src -> { p with Packet.Pkt.eth_src = v }
-  | Packet.Field.Eth_dst -> { p with Packet.Pkt.eth_dst = v }
-  | Packet.Field.Eth_type -> { p with Packet.Pkt.eth_type = v }
+let set_field (p : Packet.Pkt.t) f v = Packet.Pkt.set_field p f v
 
 (* Packet whose hash-input bits equal [d]; header bits outside the selected
-   slices are drawn randomly. *)
+   slices are drawn randomly.  The base packet carries a random tunnel view
+   so inner-header field sets have bits to overwrite. *)
 let packet_of_input rng field_set d =
   let base =
     Packet.Pkt.make
@@ -18,6 +10,15 @@ let packet_of_input rng field_set d =
       ~ip_dst:(Random.State.int rng 0x3fffffff)
       ~src_port:(Random.State.int rng 0x10000)
       ~dst_port:(Random.State.int rng 0x10000)
+      ~encap:
+        {
+          Packet.Pkt.default_encap with
+          tunnel_id = Random.State.int rng 0xffffff;
+          in_ip_src = Random.State.int rng 0x3fffffff;
+          in_ip_dst = Random.State.int rng 0x3fffffff;
+          in_src_port = Random.State.int rng 0x10000;
+          in_dst_port = Random.State.int rng 0x10000;
+        }
       ()
   in
   List.fold_left

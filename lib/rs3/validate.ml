@@ -2,22 +2,26 @@
    address bits that prefix-sharded keys hash *)
 let rand32 rng = (Random.State.bits rng lsl 2) lxor Random.State.bits rng land 0xffffffff
 
+(* Random packets carry a random tunnel view so that inner-header field
+   sets see spread bits too: without it, every probe packet would hash the
+   same zeroed inner 5-tuple and the solver's spread check could never
+   pass for inner sets. *)
 let random_pkt rng ~port =
   Packet.Pkt.make ~port ~ip_src:(rand32 rng) ~ip_dst:(rand32 rng)
     ~src_port:(Random.State.int rng 0x10000)
     ~dst_port:(Random.State.int rng 0x10000)
+    ~encap:
+      {
+        Packet.Pkt.default_encap with
+        tunnel_id = Random.State.int rng 0xffffff;
+        in_ip_src = rand32 rng;
+        in_ip_dst = rand32 rng;
+        in_src_port = Random.State.int rng 0x10000;
+        in_dst_port = Random.State.int rng 0x10000;
+      }
     ()
 
-let set_field (p : Packet.Pkt.t) f v =
-  match f with
-  | Packet.Field.Ip_src -> { p with Packet.Pkt.ip_src = v }
-  | Packet.Field.Ip_dst -> { p with Packet.Pkt.ip_dst = v }
-  | Packet.Field.Src_port -> { p with Packet.Pkt.src_port = v }
-  | Packet.Field.Dst_port -> { p with Packet.Pkt.dst_port = v }
-  | Packet.Field.Ip_proto -> { p with Packet.Pkt.proto = Packet.Pkt.proto_of_number v }
-  | Packet.Field.Eth_src -> { p with Packet.Pkt.eth_src = v }
-  | Packet.Field.Eth_dst -> { p with Packet.Pkt.eth_dst = v }
-  | Packet.Field.Eth_type -> { p with Packet.Pkt.eth_type = v }
+let set_field (p : Packet.Pkt.t) f v = Packet.Pkt.set_field p f v
 
 let hash_with (p : Problem.t) keys ~port pkt =
   match Nic.Field_set.hash_input p.Problem.field_sets.(port) pkt with

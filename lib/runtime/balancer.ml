@@ -403,18 +403,7 @@ let decode specs key = List.find_map (fun spec -> try_spec spec key) specs
 
 let pkt_of_fields ?port fields =
   let base = Packet.Pkt.make ?port ~ip_src:0 ~ip_dst:0 ~src_port:0 ~dst_port:0 () in
-  List.fold_left
-    (fun p (f, v) ->
-      match f with
-      | Packet.Field.Eth_src -> { p with Packet.Pkt.eth_src = v }
-      | Packet.Field.Eth_dst -> { p with Packet.Pkt.eth_dst = v }
-      | Packet.Field.Eth_type -> { p with Packet.Pkt.eth_type = v }
-      | Packet.Field.Ip_src -> { p with Packet.Pkt.ip_src = v }
-      | Packet.Field.Ip_dst -> { p with Packet.Pkt.ip_dst = v }
-      | Packet.Field.Ip_proto -> { p with Packet.Pkt.proto = Packet.Pkt.proto_of_number v }
-      | Packet.Field.Src_port -> { p with Packet.Pkt.src_port = v }
-      | Packet.Field.Dst_port -> { p with Packet.Pkt.dst_port = v })
-    base fields
+  List.fold_left (fun p (f, v) -> Packet.Pkt.set_field p f v) base fields
 
 (* ------------------------------------------------------------------ *)
 (* Migration execution                                                 *)

@@ -82,8 +82,19 @@ let decode t buf off =
   and proto = ref 6 (* TCP *)
   and src_port = ref 0
   and dst_port = ref 0
+  and has_inner = ref false
+  and tunnel_id = ref 0
+  and in_ip_src = ref 0
+  and in_ip_dst = ref 0
+  and in_proto = ref 6
+  and in_src_port = ref 0
+  and in_dst_port = ref 0
   and size = ref 64
   and ts_ns = ref 0 in
+  let inner r v =
+    has_inner := true;
+    r := v
+  in
   List.iter
     (fun f ->
       let v = next () in
@@ -95,7 +106,13 @@ let decode t buf off =
       | Packet.Field.Ip_dst -> ip_dst := v
       | Packet.Field.Ip_proto -> proto := v
       | Packet.Field.Src_port -> src_port := v
-      | Packet.Field.Dst_port -> dst_port := v)
+      | Packet.Field.Dst_port -> dst_port := v
+      | Packet.Field.Tunnel_id -> inner tunnel_id v
+      | Packet.Field.Inner_ip_src -> inner in_ip_src v
+      | Packet.Field.Inner_ip_dst -> inner in_ip_dst v
+      | Packet.Field.Inner_ip_proto -> inner in_proto v
+      | Packet.Field.Inner_src_port -> inner in_src_port v
+      | Packet.Field.Inner_dst_port -> inner in_dst_port v)
     t.spec.Maestro.Scrspec.fields;
   if t.spec.Maestro.Scrspec.needs_port then port := next ();
   if t.spec.Maestro.Scrspec.needs_len then size := next ();
@@ -110,6 +127,19 @@ let decode t buf off =
     proto = Packet.Pkt.proto_of_number !proto;
     src_port = !src_port;
     dst_port = !dst_port;
+    encap =
+      (if !has_inner then
+         Some
+           {
+             Packet.Pkt.default_encap with
+             tunnel_id = !tunnel_id;
+             in_ip_src = !in_ip_src;
+             in_ip_dst = !in_ip_dst;
+             in_proto = Packet.Pkt.proto_of_number !in_proto;
+             in_src_port = !in_src_port;
+             in_dst_port = !in_dst_port;
+           }
+       else None);
     size = !size;
     ts_ns = !ts_ns;
   }

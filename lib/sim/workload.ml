@@ -139,6 +139,13 @@ let sbridge_workload ~seed ~pkts ~size nf =
   in
   { label = "sbridge"; nf; trace; skip = 0 }
 
+(* Tunnel NFs: the generic trace becomes the inner traffic of a VXLAN or
+   GRE underlay (same flows, same reply mix) so inner-keyed state sees the
+   same key spread a plain fw sees from plain traffic. *)
+let tunnel_workload ~kind ~fresh ~seed ~flows ~pkts ~size nf label =
+  let w = generic ~fresh ~seed ~flows ~pkts ~size nf label in
+  { w with trace = Traffic.Gen.encapsulate kind w.trace }
+
 let read_heavy ?(seed = 42) ?(flows = 8192) ?(pkts = 24_000) ?(size = 64) ?(fresh = 0.02) name =
   let nf = Nfs.Registry.find_exn name in
   match name with
@@ -146,6 +153,8 @@ let read_heavy ?(seed = 42) ?(flows = 8192) ?(pkts = 24_000) ?(size = 64) ?(fres
   | "lb" -> lb_workload ~fresh ~seed ~flows ~pkts ~size nf
   | "sbridge" -> sbridge_workload ~seed ~pkts ~size nf
   | "hhh" -> hhh_workload ~seed ~flows ~pkts ~size nf
+  | "vxlan_fw" -> tunnel_workload ~kind:Packet.Pkt.Vxlan ~fresh ~seed ~flows ~pkts ~size nf name
+  | "gre_peer" -> tunnel_workload ~kind:Packet.Pkt.Gre ~fresh ~seed ~flows ~pkts ~size nf name
   | _ -> { (generic ~fresh ~seed ~flows ~pkts ~size nf name) with label = name }
 
 let zipf ?(seed = 43) ?(pkts = 50_000) ?(size = 64) name =

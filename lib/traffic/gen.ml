@@ -93,6 +93,57 @@ let uniform ?spec rng ~flows:fs =
   if Array.length arr = 0 then invalid_arg "Traffic.Gen.uniform: no flows";
   trace ?spec rng ~pick:(fun rng -> arr.(Random.State.int rng (Array.length arr)))
 
+(* Wrap a trace in a VXLAN or GRE underlay: each packet's headers become
+   the inner frame and the outer headers describe a VTEP pair picked
+   deterministically from the *normalized* flow — both directions of a
+   flow traverse the same tunnel, so tunnel-terminating NFs see symmetric
+   traffic exactly like their plain counterparts see plain traffic.  VXLAN
+   adds 50 bytes (outer Ethernet+IPv4+UDP+VXLAN), GRE 28 (outer IPv4+GRE
+   replace nothing: the inner Ethernet is gone but the outer one remains,
+   and GRE carries the IP payload directly, so in_eth and the outer ports
+   are zero — matching what Wire.parse_typed reconstructs). *)
+let encapsulate ?(vteps = 8) kind pkts =
+  let open Packet in
+  if vteps < 1 then invalid_arg "Traffic.Gen.encapsulate: vteps < 1";
+  Array.map
+    (fun (p : Pkt.t) ->
+      let h = Hashtbl.hash (Flow.normalize (Flow.of_pkt p)) in
+      let vtep = h mod vteps in
+      let vtep_lan = 0xac100000 lor vtep (* 172.16.0.x *)
+      and vtep_wan = 0xac108000 lor vtep (* 172.16.128.x *) in
+      let out_src, out_dst =
+        if p.Pkt.port = wan then (vtep_wan, vtep_lan) else (vtep_lan, vtep_wan)
+      in
+      let encap =
+        {
+          Pkt.kind;
+          tunnel_id = 0x100 + vtep;
+          in_eth_src = (match kind with Pkt.Vxlan -> p.Pkt.eth_src | Pkt.Gre -> 0);
+          in_eth_dst = (match kind with Pkt.Vxlan -> p.Pkt.eth_dst | Pkt.Gre -> 0);
+          in_ip_src = p.Pkt.ip_src;
+          in_ip_dst = p.Pkt.ip_dst;
+          in_proto = p.Pkt.proto;
+          in_src_port = p.Pkt.src_port;
+          in_dst_port = p.Pkt.dst_port;
+        }
+      in
+      let proto, src_port, dst_port, overhead =
+        match kind with
+        | Pkt.Vxlan -> (Pkt.Udp, 0xc000 lor (h land 0x3fff), Stacks.vxlan_port, 50)
+        | Pkt.Gre -> (Pkt.Other Stacks.gre_proto, 0, 0, 28)
+      in
+      {
+        p with
+        Pkt.ip_src = out_src;
+        ip_dst = out_dst;
+        proto;
+        src_port;
+        dst_port;
+        encap = Some encap;
+        size = p.Pkt.size + overhead;
+      })
+    pkts
+
 let packet_sizes = [ 64; 128; 256; 512; 1024; 1500 ]
 
 let count_new_flows pkts =

@@ -44,6 +44,15 @@ val steady :
 val steady_uniform :
   ?spec:trace_spec -> Random.State.t -> flows:Packet.Flow.t list -> Packet.Pkt.t array * int
 
+val encapsulate :
+  ?vteps:int -> Packet.Pkt.encap_kind -> Packet.Pkt.t array -> Packet.Pkt.t array
+(** Wrap each packet of a trace in a VXLAN or GRE underlay: the original
+    headers become the inner frame (the {!Packet.Pkt.encap} view) and the
+    outer headers address one of [vteps] VTEP pairs, picked
+    deterministically from the normalized flow so both directions of a
+    flow share a tunnel.  Frame sizes grow by the encapsulation overhead
+    (50 bytes for VXLAN, 28 for GRE). *)
+
 val packet_sizes : int list
 (** The Fig. 8 sweep: 64 … 1500 bytes. *)
 

@@ -4,6 +4,7 @@ let () =
       ("bitvec", Test_bitvec.suite);
       ("gf2", Test_gf2.suite);
       ("packet", Test_packet.suite);
+      ("codec", Test_codec.suite);
       ("nic", Test_nic.suite);
       ("dsl", Test_dsl.suite);
       ("compile", Test_compile.suite);
