@@ -70,5 +70,24 @@ let () =
             print_endline "OK";
             exit 0
           end
-          else exit 1)
+          else begin
+            (* one GitHub Actions annotation per failed gate, so the PR
+               checks tab names the counter without opening the log *)
+            let annotate what (c : Benchdiff.change) =
+              Printf.printf "::error title=bench gate: %s::%s %s: %d -> %d (%+.1f%%, threshold %.0f%%)\n"
+                c.Benchdiff.counter_name c.Benchdiff.counter_name what c.Benchdiff.base
+                c.Benchdiff.current
+                (100.0 *. (c.Benchdiff.ratio -. 1.0))
+                !threshold
+            in
+            List.iter (annotate "regressed") report.Benchdiff.regressions;
+            List.iter (annotate "shrank below its floor") report.Benchdiff.shrunk;
+            List.iter
+              (fun name ->
+                Printf.printf
+                  "::error title=bench gate: %s::counter %s is gated but missing from the run\n"
+                  name name)
+              report.Benchdiff.missing;
+            exit 1
+          end)
   | _ -> usage ()

@@ -1,0 +1,6 @@
+(* CI entry point for the cluster-tier smoke gate; the logic lives in
+   Gates.Cluster_gate.  First argv overrides the telemetry output path. *)
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  if Gates.Cluster_gate.run ?out () > 0 then exit 1

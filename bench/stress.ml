@@ -1,0 +1,8 @@
+(* Entry point for the flow-scale stress harness; the logic lives in
+   Gates.Stress_gate.  Scale comes from MAESTRO_STRESS_FLOWS (default one
+   million flows — the nightly run; PR CI sets 50000).  First argv
+   overrides the telemetry output path. *)
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  if Gates.Stress_gate.run ?out () > 0 then exit 1

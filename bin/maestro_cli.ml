@@ -572,7 +572,137 @@ let rebalance_cmd =
       const run $ nf_arg $ chain_arg $ cores_arg $ seed_arg $ pkts $ flows $ epoch $ threshold
       $ exponent $ stats_arg $ trace_json_arg)
 
+(* --- cluster (front-tier study) --------------------------------------------- *)
+
+let cluster_cmd =
+  let run name chain machines cores seed pkts flows fault_plan stats trace_json =
+    match find_target name chain with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        exit 1
+    | Ok target ->
+        let nf = target_nf target in
+        with_telemetry stats trace_json @@ fun () ->
+        (match fault_plan with
+        | None -> Faults.clear ()
+        | Some spec -> (
+            match Faults.parse spec with
+            | Ok plan -> Faults.install plan
+            | Error e ->
+                Format.eprintf "error: %s@." e;
+                exit 1));
+        let config =
+          {
+            Cluster.Tier.default_config with
+            Cluster.Tier.machines;
+            seed;
+            request = { Maestro.Pipeline.default_request with cores; seed };
+          }
+        in
+        (match Cluster.Tier.build ~config nf with
+        | Error e ->
+            Format.eprintf "error: %s@." e;
+            exit 1
+        | Ok tier ->
+            let plan = Cluster.Tier.plan tier in
+            let rng = Random.State.make [| seed |] in
+            let fs = Traffic.Gen.flows rng flows in
+            let spec = { Traffic.Gen.default_spec with Traffic.Gen.pkts } in
+            let trace, _warmup = Traffic.Gen.steady_uniform ~spec rng ~flows:fs in
+            let seq = Runtime.Parallel.run_sequential nf trace in
+            let verdicts, s = Cluster.Tier.run tier trace in
+            let agree = ref 0 in
+            Array.iteri
+              (fun i v ->
+                let same =
+                  match (v, seq.(i)) with
+                  | Dsl.Interp.Dropped, Dsl.Interp.Dropped -> true
+                  | Dsl.Interp.Fwd (pa, oa), Dsl.Interp.Fwd (pb, ob) ->
+                      pa = pb && Packet.Pkt.equal oa ob
+                  | _ -> false
+                in
+                if same then incr agree)
+              verdicts;
+            Format.printf "strategy: %s on %d cores x %d machines@."
+              (Maestro.Plan.strategy_name plan.Maestro.Plan.strategy)
+              cores machines;
+            Format.printf "front tier: %a@." Cluster.Maglev.pp (Cluster.Tier.table tier);
+            Format.printf
+              "front key: %d sampling rounds, %d free bits; digest rebuild %s@."
+              (Cluster.Tier.key_attempts tier)
+              (Cluster.Tier.key_free_bits tier)
+              (if Cluster.Tier.scr_admissible tier then "available" else "unavailable");
+            Format.printf "machine | packets@.";
+            List.iter
+              (fun (id, n) -> Format.printf "%7d | %d@." id n)
+              s.Cluster.Tier.machine_pkts;
+            List.iter
+              (fun (e : Cluster.Tier.event_log) ->
+                Format.printf
+                  "%s@%d machine %d: %.1f%% slots reassigned, %d flows moved, %d rebuilt, \
+                   %d dropped, %d lost@."
+                  (match e.Cluster.Tier.action with
+                  | Faults.Join -> "join"
+                  | Faults.Leave -> "leave"
+                  | Faults.Fail -> "fail")
+                  e.Cluster.Tier.at_epoch e.Cluster.Tier.machine
+                  (100.0 *. e.Cluster.Tier.disruption)
+                  e.Cluster.Tier.moved e.Cluster.Tier.rebuilt e.Cluster.Tier.dropped
+                  e.Cluster.Tier.lost)
+              s.Cluster.Tier.events;
+            Format.printf
+              "verdicts: %d/%d agree with sequential; %d dead hits, %d affinity violations@."
+              !agree (Array.length trace) s.Cluster.Tier.dead_hits
+              s.Cluster.Tier.affinity_violations;
+            let counts =
+              s.Cluster.Tier.machine_pkts |> List.map snd |> Array.of_list
+            in
+            let profile = Sim.Profile.of_trace nf trace in
+            let ce =
+              Sim.Throughput.evaluate_cluster
+                ~machine_shares:(Sim.Throughput.shares_of_counts counts)
+                plan profile trace
+            in
+            Format.printf
+              "model: %.2f mpps per machine, %.2f mpps (%.2f gbps) across the fleet — x%.2f \
+               scale-out, machine imbalance %.2f@."
+              ce.Sim.Throughput.per_machine.Sim.Throughput.mpps ce.Sim.Throughput.cluster_mpps
+              ce.Sim.Throughput.cluster_gbps ce.Sim.Throughput.scaleout
+              ce.Sim.Throughput.machine_imbalance;
+            Faults.clear ())
+  in
+  let machines_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "machines" ] ~docv:"N" ~doc:"Machines behind the front tier.")
+  in
+  let pkts = Arg.(value & opt int 24_000 & info [ "pkts" ] ~doc:"Packets to replay.") in
+  let flows = Arg.(value & opt int 1_000 & info [ "flows" ] ~doc:"Flows in the workload.") in
+  let fault_plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-plan" ] ~docv:"SPEC"
+          ~doc:
+            "Machine churn schedule, e.g. $(b,join\\@4:4;leave\\@8:1;fail\\@6:2) — \
+             join\\@EPOCH:MACHINE, leave\\@EPOCH:MACHINE (graceful, state migrated), \
+             fail\\@EPOCH:MACHINE (abrupt, state rebuilt from SCR digests).")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Scale an NF past one machine: maglev front tier over N machines, each running the \
+          derived per-machine plan, with state-sharing flow groups pinned to one machine by \
+          a second-level RS3 key.  Replays a trace (optionally under machine churn), checks \
+          verdicts against the sequential NF and prices fleet throughput.")
+    Term.(
+      const run $ nf_arg $ chain_arg $ machines_arg $ cores_arg $ seed_arg $ pkts $ flows
+      $ fault_plan $ stats_arg $ trace_json_arg)
+
 let () =
   let doc = "Automatic parallelization of software network functions (NSDI'24 reproduction)" in
   let info = Cmd.info "maestro" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; analyze_cmd; parallelize_cmd; run_cmd; rebalance_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; analyze_cmd; parallelize_cmd; run_cmd; rebalance_cmd; cluster_cmd ]))

@@ -191,25 +191,40 @@ let doc_of_string text =
       | None -> Error "not a telemetry document: no \"schema\" field"
       | Some schema when not (String.starts_with ~prefix:schema_prefix schema) ->
           Error (Printf.sprintf "unsupported schema %S (want %s*)" schema schema_prefix)
-      | Some schema ->
+      | Some schema -> (
           let doc_name =
             Option.value ~default:"?" (Option.bind (Json.member "name" j) Json.to_string_opt)
           in
+          (* strict counter validation: a malformed entry silently dropped
+             here would silently pass the CI gate forever after, so every
+             entry must carry a string name and a finite numeric value *)
           let counters =
             match Json.member "counters" j with
+            | None -> Error "invalid telemetry document: no \"counters\" array"
             | Some (Json.Arr items) ->
-                List.filter_map
-                  (fun item ->
-                    match
-                      ( Option.bind (Json.member "name" item) Json.to_string_opt,
-                        Option.bind (Json.member "value" item) Json.to_float_opt )
-                    with
-                    | Some name, Some v -> Some (name, int_of_float v)
-                    | _ -> None)
-                  items
-            | _ -> []
+                let rec go acc i = function
+                  | [] -> Ok (List.rev acc)
+                  | item :: rest -> (
+                      let name = Option.bind (Json.member "name" item) Json.to_string_opt in
+                      let value = Option.bind (Json.member "value" item) Json.to_float_opt in
+                      match (name, value) with
+                      | None, _ ->
+                          Error (Printf.sprintf "counter #%d: missing or non-string \"name\"" i)
+                      | Some name, None ->
+                          Error
+                            (Printf.sprintf "counter %S: missing or non-numeric \"value\"" name)
+                      | Some name, Some v when Float.is_nan v ->
+                          Error (Printf.sprintf "counter %S: value is NaN" name)
+                      | Some name, Some v when not (Float.is_finite v) ->
+                          Error (Printf.sprintf "counter %S: value is infinite" name)
+                      | Some name, Some v -> go ((name, int_of_float v) :: acc) (i + 1) rest)
+                in
+                go [] 0 items
+            | Some _ -> Error "invalid telemetry document: \"counters\" is not an array"
           in
-          Ok { schema; doc_name; counters = List.sort compare counters })
+          match counters with
+          | Error e -> Error e
+          | Ok counters -> Ok { schema; doc_name; counters = List.sort compare counters }))
 
 let load path =
   match
@@ -235,6 +250,28 @@ let is_timing_counter name =
   let has_part part = String.ends_with ~suffix:part name || contains_sub name (part ^ "_") in
   has_part "_ns" || has_part "_ms" || contains_sub name "speedup"
 
+(* counter-name globs: '*' matches any (possibly empty) substring *)
+let glob_matches pat name =
+  let np = String.length pat and nn = String.length name in
+  let rec go i j =
+    if i = np then j = nn
+    else if pat.[i] = '*' then
+      let rec try_split k = k <= nn && (go (i + 1) k || try_split (k + 1)) in
+      try_split j
+    else j < nn && pat.[i] = name.[j] && go (i + 1) (j + 1)
+  in
+  go 0 0
+
+let expand_patterns patterns names =
+  List.concat_map
+    (fun pat ->
+      if String.contains pat '*' then
+        (* a pattern matching nothing stays in the list verbatim, so it
+           surfaces as [missing] instead of silently gating nothing *)
+        match List.filter (glob_matches pat) names with [] -> [ pat ] | hits -> hits
+      else [ pat ])
+    patterns
+
 type change = { counter_name : string; base : int; current : int; ratio : float }
 
 type report = {
@@ -249,6 +286,11 @@ type report = {
 
 let diff ?(threshold = 0.15) ?only ?(include_timings = false) ?(min_counters = []) base_doc
     cur_doc =
+  let known =
+    List.sort_uniq compare (List.map fst base_doc.counters @ List.map fst cur_doc.counters)
+  in
+  let only = Option.map (fun pats -> expand_patterns pats known) only in
+  let min_counters = expand_patterns min_counters known in
   let wanted name =
     (include_timings || not (is_timing_counter name))
     && (List.mem name min_counters

@@ -45,12 +45,27 @@ type doc = {
 
 val doc_of_string : string -> (doc, string) result
 (** Rejects documents whose ["schema"] is not
-    {!Telemetry.schema_version}-compatible (prefix ["maestro-telemetry/"]). *)
+    {!Telemetry.schema_version}-compatible (prefix ["maestro-telemetry/"]),
+    that carry no ["counters"] array, or whose counter entries are
+    malformed — missing/non-string name, missing/non-numeric value, NaN
+    or infinite value.  Each rejection names the offending counter: a
+    malformed entry silently dropped would silently pass every CI gate
+    that references it. *)
 
 val load : string -> (doc, string) result
 (** Read and parse a file. *)
 
 val counter : doc -> string -> int option
+
+val glob_matches : string -> string -> bool
+(** [glob_matches pattern name]: ['*'] in [pattern] matches any (possibly
+    empty) substring; every other character matches itself. *)
+
+val expand_patterns : string list -> string list -> string list
+(** Expand counter-name patterns against a list of known counter names.
+    Names without ['*'] pass through; a pattern matching nothing is kept
+    verbatim (so {!diff} reports it [missing] rather than silently gating
+    nothing). *)
 
 val is_timing_counter : string -> bool
 (** [true] for machine-dependent counters: wall-clock values — names
@@ -92,7 +107,9 @@ val diff :
     documents.  [threshold] defaults to [0.15] (a counter regresses when
     [current > base *. (1. +. threshold)]).  [only] restricts the
     comparison to the named counters ([missing] then lists requested
-    names absent from either side).  [include_timings] (default
+    names absent from either side); names in [only] and [min_counters]
+    may be ['*'] globs, expanded against the union of both documents'
+    counter names ({!expand_patterns}).  [include_timings] (default
     [false]) also compares {!is_timing_counter} counters.
     [min_counters] names counters with a {e floor}: they are always
     compared (even under [only]), shrinking below

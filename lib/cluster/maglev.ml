@@ -1,0 +1,94 @@
+(* Maglev lookup-table construction (Eisenbud et al., NSDI'16 §3.4).
+   Each machine walks its own permutation of the prime-sized table —
+   slot (offset + j * skip) mod size, skip coprime to the prime size —
+   and machines claim unfilled slots in round-robin order until the
+   table is full.  Determinism matters more here than cryptographic
+   spread: offsets and skips derive from the machine id through a
+   fixed integer mix, so the same machine set always yields the same
+   table and disruption between two sets is a pure function of the
+   sets. *)
+
+type t = { size : int; table : int array; machines : int array (* ascending *) }
+
+let is_prime n =
+  if n < 2 then false
+  else begin
+    let d = ref 2 and prime = ref true in
+    while !prime && !d * !d <= n do
+      if n mod !d = 0 then prime := false;
+      incr d
+    done;
+    !prime
+  end
+
+let next_prime n =
+  let c = ref (max n 2) in
+  while not (is_prime !c) do
+    incr c
+  done;
+  !c
+
+(* splitmix64-style finalizer with the multipliers truncated to OCaml's
+   tagged-int range; table-hash quality is all that is needed *)
+let mix x =
+  let x = x * 0x1E3779B97F4A7C15 in
+  let x = (x lxor (x lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let x = (x lxor (x lsr 27)) * 0x14D049BB133111EB in
+  (x lxor (x lsr 31)) land max_int
+
+let build ?(size = 251) ~machines () =
+  let ids = List.sort_uniq compare machines in
+  if ids = [] then invalid_arg "Maglev.build: empty machine set";
+  if List.hd ids < 0 then invalid_arg "Maglev.build: machine ids must be >= 0";
+  let n = List.length ids in
+  (* at least a few slots per machine, or balance degrades to lumps *)
+  let m = next_prime (max size ((8 * n) + 1)) in
+  let ids = Array.of_list ids in
+  let offset = Array.map (fun id -> mix ((2 * id) + 1) mod m) ids in
+  let skip = Array.map (fun id -> (mix ((2 * id) + 2) mod (m - 1)) + 1) ids in
+  let pos = Array.make n 0 in
+  let table = Array.make m (-1) in
+  let filled = ref 0 in
+  while !filled < m do
+    for i = 0 to n - 1 do
+      if !filled < m then begin
+        (* advance machine i's permutation to its next unclaimed slot;
+           skip is coprime to the prime size, so the walk visits every
+           slot and terminates *)
+        let c = ref ((offset.(i) + (pos.(i) * skip.(i))) mod m) in
+        pos.(i) <- pos.(i) + 1;
+        while table.(!c) >= 0 do
+          c := (offset.(i) + (pos.(i) * skip.(i))) mod m;
+          pos.(i) <- pos.(i) + 1
+        done;
+        table.(!c) <- ids.(i);
+        incr filled
+      end
+    done
+  done;
+  { size = m; table; machines = ids }
+
+let size t = t.size
+let machines t = Array.to_list t.machines
+let lookup t h = t.table.((h land max_int) mod t.size)
+let slot_owner t i = t.table.(i)
+
+let shares t =
+  let count = Hashtbl.create 16 in
+  Array.iter
+    (fun id -> Hashtbl.replace count id (1 + Option.value ~default:0 (Hashtbl.find_opt count id)))
+    t.table;
+  Array.to_list t.machines
+  |> List.map (fun id ->
+         (id, float_of_int (Option.value ~default:0 (Hashtbl.find_opt count id)) /. float_of_int t.size))
+
+let disruption a b =
+  if a.size <> b.size then invalid_arg "Maglev.disruption: table sizes differ";
+  let moved = ref 0 in
+  for i = 0 to a.size - 1 do
+    if a.table.(i) <> b.table.(i) then incr moved
+  done;
+  float_of_int !moved /. float_of_int a.size
+
+let pp fmt t =
+  Format.fprintf fmt "maglev[%d slots / %d machines]" t.size (Array.length t.machines)

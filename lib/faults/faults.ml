@@ -4,6 +4,11 @@ type event =
   | Ring_stall of { core : int; batch : int; spins : int }
   | Solver_budget of { conflicts : int; propagations : int }
   | Phase_shift of { epoch : int; profile : string }
+  | Machine_join of { epoch : int; machine : int }
+  | Machine_leave of { epoch : int; machine : int }
+  | Machine_fail of { epoch : int; machine : int }
+
+type machine_action = Join | Leave | Fail
 
 type plan = { label : string; events : event list }
 
@@ -38,29 +43,34 @@ type compiled = {
   stalls : stall_state list;
   budget : (int * int) option;
   phases : (int * string) list; (* ascending by epoch *)
+  machines : (int * machine_action * int) list; (* epoch, action, machine; ascending *)
 }
 
 let current : compiled option Atomic.t = Atomic.make None
 
 let compile plan =
-  let crashes, slows, stalls, budget, phases =
+  let crashes, slows, stalls, budget, phases, machines =
     List.fold_left
-      (fun (cs, sl, st, b, ph) ev ->
+      (fun (cs, sl, st, b, ph, mc) ev ->
         match ev with
         | Worker_crash { core; batch; times } ->
-            ({ c_core = core; c_batch = batch; c_remaining = times } :: cs, sl, st, b, ph)
+            ({ c_core = core; c_batch = batch; c_remaining = times } :: cs, sl, st, b, ph, mc)
         | Slow_worker { core; from_batch; spins } ->
-            (cs, (core, from_batch, spins) :: sl, st, b, ph)
+            (cs, (core, from_batch, spins) :: sl, st, b, ph, mc)
         | Ring_stall { core; batch; spins } ->
             ( cs,
               sl,
               { st_core = core; st_batch = batch; st_spins = spins; st_fired = false } :: st,
               b,
-              ph )
+              ph,
+              mc )
         | Solver_budget { conflicts; propagations } ->
-            (cs, sl, st, Some (conflicts, propagations), ph)
-        | Phase_shift { epoch; profile } -> (cs, sl, st, b, (epoch, profile) :: ph))
-      ([], [], [], None, []) plan.events
+            (cs, sl, st, Some (conflicts, propagations), ph, mc)
+        | Phase_shift { epoch; profile } -> (cs, sl, st, b, (epoch, profile) :: ph, mc)
+        | Machine_join { epoch; machine } -> (cs, sl, st, b, ph, (epoch, Join, machine) :: mc)
+        | Machine_leave { epoch; machine } -> (cs, sl, st, b, ph, (epoch, Leave, machine) :: mc)
+        | Machine_fail { epoch; machine } -> (cs, sl, st, b, ph, (epoch, Fail, machine) :: mc))
+      ([], [], [], None, [], []) plan.events
   in
   {
     plan;
@@ -69,6 +79,8 @@ let compile plan =
     stalls = List.rev stalls;
     budget;
     phases = List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev phases);
+    machines =
+      List.stable_sort (fun (a, _, _) (b, _, _) -> compare a b) (List.rev machines);
   }
 
 let install plan = Atomic.set current (Some (compile plan))
@@ -121,6 +133,9 @@ let solver_budget () =
 let phases () =
   match Atomic.get current with None -> [] | Some c -> c.phases
 
+let machine_events () =
+  match Atomic.get current with None -> [] | Some c -> c.machines
+
 (* --- parsing ---------------------------------------------------------------- *)
 
 let pp_event fmt = function
@@ -132,6 +147,9 @@ let pp_event fmt = function
   | Solver_budget { conflicts; propagations } ->
       Format.fprintf fmt "satbudget@%d:%d" conflicts propagations
   | Phase_shift { epoch; profile } -> Format.fprintf fmt "phase@%d:%s" epoch profile
+  | Machine_join { epoch; machine } -> Format.fprintf fmt "join@%d:%d" epoch machine
+  | Machine_leave { epoch; machine } -> Format.fprintf fmt "leave@%d:%d" epoch machine
+  | Machine_fail { epoch; machine } -> Format.fprintf fmt "fail@%d:%d" epoch machine
 
 let pp_plan fmt p =
   Format.fprintf fmt "%s: %a" p.label
@@ -184,11 +202,23 @@ let parse spec =
             let* epoch = int_of epoch "epoch" in
             if profile = "" then Error (Printf.sprintf "fault plan: empty profile in %S" ev)
             else Ok (Phase_shift { epoch; profile })
+        | "join", [ epoch; machine ] ->
+            let* epoch = int_of epoch "epoch" in
+            let* machine = int_of machine "machine" in
+            Ok (Machine_join { epoch; machine })
+        | "leave", [ epoch; machine ] ->
+            let* epoch = int_of epoch "epoch" in
+            let* machine = int_of machine "machine" in
+            Ok (Machine_leave { epoch; machine })
+        | "fail", [ epoch; machine ] ->
+            let* epoch = int_of epoch "epoch" in
+            let* machine = int_of machine "machine" in
+            Ok (Machine_fail { epoch; machine })
         | _ ->
             Error
               (Printf.sprintf
                  "fault plan: unknown event %S (expected crash@C:B[xT], slow@C:F:S, stall@C:B:S, \
-                  satbudget@C:P or phase@E:PROFILE)"
+                  satbudget@C:P, phase@E:PROFILE, join@E:M, leave@E:M or fail@E:M)"
                  ev))
   in
   let events =

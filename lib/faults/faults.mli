@@ -37,6 +37,20 @@ type event =
           fires — trace builders ({!Traffic}, the adaptive bench) read the
           schedule back via {!phases} so the same plan string drives both
           the workload and the faults injected into it. *)
+  | Machine_join of { epoch : int; machine : int }
+      (** A machine joins the cluster front tier at epoch [epoch].  Like
+          {!Phase_shift}, descriptive: the cluster tier reads the schedule
+          back via {!machine_events} and performs the maglev-table rebuild
+          and flow-state migration at the epoch boundary. *)
+  | Machine_leave of { epoch : int; machine : int }
+      (** Graceful decommission: the machine's flow state is migrated to
+          the surviving owners before it stops taking traffic. *)
+  | Machine_fail of { epoch : int; machine : int }
+      (** Abrupt machine death: its local state is lost and must be
+          rebuilt from SCR digests (when the NF admits a digest program)
+          before the survivors take over its flows. *)
+
+type machine_action = Join | Leave | Fail
 
 type plan = { label : string; events : event list }
 
@@ -64,9 +78,11 @@ val parse : string -> (plan, string) result
     - [stall@CORE:BATCH:SPINS]
     - [satbudget@CONFLICTS:PROPS]
     - [phase@EPOCH:PROFILE]
+    - [join@EPOCH:MACHINE], [leave@EPOCH:MACHINE], [fail@EPOCH:MACHINE]
 
-    e.g. ["crash@1:3;slow@2:0:500;satbudget@0:0"] or
-    ["phase@0:calm;phase@4:skew;crash@2:60"]. *)
+    e.g. ["crash@1:3;slow@2:0:500;satbudget@0:0"],
+    ["phase@0:calm;phase@4:skew;crash@2:60"] or
+    ["join@2:8;leave@4:0;fail@6:3"]. *)
 
 val pp_event : Format.formatter -> event -> unit
 val pp_plan : Format.formatter -> plan -> unit
@@ -86,3 +102,9 @@ val solver_budget : unit -> (int * int) option
 val phases : unit -> (int * string) list
 (** The installed plan's {!Phase_shift} schedule, ascending by epoch;
     empty when no plan (or no phase events) is installed. *)
+
+val machine_events : unit -> (int * machine_action * int) list
+(** The installed plan's machine churn schedule as
+    [(epoch, action, machine)] triples, ascending by epoch; empty when no
+    plan (or no machine events) is installed.  Like {!phases} this is
+    descriptive — the cluster tier applies it at epoch boundaries. *)

@@ -430,7 +430,7 @@ let rebuild_key inst keyvec i =
   let layout, slots = find_slots inst keyvec in
   Dsl.Ast.key_of_parts (List.mapi (fun j (_, w) -> (w, slots.(i).(j))) layout)
 
-let migrate_group plan g ~hash ~mask ~dest ~instances ~moved ~dropped =
+let migrate_group plan g ~hash ~owner ~instances ~moved ~dropped =
   let primary_map = fst (List.hd g.purges) in
   let specs = List.assoc primary_map plan.specs in
   Array.iteri
@@ -447,7 +447,7 @@ let migrate_group plan g ~hash ~mask ~dest ~instances ~moved ~dropped =
               match hash (pkt_of_fields ?port fields) with
               | None -> ()
               | Some h ->
-                  let d = dest (h land mask) in
+                  let d = owner h in
                   if d <> s then begin
                     let tgt = instances.(d) in
                     (* rebuild every purge key before slots are disturbed *)
@@ -496,7 +496,7 @@ let migrate_group plan g ~hash ~mask ~dest ~instances ~moved ~dropped =
         (List.rev !entries))
     instances
 
-let migrate_lone_map (name, specs) ~hash ~mask ~dest ~instances ~moved ~dropped =
+let migrate_lone_map (name, specs) ~hash ~owner ~instances ~moved ~dropped =
   Array.iteri
     (fun s inst ->
       let m_s = find_map inst name in
@@ -508,7 +508,7 @@ let migrate_lone_map (name, specs) ~hash ~mask ~dest ~instances ~moved ~dropped 
               match hash (pkt_of_fields ?port fields) with
               | None -> ()
               | Some h ->
-                  let d = dest (h land mask) in
+                  let d = owner h in
                   if d <> s then begin
                     let m_d = find_map instances.(d) name in
                     if State.Map_s.mem m_d key || State.Map_s.size m_d < State.Map_s.capacity m_d
@@ -525,8 +525,11 @@ let migrate_lone_map (name, specs) ~hash ~mask ~dest ~instances ~moved ~dropped 
         (State.Map_s.entries m_s))
     instances
 
-let migrate plan ~hash ~mask ~dest ~instances =
+let migrate_by plan ~hash ~owner ~instances =
   let moved = ref 0 and dropped = ref 0 in
-  List.iter (fun g -> migrate_group plan g ~hash ~mask ~dest ~instances ~moved ~dropped) plan.groups;
-  List.iter (fun lm -> migrate_lone_map lm ~hash ~mask ~dest ~instances ~moved ~dropped) plan.lone_maps;
+  List.iter (fun g -> migrate_group plan g ~hash ~owner ~instances ~moved ~dropped) plan.groups;
+  List.iter (fun lm -> migrate_lone_map lm ~hash ~owner ~instances ~moved ~dropped) plan.lone_maps;
   { moved_flows = !moved; dropped_flows = !dropped }
+
+let migrate plan ~hash ~mask ~dest ~instances =
+  migrate_by plan ~hash ~owner:(fun h -> dest (h land mask)) ~instances

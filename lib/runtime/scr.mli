@@ -52,6 +52,15 @@ val encode_batch : t -> Packet.Pkt.t array -> lo:int -> len:int -> int array
 (** Digest for the batch [pkts.(lo) .. pkts.(lo+len-1)] as one freshly
     allocated array of [len * ints_per_pkt] slots. *)
 
+val decode : t -> int array -> int -> Packet.Pkt.t
+(** [decode t buf off] reconstructs the pseudo-packet of the digest
+    segment at [off] — the packet {!apply} replays the write-slice with.
+    Fields absent from the digest get defaults the slice never reads.
+    The cluster tier uses this to ownership-filter a retained digest log
+    when rebuilding a failed machine's replica: each logged packet is
+    re-hashed with the front-tier key to decide whether the dead machine
+    owned it. *)
+
 (** {1 Replay} *)
 
 type replayer

@@ -143,3 +143,37 @@ let evaluate ?(machine = Machine.xeon_6226r) ?(params = Cost.default) ?(balanced
     shares;
     imbalance;
   }
+
+type cluster_eval = {
+  machines : int;
+  per_machine : eval;
+  machine_shares : float array;
+  machine_imbalance : float;
+  cluster_mpps : float;
+  cluster_gbps : float;
+  scaleout : float;
+}
+
+let evaluate_cluster ?machine ?params ?balanced_reta ?measured_shares ~machine_shares plan
+    profile pkts =
+  let n = Array.length machine_shares in
+  if n = 0 then invalid_arg "Throughput.evaluate_cluster: no machines";
+  let total = Array.fold_left ( +. ) 0.0 machine_shares in
+  if total <= 0.0 then invalid_arg "Throughput.evaluate_cluster: machine shares sum to zero";
+  let shares = Array.map (fun s -> s /. total) machine_shares in
+  let per_machine = evaluate ?machine ?params ?balanced_reta ?measured_shares plan profile pkts in
+  let max_share = Array.fold_left Float.max 0.0 shares in
+  let mean = 1.0 /. float_of_int n in
+  (* hottest machine saturates first — the shared-nothing law one level
+     up, with machines in place of cores; NIC-side ceilings are already
+     inside [per_machine] and each machine brings its own NIC *)
+  let factor = 1.0 /. max_share in
+  {
+    machines = n;
+    per_machine;
+    machine_shares = shares;
+    machine_imbalance = max_share /. mean;
+    cluster_mpps = per_machine.mpps *. factor;
+    cluster_gbps = per_machine.gbps *. factor;
+    scaleout = factor;
+  }

@@ -56,6 +56,40 @@ val evaluate :
     throughput and real-domain execution agree on the load they describe.
     Its length must equal the plan's core count. *)
 
+(** Cluster-level pricing: one machine's {!eval} scaled across a fleet
+    behind the maglev front tier.  Machines are independent (the whole
+    point of the second sharding level), so the same law as
+    shared-nothing cores applies one level up: the hottest machine
+    saturates first, [X_cluster = X_machine / max_machine_share], and
+    cross-machine imbalance is pure lost capacity. *)
+type cluster_eval = {
+  machines : int;
+  per_machine : eval;  (** one machine under its own per-core shares *)
+  machine_shares : float array;  (** per-machine fraction of the traffic *)
+  machine_imbalance : float;  (** max/mean of machine shares *)
+  cluster_mpps : float;
+  cluster_gbps : float;
+  scaleout : float;
+      (** [cluster_mpps / per_machine.mpps] — machines of capacity
+          actually realized; [machines / machine_imbalance] in the limit *)
+}
+
+val evaluate_cluster :
+  ?machine:Machine.t ->
+  ?params:Cost.params ->
+  ?balanced_reta:bool ->
+  ?measured_shares:float array ->
+  machine_shares:float array ->
+  Maestro.Plan.t ->
+  Profile.t ->
+  Packet.Pkt.t array ->
+  cluster_eval
+(** [machine_shares] is each machine's observed fraction of the traffic —
+    e.g. {!shares_of_counts} over a {!Cluster.Tier} run's per-machine
+    packet counts (raw counts are normalized).  The per-machine leg
+    forwards [measured_shares] etc. to {!evaluate}.  Raises
+    [Invalid_argument] when [machine_shares] is empty or sums to zero. *)
+
 val shares_of_counts : int array -> float array
 (** Normalize per-core packet counts into traffic shares. *)
 

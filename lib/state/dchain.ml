@@ -132,18 +132,23 @@ let allocate_at t ~touched =
     t.free_head <- t.next.(i);
     t.state.(i) <- true;
     t.last_touch.(i) <- touched;
-    (* sorted insertion: place [i] before the first cell touched strictly
-       later, so the recency list stays non-decreasing in last_touch and
-       [expire_before]'s head scan remains correct after a migration hands
-       us entries with historical timestamps *)
-    let j = ref t.next.(t.cap) in
-    while !j <> t.cap && t.last_touch.(!j) <= touched do
-      j := t.next.(!j)
+    (* sorted insertion: place [i] after the last cell with last_touch <=
+       [touched], so the recency list stays non-decreasing in last_touch
+       and [expire_before]'s head scan remains correct after a migration
+       hands us entries with historical timestamps.  Scan from the TAIL:
+       migration streams arrive oldest-first (ascending touch), so the
+       insertion point is almost always at the back and the scan is O(1)
+       amortized — a head-first scan made bulk migration quadratic at
+       1M flows. *)
+    let j = ref t.prev.(t.cap) in
+    while !j <> t.cap && t.last_touch.(!j) > touched do
+      j := t.prev.(!j)
     done;
-    let s = !j in
-    t.prev.(i) <- t.prev.(s);
+    let p = !j in
+    let s = t.next.(p) in
+    t.prev.(i) <- p;
     t.next.(i) <- s;
-    t.next.(t.prev.(s)) <- i;
+    t.next.(p) <- i;
     t.prev.(s) <- i;
     t.n_alloc <- t.n_alloc + 1;
     Some i

@@ -76,14 +76,18 @@ let rec insert_fresh t k v =
   t.size <- t.size + 1
 
 and grow t =
-  (* double until the live entries fit at load 1/2; rebuilding also drops
-     every tombstone *)
-  let needed = 2 * (t.size + 1) in
-  let n = ref (t.mask + 1) in
-  while !n < needed do
+  (* Rebuild at the size the LIVE entries need — smallest power of two
+     that leaves them at load <= 1/4 — not at a multiple of the current
+     table.  Rebuilding drops every tombstone, so when the load breach is
+     tombstone-driven (erase/re-insert churn at a stable live size) the
+     table is rebuilt in place instead of doubling without bound; load
+     1/4 after a rebuild leaves >= n/4 operations before the next one,
+     keeping inserts amortized O(1). *)
+  let n = ref initial_table in
+  while !n < 4 * (t.size + 1) do
     n := !n * 2
   done;
-  let n = max (!n * 2) (2 * (t.mask + 1)) in
+  let n = !n in
   let old_keys = t.keys and old_vals = t.vals and old_status = t.status in
   let old_n = t.mask + 1 in
   let keys, vals, status = make_table n in
@@ -140,6 +144,24 @@ let iter t f =
     if Bytes.unsafe_get t.status i = occupied then
       f (Array.unsafe_get t.keys i) (Array.unsafe_get t.vals i)
   done
+
+let table_slots t = t.mask + 1
+let tombstones t = t.tombs
+
+(* Probe length of an entry = forward distance from its home slot to where
+   it actually lives; [find] walks exactly that many extra slots. *)
+let probe_stats t =
+  let max_p = ref 0 and total = ref 0 in
+  for i = 0 to t.mask do
+    if Bytes.unsafe_get t.status i = occupied then begin
+      let home = slot t (Array.unsafe_get t.keys i) in
+      let d = (i - home) land t.mask in
+      if d > !max_p then max_p := d;
+      total := !total + d
+    end
+  done;
+  let mean_x100 = if t.size = 0 then 0 else 100 * !total / t.size in
+  (!max_p, mean_x100)
 
 let clear t =
   let keys, vals, status = make_table initial_table in

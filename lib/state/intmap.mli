@@ -35,3 +35,17 @@ val copy : t -> t
 
 val iter : t -> (int -> int -> unit) -> unit
 val clear : t -> unit
+
+(** {1 Introspection} — read-only physical-layout stats, used by the
+    capacity-boundary tests and the 1M-flow stress harness to gate probe
+    lengths and to prove tombstone churn keeps the table bounded. *)
+
+val table_slots : t -> int
+(** Current physical table size (a power of two). *)
+
+val tombstones : t -> int
+
+val probe_stats : t -> int * int
+(** [(max_probe, mean_probe_x100)] over the occupied entries: the extra
+    slots a [find] of that key walks past its home slot.  O(table) scan —
+    diagnostics only, not for the datapath. *)

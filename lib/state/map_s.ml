@@ -116,4 +116,8 @@ let clear t =
 let copy t =
   { capacity = t.capacity; packed = Intmap.copy t.packed; wide = Hashtbl.copy t.wide }
 
+let packed_stats t =
+  let max_probe, mean_probe_x100 = Intmap.probe_stats t.packed in
+  (max_probe, mean_probe_x100, Intmap.table_slots t.packed, Intmap.tombstones t.packed)
+
 let pp fmt t = Format.fprintf fmt "map[%d/%d]" (size t) t.capacity

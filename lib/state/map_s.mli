@@ -78,4 +78,10 @@ val copy : t -> t
     same operation sequence stay structurally identical — the property
     SCR replica seeding needs when a discipline switch clones state. *)
 
+val packed_stats : t -> int * int * int * int
+(** [(max_probe, mean_probe_x100, table_slots, tombstones)] of the packed
+    int-keyed table (see {!Intmap.probe_stats}).  O(table) — used by the
+    stress harness to gate probe lengths and physical growth, not by the
+    datapath. *)
+
 val pp : Format.formatter -> t -> unit

@@ -21,6 +21,7 @@ let () =
       ("rebalance", Test_rebalance.suite);
       ("adaptive", Test_adaptive.suite);
       ("faults", Test_faults.suite);
+      ("cluster", Test_cluster.suite);
       ("scr", Test_scr.suite);
       ("traffic", Test_traffic.suite);
       ("sim", Test_sim.suite);

@@ -305,6 +305,105 @@ let prop_dchain_conservation =
       done;
       !ok && Dchain.allocated c = Hashtbl.length live)
 
+(* --- capacity-boundary behaviour (stress-harness regressions) ------------- *)
+
+let next_pow2 n =
+  let p = ref 1 in
+  while !p < n do
+    p := !p * 2
+  done;
+  !p
+
+(* a rotating erase/insert window must be absorbed by same-size rebuilds:
+   before the tombstone fix the table doubled on every load breach and
+   grew without bound *)
+let test_intmap_tombstone_bounded () =
+  let window = 32 in
+  let m = Intmap.create ~capacity:(window + 1) in
+  for i = 0 to window - 1 do
+    Alcotest.(check bool) "seed" true (Intmap.put m i i)
+  done;
+  for i = 0 to 9_999 do
+    Alcotest.(check bool) "erase" true (Intmap.erase m i);
+    Alcotest.(check bool) "insert" true (Intmap.put m (i + window) i)
+  done;
+  Alcotest.(check int) "window intact" window (Intmap.length m);
+  Alcotest.(check bool)
+    (Printf.sprintf "table bounded (%d slots)" (Intmap.table_slots m))
+    true
+    (Intmap.table_slots m <= next_pow2 (4 * (window + 2)));
+  let max_probe, _ = Intmap.probe_stats m in
+  Alcotest.(check bool) "probes short" true (max_probe <= 64);
+  for i = 10_000 to 10_000 + window - 1 do
+    Alcotest.(check int) (Printf.sprintf "resident %d" i) (i - window)
+      (Intmap.find m i ~absent:(-1))
+  done
+
+let prop_intmap_table_bound =
+  QCheck.Test.make ~name:"intmap table stays within the rebuild law" ~count:100
+    QCheck.(pair (int_range 1 200) (int_range 1 100_000))
+    (fun (capacity, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let m = Intmap.create ~capacity in
+      let bound = max 16 (next_pow2 (4 * (capacity + 1))) in
+      let ok = ref true in
+      for _ = 1 to 2_000 do
+        let k = Random.State.int rng 400 in
+        (match Random.State.int rng 2 with
+        | 0 -> ignore (Intmap.put m k k)
+        | _ -> ignore (Intmap.erase m k));
+        if Intmap.table_slots m > bound then ok := false
+      done;
+      !ok)
+
+(* allocate_at at the capacity boundary: full chain refuses, freeing one
+   slot re-admits, and out-of-order touches land in recency order *)
+let test_dchain_allocate_at_boundaries () =
+  let c = Dchain.create ~capacity:8 in
+  let touches = [ 5; 1; 9; 3; 9; 2; 9; 0 ] in
+  List.iter
+    (fun touched ->
+      match Dchain.allocate_at c ~touched with
+      | Some _ -> ()
+      | None -> Alcotest.fail "allocate_at refused below capacity")
+    touches;
+  Alcotest.(check int) "full" 8 (Dchain.allocated c);
+  Alcotest.(check (option int)) "over capacity" None (Dchain.allocate_at c ~touched:7);
+  let order = ref [] in
+  Dchain.iter_allocated c (fun _ touch -> order := touch :: !order);
+  Alcotest.(check (list int)) "recency order"
+    (List.sort compare touches) (List.rev !order);
+  (match Dchain.oldest c with
+  | Some i -> Alcotest.(check bool) "free oldest" true (Dchain.free c i)
+  | None -> Alcotest.fail "full chain has an oldest");
+  Alcotest.(check bool) "re-admitted" true (Dchain.allocate_at c ~touched:4 <> None)
+
+let test_dchain_expire_full_chain () =
+  let n = 1_000 in
+  let c = Dchain.create ~capacity:n in
+  for i = 0 to n - 1 do
+    ignore (Dchain.allocate_at c ~touched:i)
+  done;
+  let swept = Dchain.expire_before c ~threshold:n in
+  Alcotest.(check int) "everything expired" n (List.length swept);
+  Alcotest.(check int) "chain drained" 0 (Dchain.allocated c);
+  (* the index pool survives a full sweep *)
+  for i = 0 to n - 1 do
+    if Dchain.allocate_at c ~touched:i = None then Alcotest.fail "refill refused"
+  done;
+  Alcotest.(check int) "refilled" n (Dchain.allocated c)
+
+let prop_dchain_allocate_at_sorted =
+  QCheck.Test.make ~name:"allocate_at keeps the chain sorted by touch" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 64) (int_range 0 50))
+    (fun touches ->
+      let c = Dchain.create ~capacity:(List.length touches) in
+      List.iter (fun touched -> ignore (Dchain.allocate_at c ~touched)) touches;
+      let order = ref [] in
+      Dchain.iter_allocated c (fun _ touch -> order := touch :: !order);
+      let order = List.rev !order in
+      order = List.sort compare touches)
+
 let suite =
   [
     Alcotest.test_case "map basics" `Quick test_map_basics;
@@ -331,4 +430,9 @@ let suite =
     Alcotest.test_case "allocate flow rollback" `Quick test_allocate_flow_full_map;
     QCheck_alcotest.to_alcotest prop_sketch_overestimates;
     QCheck_alcotest.to_alcotest prop_dchain_conservation;
+    Alcotest.test_case "intmap tombstone churn bounded" `Quick test_intmap_tombstone_bounded;
+    Alcotest.test_case "dchain allocate_at boundaries" `Quick test_dchain_allocate_at_boundaries;
+    Alcotest.test_case "dchain expire full chain" `Quick test_dchain_expire_full_chain;
+    QCheck_alcotest.to_alcotest prop_intmap_table_bound;
+    QCheck_alcotest.to_alcotest prop_dchain_allocate_at_sorted;
   ]
